@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. They
+// answer "how much does each mechanism matter" beyond the paper's on/off
+// configuration matrix.
+
+// BenchmarkAblationCongestionWindow sweeps the primary's congestion
+// window (§2.1): 1 maximizes batching, large values approach unbatched
+// pipelining.
+func BenchmarkAblationCongestionWindow(b *testing.B) {
+	for _, window := range []int{1, 2, 4, 8, 32} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			lc := harness.LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}
+			opts := harness.BenchOptionsFor(lc)
+			opts.CongestionWindow = window
+			benchWithOptions(b, opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointInterval sweeps K: small intervals pay
+// frequent snapshot+digest costs, large ones grow the log window.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	for _, k := range []uint64{16, 64, 256} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			lc := harness.LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}
+			opts := harness.BenchOptionsFor(lc)
+			opts.CheckpointInterval = k
+			benchWithOptions(b, opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationTentativeExecution isolates the tentative-execution
+// optimization: without it, execution (and the reply) waits for the
+// commit certificate.
+func BenchmarkAblationTentativeExecution(b *testing.B) {
+	for _, tentative := range []bool{true, false} {
+		b.Run(fmt.Sprintf("tentative=%v", tentative), func(b *testing.B) {
+			lc := harness.LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}
+			opts := harness.BenchOptionsFor(lc)
+			opts.TentativeExecution = tentative
+			benchWithOptions(b, opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationDatagramBound sweeps the pre-prepare size cap that
+// couples batching with the big-request optimization: small caps choke
+// inline (non-big) batches.
+func BenchmarkAblationDatagramBound(b *testing.B) {
+	for _, bytes := range []int{2000, 8000, 64000} {
+		b.Run(fmt.Sprintf("cap=%d", bytes), func(b *testing.B) {
+			lc := harness.LibConfig{Static: true, MACs: true, AllBig: false, Batch: true}
+			opts := harness.BenchOptionsFor(lc)
+			opts.MaxBatchBytes = bytes
+			benchWithOptions(b, opts, true)
+		})
+	}
+}
+
+// benchWithOptions runs the null workload (1024 B) against a cluster
+// built from explicit library options, with 12 parallel static clients.
+func benchWithOptions(b *testing.B, opts core.Options, _ bool) {
+	b.Helper()
+	const numClients = 12
+	c, err := harness.NewCluster(harness.ClusterOptions{
+		Opts:       opts,
+		NumClients: numClients,
+		Seed:       42,
+		App:        harness.NewEchoFactory(1024),
+		Bandwidth:  938e6 / 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	pool := make(chan *client.Client, numClients)
+	for i := 0; i < numClients; i++ {
+		cl, err := c.Client(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cl.Close() })
+		pool <- cl
+	}
+	payload := make([]byte, 1024)
+	runClientBench(b, pool, func(int) []byte { return payload }, nil)
+}

@@ -1,0 +1,248 @@
+// Package repro's root benchmarks regenerate the paper's evaluation as
+// testing.B benchmarks — one family per table/figure:
+//
+//	BenchmarkTable1          — Table 1: the ten library configurations, null ops
+//	BenchmarkFigure4Sizes    — Figure 4: request-size sweep (256..4096 B)
+//	BenchmarkFigure5         — Figure 5: replicated ACID SQL inserts
+//	BenchmarkACIDvsNoACID    — §4.2: journal+fsync vs neither
+//	BenchmarkDynamicOverhead — §4.1: static vs dynamic client management
+//	BenchmarkGroupSize       — §3.3.3: agreement latency as n = 3f+1 grows
+//
+// Each op is one client request against a live in-process cluster of
+// 3f+1 replicas over the simulated 1 GbE network; parallel workers model
+// the paper's 12 closed-loop clients. ns/op is therefore request latency
+// under load; throughput = parallelism / ns-per-op. The full paper-style
+// TPS tables come from `go run ./cmd/pbft-bench`.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/harness"
+	"repro/internal/sqldb"
+	"repro/sqlstate"
+)
+
+// benchCluster builds a cluster plus a pool of ready clients.
+func benchCluster(b *testing.B, lc harness.LibConfig, app harness.AppFactory, numClients int) (*harness.Cluster, chan *client.Client) {
+	b.Helper()
+	opts := harness.BenchOptionsFor(lc)
+	c, err := harness.NewCluster(harness.ClusterOptions{
+		Opts:       opts,
+		NumClients: numClients,
+		Seed:       42,
+		App:        app,
+		Bandwidth:  938e6 / 8, // the paper's measured 1 GbE
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	pool := make(chan *client.Client, numClients)
+	for i := 0; i < numClients; i++ {
+		var cl *client.Client
+		if lc.Static {
+			cl, err = c.Client(i)
+		} else {
+			cl, err = c.DynamicClient(fmt.Sprintf("bench-dyn-%d", i))
+			if err == nil {
+				err = cl.Join([]byte(fmt.Sprintf("benchuser%d:x", i)))
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cl.Close() })
+		pool <- cl
+	}
+	return c, pool
+}
+
+// runClientBench drives b.N operations through the client pool in
+// parallel (the closed-loop client model of §4).
+func runClientBench(b *testing.B, pool chan *client.Client, op func(i int) []byte, check func([]byte) error) {
+	b.Helper()
+	b.SetParallelism(len(pool)) // roughly the paper's 12 clients
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		select {
+		case cl := <-pool:
+			defer func() { pool <- cl }()
+			i := 0
+			for pb.Next() {
+				resp, err := cl.Invoke(op(i))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if check != nil {
+					if err := check(resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				i++
+			}
+		default:
+			// More workers than clients: surplus workers idle.
+			for pb.Next() {
+			}
+		}
+	})
+}
+
+// BenchmarkTable1 regenerates Table 1: null operations per second for the
+// ten library configurations (1024-byte requests, like the paper's
+// representative plot).
+func BenchmarkTable1(b *testing.B) {
+	for _, lc := range harness.Table1Configs() {
+		b.Run(lc.Name, func(b *testing.B) {
+			_, pool := benchCluster(b, lc, harness.NewEchoFactory(1024), 12)
+			payload := make([]byte, 1024)
+			runClientBench(b, pool, func(int) []byte { return payload }, nil)
+		})
+	}
+}
+
+// BenchmarkFigure4Sizes sweeps the request/response sizes of Figure 4's
+// underlying experiment on the default configuration.
+func BenchmarkFigure4Sizes(b *testing.B) {
+	lc := harness.Table1Configs()[0] // sta_mac_allbig_batch, the default
+	for _, size := range []int{256, 1024, 2048, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			_, pool := benchCluster(b, lc, harness.NewEchoFactory(size), 12)
+			payload := make([]byte, size)
+			runClientBench(b, pool, func(int) []byte { return payload }, nil)
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: one durable SQL INSERT per
+// request across the §4.2 configurations.
+func BenchmarkFigure5(b *testing.B) {
+	for _, lc := range harness.Fig5Configs() {
+		b.Run(lc.Name, func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "fig5-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			_, pool := benchCluster(b, lc, harness.NewSQLFactory(true, dir), 12)
+			w := &harness.SQLInsertWorkload{}
+			runClientBench(b, pool,
+				func(i int) []byte { return w.Op(0, i) },
+				w.Check)
+		})
+	}
+}
+
+// BenchmarkACIDvsNoACID isolates the §4.2 durability cost: the most
+// robust configuration with the rollback journal + fsync versus neither
+// (the paper: 534 vs 1155 TPS, ~2x).
+func BenchmarkACIDvsNoACID(b *testing.B) {
+	for _, durable := range []bool{true, false} {
+		name := "ACID"
+		if !durable {
+			name = "NoACID"
+		}
+		b.Run(name, func(b *testing.B) {
+			lc := harness.LibConfig{Name: name, Static: false, Batch: true, Durable: durable}
+			dir := ""
+			if durable {
+				var err error
+				dir, err = os.MkdirTemp("", "acid-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { os.RemoveAll(dir) })
+			}
+			_, pool := benchCluster(b, lc, harness.NewSQLFactory(durable, dir), 12)
+			w := &harness.SQLInsertWorkload{}
+			runClientBench(b, pool,
+				func(i int) []byte { return w.Op(0, i) },
+				w.Check)
+		})
+	}
+}
+
+// BenchmarkDynamicOverhead isolates the §4.1 result: dynamic client
+// management costs ~0.5% on the most robust configuration.
+func BenchmarkDynamicOverhead(b *testing.B) {
+	for _, lc := range []harness.LibConfig{
+		{Name: "static", Static: true, Batch: true},
+		{Name: "dynamic", Static: false, Batch: true},
+	} {
+		b.Run(lc.Name, func(b *testing.B) {
+			_, pool := benchCluster(b, lc, harness.NewEchoFactory(1024), 12)
+			payload := make([]byte, 1024)
+			runClientBench(b, pool, func(int) []byte { return payload }, nil)
+		})
+	}
+}
+
+// BenchmarkGroupSize shows the §3.3.3 obstacle: request latency grows
+// with the group size (quadratic message complexity).
+func BenchmarkGroupSize(b *testing.B) {
+	for _, f := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("f=%d_n=%d", f, 3*f+1), func(b *testing.B) {
+			opts := harness.BenchOptionsFor(harness.LibConfig{Static: true, MACs: true, AllBig: true, Batch: false})
+			opts.F = f
+			c, err := harness.NewCluster(harness.ClusterOptions{
+				Opts:       opts,
+				NumClients: 1,
+				Seed:       42,
+				App:        harness.NewEchoFactory(64),
+				Bandwidth:  938e6 / 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			cl, err := c.Client(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { cl.Close() })
+			payload := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Invoke(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLInsertLocal measures the embedded engine alone (no
+// replication): the §4.2 denominator showing where the time goes.
+func BenchmarkSQLInsertLocal(b *testing.B) {
+	for _, durable := range []bool{true, false} {
+		name := "durable"
+		if !durable {
+			name = "volatile"
+		}
+		b.Run(name, func(b *testing.B) {
+			vfs := &sqldb.DiskVFS{Root: b.TempDir()}
+			db, err := sqldb.Open(vfs, "bench.db", durable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			if _, err := db.Exec(harness.VotesSchema[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := db.Exec("INSERT INTO votes (voter, vote, ts, rnd) VALUES (?, 'y', 1, 2)",
+					sqlstate.Text(fmt.Sprint(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command pbft-bench regenerates every table and figure of the paper's
+// evaluation (§4) plus the behavioural experiments of §2.3–2.5 and the
+// message-complexity note of §3.3.3.
+//
+// Usage:
+//
+//	pbft-bench -experiment table1            # Table 1 (null ops)
+//	pbft-bench -experiment fig4 -size 1024   # Figure 4 series
+//	pbft-bench -experiment fig5              # Figure 5 (SQL inserts)
+//	pbft-bench -experiment acid              # §4.2 ACID vs no-ACID
+//	pbft-bench -experiment dynamic           # §4.1 dynamic-client overhead
+//	pbft-bench -experiment wan               # §3.3.3 message complexity
+//	pbft-bench -experiment loss              # §2.4 packet-loss behaviour
+//	pbft-bench -experiment recovery          # §2.3 restart recovery
+//	pbft-bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbft-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|all")
+	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
+	size := flag.Int("size", 1024, "null request/response size in bytes (paper: 256..4096)")
+	seed := flag.Int64("seed", 42, "simulated network seed")
+	flag.Parse()
+
+	opts := harness.DefaultExperimentOptions()
+	opts.Duration = *duration
+	opts.Warmup = *warmup
+	opts.NumClients = *clients
+	opts.RequestSize = *size
+	opts.Seed = *seed
+	opts.Out = os.Stdout
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return harness.RunTable1(opts)
+		case "fig4":
+			return harness.RunFigure4(opts)
+		case "fig5":
+			return harness.RunFigure5(opts, os.TempDir())
+		case "acid":
+			return harness.RunACIDComparison(opts, os.TempDir())
+		case "dynamic":
+			return harness.RunDynamicOverhead(opts)
+		case "wan":
+			return harness.RunWANScaling(opts, []int{1, 2, 3, 4})
+		case "loss":
+			return harness.RunLossExperiment(opts)
+		case "lossy":
+			return harness.RunLossyBatchAblation(opts, []float64{0, 0.005, 0.01, 0.02})
+		case "recovery":
+			return harness.RunRecoveryExperiment(opts, []time.Duration{
+				200 * time.Millisecond, 500 * time.Millisecond, time.Second,
+			})
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(*experiment)
+}

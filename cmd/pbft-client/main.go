@@ -1,0 +1,157 @@
+// Command pbft-client talks to a pbft-server deployment over UDP.
+//
+// One-shot SQL against the replicated database (app=sql servers):
+//
+//	pbft-client -dir ./deploy -id 4 -sql "INSERT INTO votes (voter, vote, ts, rnd) VALUES ('alice','yes',now(),random())"
+//	pbft-client -dir ./deploy -id 4 -sql "SELECT voter, vote FROM votes"
+//
+// Raw operation against echo/counter servers:
+//
+//	pbft-client -dir ./deploy -id 4 -op inc
+//
+// Dynamic clients (deployment generated with -dynamic) join first:
+//
+//	pbft-client -dir ./deploy -join alice:sesame -sql "SELECT count(*) FROM votes"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/pbft"
+	"repro/sqlstate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbft-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "./deploy", "deployment directory")
+	id := flag.Uint("id", 0, "static client id (from config.json)")
+	join := flag.String("join", "", "join dynamically with this identification buffer (§3.1)")
+	sql := flag.String("sql", "", "run one SQL statement against the replicated database")
+	op := flag.String("op", "", "send one raw operation (echo/counter apps)")
+	readOnly := flag.Bool("readonly", false, "use the read-only optimization (SELECT only)")
+	leave := flag.Bool("leave", false, "leave the service after the operation (dynamic clients)")
+	flag.Parse()
+
+	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
+	if err != nil {
+		return err
+	}
+	cfg, err := dep.Config()
+	if err != nil {
+		return err
+	}
+
+	var cl *pbft.Client
+	if *join != "" {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		conn, err := pbft.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		cl, err = pbft.NewDynamicClient(cfg, kp, conn)
+		if err != nil {
+			return err
+		}
+		if err := cl.Join([]byte(*join)); err != nil {
+			return err
+		}
+		fmt.Printf("joined as client %d\n", cl.ID())
+	} else {
+		kp, err := pbft.LoadKeyFile(filepath.Join(*dir, fmt.Sprintf("client-%d.key", int(*id)-cfg.N())))
+		if err != nil {
+			return err
+		}
+		var addr string
+		for _, c := range cfg.Clients {
+			if c.ID == uint32(*id) {
+				addr = c.Addr
+			}
+		}
+		if addr == "" {
+			return fmt.Errorf("client id %d not in deployment", *id)
+		}
+		conn, err := pbft.ListenUDP(addr)
+		if err != nil {
+			return err
+		}
+		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn)
+		if err != nil {
+			return err
+		}
+	}
+	defer cl.Close()
+
+	switch {
+	case *sql != "":
+		body := sqlstate.EncodeExec(*sql)
+		if isSelect(*sql) {
+			body = sqlstate.EncodeQuery(*sql)
+		}
+		var resp []byte
+		var err error
+		if *readOnly {
+			resp, err = cl.InvokeReadOnly(body)
+		} else {
+			resp, err = cl.Invoke(body)
+		}
+		if err != nil {
+			return err
+		}
+		r, err := sqlstate.DecodeResponse(resp)
+		if err != nil {
+			return err
+		}
+		printResponse(r)
+	case *op != "":
+		resp, err := cl.Invoke([]byte(*op))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", resp)
+	default:
+		if *join == "" {
+			return fmt.Errorf("nothing to do: pass -sql or -op")
+		}
+	}
+
+	if *leave {
+		if err := cl.Leave(); err != nil {
+			return err
+		}
+		fmt.Println("left the service")
+	}
+	return nil
+}
+
+func isSelect(sql string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT")
+}
+
+func printResponse(r *sqlstate.Response) {
+	if r.Result != nil {
+		fmt.Printf("ok: %d row(s) affected, last insert id %d\n", r.Result.RowsAffected, r.Result.LastInsertID)
+		return
+	}
+	fmt.Println(strings.Join(r.Rows.Columns, " | "))
+	for _, row := range r.Rows.Data {
+		parts := make([]string, 0, len(row))
+		for _, v := range row {
+			parts = append(parts, v.AsText())
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(r.Rows.Data))
+}

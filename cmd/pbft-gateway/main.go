@@ -1,0 +1,254 @@
+// Command pbft-gateway is the web front-end the paper's §3.3.3 finds
+// missing from PBFT: browsers cannot speak the UDP, binary,
+// quorum-collecting client protocol, so web applications need an
+// HTTP/JSON gateway that embeds a real PBFT client.
+//
+// The gateway joins the replicated service as a dynamic client (or uses a
+// static identity) and translates REST calls into ordered SQL requests:
+//
+//	pbft-gateway -dir ./deploy -listen 127.0.0.1:8080 -join gateway:secret
+//
+//	curl -s localhost:8080/query -d '{"sql":"SELECT voter, vote FROM votes"}'
+//	curl -s localhost:8080/exec  -d '{"sql":"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?,?,now(),random())","args":["alice","yes"]}'
+//
+// The paper's caveat applies and is worth repeating: the gateway is a
+// centralized component in front of a decentralized service. Each
+// organization should run its own gateway (or embed the client library
+// directly); the BFT guarantees only cover what happens behind it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pbft"
+	"repro/sqlstate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbft-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "./deploy", "deployment directory")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	join := flag.String("join", "", "join dynamically with this identification buffer")
+	id := flag.Uint("id", 0, "static client id (when not joining)")
+	flag.Parse()
+
+	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
+	if err != nil {
+		return err
+	}
+	cfg, err := dep.Config()
+	if err != nil {
+		return err
+	}
+
+	var cl *pbft.Client
+	if *join != "" {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		conn, err := pbft.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		cl, err = pbft.NewDynamicClient(cfg, kp, conn)
+		if err != nil {
+			return err
+		}
+		if err := cl.Join([]byte(*join)); err != nil {
+			return err
+		}
+	} else {
+		kp, err := pbft.LoadKeyFile(filepath.Join(*dir, fmt.Sprintf("client-%d.key", int(*id)-cfg.N())))
+		if err != nil {
+			return err
+		}
+		var addr string
+		for _, c := range cfg.Clients {
+			if c.ID == uint32(*id) {
+				addr = c.Addr
+			}
+		}
+		if addr == "" {
+			return fmt.Errorf("client id %d not in deployment", *id)
+		}
+		conn, err := pbft.ListenUDP(addr)
+		if err != nil {
+			return err
+		}
+		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn)
+		if err != nil {
+			return err
+		}
+	}
+	defer cl.Close()
+
+	gw := &gateway{client: cl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exec", gw.handleExec)
+	mux.HandleFunc("/query", gw.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("gateway on http://%s (client id %d)\n", *listen, cl.ID())
+	return srv.ListenAndServe()
+}
+
+// gateway serializes access to the single PBFT client (one outstanding
+// request per client is a protocol rule; scale by running more gateways).
+type gateway struct {
+	mu     sync.Mutex
+	client *pbft.Client
+}
+
+type sqlRequest struct {
+	SQL  string `json:"sql"`
+	Args []any  `json:"args"`
+	// ReadOnly uses the optimized read-only path for SELECTs.
+	ReadOnly bool `json:"readOnly"`
+}
+
+type sqlResponse struct {
+	Columns      []string `json:"columns,omitempty"`
+	Rows         [][]any  `json:"rows,omitempty"`
+	RowsAffected *int64   `json:"rowsAffected,omitempty"`
+	LastInsertID *int64   `json:"lastInsertId,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+func (g *gateway) handleExec(w http.ResponseWriter, r *http.Request) {
+	g.handle(w, r, false)
+}
+
+func (g *gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	g.handle(w, r, true)
+}
+
+func (g *gateway) handle(w http.ResponseWriter, r *http.Request, query bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, sqlResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if query && !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(req.SQL)), "SELECT") {
+		writeJSON(w, http.StatusBadRequest, sqlResponse{Error: "/query accepts SELECT only"})
+		return
+	}
+	args, err := jsonArgs(req.Args)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, sqlResponse{Error: err.Error()})
+		return
+	}
+	var body []byte
+	if query {
+		body = sqlstate.EncodeQuery(req.SQL, args...)
+	} else {
+		body = sqlstate.EncodeExec(req.SQL, args...)
+	}
+
+	g.mu.Lock()
+	var raw []byte
+	if query && req.ReadOnly {
+		raw, err = g.client.InvokeReadOnly(body)
+	} else {
+		raw, err = g.client.Invoke(body)
+	}
+	g.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, sqlResponse{Error: "service: " + err.Error()})
+		return
+	}
+	resp, err := sqlstate.DecodeResponse(raw)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, sqlResponse{Error: err.Error()})
+		return
+	}
+	out := sqlResponse{}
+	if resp.Result != nil {
+		out.RowsAffected = &resp.Result.RowsAffected
+		out.LastInsertID = &resp.Result.LastInsertID
+	}
+	if resp.Rows != nil {
+		out.Columns = resp.Rows.Columns
+		for _, row := range resp.Rows.Data {
+			jsRow := make([]any, 0, len(row))
+			for _, v := range row {
+				jsRow = append(jsRow, valueToJSON(v))
+			}
+			out.Rows = append(out.Rows, jsRow)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jsonArgs maps JSON values onto SQL values.
+func jsonArgs(in []any) ([]sqlstate.Value, error) {
+	out := make([]sqlstate.Value, 0, len(in))
+	for i, a := range in {
+		switch v := a.(type) {
+		case nil:
+			out = append(out, sqlstate.Null())
+		case bool:
+			if v {
+				out = append(out, sqlstate.Int(1))
+			} else {
+				out = append(out, sqlstate.Int(0))
+			}
+		case float64:
+			if v == float64(int64(v)) {
+				out = append(out, sqlstate.Int(int64(v)))
+			} else {
+				out = append(out, sqlstate.Real(v))
+			}
+		case string:
+			out = append(out, sqlstate.Text(v))
+		default:
+			return nil, fmt.Errorf("argument %d: unsupported JSON type %T", i+1, a)
+		}
+	}
+	return out, nil
+}
+
+func valueToJSON(v sqlstate.Value) any {
+	switch v.T {
+	case sqlstate.TNull:
+		return nil
+	case sqlstate.TInt:
+		return v.I
+	case sqlstate.TReal:
+		return v.F
+	case sqlstate.TBlob:
+		return v.Blob
+	default:
+		return v.AsText()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

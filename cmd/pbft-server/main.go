@@ -1,0 +1,153 @@
+// Command pbft-server runs one PBFT replica over UDP, the deployment
+// model of the original implementation.
+//
+// Generate a 4-replica, 2-client local deployment:
+//
+//	pbft-server -gen -dir ./deploy -replicas 4 -clients 2
+//
+// Then run each replica (in separate terminals or with &):
+//
+//	pbft-server -dir ./deploy -id 0 -app sql
+//	pbft-server -dir ./deploy -id 1 -app sql
+//	pbft-server -dir ./deploy -id 2 -app sql
+//	pbft-server -dir ./deploy -id 3 -app sql
+//
+// and talk to the service with pbft-client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/harness"
+	"repro/pbft"
+	"repro/sqlstate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbft-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gen := flag.Bool("gen", false, "generate a deployment into -dir and exit")
+	dir := flag.String("dir", "./deploy", "deployment directory (config.json + key files)")
+	replicas := flag.Int("replicas", 4, "replica count for -gen (3f+1)")
+	clients := flag.Int("clients", 2, "static client count for -gen")
+	basePort := flag.Int("baseport", 7000, "first UDP port for -gen")
+	host := flag.String("host", "127.0.0.1", "host/IP for -gen addresses")
+	dynamic := flag.Bool("dynamic", false, "enable dynamic client membership for -gen (§3.1)")
+	robust := flag.Bool("robust", false, "use the most robust configuration for -gen (nomac, noallbig)")
+	id := flag.Uint("id", 0, "replica id to run")
+	app := flag.String("app", "sql", "application: echo | counter | sql")
+	flag.Parse()
+
+	if *gen {
+		return generate(*dir, *replicas, *clients, *basePort, *host, *dynamic, *robust)
+	}
+
+	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
+	if err != nil {
+		return err
+	}
+	cfg, err := dep.Config()
+	if err != nil {
+		return err
+	}
+	kp, err := pbft.LoadKeyFile(filepath.Join(*dir, fmt.Sprintf("replica-%d.key", *id)))
+	if err != nil {
+		return err
+	}
+	conn, err := pbft.ListenUDP(cfg.Replicas[*id].Addr)
+	if err != nil {
+		return err
+	}
+
+	var application pbft.Application
+	switch *app {
+	case "echo":
+		application = &harness.EchoApp{RespSize: 32}
+	case "counter":
+		application = &harness.CounterApp{}
+	case "sql":
+		application = sqlstate.NewApp(sqlstate.Options{
+			DiskDir: filepath.Join(*dir, fmt.Sprintf("replica-%d-data", *id)),
+			Durable: true,
+			InitSQL: harness.VotesSchema,
+		})
+	default:
+		return fmt.Errorf("unknown application %q", *app)
+	}
+
+	rep, err := pbft.NewReplica(cfg, uint32(*id), kp, conn, application)
+	if err != nil {
+		return err
+	}
+	rep.Start()
+	fmt.Printf("replica %d listening on %s (app=%s, f=%d, n=%d)\n",
+		*id, cfg.Replicas[*id].Addr, *app, cfg.Opts.F, cfg.N())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	rep.Stop()
+	info := rep.Info()
+	fmt.Printf("replica %d stopped: view=%d executed=%d stable=%d\n",
+		*id, info.View, info.LastExec, info.LastStable)
+	return nil
+}
+
+func generate(dir string, replicas, clients, basePort int, host string, dynamic, robust bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	opts := pbft.DefaultOptions()
+	if robust {
+		opts = opts.Robust()
+	}
+	opts.DynamicClients = dynamic
+	dep := &pbft.Deployment{Options: opts}
+	port := basePort
+	for i := 0; i < replicas; i++ {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		if err := pbft.SaveKeyFile(filepath.Join(dir, fmt.Sprintf("replica-%d.key", i)), kp); err != nil {
+			return err
+		}
+		dep.Replicas = append(dep.Replicas, pbft.DeployNode{
+			ID:     uint32(i),
+			Addr:   fmt.Sprintf("%s:%d", host, port),
+			PubKey: pbft.PublicKeyHex(kp),
+		})
+		port++
+	}
+	for i := 0; i < clients; i++ {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		if err := pbft.SaveKeyFile(filepath.Join(dir, fmt.Sprintf("client-%d.key", i)), kp); err != nil {
+			return err
+		}
+		dep.Clients = append(dep.Clients, pbft.DeployNode{
+			ID:     uint32(replicas + i),
+			Addr:   fmt.Sprintf("%s:%d", host, port),
+			PubKey: pbft.PublicKeyHex(kp),
+		})
+		port++
+	}
+	if err := dep.Save(filepath.Join(dir, "config.json")); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d replicas, %d clients (f=%d)\n",
+		filepath.Join(dir, "config.json"), replicas, clients, opts.F)
+	return nil
+}

@@ -1,0 +1,209 @@
+// KV store: a replicated key-value service whose Application manages the
+// raw state region directly — answering the paper's §3.2 question "what
+// can a modern application do with just a pointer to a memory region?"
+// the hard way, for contrast with the SQL abstraction (see the evoting
+// example). The store serializes its map into the region after every
+// mutation and re-reads it before every operation, so checkpointing,
+// state transfer and rollback all just work.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/pbft"
+)
+
+// kvApp replicates a map[string]string in the state region.
+//
+// Region layout: u32 entry count, then (u16 klen, key, u16 vlen, value)*.
+// Every Execute deserializes and reserializes the whole map — a deliberate
+// illustration of the state-management burden PBFT leaves to applications
+// (§3.2); the SQL abstraction exists because this does not scale.
+type kvApp struct {
+	region *pbft.StateRegion
+}
+
+func (a *kvApp) AttachState(region *pbft.StateRegion) { a.region = region }
+
+func (a *kvApp) load() map[string]string {
+	m := make(map[string]string)
+	var cnt [4]byte
+	if _, err := a.region.ReadAt(cnt[:], 0); err != nil {
+		return m
+	}
+	n := binary.BigEndian.Uint32(cnt[:])
+	off := int64(4)
+	buf := make([]byte, 2)
+	for i := uint32(0); i < n; i++ {
+		readStr := func() string {
+			if _, err := a.region.ReadAt(buf, off); err != nil {
+				return ""
+			}
+			l := int64(binary.BigEndian.Uint16(buf))
+			off += 2
+			s := make([]byte, l)
+			if _, err := a.region.ReadAt(s, off); err != nil {
+				return ""
+			}
+			off += l
+			return string(s)
+		}
+		k := readStr()
+		v := readStr()
+		m[k] = v
+	}
+	return m
+}
+
+func (a *kvApp) store(m map[string]string) {
+	// Serialize in sorted key order: replicas agree on state via region
+	// digests, so the byte layout must be deterministic — Go map
+	// iteration order would diverge the replicas (the determinism trap
+	// of §2.5, one level down).
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(m)))
+	for _, k := range keys {
+		v := m[k]
+		out = binary.BigEndian.AppendUint16(out, uint16(len(k)))
+		out = append(out, k...)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(v)))
+		out = append(out, v...)
+	}
+	// WriteAt performs the modify notification PBFT requires before
+	// state changes (§2.1).
+	if _, err := a.region.WriteAt(out, 0); err != nil {
+		panic(err) // region sized far beyond this demo's needs
+	}
+}
+
+// Execute implements ops "set k v", "get k", "del k", "keys".
+func (a *kvApp) Execute(op []byte, nd pbft.NonDetValues, readOnly bool) []byte {
+	fields := strings.SplitN(string(op), " ", 3)
+	m := a.load()
+	switch fields[0] {
+	case "set":
+		if readOnly || len(fields) != 3 {
+			return []byte("ERR")
+		}
+		m[fields[1]] = fields[2]
+		a.store(m)
+		return []byte("OK")
+	case "del":
+		if readOnly || len(fields) != 2 {
+			return []byte("ERR")
+		}
+		delete(m, fields[1])
+		a.store(m)
+		return []byte("OK")
+	case "get":
+		if len(fields) != 2 {
+			return []byte("ERR")
+		}
+		v, ok := m[fields[1]]
+		if !ok {
+			return []byte("(nil)")
+		}
+		return []byte(v)
+	case "keys":
+		return []byte(fmt.Sprint(len(m), " keys"))
+	default:
+		return []byte("ERR unknown op")
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const f = 1
+	n := 3*f + 1
+	net := pbft.NewNetwork(3)
+	defer net.Close()
+
+	opts := pbft.DefaultOptions()
+	cfg := &pbft.Config{Opts: opts}
+	keys := make([]*pbft.KeyPair, n)
+	for i := 0; i < n; i++ {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		keys[i] = kp
+		cfg.Replicas = append(cfg.Replicas, pbft.NodeInfo{
+			ID: uint32(i), Addr: fmt.Sprintf("replica-%d", i), PubKey: kp.Public(),
+		})
+	}
+	ck, err := pbft.GenerateKeyPair(nil)
+	if err != nil {
+		return err
+	}
+	cfg.Clients = append(cfg.Clients, pbft.NodeInfo{ID: uint32(n), Addr: "client-0", PubKey: ck.Public()})
+
+	replicas := make([]*pbft.Replica, n)
+	for i := 0; i < n; i++ {
+		conn, err := net.Listen(cfg.Replicas[i].Addr)
+		if err != nil {
+			return err
+		}
+		rep, err := pbft.NewReplica(cfg, uint32(i), keys[i], conn, &kvApp{})
+		if err != nil {
+			return err
+		}
+		rep.Start()
+		replicas[i] = rep
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	conn, err := net.Listen("client-0")
+	if err != nil {
+		return err
+	}
+	cl, err := pbft.NewClient(cfg, uint32(n), ck, conn)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	ops := []string{
+		"set color blue",
+		"set shape circle",
+		"get color",
+		"del color",
+		"get color",
+		"get shape",
+		"keys",
+	}
+	for _, op := range ops {
+		resp, err := cl.Invoke([]byte(op))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s -> %s\n", op, resp)
+	}
+
+	// Reads can use the optimized read-only path (§2.1): no agreement,
+	// the client collects a 2f+1 quorum of direct replies.
+	resp, err := cl.InvokeReadOnly([]byte("get shape"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s -> %s (read-only path)\n", "get shape", resp)
+	return nil
+}

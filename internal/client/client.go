@@ -1,0 +1,324 @@
+// Package client implements the PBFT client protocol: request submission
+// with retransmission, reply quorum collection (f+1 stable or 2f+1 with
+// tentative replies), the read-only and big-request paths, MAC session
+// establishment with blind periodic retransmission (§2.3 of the paper),
+// and the dynamic Join/Leave flow of §3.1.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// ErrTimeout is returned when no reply quorum assembled within the
+// configured number of retransmission rounds.
+var ErrTimeout = errors.New("client: request timed out")
+
+// ErrJoinDenied is returned when the replicated service refuses a Join.
+type ErrJoinDenied struct{ Reason string }
+
+func (e *ErrJoinDenied) Error() string { return "client: join denied: " + e.Reason }
+
+// Client is a PBFT service client. It is not safe for concurrent use; run
+// one client per goroutine (the benchmark harness runs many).
+type Client struct {
+	cfg  *core.Config
+	id   uint32
+	kp   *crypto.KeyPair
+	eph  *crypto.KeyPair // ephemeral session keys (transient by design)
+	conn transport.Conn
+
+	n, f, quorum int
+	view         uint64 // view estimate from replies
+	timestamp    uint64
+	sessionKeys  []crypto.SessionKey
+	lastHello    time.Time
+	joined       bool
+	closed       bool
+
+	// MaxRetries bounds retransmission rounds per request (0 = default).
+	MaxRetries int
+}
+
+// New creates a client with a pre-provisioned identity (static
+// membership). The connection is owned by the client afterwards.
+func New(cfg *core.Config, id uint32, kp *crypto.KeyPair, conn transport.Conn) (*Client, error) {
+	c, err := newClient(cfg, kp, conn)
+	if err != nil {
+		return nil, err
+	}
+	c.id = id
+	c.joined = true
+	return c, nil
+}
+
+// NewDynamic creates a client that must Join before invoking (§3.1).
+func NewDynamic(cfg *core.Config, kp *crypto.KeyPair, conn transport.Conn) (*Client, error) {
+	c, err := newClient(cfg, kp, conn)
+	if err != nil {
+		return nil, err
+	}
+	c.id = core.JoinSender
+	return c, nil
+}
+
+func newClient(cfg *core.Config, kp *crypto.KeyPair, conn transport.Conn) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eph, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		return nil, fmt.Errorf("session keys: %w", err)
+	}
+	c := &Client{
+		cfg:    cfg,
+		kp:     kp,
+		eph:    eph,
+		conn:   conn,
+		n:      cfg.N(),
+		f:      cfg.Opts.F,
+		quorum: cfg.Quorum(),
+		// Like the original implementation, request timestamps are
+		// wall-clock based so they stay monotonic across client
+		// restarts (replicas deduplicate on them).
+		timestamp: uint64(time.Now().UnixNano()),
+	}
+	c.sessionKeys = make([]crypto.SessionKey, c.n)
+	for i, ri := range cfg.Replicas {
+		// Pairwise key: client ephemeral x replica static.
+		sk, err := eph.SharedKey(ri.PubKey)
+		if err != nil {
+			return nil, fmt.Errorf("derive session key %d: %w", i, err)
+		}
+		c.sessionKeys[i] = sk
+	}
+	return c, nil
+}
+
+// ID returns the client identifier (meaningful after Join for dynamic
+// clients).
+func (c *Client) ID() uint32 { return c.id }
+
+// Close releases the client's connection.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// seal authenticates an envelope to the replica group using the client's
+// identity: an authenticator in MAC mode, a signature otherwise. Join
+// requests and session hellos are always signed.
+func (c *Client) seal(t wire.MsgType, payload []byte, forceSig bool) *wire.Envelope {
+	env := &wire.Envelope{Type: t, Sender: c.id, Payload: payload}
+	if c.cfg.Opts.UseMACs && !forceSig {
+		env.Kind = wire.AuthMAC
+		env.Auth = crypto.ComputeAuthenticator(c.sessionKeys, env.SignedBytes())
+	} else {
+		env.Kind = wire.AuthSig
+		env.Sig = c.kp.Sign(env.SignedBytes())
+	}
+	return env
+}
+
+// sendHello (re)establishes session keys at every replica. Hellos are
+// retransmitted blindly on HelloInterval; this is the authenticator
+// retransmission mechanism whose recovery implications §2.3 analyzes.
+func (c *Client) sendHello() {
+	h := wire.SessionHello{
+		ClientID: c.id,
+		Addr:     c.conn.Addr(),
+		PubKey:   crypto.MarshalPublicKey(crypto.PublicKey{Sign: c.kp.Public().Sign, DH: c.eph.Public().DH}),
+	}
+	env := c.seal(wire.MTSessionHello, h.Marshal(), true)
+	c.broadcast(env)
+	c.lastHello = time.Now()
+}
+
+// maybeHello retransmits the session hello when its timer expired.
+func (c *Client) maybeHello() {
+	if !c.cfg.Opts.UseMACs || c.id == core.JoinSender {
+		return
+	}
+	if time.Since(c.lastHello) >= c.cfg.Opts.HelloInterval {
+		c.sendHello()
+	}
+}
+
+func (c *Client) broadcast(env *wire.Envelope) {
+	raw := env.Marshal()
+	for _, ri := range c.cfg.Replicas {
+		_ = c.conn.Send(ri.Addr, raw)
+	}
+}
+
+func (c *Client) sendToPrimary(env *wire.Envelope) {
+	_ = c.conn.Send(c.cfg.Replicas[c.cfg.Primary(c.view)].Addr, env.Marshal())
+}
+
+// Invoke submits an operation for totally ordered execution and waits for
+// a reply quorum.
+func (c *Client) Invoke(op []byte) ([]byte, error) {
+	return c.invoke(op, 0)
+}
+
+// InvokeReadOnly submits a read-only operation (executed immediately by
+// each replica, no agreement; needs a 2f+1 matching quorum).
+func (c *Client) InvokeReadOnly(op []byte) ([]byte, error) {
+	return c.invoke(op, wire.FlagReadOnly)
+}
+
+func (c *Client) invoke(op []byte, flags uint8) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if !c.joined {
+		return nil, errors.New("client: not joined")
+	}
+	c.timestamp++
+	req := &wire.Request{
+		ClientID:  c.id,
+		Timestamp: c.timestamp,
+		Flags:     flags,
+		Op:        op,
+	}
+	big := c.cfg.IsBig(len(op)) && flags&wire.FlagReadOnly == 0
+	if big {
+		req.Flags |= wire.FlagBig
+	}
+	c.maybeHello()
+	env := c.seal(wire.MTRequest, req.Marshal(), false)
+	// Big and read-only requests are multicast by the client, relieving
+	// the primary (§2.1); others go to the primary alone.
+	if big || req.ReadOnly() {
+		c.broadcast(env)
+	} else {
+		c.sendToPrimary(env)
+	}
+	return c.awaitReplies(req, env)
+}
+
+// replyQuorum tracks matching replies for one request.
+type replyQuorum struct {
+	result    []byte
+	stable    map[uint32]bool
+	tentative map[uint32]bool
+}
+
+// awaitReplies collects replies until a quorum: f+1 matching stable
+// replies, or 2f+1 matching replies when some are tentative. On timeout it
+// retransmits to all replicas (which relay to the primary and arm their
+// view-change timers).
+func (c *Client) awaitReplies(req *wire.Request, env *wire.Envelope) ([]byte, error) {
+	byDigest := make(map[crypto.Digest]*replyQuorum)
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 20
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		deadline := time.NewTimer(c.cfg.Opts.RequestTimeout)
+		for {
+			var pkt transport.Packet
+			var ok bool
+			select {
+			case pkt, ok = <-c.conn.Recv():
+				if !ok {
+					deadline.Stop()
+					return nil, ErrClosed
+				}
+			case <-deadline.C:
+				ok = false
+			}
+			if !ok {
+				break // timeout: retransmit
+			}
+			rep := c.parseReply(pkt.Data, req.Timestamp)
+			if rep == nil {
+				continue
+			}
+			if result := c.recordReply(byDigest, rep); result != nil {
+				deadline.Stop()
+				return result, nil
+			}
+		}
+		// Timeout: retransmit to every replica; replicas relay to the
+		// primary and their liveness timers start ticking.
+		c.maybeHello()
+		c.broadcast(env)
+	}
+	return nil, ErrTimeout
+}
+
+// parseReply authenticates and filters one packet for the outstanding
+// request, updating the view estimate.
+func (c *Client) parseReply(data []byte, ts uint64) *wire.Reply {
+	renv, err := wire.UnmarshalEnvelope(data)
+	if err != nil || renv.Type != wire.MTReply {
+		return nil
+	}
+	if int(renv.Sender) >= c.n {
+		return nil
+	}
+	switch renv.Kind {
+	case wire.AuthMAC:
+		if !renv.Auth.VerifyEntry(0, c.sessionKeys[renv.Sender], renv.SignedBytes()) {
+			return nil
+		}
+	case wire.AuthSig:
+		if !crypto.Verify(c.cfg.Replicas[renv.Sender].PubKey, renv.SignedBytes(), renv.Sig) {
+			return nil
+		}
+	default:
+		return nil
+	}
+	rep, err := wire.UnmarshalReply(renv.Payload)
+	if err != nil || rep.Replica != renv.Sender {
+		return nil
+	}
+	if rep.ClientID != c.id || rep.Timestamp != ts {
+		return nil
+	}
+	if rep.View > c.view {
+		c.view = rep.View
+	}
+	return rep
+}
+
+// recordReply folds one reply into the quorum state; a non-nil return is
+// the accepted result.
+func (c *Client) recordReply(byDigest map[crypto.Digest]*replyQuorum, rep *wire.Reply) []byte {
+	d := crypto.DigestOf(rep.Result)
+	q, ok := byDigest[d]
+	if !ok {
+		q = &replyQuorum{
+			result:    rep.Result,
+			stable:    make(map[uint32]bool),
+			tentative: make(map[uint32]bool),
+		}
+		byDigest[d] = q
+	}
+	if rep.Tentative() {
+		q.tentative[rep.Replica] = true
+	} else {
+		q.stable[rep.Replica] = true
+		delete(q.tentative, rep.Replica)
+	}
+	if len(q.stable) >= c.f+1 {
+		return q.result
+	}
+	if len(q.stable)+len(q.tentative) >= c.quorum {
+		return q.result
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// testSetup builds a config (no live replicas) and a client over the mem
+// network for white-box protocol tests.
+func testSetup(t *testing.T, useMACs bool) (*core.Config, *Client, []*crypto.KeyPair) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.UseMACs = useMACs
+	opts.StateSize = 1 << 20
+	cfg := &core.Config{Opts: opts}
+	rkeys := make([]*crypto.KeyPair, 4)
+	for i := 0; i < 4; i++ {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rkeys[i] = kp
+		cfg.Replicas = append(cfg.Replicas, core.NodeInfo{ID: uint32(i), Addr: fmt.Sprintf("r%d", i), PubKey: kp.Public()})
+	}
+	ckp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clients = append(cfg.Clients, core.NodeInfo{ID: 4, Addr: "c0", PubKey: ckp.Public()})
+
+	net := transport.NewNetwork(1)
+	t.Cleanup(func() { net.Close() })
+	conn, err := net.Listen("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(cfg, 4, ckp, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cfg, cl, rkeys
+}
+
+// sealReply builds a reply envelope as replica id would.
+func sealReply(t *testing.T, cfg *core.Config, cl *Client, rkeys []*crypto.KeyPair, id uint32, rep *wire.Reply, mac bool) []byte {
+	t.Helper()
+	env := &wire.Envelope{Type: wire.MTReply, Sender: id, Payload: rep.Marshal()}
+	if mac {
+		env.Kind = wire.AuthMAC
+		env.Auth = crypto.ComputeAuthenticator([]crypto.SessionKey{cl.sessionKeys[id]}, env.SignedBytes())
+	} else {
+		env.Kind = wire.AuthSig
+		env.Sig = rkeys[id].Sign(env.SignedBytes())
+	}
+	return env.Marshal()
+}
+
+func TestRecordReplyQuorums(t *testing.T) {
+	_, cl, _ := testSetup(t, false)
+	mkReply := func(replica uint32, result string, tentative bool) *wire.Reply {
+		rep := &wire.Reply{Timestamp: 1, ClientID: 4, Replica: replica, Result: []byte(result)}
+		if tentative {
+			rep.Flags |= wire.FlagTentative
+		}
+		return rep
+	}
+
+	t.Run("f+1 stable suffices", func(t *testing.T) {
+		q := make(map[crypto.Digest]*replyQuorum)
+		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+			t.Fatal("one stable reply must not suffice")
+		}
+		if got := cl.recordReply(q, mkReply(1, "ok", false)); string(got) != "ok" {
+			t.Fatalf("two stable matching replies (f+1) must be accepted, got %v", got)
+		}
+	})
+
+	t.Run("tentative needs 2f+1", func(t *testing.T) {
+		q := make(map[crypto.Digest]*replyQuorum)
+		if cl.recordReply(q, mkReply(0, "ok", true)) != nil {
+			t.Fatal("one tentative reply")
+		}
+		if cl.recordReply(q, mkReply(1, "ok", true)) != nil {
+			t.Fatal("two tentative replies are below the 2f+1 quorum")
+		}
+		if got := cl.recordReply(q, mkReply(2, "ok", true)); string(got) != "ok" {
+			t.Fatal("three matching tentative replies (2f+1) must be accepted")
+		}
+	})
+
+	t.Run("mismatching results never combine", func(t *testing.T) {
+		q := make(map[crypto.Digest]*replyQuorum)
+		cl.recordReply(q, mkReply(0, "a", false))
+		if cl.recordReply(q, mkReply(1, "b", false)) != nil {
+			t.Fatal("divergent results must not form a quorum")
+		}
+		if got := cl.recordReply(q, mkReply(2, "a", false)); string(got) != "a" {
+			t.Fatal("the matching pair must win")
+		}
+	})
+
+	t.Run("duplicate replica does not double count", func(t *testing.T) {
+		q := make(map[crypto.Digest]*replyQuorum)
+		cl.recordReply(q, mkReply(0, "ok", false))
+		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+			t.Fatal("the same replica retransmitting must count once")
+		}
+	})
+
+	t.Run("stable upgrade replaces tentative vote", func(t *testing.T) {
+		q := make(map[crypto.Digest]*replyQuorum)
+		cl.recordReply(q, mkReply(0, "ok", true))
+		cl.recordReply(q, mkReply(1, "ok", true))
+		// Replica 0 resends as stable: now 1 stable + 1 tentative = 2
+		// total, still below both quorums.
+		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+			t.Fatal("1 stable + 1 tentative must not be accepted")
+		}
+		if got := cl.recordReply(q, mkReply(1, "ok", false)); string(got) != "ok" {
+			t.Fatal("2 stable must be accepted")
+		}
+	})
+}
+
+func TestParseReplyAuthentication(t *testing.T) {
+	for _, mac := range []bool{true, false} {
+		name := "signatures"
+		if mac {
+			name = "macs"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, cl, rkeys := testSetup(t, mac)
+			rep := &wire.Reply{Timestamp: 9, ClientID: 4, Replica: 2, Result: []byte("r")}
+			raw := sealReply(t, cfg, cl, rkeys, 2, rep, mac)
+			if cl.parseReply(raw, 9) == nil {
+				t.Fatal("authentic reply must parse")
+			}
+			if cl.parseReply(raw, 8) != nil {
+				t.Fatal("stale timestamp must be filtered")
+			}
+			// Claimed sender != signer.
+			env := &wire.Envelope{Type: wire.MTReply, Sender: 1, Payload: rep.Marshal(), Kind: wire.AuthSig}
+			env.Sig = rkeys[2].Sign(env.SignedBytes())
+			if cl.parseReply(env.Marshal(), 9) != nil {
+				t.Fatal("reply claiming another replica must be rejected")
+			}
+			// Replica id out of range.
+			badID := &wire.Envelope{Type: wire.MTReply, Sender: 99, Payload: rep.Marshal(), Kind: wire.AuthSig}
+			badID.Sig = rkeys[2].Sign(badID.SignedBytes())
+			if cl.parseReply(badID.Marshal(), 9) != nil {
+				t.Fatal("unknown replica id must be rejected")
+			}
+			// Garbage bytes.
+			if cl.parseReply([]byte("garbage"), 9) != nil {
+				t.Fatal("garbage must be rejected")
+			}
+			// Reply body whose Replica field disagrees with the envelope.
+			lying := &wire.Reply{Timestamp: 9, ClientID: 4, Replica: 3, Result: []byte("r")}
+			rawLying := sealReply(t, cfg, cl, rkeys, 2, lying, mac)
+			if cl.parseReply(rawLying, 9) != nil {
+				t.Fatal("reply body/envelope sender mismatch must be rejected")
+			}
+		})
+	}
+}
+
+func TestParseReplyUpdatesViewEstimate(t *testing.T) {
+	cfg, cl, rkeys := testSetup(t, false)
+	rep := &wire.Reply{View: 5, Timestamp: 1, ClientID: 4, Replica: 1, Result: []byte("x")}
+	raw := sealReply(t, cfg, cl, rkeys, 1, rep, false)
+	if cl.parseReply(raw, 1) == nil {
+		t.Fatal("reply must parse")
+	}
+	if cl.view != 5 {
+		t.Fatalf("view estimate = %d, want 5", cl.view)
+	}
+	// Older view does not regress the estimate.
+	rep2 := &wire.Reply{View: 3, Timestamp: 1, ClientID: 4, Replica: 2, Result: []byte("x")}
+	cl.parseReply(sealReply(t, cfg, cl, rkeys, 2, rep2, false), 1)
+	if cl.view != 5 {
+		t.Fatalf("view estimate regressed to %d", cl.view)
+	}
+}
+
+func TestInvokeOnClosedClient(t *testing.T) {
+	_, cl, _ := testSetup(t, false)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Invoke([]byte("x")); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal("double close must be nil")
+	}
+}
+
+func TestDynamicClientMustJoinFirst(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.DynamicClients = true
+	opts.StateSize = 1 << 20
+	cfg := &core.Config{Opts: opts}
+	for i := 0; i < 4; i++ {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Replicas = append(cfg.Replicas, core.NodeInfo{ID: uint32(i), Addr: fmt.Sprintf("r%d", i), PubKey: kp.Public()})
+	}
+	net := transport.NewNetwork(1)
+	defer net.Close()
+	conn, err := net.Listen("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewDynamic(cfg, kp, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Invoke([]byte("x")); err == nil {
+		t.Fatal("invoke before join must fail")
+	}
+	if err := cl.Leave(); err == nil {
+		t.Fatal("leave before join must fail")
+	}
+}
+
+func TestClientTimestampsMonotonicAcrossInstances(t *testing.T) {
+	cfg, cl, _ := testSetup(t, false)
+	first := cl.timestamp
+	net2 := transport.NewNetwork(2)
+	defer net2.Close()
+	conn, err := net2.Listen("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := New(cfg, 4, kp, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if cl2.timestamp < first {
+		t.Fatal("a later client instance must not reuse earlier timestamps")
+	}
+}

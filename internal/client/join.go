@@ -1,0 +1,171 @@
+package client
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// Join runs the two-phase dynamic membership protocol of §3.1 (Fig. 2):
+// phase 1 submits the client's address, public key, nonce and the
+// application-level identification buffer and waits for f+1 matching
+// challenges; phase 2 echoes the challenge solution and waits for the
+// ordered join result carrying the assigned client identifier.
+func (c *Client) Join(appAuth []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.joined {
+		return errors.New("client: already joined")
+	}
+	var nb [8]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return err
+	}
+	nonce := binary.BigEndian.Uint64(nb[:])
+	pubRaw := crypto.MarshalPublicKey(c.kp.Public())
+
+	hello := wire.JoinOp{
+		Phase:   wire.JoinPhaseHello,
+		Addr:    c.conn.Addr(),
+		PubKey:  pubRaw,
+		Nonce:   nonce,
+		AppAuth: appAuth,
+	}
+	req1 := &wire.Request{
+		ClientID:  core.JoinSender,
+		Timestamp: nonce,
+		Flags:     wire.FlagSystem | wire.FlagBig,
+		Op:        wire.MarshalSysOp(wire.OpJoin, hello.Marshal()),
+	}
+	env1 := c.seal(wire.MTRequest, req1.Marshal(), true)
+	challenge, err := c.awaitChallenges(env1)
+	if err != nil {
+		return err
+	}
+
+	response := wire.JoinOp{
+		Phase:    wire.JoinPhaseResponse,
+		Addr:     c.conn.Addr(),
+		PubKey:   pubRaw,
+		Nonce:    nonce,
+		Response: core.JoinResponseDigest(challenge, nonce),
+	}
+	req2 := &wire.Request{
+		ClientID:  core.JoinSender,
+		Timestamp: nonce + 1,
+		Flags:     wire.FlagSystem | wire.FlagBig,
+		Op:        wire.MarshalSysOp(wire.OpJoin, response.Marshal()),
+	}
+	env2 := c.seal(wire.MTRequest, req2.Marshal(), true)
+	c.broadcast(env2)
+	result, err := c.awaitJoinResult(req2, env2)
+	if err != nil {
+		return err
+	}
+	if !result.Accepted {
+		return &ErrJoinDenied{Reason: result.Reason}
+	}
+	c.id = result.ClientID
+	c.joined = true
+	c.timestamp = uint64(time.Now().UnixNano())
+	if c.cfg.Opts.UseMACs {
+		c.sendHello()
+	}
+	return nil
+}
+
+// awaitChallenges broadcasts the phase-1 request until f+1 replicas sent a
+// matching (identical) challenge.
+func (c *Client) awaitChallenges(env *wire.Envelope) (crypto.Digest, error) {
+	byChallenge := make(map[crypto.Digest]map[uint32]bool)
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 20
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		c.broadcast(env)
+		deadline := time.NewTimer(c.cfg.Opts.RequestTimeout)
+	recv:
+		for {
+			select {
+			case pkt, ok := <-c.conn.Recv():
+				if !ok {
+					deadline.Stop()
+					return crypto.Digest{}, ErrClosed
+				}
+				renv, err := wire.UnmarshalEnvelope(pkt.Data)
+				if err != nil || renv.Type != wire.MTJoinChall {
+					continue
+				}
+				if int(renv.Sender) >= c.n || renv.Kind != wire.AuthSig {
+					continue
+				}
+				if !crypto.Verify(c.cfg.Replicas[renv.Sender].PubKey, renv.SignedBytes(), renv.Sig) {
+					continue
+				}
+				ch, err := wire.UnmarshalJoinChallenge(renv.Payload)
+				if err != nil || ch.Replica != renv.Sender {
+					continue
+				}
+				voters, ok := byChallenge[ch.Challenge]
+				if !ok {
+					voters = make(map[uint32]bool)
+					byChallenge[ch.Challenge] = voters
+				}
+				voters[ch.Replica] = true
+				if len(voters) >= c.f+1 {
+					deadline.Stop()
+					return ch.Challenge, nil
+				}
+			case <-deadline.C:
+				break recv
+			}
+		}
+	}
+	return crypto.Digest{}, ErrTimeout
+}
+
+// awaitJoinResult waits for a quorum of matching join replies and parses
+// the embedded result.
+func (c *Client) awaitJoinResult(req *wire.Request, env *wire.Envelope) (*wire.JoinResult, error) {
+	raw, err := c.awaitReplies(req, env)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalJoinResult(raw)
+}
+
+// Leave withdraws the client from the service (§3.1); the replicas remove
+// it from their tables and refuse further requests.
+func (c *Client) Leave() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if !c.joined {
+		return errors.New("client: not joined")
+	}
+	c.timestamp++
+	req := &wire.Request{
+		ClientID:  c.id,
+		Timestamp: c.timestamp,
+		Flags:     wire.FlagSystem | wire.FlagBig,
+		Op:        wire.MarshalSysOp(wire.OpLeave, nil),
+	}
+	env := c.seal(wire.MTRequest, req.Marshal(), false)
+	c.broadcast(env)
+	result, err := c.awaitReplies(req, env)
+	if err != nil {
+		return err
+	}
+	if string(result) != "bye" {
+		return errors.New("client: unexpected leave reply")
+	}
+	c.joined = false
+	return nil
+}

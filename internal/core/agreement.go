@@ -1,0 +1,317 @@
+package core
+
+import (
+	"repro/internal/wire"
+)
+
+// onRequestEnvelope authenticates and routes a client request. raw is the
+// envelope's wire form, kept for relaying to the primary unchanged (so the
+// primary verifies the client's own authentication, not the relayer's).
+func (r *Replica) onRequestEnvelope(env *wire.Envelope, raw []byte) {
+	req, err := wire.UnmarshalRequest(env.Payload)
+	if err != nil {
+		r.stats.DroppedBadAuth++
+		return
+	}
+	// Join requests authenticate against the key inside the body; all
+	// other requests against the node table.
+	if req.System() && env.Sender == JoinSender {
+		if !r.cfg.Opts.DynamicClients {
+			return
+		}
+		r.onJoinRequest(env, req)
+		return
+	}
+	client, ok := r.verifyFromClient(env)
+	if !ok {
+		r.stats.DroppedBadAuth++
+		return
+	}
+	if req.ClientID != env.Sender {
+		r.stats.DroppedBadAuth++
+		return
+	}
+	r.onRequest(req, client, raw)
+}
+
+// onRequest processes an authenticated client request.
+func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
+	if req.ReadOnly() {
+		r.execReadOnly(req, client)
+		return
+	}
+	// Already executed? Retransmit the cached reply.
+	if last := r.lastReqTS[req.ClientID]; req.Timestamp <= last {
+		if cached := r.replyCache[req.ClientID]; cached != nil && cached.Timestamp == req.Timestamp {
+			r.sendReply(cached, client)
+		}
+		return
+	}
+	if req.Big() {
+		r.bigBodies[req.Digest()] = &bigBody{req: req}
+	}
+	if r.isPrimary() && !r.inViewChange {
+		if queued := r.primaryQueued[req.ClientID]; req.Timestamp <= queued {
+			return // single outstanding request per client
+		}
+		r.primaryQueued[req.ClientID] = req.Timestamp
+		r.pendingQueue = append(r.pendingQueue, req)
+		r.tryPropose()
+		return
+	}
+	// Backup: remember the request for the liveness timer and relay the
+	// client's envelope to the primary verbatim (big bodies were
+	// multicast by the client already, so only the non-big path relays).
+	key := reqKey{req.ClientID, req.Timestamp}
+	if _, ok := r.pendingSeen[key]; !ok {
+		r.pendingSeen[key] = r.now()
+	}
+	if !req.Big() && !r.inViewChange && raw != nil {
+		_ = r.conn.Send(r.cfg.Replicas[r.cfg.Primary(r.view)].Addr, raw)
+	}
+}
+
+// tryPropose lets the primary assign sequence numbers to queued requests,
+// honoring the congestion window and the high watermark (§2.1).
+func (r *Replica) tryPropose() {
+	if !r.isPrimary() || r.inViewChange || r.sync != nil {
+		return
+	}
+	for len(r.pendingQueue) > 0 {
+		if r.seq+1 > r.lastStable+r.cfg.LogWindow() {
+			return // log full until the next stable checkpoint
+		}
+		batch := 1
+		if r.cfg.Opts.Batching {
+			// Congestion window: if execution lags too far behind,
+			// postpone the pre-prepare; the queue will drain into a
+			// single batch once execution catches up.
+			if r.seq-r.lastExec >= uint64(r.cfg.Opts.CongestionWindow) {
+				return
+			}
+			batch = len(r.pendingQueue)
+			if max := r.cfg.Opts.MaxBatch; max > 0 && batch > max {
+				batch = max
+			}
+			// Datagram bound: inline bodies count in full, digest
+			// entries are small. This caps batches of non-big
+			// requests well below MaxBatch (§2.1).
+			if bb := r.cfg.Opts.MaxBatchBytes; bb > 0 {
+				bytes := 64
+				n := 0
+				for _, req := range r.pendingQueue[:batch] {
+					cost := 44
+					if !req.Big() {
+						cost = 32 + len(req.Op)
+					}
+					if n > 0 && bytes+cost > bb {
+						break
+					}
+					bytes += cost
+					n++
+				}
+				batch = n
+			}
+		}
+		reqs := r.pendingQueue[:batch]
+		r.pendingQueue = append([]*wire.Request(nil), r.pendingQueue[batch:]...)
+		r.propose(reqs)
+	}
+}
+
+// propose builds, logs and broadcasts one pre-prepare.
+func (r *Replica) propose(reqs []*wire.Request) {
+	r.seq++
+	pp := &wire.PrePrepare{
+		View:   r.view,
+		Seq:    r.seq,
+		NonDet: ndMarshal(r.ndProvider()),
+	}
+	pp.Entries = make([]wire.BatchEntry, 0, len(reqs))
+	for _, req := range reqs {
+		if req.Big() {
+			pp.Entries = append(pp.Entries, wire.BatchEntry{
+				ClientID:  req.ClientID,
+				Timestamp: req.Timestamp,
+				Digest:    req.Digest(),
+			})
+		} else {
+			pp.Entries = append(pp.Entries, wire.BatchEntry{Full: true, Req: *req})
+		}
+	}
+	env := r.sealToReplicas(wire.MTPrePrepare, pp.Marshal())
+	e := r.getEntry(pp.Seq)
+	e.view = r.view
+	e.pp = pp
+	e.ppRaw = env.Marshal()
+	e.digest = pp.BatchDigest()
+	r.broadcast(env)
+	r.tryPrepared(e)
+	r.tryExecute()
+}
+
+// getEntry returns (creating if needed) the log entry for seq.
+func (r *Replica) getEntry(seq uint64) *entry {
+	e, ok := r.log[seq]
+	if !ok {
+		e = newEntry(seq)
+		r.log[seq] = e
+	}
+	return e
+}
+
+// inWindow checks the sequence watermarks.
+func (r *Replica) inWindow(seq uint64) bool {
+	return seq > r.lastStable && seq <= r.lastStable+r.cfg.LogWindow()
+}
+
+// onPrePrepare processes a primary's sequence assignment (backup side).
+func (r *Replica) onPrePrepare(env *wire.Envelope) {
+	pp, err := wire.UnmarshalPrePrepare(env.Payload)
+	if err != nil {
+		return
+	}
+	r.acceptPrePrepare(pp, env, false)
+}
+
+// acceptPrePrepare validates and logs a pre-prepare. fromNewView skips the
+// checks that do not apply to re-proposed assignments.
+func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, fromNewView bool) {
+	if !fromNewView {
+		if r.inViewChange || pp.View != r.view || env.Sender != r.cfg.Primary(pp.View) {
+			return
+		}
+		if !r.inWindow(pp.Seq) {
+			return
+		}
+	}
+	digest := pp.BatchDigest()
+	e := r.getEntry(pp.Seq)
+	if e.pp != nil && e.view == pp.View {
+		if e.digest != digest {
+			// Conflicting assignment from the primary: Byzantine
+			// behaviour; refuse (the liveness timer will eventually
+			// force a view change).
+			return
+		}
+		return // duplicate
+	}
+	// Validate the primary's non-deterministic choices (§2.5). A replayed
+	// pre-prepare with a stale timestamp fails here — the recovery pitfall
+	// the paper describes.
+	if len(pp.Entries) > 0 {
+		nd, err := wire.UnmarshalNonDet(pp.NonDet)
+		if err != nil || !r.ndValidator(*nd) {
+			r.stats.RejectedNonDet++
+			return
+		}
+	}
+	if e.pp != nil && pp.View > e.view {
+		e.resetForView(pp.View, pp, env.Marshal(), digest)
+	} else {
+		e.view = pp.View
+		e.pp = pp
+		e.ppRaw = env.Marshal()
+		e.digest = digest
+	}
+	// Remember full bodies so status retransmission can serve them, and
+	// clear liveness timers for the assigned requests.
+	for i := range pp.Entries {
+		be := &pp.Entries[i]
+		c, ts := be.RequestID()
+		delete(r.pendingSeen, reqKey{c, ts})
+		if be.Full && be.Req.Big() {
+			req := be.Req
+			r.bigBodies[req.Digest()] = &bigBody{req: &req}
+		}
+	}
+	if !r.isPrimary() && !e.sentPrepare {
+		e.sentPrepare = true
+		prep := wire.Prepare{View: pp.View, Seq: pp.Seq, Digest: digest, Replica: r.id}
+		e.prepares[r.id] = digest
+		r.broadcast(r.sealToReplicas(wire.MTPrepare, prep.Marshal()))
+	}
+	r.tryPrepared(e)
+	r.tryExecute()
+}
+
+// onPrepare records a backup's prepare vote.
+func (r *Replica) onPrepare(env *wire.Envelope) {
+	p, err := wire.UnmarshalPrepare(env.Payload)
+	if err != nil || p.Replica != env.Sender {
+		return
+	}
+	if p.View != r.view || !r.inWindow(p.Seq) || r.inViewChange {
+		return
+	}
+	if env.Sender == r.cfg.Primary(p.View) {
+		return // the primary's pre-prepare is its prepare
+	}
+	e := r.getEntry(p.Seq)
+	e.prepares[p.Replica] = p.Digest
+	r.tryPrepared(e)
+	r.tryExecute()
+}
+
+// tryPrepared checks the 2f-prepare certificate and advances to commit.
+func (r *Replica) tryPrepared(e *entry) {
+	if e.prepared || e.pp == nil || e.view != r.view {
+		return
+	}
+	if e.countPrepares() < 2*r.f {
+		return
+	}
+	e.prepared = true
+	if !e.sentCommit {
+		e.sentCommit = true
+		c := wire.Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.id}
+		e.commits[r.id] = e.digest
+		r.broadcast(r.sealToReplicas(wire.MTCommit, c.Marshal()))
+	}
+	r.tryCommitted(e)
+}
+
+// onCommit records a replica's commit vote.
+func (r *Replica) onCommit(env *wire.Envelope) {
+	c, err := wire.UnmarshalCommit(env.Payload)
+	if err != nil || c.Replica != env.Sender {
+		return
+	}
+	if c.View != r.view || !r.inWindow(c.Seq) || r.inViewChange {
+		return
+	}
+	e := r.getEntry(c.Seq)
+	e.commits[c.Replica] = c.Digest
+	r.tryPrepared(e)
+	r.tryCommitted(e)
+	r.tryExecute()
+}
+
+// tryCommitted checks the 2f+1-commit certificate.
+func (r *Replica) tryCommitted(e *entry) {
+	if e.committed || !e.prepared {
+		return
+	}
+	if e.countCommits() < r.quorum {
+		return
+	}
+	e.committed = true
+	// A commit upgrades tentatively executed replies to stable.
+	if e.executed {
+		for _, rep := range e.replies {
+			rep.Flags &^= wire.FlagTentative
+		}
+		r.advanceCommittedContig()
+	}
+}
+
+// advanceCommittedContig moves the committed-and-executed frontier.
+func (r *Replica) advanceCommittedContig() {
+	for {
+		e := r.log[r.committedContig+1]
+		if e == nil || !e.committed || !e.executed {
+			return
+		}
+		r.committedContig++
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/state"
+)
+
+// NonDetValues carries the agreed non-deterministic inputs of a batch: the
+// primary's wall clock and a shared random seed (§2.5). All replicas
+// execute with identical values.
+type NonDetValues struct {
+	Time time.Time
+	Rand [32]byte
+}
+
+// Application is the service replicated by the middleware. Execute runs in
+// the replica's event loop; it must be deterministic given (op, nd) and
+// the current content of the state region, and it must route every state
+// mutation through the region (or a VFS on top of it).
+type Application interface {
+	// Execute applies one ordered operation and returns the reply body.
+	// readOnly marks the optimized read-only path: the operation must
+	// not mutate state.
+	Execute(op []byte, nd NonDetValues, readOnly bool) []byte
+}
+
+// Authorizer is implemented by applications that admit dynamic clients
+// (§3.1). The identification buffer from the Join request is passed down;
+// the application maps it to a stable principal (e.g. a user id). The
+// middleware then guarantees a single live session per principal.
+type Authorizer interface {
+	// Authorize validates the application-level identification buffer
+	// of a Join. ok=false denies the join.
+	Authorize(appAuth []byte) (principal string, ok bool)
+}
+
+// StateUser is implemented by applications that need the state region
+// handed to them before the replica starts (most applications; the SQL
+// layer mounts its database file on it).
+type StateUser interface {
+	// AttachState gives the application its replicated memory region.
+	AttachState(region *state.Region)
+}

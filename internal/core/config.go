@@ -1,0 +1,222 @@
+// Package core implements the PBFT replica: the three-phase agreement
+// protocol of Castro–Liskov with its performance optimizations (MAC
+// authenticators, big-request handling, tentative execution, read-only
+// requests, batching with a congestion window), checkpointing with Merkle
+// state snapshots, view changes, state transfer, and the paper's dynamic
+// client membership extension (§3.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/crypto"
+)
+
+// Options selects the library configuration. The exported fields mirror
+// the configuration axes of Table 1 of the paper: UseMACs, AllBig,
+// Batching and DynamicClients.
+type Options struct {
+	// F is the number of Byzantine faults to tolerate; the replica group
+	// must have 3F+1 members.
+	F int
+
+	// UseMACs authenticates protocol messages with per-pair MACs and
+	// authenticators instead of public-key signatures ("mac"/"nomac").
+	UseMACs bool
+
+	// AllBig treats every request as "big": clients multicast request
+	// bodies to all replicas and the primary forwards only digests
+	// ("allbig"/"noallbig"). This is the big-request threshold of 0
+	// preferred by the original implementation.
+	AllBig bool
+
+	// BigThreshold is the size in bytes at which a request is treated
+	// as big when AllBig is false. Zero means "never big".
+	BigThreshold int
+
+	// Batching enables request batching behind a congestion window
+	// ("batch"/"nobatch").
+	Batching bool
+
+	// CongestionWindow is the number of agreed-but-unexecuted sequence
+	// numbers the primary allows before deferring new pre-prepares
+	// (only meaningful with Batching).
+	CongestionWindow int
+
+	// MaxBatch bounds how many requests one pre-prepare carries.
+	MaxBatch int
+
+	// MaxBatchBytes bounds a pre-prepare's payload size so it fits in
+	// one datagram. Inline (non-big) request bodies count in full;
+	// digest-only entries cost ~44 bytes — this is why the big-request
+	// optimization interacts with batching (§2.1).
+	MaxBatchBytes int
+
+	// DynamicClients enables the Join/Leave membership extension
+	// ("sta"/"nosta").
+	DynamicClients bool
+
+	// MaxNodes bounds the node table (replicas + clients) when
+	// DynamicClients is enabled.
+	MaxNodes int
+
+	// SessionStaleAfter is the age beyond which an idle session may be
+	// evicted to make room for a new Join.
+	SessionStaleAfter time.Duration
+
+	// TentativeExecution executes requests after prepare and marks
+	// replies tentative (clients then need 2f+1 matching replies).
+	TentativeExecution bool
+
+	// CheckpointInterval is K: a checkpoint every K sequence numbers.
+	CheckpointInterval uint64
+
+	// LogWindow is L, the high-watermark distance; 0 means 2K.
+	LogWindow uint64
+
+	// StateSize is the size in bytes of the replicated state region.
+	StateSize int64
+
+	// PageSize is the state page granularity (0 = state.DefaultPageSize).
+	PageSize int
+
+	// ViewChangeTimeout is how long a backup waits for a pending
+	// request to execute before starting a view change.
+	ViewChangeTimeout time.Duration
+
+	// StatusInterval is the period of status gossip (drives
+	// retransmission and lag detection).
+	StatusInterval time.Duration
+
+	// HelloInterval is the period at which clients blindly retransmit
+	// their session establishment (the authenticator retransmission
+	// timer of §2.3).
+	HelloInterval time.Duration
+
+	// RequestTimeout is how long a client waits for a reply quorum
+	// before retransmitting to all replicas.
+	RequestTimeout time.Duration
+
+	// MaxTimeDrift is the tolerance of the default non-determinism
+	// validator (§2.5).
+	MaxTimeDrift time.Duration
+
+	// ValidateNonDet disables the time-delta validation entirely when
+	// false (the blunt fix discussed in §2.5).
+	ValidateNonDet bool
+}
+
+// DefaultOptions returns the configuration the original library shipped
+// with: every optimization enabled (first row of Table 1), f = 1.
+func DefaultOptions() Options {
+	return Options{
+		F:                  1,
+		UseMACs:            true,
+		AllBig:             true,
+		Batching:           true,
+		CongestionWindow:   1,
+		MaxBatch:           64,
+		MaxBatchBytes:      8000,
+		DynamicClients:     false,
+		MaxNodes:           256,
+		SessionStaleAfter:  10 * time.Minute,
+		TentativeExecution: true,
+		CheckpointInterval: 128,
+		StateSize:          16 << 20,
+		ViewChangeTimeout:  2 * time.Second,
+		StatusInterval:     150 * time.Millisecond,
+		HelloInterval:      500 * time.Millisecond,
+		RequestTimeout:     500 * time.Millisecond,
+		MaxTimeDrift:       time.Minute,
+		ValidateNonDet:     true,
+	}
+}
+
+// Robust mirrors the paper's "most robust" configuration
+// (nomac, noallbig): signatures everywhere and full request bodies through
+// the primary, trading throughput for fault resilience (§4.1).
+func (o Options) Robust() Options {
+	o.UseMACs = false
+	o.AllBig = false
+	return o
+}
+
+// NodeInfo is the public identity of one node (replica or pre-provisioned
+// static client).
+type NodeInfo struct {
+	ID     uint32
+	Addr   string
+	PubKey crypto.PublicKey
+}
+
+// Config is the static deployment description every node starts from:
+// the replica group and, without dynamic membership, the client list.
+type Config struct {
+	Opts     Options
+	Replicas []NodeInfo
+	// Clients lists the pre-provisioned clients (static membership).
+	// Their IDs must not collide with replica IDs.
+	Clients []NodeInfo
+}
+
+// Validate checks group sizing and identifier rules.
+func (c *Config) Validate() error {
+	if c.Opts.F < 1 {
+		return errors.New("core: F must be >= 1")
+	}
+	if got, want := len(c.Replicas), 3*c.Opts.F+1; got < want {
+		return fmt.Errorf("core: need %d replicas to tolerate %d faults, have %d", want, c.Opts.F, got)
+	}
+	for i, ri := range c.Replicas {
+		if ri.ID != uint32(i) {
+			return fmt.Errorf("core: replica %d must have ID %d, has %d", i, i, ri.ID)
+		}
+	}
+	seen := make(map[uint32]bool, len(c.Clients))
+	for _, ci := range c.Clients {
+		if int(ci.ID) < len(c.Replicas) {
+			return fmt.Errorf("core: client ID %d collides with replica IDs", ci.ID)
+		}
+		if seen[ci.ID] {
+			return fmt.Errorf("core: duplicate client ID %d", ci.ID)
+		}
+		seen[ci.ID] = true
+	}
+	if c.Opts.CheckpointInterval == 0 {
+		return errors.New("core: CheckpointInterval must be positive")
+	}
+	if c.Opts.StateSize <= 0 {
+		return errors.New("core: StateSize must be positive")
+	}
+	return nil
+}
+
+// N returns the replica group size.
+func (c *Config) N() int { return len(c.Replicas) }
+
+// Quorum returns the 2f+1 quorum size.
+func (c *Config) Quorum() int { return 2*c.Opts.F + 1 }
+
+// Primary returns the primary replica of a view.
+func (c *Config) Primary(view uint64) uint32 {
+	return uint32(view % uint64(len(c.Replicas)))
+}
+
+// LogWindow returns L (defaults to twice the checkpoint interval).
+func (c *Config) LogWindow() uint64 {
+	if c.Opts.LogWindow != 0 {
+		return c.Opts.LogWindow
+	}
+	return 2 * c.Opts.CheckpointInterval
+}
+
+// IsBig reports whether a request body of the given size takes the
+// big-request path.
+func (c *Config) IsBig(size int) bool {
+	if c.Opts.AllBig {
+		return true
+	}
+	return c.Opts.BigThreshold > 0 && size >= c.Opts.BigThreshold
+}

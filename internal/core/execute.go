@@ -1,0 +1,385 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// defaultNonDetProvider attaches the primary's wall clock and a random
+// seed derived from it (deterministic given the clock, which is itself the
+// non-deterministic input being agreed).
+func (r *Replica) defaultNonDetProvider() wire.NonDet {
+	nd := wire.NonDet{Time: uint64(r.now().UnixNano())}
+	seed := crypto.DigestOf([]byte("nondet-seed"), nd.Marshal())
+	copy(nd.Rand[:], seed[:])
+	return nd
+}
+
+// defaultNonDetValidator implements the time-delta check of §2.5: accept
+// the primary's timestamp only if it is within MaxTimeDrift of the local
+// clock. Replayed pre-prepares with old timestamps fail this check — the
+// recovery pitfall the paper analyzes.
+func (r *Replica) defaultNonDetValidator(nd wire.NonDet) bool {
+	if !r.cfg.Opts.ValidateNonDet {
+		return true
+	}
+	drift := r.now().Sub(time.Unix(0, int64(nd.Time)))
+	if drift < 0 {
+		drift = -drift
+	}
+	return drift <= r.cfg.Opts.MaxTimeDrift
+}
+
+func nonDetValues(raw []byte) NonDetValues {
+	nd, err := wire.UnmarshalNonDet(raw)
+	if err != nil {
+		return NonDetValues{Time: time.Unix(0, 0)}
+	}
+	return NonDetValues{Time: time.Unix(0, int64(nd.Time)), Rand: nd.Rand}
+}
+
+// execReadOnly serves the read-only optimization: execute immediately,
+// without agreement; the client assembles a 2f+1 quorum of matching
+// replies itself.
+func (r *Replica) execReadOnly(req *wire.Request, client *nodeEntry) {
+	if r.sync != nil {
+		return // state mid-transfer: results would be garbage
+	}
+	result := r.app.Execute(req.Op, NonDetValues{Time: r.now()}, true)
+	rep := &wire.Reply{
+		View:      r.view,
+		Timestamp: req.Timestamp,
+		ClientID:  req.ClientID,
+		Replica:   r.id,
+		Flags:     wire.FlagTentative,
+		Result:    result,
+	}
+	r.stats.ReadOnlyExec++
+	r.sendReply(rep, client)
+}
+
+// sendReply transmits a reply to its client.
+func (r *Replica) sendReply(rep *wire.Reply, client *nodeEntry) {
+	if client == nil {
+		return
+	}
+	env := r.sealToClient(wire.MTReply, rep.Marshal(), client)
+	r.sendToAddr(client.Addr, env)
+}
+
+// tryExecute runs every executable entry in sequence order. An entry is
+// executable when committed, or — with tentative execution — as soon as it
+// is prepared (§2.1). Execution wedges on a missing big-request body
+// (§2.4) until state transfer overtakes the gap.
+func (r *Replica) tryExecute() {
+	if r.sync != nil {
+		return
+	}
+	for {
+		e := r.log[r.lastExec+1]
+		if e == nil || e.pp == nil {
+			return
+		}
+		canExec := e.committed || (e.prepared && r.cfg.Opts.TentativeExecution && !r.inViewChange)
+		if !canExec {
+			return
+		}
+		if !r.resolveBodies(e) {
+			e.missingBody = true
+			return // wedged (§2.4)
+		}
+		e.missingBody = false
+		r.executeEntry(e)
+		r.lastExec = e.seq
+		if e.committed {
+			r.advanceCommittedContig()
+		}
+		if e.seq%r.cfg.Opts.CheckpointInterval == 0 {
+			r.takeCheckpoint(e.seq)
+		}
+		if r.isPrimary() {
+			r.tryPropose() // the congestion window may have room again
+		}
+	}
+}
+
+// resolveBodies checks that every request body of the batch is available.
+func (r *Replica) resolveBodies(e *entry) bool {
+	for i := range e.pp.Entries {
+		be := &e.pp.Entries[i]
+		if be.Full {
+			continue
+		}
+		if _, ok := r.bigBodies[be.Digest]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// executeEntry applies one agreed batch to the application.
+func (r *Replica) executeEntry(e *entry) {
+	nd := nonDetValues(e.pp.NonDet)
+	tentative := !e.committed
+	e.replies = e.replies[:0]
+	for i := range e.pp.Entries {
+		be := &e.pp.Entries[i]
+		var req *wire.Request
+		if be.Full {
+			req = &be.Req
+		} else {
+			req = r.bigBodies[be.Digest].req
+			r.bigBodies[be.Digest].executedSeq = e.seq
+		}
+		rep := r.executeRequest(req, nd, tentative, e.seq)
+		if rep != nil {
+			e.replies = append(e.replies, rep)
+		}
+	}
+	e.executed = true
+	r.stats.Batches++
+}
+
+// executeRequest applies one request and sends the reply. It returns the
+// reply for tentative-flag upgrading, or nil if the request was a
+// duplicate.
+func (r *Replica) executeRequest(req *wire.Request, nd NonDetValues, tentative bool, seq uint64) *wire.Reply {
+	key := reqKey{req.ClientID, req.Timestamp}
+	delete(r.pendingSeen, key)
+	if req.System() {
+		return r.executeSystem(req, nd, tentative, seq)
+	}
+	if last := r.lastReqTS[req.ClientID]; req.Timestamp <= last {
+		return nil // duplicate within a batch or across batches
+	}
+	result := r.app.Execute(req.Op, nd, false)
+	rep := &wire.Reply{
+		View:      r.view,
+		Timestamp: req.Timestamp,
+		ClientID:  req.ClientID,
+		Replica:   r.id,
+		Result:    result,
+	}
+	if tentative {
+		rep.Flags |= wire.FlagTentative
+	}
+	r.lastReqTS[req.ClientID] = req.Timestamp
+	r.replyCache[req.ClientID] = rep
+	client := r.nodes.get(req.ClientID)
+	if client != nil {
+		client.LastActive = uint64(nd.Time.UnixNano())
+	}
+	r.stats.Executed++
+	r.sendReply(rep, client)
+	return rep
+}
+
+// checkLiveness fires the view-change timer: a pending request that sat
+// unexecuted past the timeout, or a view change that stalled, pushes the
+// replica to the next view.
+func (r *Replica) checkLiveness(now time.Time) {
+	if r.inViewChange {
+		if !r.vcDeadline.IsZero() && now.After(r.vcDeadline) {
+			r.startViewChange(r.vcTarget + 1)
+		}
+		return
+	}
+	timeout := r.cfg.Opts.ViewChangeTimeout
+	if timeout <= 0 {
+		return
+	}
+	for _, t := range r.pendingSeen {
+		if now.Sub(t) > timeout {
+			r.startViewChange(r.view + 1)
+			return
+		}
+	}
+}
+
+// --- Replicated middleware metadata -------------------------------------
+//
+// The reply cache, per-client request timestamps, dynamic membership and
+// pending joins are part of the replicated state: they are folded into
+// checkpoint digests, shipped during state transfer, and restored on
+// rollback.
+
+func (r *Replica) marshalMeta() []byte {
+	w := wire.NewWriter(1024)
+
+	clients := make([]uint32, 0, len(r.lastReqTS))
+	for c := range r.lastReqTS {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	w.U32(uint32(len(clients)))
+	for _, c := range clients {
+		w.U32(c)
+		w.U64(r.lastReqTS[c])
+		if rep := r.replyCache[c]; rep != nil {
+			w.U8(1)
+			// Canonical form: volatile fields (view, tentative flag,
+			// origin replica) are timing-dependent and must not leak
+			// into the agreed state digest.
+			canon := wire.Reply{
+				Timestamp: rep.Timestamp,
+				ClientID:  rep.ClientID,
+				Result:    rep.Result,
+			}
+			w.Bytes32(canon.Marshal())
+		} else {
+			w.U8(0)
+		}
+	}
+
+	w.Raw(r.nodes.marshalDynamic())
+
+	keys := make([]string, 0, len(r.pendingJoins))
+	for k := range r.pendingJoins {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		pj := r.pendingJoins[k]
+		w.String32(k)
+		w.String32(pj.addr)
+		w.Bytes32(pj.pubRaw)
+		w.U64(pj.nonce)
+		w.Bytes32(pj.appAuth)
+		w.Raw(pj.challenge[:])
+		w.U64(pj.ts)
+	}
+	w.U64(r.idSeed)
+	return w.Bytes()
+}
+
+func (r *Replica) unmarshalMeta(b []byte) error {
+	rd := wire.NewReader(b)
+	nClients := int(rd.U32())
+	lastReqTS := make(map[uint32]uint64, nClients)
+	replyCache := make(map[uint32]*wire.Reply, nClients)
+	for i := 0; i < nClients; i++ {
+		c := rd.U32()
+		lastReqTS[c] = rd.U64()
+		if rd.U8() == 1 {
+			raw := rd.Bytes32()
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			rep, err := wire.UnmarshalReply(raw)
+			if err != nil {
+				return err
+			}
+			// Rehydrate the volatile fields for this replica.
+			rep.Replica = r.id
+			rep.View = r.view
+			replyCache[c] = rep
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	// Dynamic membership rows.
+	rest := b[rd.Offset():]
+	dynLen, err := dynamicRowsLength(rest)
+	if err != nil {
+		return err
+	}
+	if err := r.nodes.unmarshalDynamic(rest[:dynLen]); err != nil {
+		return err
+	}
+	rd.Fixed(make([]byte, dynLen))
+
+	nJoins := int(rd.U32())
+	pj := make(map[string]*pendingJoin, nJoins)
+	for i := 0; i < nJoins; i++ {
+		k := rd.String32()
+		p := &pendingJoin{}
+		p.addr = rd.String32()
+		p.pubRaw = rd.Bytes32()
+		p.nonce = rd.U64()
+		p.appAuth = rd.Bytes32()
+		rd.Fixed(p.challenge[:])
+		p.ts = rd.U64()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		pub, err := crypto.UnmarshalPublicKey(p.pubRaw)
+		if err != nil {
+			return err
+		}
+		p.pub = pub
+		pj[k] = p
+	}
+	idSeed := rd.U64()
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	r.lastReqTS = lastReqTS
+	r.replyCache = replyCache
+	r.pendingJoins = pj
+	r.idSeed = idSeed
+	return nil
+}
+
+// dynamicRowsLength computes the encoded length of the dynamic membership
+// block without destructively parsing it.
+func dynamicRowsLength(b []byte) (int, error) {
+	rd := wire.NewReader(b)
+	n := int(rd.U32())
+	for i := 0; i < n; i++ {
+		rd.U32()     // id
+		rd.Bytes32() // addr
+		rd.Bytes32() // pubkey
+		rd.Bytes32() // principal
+		rd.U64()     // lastActive
+	}
+	if err := rd.Err(); err != nil {
+		return 0, err
+	}
+	return rd.Offset(), nil
+}
+
+// rollbackTentative rewinds tentative executions to the committed prefix:
+// restore the last stable checkpoint, then re-execute the committed
+// entries above it. Called when entering a view change (§2.1, tentative
+// execution).
+func (r *Replica) rollbackTentative() {
+	if r.lastExec == r.committedContig {
+		return
+	}
+	ck := r.ckpts[r.lastStable]
+	if ck == nil || ck.snap == nil {
+		return // cannot roll back without the anchor; state transfer will fix us
+	}
+	r.region.Restore(ck.snap)
+	if err := r.unmarshalMeta(ck.meta); err != nil {
+		return
+	}
+	r.region.ReleaseAbove(r.lastStable)
+	for s := range r.ckpts {
+		if s > r.lastStable {
+			delete(r.ckpts, s)
+		}
+	}
+	r.lastExec = r.lastStable
+	for s := r.lastStable + 1; ; s++ {
+		e := r.log[s]
+		if e == nil || !e.committed || e.pp == nil || !r.resolveBodies(e) {
+			break
+		}
+		r.executeEntry(e)
+		r.lastExec = s
+		if e.seq%r.cfg.Opts.CheckpointInterval == 0 {
+			r.takeCheckpoint(e.seq)
+		}
+	}
+	r.committedContig = r.lastExec
+}
+
+// ndMarshal flattens a non-determinism payload (helper for call sites that
+// hold a value, not a pointer).
+func ndMarshal(nd wire.NonDet) []byte { return nd.Marshal() }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// nodeEntry is one row of the node table: a replica or a client.
+type nodeEntry struct {
+	ID   uint32
+	Addr string
+	Pub  crypto.PublicKey
+	// HasSession is set once a SessionHello established MAC key
+	// material. Session keys are deliberately transient (lost on
+	// restart): this models the original implementation's
+	// client-chosen MAC keys and reproduces the recovery behaviour of
+	// §2.3.
+	HasSession bool
+	Session    crypto.SessionKey
+	// Principal is the application-level identity of a dynamic client.
+	Principal string
+	// LastActive is the primary timestamp (ns) of the client's last
+	// executed request, used for staleness eviction (§3.1).
+	LastActive uint64
+	// Dynamic marks entries created by Join (evictable).
+	Dynamic bool
+}
+
+// nodeTable is the redirection table of §3.1: it maps arbitrary node
+// identifiers to entries, bounded by a maximum capacity. Looking up the
+// identifier is cheap and happens before any signature or MAC
+// verification.
+type nodeTable struct {
+	byID     map[uint32]*nodeEntry
+	capacity int
+}
+
+func newNodeTable(capacity int) *nodeTable {
+	return &nodeTable{
+		byID:     make(map[uint32]*nodeEntry),
+		capacity: capacity,
+	}
+}
+
+// get returns the entry for id, or nil.
+func (t *nodeTable) get(id uint32) *nodeEntry {
+	return t.byID[id]
+}
+
+// full reports whether the table reached capacity.
+func (t *nodeTable) full() bool {
+	return t.capacity > 0 && len(t.byID) >= t.capacity
+}
+
+// add inserts an entry; the caller checked capacity.
+func (t *nodeTable) add(e *nodeEntry) {
+	t.byID[e.ID] = e
+}
+
+// remove deletes the entry for id.
+func (t *nodeTable) remove(id uint32) {
+	delete(t.byID, id)
+}
+
+// byPrincipal returns the dynamic entries bound to the principal.
+func (t *nodeTable) byPrincipal(principal string) []*nodeEntry {
+	var out []*nodeEntry
+	for _, e := range t.byID {
+		if e.Dynamic && e.Principal == principal {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// staleBefore returns dynamic entries whose last activity predates the
+// cutoff timestamp.
+func (t *nodeTable) staleBefore(cutoff uint64) []*nodeEntry {
+	var out []*nodeEntry
+	for _, e := range t.byID {
+		if e.Dynamic && e.LastActive < cutoff {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sortedIDs returns all ids in ascending order (deterministic iteration
+// for digests and marshaling).
+func (t *nodeTable) sortedIDs() []uint32 {
+	ids := make([]uint32, 0, len(t.byID))
+	for id := range t.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// marshalDynamic serializes the dynamic membership rows (the part of the
+// table that lives in replicated state) deterministically; it is folded
+// into checkpoint digests and shipped during state transfer.
+func (t *nodeTable) marshalDynamic() []byte {
+	w := wire.NewWriter(256)
+	ids := t.sortedIDs()
+	count := 0
+	for _, id := range ids {
+		if t.byID[id].Dynamic {
+			count++
+		}
+	}
+	w.U32(uint32(count))
+	for _, id := range ids {
+		e := t.byID[id]
+		if !e.Dynamic {
+			continue
+		}
+		w.U32(e.ID)
+		w.String32(e.Addr)
+		w.Bytes32(crypto.MarshalPublicKey(e.Pub))
+		w.String32(e.Principal)
+		w.U64(e.LastActive)
+	}
+	return w.Bytes()
+}
+
+// unmarshalDynamic replaces the dynamic rows with the serialized set
+// (state transfer install).
+func (t *nodeTable) unmarshalDynamic(b []byte) error {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	entries := make([]*nodeEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := &nodeEntry{Dynamic: true}
+		e.ID = r.U32()
+		e.Addr = r.String32()
+		raw := r.Bytes32()
+		e.Principal = r.String32()
+		e.LastActive = r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		pub, err := crypto.UnmarshalPublicKey(raw)
+		if err != nil {
+			return err
+		}
+		e.Pub = pub
+		entries = append(entries, e)
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	for id, e := range t.byID {
+		if e.Dynamic {
+			delete(t.byID, id)
+		}
+	}
+	for _, e := range entries {
+		t.byID[e.ID] = e
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/state"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Replica is one member of the PBFT group. All protocol state is confined
+// to the event-loop goroutine started by Start; external access goes
+// through Inspect.
+type Replica struct {
+	id     uint32
+	cfg    *Config
+	kp     *crypto.KeyPair
+	conn   transport.Conn
+	app    Application
+	region *state.Region
+
+	n, f, quorum int
+	replicaKeys  []crypto.SessionKey
+
+	// Protocol state owned by the run goroutine.
+	view            uint64
+	seq             uint64 // last assigned sequence number (as primary)
+	lastExec        uint64
+	committedContig uint64
+	lastStable      uint64
+	log             map[uint64]*entry
+	nodes           *nodeTable
+	bigBodies       map[crypto.Digest]*bigBody
+	replyCache      map[uint32]*wire.Reply
+	lastReqTS       map[uint32]uint64
+	pendingQueue    []*wire.Request
+	primaryQueued   map[uint32]uint64
+	pendingSeen     map[reqKey]time.Time
+
+	ckpts        map[uint64]*ckptRecord
+	stableProof  [][]byte
+	foreign      map[foreignKey]map[uint32][]byte
+	remoteStable *ckptRecord
+
+	pendingJoins    map[string]*pendingJoin // keyed by hex pubkey digest
+	primaryJoinSeen map[string]bool
+	joinReplies     map[string]*joinReply
+	idSeed          uint64
+
+	inViewChange bool
+	vcTarget     uint64
+	viewChanges  map[uint64]map[uint32]*vcRecord
+	newViewRaw   []byte
+	vcDeadline   time.Time
+
+	sync *syncState
+
+	ndProvider  func() wire.NonDet
+	ndValidator func(nd wire.NonDet) bool
+
+	lastStatus time.Time
+	now        func() time.Time
+
+	ctl    chan func()
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	stats Stats
+}
+
+// Stats counts replica-side protocol events; the harness reads them
+// through Inspect.
+type Stats struct {
+	Executed        uint64 // requests executed (excluding read-only)
+	ReadOnlyExec    uint64
+	Batches         uint64 // pre-prepares executed
+	Checkpoints     uint64
+	StableCkpts     uint64
+	ViewChanges     uint64
+	StateTransfers  uint64
+	PagesFetched    uint64
+	DroppedBadAuth  uint64
+	RejectedNonDet  uint64
+	WedgedNow       bool
+	SyncingNow      bool
+	JoinsExecuted   uint64
+	LeavesExecuted  uint64
+	SessionsEvicted uint64
+}
+
+// ckptRecord tracks one checkpoint: the local snapshot (if this replica
+// produced it) and the signed votes collected from the group.
+type ckptRecord struct {
+	seq        uint64
+	digest     crypto.Digest // composite
+	root       crypto.Digest
+	metaDigest crypto.Digest
+	meta       []byte
+	snap       *state.Snapshot
+	votes      map[uint32][]byte // replica -> raw signed checkpoint envelope
+	mine       bool
+	stable     bool
+}
+
+// vcRecord stores one received view-change vote.
+type vcRecord struct {
+	vc  *wire.ViewChange
+	raw []byte
+}
+
+// pendingJoin is phase-1 join state awaiting the challenge response; it is
+// part of the replicated metadata.
+type pendingJoin struct {
+	addr      string
+	pubRaw    []byte
+	pub       crypto.PublicKey
+	nonce     uint64
+	appAuth   []byte
+	challenge crypto.Digest
+	ts        uint64
+}
+
+// NewReplica builds a replica. The connection is owned by the replica
+// after this call; Stop closes it.
+func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn, app Application) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if int(id) >= cfg.N() {
+		return nil, fmt.Errorf("core: replica id %d out of range [0,%d)", id, cfg.N())
+	}
+	region, err := state.NewRegion(cfg.Opts.StateSize, cfg.Opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if su, ok := app.(StateUser); ok {
+		su.AttachState(region)
+	}
+	r := &Replica{
+		id:            id,
+		cfg:           cfg,
+		kp:            kp,
+		conn:          conn,
+		app:           app,
+		region:        region,
+		n:             cfg.N(),
+		f:             cfg.Opts.F,
+		quorum:        cfg.Quorum(),
+		log:           make(map[uint64]*entry),
+		nodes:         newNodeTable(cfg.Opts.MaxNodes),
+		bigBodies:     make(map[crypto.Digest]*bigBody),
+		replyCache:    make(map[uint32]*wire.Reply),
+		lastReqTS:     make(map[uint32]uint64),
+		primaryQueued: make(map[uint32]uint64),
+		pendingSeen:   make(map[reqKey]time.Time),
+		ckpts:         make(map[uint64]*ckptRecord),
+		pendingJoins:  make(map[string]*pendingJoin),
+		viewChanges:   make(map[uint64]map[uint32]*vcRecord),
+		now:           time.Now,
+		ctl:           make(chan func()),
+		stopCh:        make(chan struct{}),
+		doneCh:        make(chan struct{}),
+	}
+	r.ndProvider = r.defaultNonDetProvider
+	r.ndValidator = r.defaultNonDetValidator
+
+	// Pairwise replica MAC keys are derived from the static identities.
+	r.replicaKeys = make([]crypto.SessionKey, r.n)
+	for i, ri := range cfg.Replicas {
+		if uint32(i) == id {
+			continue
+		}
+		k, err := kp.SharedKey(ri.PubKey)
+		if err != nil {
+			return nil, fmt.Errorf("derive replica key %d: %w", i, err)
+		}
+		r.replicaKeys[i] = k
+	}
+
+	// Seed the node table: replicas and (static membership) clients.
+	for _, ri := range cfg.Replicas {
+		r.nodes.add(&nodeEntry{ID: ri.ID, Addr: ri.Addr, Pub: ri.PubKey})
+	}
+	for _, ci := range cfg.Clients {
+		ci := ci
+		r.nodes.add(&nodeEntry{ID: ci.ID, Addr: ci.Addr, Pub: ci.PubKey})
+	}
+
+	// The genesis checkpoint at sequence 0 anchors rollback and sync.
+	r.recordLocalCheckpoint(0)
+	r.ckpts[0].stable = true
+	return r, nil
+}
+
+// Start launches the event loop.
+func (r *Replica) Start() {
+	go r.run()
+}
+
+// Stop terminates the event loop and closes the connection.
+func (r *Replica) Stop() {
+	select {
+	case <-r.stopCh:
+		// already stopped
+	default:
+		close(r.stopCh)
+	}
+	<-r.doneCh
+}
+
+// ID returns the replica identifier.
+func (r *Replica) ID() uint32 { return r.id }
+
+// Info is a point-in-time snapshot of replica progress for tests and the
+// harness.
+type Info struct {
+	View         uint64
+	LastExec     uint64
+	LastStable   uint64
+	InViewChange bool
+	Stats        Stats
+}
+
+// Inspect runs fn inside the event loop, giving it safe access to the
+// replica's state via the provided Info.
+func (r *Replica) Inspect(fn func(Info)) {
+	done := make(chan struct{})
+	select {
+	case r.ctl <- func() {
+		fn(r.info())
+		close(done)
+	}:
+		<-done
+	case <-r.doneCh:
+		fn(r.info()) // loop stopped; state is quiescent
+	}
+}
+
+// Info returns a snapshot of replica progress.
+func (r *Replica) Info() Info {
+	var out Info
+	r.Inspect(func(i Info) { out = i })
+	return out
+}
+
+func (r *Replica) info() Info {
+	st := r.stats
+	st.WedgedNow = r.wedged()
+	st.SyncingNow = r.sync != nil
+	return Info{
+		View:         r.view,
+		LastExec:     r.lastExec,
+		LastStable:   r.lastStable,
+		InViewChange: r.inViewChange,
+		Stats:        st,
+	}
+}
+
+func (r *Replica) wedged() bool {
+	e := r.log[r.lastExec+1]
+	return e != nil && e.missingBody
+}
+
+// SetClock injects a clock for tests. Must be called before Start.
+func (r *Replica) SetClock(now func() time.Time) { r.now = now }
+
+// SetNonDet overrides the non-determinism upcalls (§2.5). Must be called
+// before Start. A nil provider or validator keeps the default.
+func (r *Replica) SetNonDet(provider func() wire.NonDet, validator func(wire.NonDet) bool) {
+	if provider != nil {
+		r.ndProvider = provider
+	}
+	if validator != nil {
+		r.ndValidator = validator
+	}
+}
+
+// run is the event loop: one goroutine owns every piece of protocol state.
+func (r *Replica) run() {
+	defer close(r.doneCh)
+	defer r.conn.Close()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case fn := <-r.ctl:
+			fn()
+		case pkt, ok := <-r.conn.Recv():
+			if !ok {
+				return
+			}
+			r.handlePacket(pkt)
+		case <-tick.C:
+			r.onTick()
+		}
+	}
+}
+
+// handlePacket parses, authenticates and dispatches one datagram.
+func (r *Replica) handlePacket(pkt transport.Packet) {
+	env, err := wire.UnmarshalEnvelope(pkt.Data)
+	if err != nil {
+		r.stats.DroppedBadAuth++
+		return
+	}
+	switch env.Type {
+	case wire.MTRequest:
+		r.onRequestEnvelope(env, pkt.Data)
+	case wire.MTPrePrepare:
+		if r.verifyFromReplica(env) {
+			r.onPrePrepare(env)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTPrepare:
+		if r.verifyFromReplica(env) {
+			r.onPrepare(env)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTCommit:
+		if r.verifyFromReplica(env) {
+			r.onCommit(env)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTCheckpoint:
+		if r.verifySignedReplica(env) {
+			r.onCheckpoint(env, pkt.Data)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTViewChange:
+		if r.verifySignedReplica(env) {
+			r.onViewChange(env, pkt.Data)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTNewView:
+		if r.verifySignedReplica(env) {
+			r.onNewView(env, pkt.Data)
+		} else {
+			r.stats.DroppedBadAuth++
+		}
+	case wire.MTSessionHello:
+		r.onSessionHello(env)
+	case wire.MTStatus:
+		if r.verifyFromReplica(env) {
+			r.onStatus(env)
+		}
+	case wire.MTFetch:
+		r.onFetch(env)
+	case wire.MTStateNode:
+		r.onStateNode(env)
+	case wire.MTStatePage:
+		r.onStatePage(env)
+	default:
+		// Replies and join challenges are client-bound; a replica
+		// ignores them.
+	}
+}
+
+// onTick drives timers: status gossip, view-change timeouts, sync
+// re-requests and primary queue flushing.
+func (r *Replica) onTick() {
+	now := r.now()
+	if now.Sub(r.lastStatus) >= r.cfg.Opts.StatusInterval {
+		r.lastStatus = now
+		r.broadcastStatus()
+	}
+	r.checkLiveness(now)
+	r.resendSync(now)
+	r.maybeRecoverFromLag()
+	if r.isPrimary() && !r.inViewChange {
+		r.tryPropose()
+	}
+}
+
+func (r *Replica) isPrimary() bool {
+	return r.cfg.Primary(r.view) == r.id
+}
+
+// broadcast sends an envelope to every other replica.
+func (r *Replica) broadcast(env *wire.Envelope) {
+	raw := env.Marshal()
+	for _, ri := range r.cfg.Replicas {
+		if ri.ID == r.id {
+			continue
+		}
+		_ = r.conn.Send(ri.Addr, raw)
+	}
+}
+
+// sendToReplica sends an envelope to one replica.
+func (r *Replica) sendToReplica(id uint32, env *wire.Envelope) {
+	if int(id) >= r.n || id == r.id {
+		return
+	}
+	_ = r.conn.Send(r.cfg.Replicas[id].Addr, env.Marshal())
+}
+
+// sendToAddr sends an envelope to an arbitrary address (clients).
+func (r *Replica) sendToAddr(addr string, env *wire.Envelope) {
+	_ = r.conn.Send(addr, env.Marshal())
+}
+
+// broadcastStatus gossips progress so lagging peers get retransmissions.
+func (r *Replica) broadcastStatus() {
+	st := wire.Status{
+		View:       r.view,
+		LastExec:   r.lastExec,
+		LastStable: r.lastStable,
+		Replica:    r.id,
+	}
+	r.broadcast(r.sealToReplicas(wire.MTStatus, st.Marshal()))
+}

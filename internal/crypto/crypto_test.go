@@ -1,0 +1,262 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestOf(t *testing.T) {
+	tests := []struct {
+		name  string
+		a, b  [][]byte
+		equal bool
+	}{
+		{"same single part", [][]byte{[]byte("abc")}, [][]byte{[]byte("abc")}, true},
+		{"split differently same bytes", [][]byte{[]byte("ab"), []byte("c")}, [][]byte{[]byte("abc")}, true},
+		{"different content", [][]byte{[]byte("abc")}, [][]byte{[]byte("abd")}, false},
+		{"empty vs nil", [][]byte{}, [][]byte{nil}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			da, db := DigestOf(tt.a...), DigestOf(tt.b...)
+			if (da == db) != tt.equal {
+				t.Fatalf("DigestOf(%q) == DigestOf(%q): got %v, want %v", tt.a, tt.b, da == db, tt.equal)
+			}
+		})
+	}
+}
+
+func TestDigestIsZero(t *testing.T) {
+	var zero Digest
+	if !zero.IsZero() {
+		t.Fatal("zero digest must report IsZero")
+	}
+	if DigestOf([]byte("x")).IsZero() {
+		t.Fatal("non-trivial digest must not report IsZero")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("vote for replica 3")
+	sig := kp.Sign(msg)
+	if !Verify(kp.Public(), msg, sig) {
+		t.Fatal("signature must verify under the signer's public key")
+	}
+	if Verify(kp.Public(), []byte("tampered"), sig) {
+		t.Fatal("signature over different message must not verify")
+	}
+	other, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(other.Public(), msg, sig) {
+		t.Fatal("signature must not verify under a different public key")
+	}
+}
+
+func TestVerifyRejectsMalformedInputs(t *testing.T) {
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(PublicKey{}, []byte("m"), kp.Sign([]byte("m"))) {
+		t.Fatal("empty public key must not verify")
+	}
+	if Verify(kp.Public(), []byte("m"), nil) {
+		t.Fatal("nil signature must not verify")
+	}
+	if Verify(kp.Public(), []byte("m"), []byte("short")) {
+		t.Fatal("truncated signature must not verify")
+	}
+}
+
+func TestSharedKeySymmetry(t *testing.T) {
+	a, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kab, err := a.SharedKey(b.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kba, err := b.SharedKey(a.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("pairwise")
+	if !kba.VerifyMAC(msg, kab.MAC(msg)) {
+		t.Fatal("both sides of an ECDH agreement must derive the same session key")
+	}
+	c, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kac, err := a.SharedKey(c.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kac.VerifyMAC(msg, kab.MAC(msg)) {
+		t.Fatal("distinct peers must derive distinct session keys")
+	}
+}
+
+func TestSharedKeyRejectsGarbagePeer(t *testing.T) {
+	a, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SharedKey(PublicKey{DH: []byte("nope")}); err == nil {
+		t.Fatal("malformed peer DH key must be rejected")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	k := NewSessionKey([]byte("k1"))
+	msg := []byte("hello")
+	tag := k.MAC(msg)
+	if !k.VerifyMAC(msg, tag) {
+		t.Fatal("MAC must verify under the same key")
+	}
+	if k.VerifyMAC([]byte("hellp"), tag) {
+		t.Fatal("MAC must not verify for a different message")
+	}
+	if NewSessionKey([]byte("k2")).VerifyMAC(msg, tag) {
+		t.Fatal("MAC must not verify under a different key")
+	}
+}
+
+func TestAuthenticator(t *testing.T) {
+	keys := []SessionKey{
+		NewSessionKey([]byte("r0")),
+		NewSessionKey([]byte("r1")),
+		NewSessionKey([]byte("r2")),
+		NewSessionKey([]byte("r3")),
+	}
+	msg := []byte("pre-prepare v=0 n=1")
+	auth := ComputeAuthenticator(keys, msg)
+	for i, k := range keys {
+		if !auth.VerifyEntry(i, k, msg) {
+			t.Fatalf("replica %d must verify its own authenticator entry", i)
+		}
+	}
+	if auth.VerifyEntry(0, keys[1], msg) {
+		t.Fatal("entry must not verify under another replica's key")
+	}
+	if auth.VerifyEntry(-1, keys[0], msg) || auth.VerifyEntry(4, keys[0], msg) {
+		t.Fatal("out-of-range entries must not verify")
+	}
+}
+
+func TestAuthenticatorMarshalRoundTrip(t *testing.T) {
+	f := func(seed []byte, n uint8) bool {
+		nn := int(n % 8)
+		keys := make([]SessionKey, nn)
+		for i := range keys {
+			keys[i] = NewSessionKey(append(seed, byte(i)))
+		}
+		a := ComputeAuthenticator(keys, seed)
+		raw := a.Marshal()
+		// Append trailing junk; Unmarshal must report the exact consumed length.
+		got, n2, ok := UnmarshalAuthenticator(append(raw, 0xEE, 0xFF))
+		if !ok || n2 != len(raw) || len(got.Tags) != nn {
+			return false
+		}
+		for i := range got.Tags {
+			if got.Tags[i] != a.Tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalAuthenticatorTruncated(t *testing.T) {
+	a := ComputeAuthenticator([]SessionKey{NewSessionKey([]byte("k"))}, []byte("m"))
+	raw := a.Marshal()
+	for i := 0; i < len(raw); i++ {
+		if _, _, ok := UnmarshalAuthenticator(raw[:i]); ok {
+			t.Fatalf("truncation to %d bytes must fail", i)
+		}
+	}
+}
+
+func TestMarshalPublicKeyRoundTrip(t *testing.T) {
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := MarshalPublicKey(kp.Public())
+	if len(raw) != PublicKeySize {
+		t.Fatalf("marshaled key: got %d bytes, want %d", len(raw), PublicKeySize)
+	}
+	got, err := UnmarshalPublicKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Sign, kp.Public().Sign) || !bytes.Equal(got.DH, kp.Public().DH) {
+		t.Fatal("public key must round-trip")
+	}
+	if _, err := UnmarshalPublicKey(raw[:10]); err == nil {
+		t.Fatal("short key must be rejected")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Sign(msg)
+	}
+}
+
+func BenchmarkVerifySignature(b *testing.B) {
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 1024)
+	sig := kp.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(kp.Public(), msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkMAC(b *testing.B) {
+	k := NewSessionKey([]byte("bench"))
+	msg := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MAC(msg)
+	}
+}
+
+func BenchmarkAuthenticator4Replicas(b *testing.B) {
+	keys := make([]SessionKey, 4)
+	for i := range keys {
+		keys[i] = NewSessionKey([]byte{byte(i)})
+	}
+	msg := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeAuthenticator(keys, msg)
+	}
+}

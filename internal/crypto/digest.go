@@ -1,0 +1,46 @@
+// Package crypto provides the cryptographic substrate used by the PBFT
+// middleware: content digests, per-pair message authentication codes
+// (MACs), multi-receiver authenticators, public-key signatures, and
+// pairwise session-key agreement.
+//
+// The original Castro–Liskov code base used the Rabin cryptosystem for
+// signatures, UMAC32 for MACs and MD5 for digests. This package keeps the
+// same *cost structure* (signing and verifying are orders of magnitude more
+// expensive than MACs, digests are cheap) using only the Go standard
+// library: Ed25519 signatures, HMAC-SHA-256 truncated to 8 bytes, and
+// SHA-256 digests. See DESIGN.md, "Substitutions".
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DigestSize is the size in bytes of a content digest.
+const DigestSize = sha256.Size
+
+// Digest is a collision-resistant content digest. The zero value is the
+// digest of "nothing" and is used to denote null requests in new-view
+// messages.
+type Digest [DigestSize]byte
+
+// DigestOf returns the digest of the concatenation of the given byte slices.
+func DigestOf(parts ...[]byte) Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// IsZero reports whether d is the zero (null) digest.
+func (d Digest) IsZero() bool {
+	return d == Digest{}
+}
+
+// String returns a short hexadecimal form of the digest for logs.
+func (d Digest) String() string {
+	return hex.EncodeToString(d[:8])
+}

@@ -1,0 +1,146 @@
+package crypto
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// SignatureSize is the size in bytes of a public-key signature.
+const SignatureSize = ed25519.SignatureSize
+
+// PublicKeySize is the size in bytes of a marshaled node public identity
+// (signing key followed by key-agreement key).
+const PublicKeySize = ed25519.PublicKeySize + 32
+
+// KeyPair holds a node's long-term private key material: an Ed25519 signing
+// key and an X25519 key-agreement key. It stands in for the Rabin key pair
+// of the original implementation.
+type KeyPair struct {
+	signPriv ed25519.PrivateKey
+	dhPriv   *ecdh.PrivateKey
+	pub      PublicKey
+}
+
+// PublicKey is a node's public identity: the verification half of the
+// signing key and the public half of the key-agreement key.
+type PublicKey struct {
+	Sign ed25519.PublicKey
+	DH   []byte // X25519 public key bytes
+}
+
+// GenerateKeyPair creates a fresh key pair using the given entropy source
+// (nil means crypto/rand.Reader).
+func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	signPub, signPriv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("generate signing key: %w", err)
+	}
+	dhPriv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("generate key-agreement key: %w", err)
+	}
+	return &KeyPair{
+		signPriv: signPriv,
+		dhPriv:   dhPriv,
+		pub: PublicKey{
+			Sign: signPub,
+			DH:   dhPriv.PublicKey().Bytes(),
+		},
+	}, nil
+}
+
+// Public returns the public identity for the key pair.
+func (k *KeyPair) Public() PublicKey { return k.pub }
+
+// privateKeySize is the marshaled private key material length: the
+// Ed25519 private key (64 bytes) followed by the X25519 scalar (32).
+const privateKeySize = ed25519.PrivateKeySize + 32
+
+// Marshal serializes the private key material (for key files used by the
+// cmd/ deployment tools). Guard it like any credential.
+func (k *KeyPair) Marshal() []byte {
+	out := make([]byte, 0, privateKeySize)
+	out = append(out, k.signPriv...)
+	out = append(out, k.dhPriv.Bytes()...)
+	return out
+}
+
+// UnmarshalKeyPair parses the output of Marshal.
+func UnmarshalKeyPair(b []byte) (*KeyPair, error) {
+	if len(b) != privateKeySize {
+		return nil, fmt.Errorf("private key: got %d bytes, want %d", len(b), privateKeySize)
+	}
+	signPriv := ed25519.PrivateKey(append([]byte(nil), b[:ed25519.PrivateKeySize]...))
+	dhPriv, err := ecdh.X25519().NewPrivateKey(b[ed25519.PrivateKeySize:])
+	if err != nil {
+		return nil, fmt.Errorf("key-agreement key: %w", err)
+	}
+	return &KeyPair{
+		signPriv: signPriv,
+		dhPriv:   dhPriv,
+		pub: PublicKey{
+			Sign: signPriv.Public().(ed25519.PublicKey),
+			DH:   dhPriv.PublicKey().Bytes(),
+		},
+	}, nil
+}
+
+// Sign signs msg with the node's signing key.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.signPriv, msg)
+}
+
+// SharedKey derives the pairwise session MAC key between this node and the
+// peer identified by its public identity. Both sides derive the same key,
+// replacing the original implementation's "client picks a key and encrypts
+// it to the replica" scheme with stdlib X25519 agreement.
+func (k *KeyPair) SharedKey(peer PublicKey) (SessionKey, error) {
+	peerDH, err := ecdh.X25519().NewPublicKey(peer.DH)
+	if err != nil {
+		return SessionKey{}, fmt.Errorf("peer key-agreement key: %w", err)
+	}
+	secret, err := k.dhPriv.ECDH(peerDH)
+	if err != nil {
+		return SessionKey{}, fmt.Errorf("ecdh: %w", err)
+	}
+	// Bind the derived key to both identities so that A->B and B->A use
+	// the same key regardless of which side derives it.
+	d := DigestOf([]byte("pbft-session-key"), secret)
+	var sk SessionKey
+	copy(sk.key[:], d[:])
+	return sk, nil
+}
+
+// Verify reports whether sig is a valid signature over msg by pub.
+func Verify(pub PublicKey, msg, sig []byte) bool {
+	if len(pub.Sign) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub.Sign, msg, sig)
+}
+
+// MarshalPublicKey flattens a public identity to PublicKeySize bytes.
+func MarshalPublicKey(pub PublicKey) []byte {
+	out := make([]byte, 0, PublicKeySize)
+	out = append(out, pub.Sign...)
+	out = append(out, pub.DH...)
+	return out
+}
+
+// UnmarshalPublicKey parses the output of MarshalPublicKey.
+func UnmarshalPublicKey(b []byte) (PublicKey, error) {
+	if len(b) != PublicKeySize {
+		return PublicKey{}, fmt.Errorf("public key: got %d bytes, want %d", len(b), PublicKeySize)
+	}
+	pub := PublicKey{
+		Sign: ed25519.PublicKey(append([]byte(nil), b[:ed25519.PublicKeySize]...)),
+		DH:   append([]byte(nil), b[ed25519.PublicKeySize:]...),
+	}
+	return pub, nil
+}

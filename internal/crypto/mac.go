@@ -1,0 +1,102 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+)
+
+// MACSize is the size in bytes of a truncated MAC tag, matching the 8-byte
+// tags of the UMAC32 construction used by the original implementation.
+const MACSize = 8
+
+// MAC is a truncated per-pair message authentication tag.
+type MAC [MACSize]byte
+
+// SessionKey is a pairwise symmetric key used to compute MACs between two
+// specific nodes.
+type SessionKey struct {
+	key [32]byte
+}
+
+// NewSessionKey builds a session key from raw bytes; it is primarily useful
+// in tests. Production keys come from KeyPair.SharedKey.
+func NewSessionKey(b []byte) SessionKey {
+	var sk SessionKey
+	d := DigestOf(b)
+	copy(sk.key[:], d[:])
+	return sk
+}
+
+// MAC computes the truncated tag over msg.
+func (sk SessionKey) MAC(msg []byte) MAC {
+	h := hmac.New(sha256.New, sk.key[:])
+	h.Write(msg)
+	var full [sha256.Size]byte
+	h.Sum(full[:0])
+	var m MAC
+	copy(m[:], full[:MACSize])
+	return m
+}
+
+// VerifyMAC reports whether tag authenticates msg under the session key,
+// in constant time.
+func (sk SessionKey) VerifyMAC(msg []byte, tag MAC) bool {
+	want := sk.MAC(msg)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}
+
+// Authenticator is the multi-receiver authentication structure of PBFT: one
+// MAC per replica, in replica-id order. A sender computes it once per
+// message; each replica verifies only its own entry.
+type Authenticator struct {
+	Tags []MAC
+}
+
+// ComputeAuthenticator builds an authenticator over msg for the given
+// per-replica session keys (indexed by replica id).
+func ComputeAuthenticator(keys []SessionKey, msg []byte) Authenticator {
+	tags := make([]MAC, len(keys))
+	for i, k := range keys {
+		tags[i] = k.MAC(msg)
+	}
+	return Authenticator{Tags: tags}
+}
+
+// VerifyEntry reports whether the authenticator's entry for replica id
+// authenticates msg under the pairwise key.
+func (a Authenticator) VerifyEntry(id int, key SessionKey, msg []byte) bool {
+	if id < 0 || id >= len(a.Tags) {
+		return false
+	}
+	return key.VerifyMAC(msg, a.Tags[id])
+}
+
+// Marshal flattens the authenticator: a 2-byte count followed by the tags.
+func (a Authenticator) Marshal() []byte {
+	out := make([]byte, 2+len(a.Tags)*MACSize)
+	binary.BigEndian.PutUint16(out, uint16(len(a.Tags)))
+	for i, t := range a.Tags {
+		copy(out[2+i*MACSize:], t[:])
+	}
+	return out
+}
+
+// UnmarshalAuthenticator parses the output of Marshal. It returns the
+// number of bytes consumed.
+func UnmarshalAuthenticator(b []byte) (Authenticator, int, bool) {
+	if len(b) < 2 {
+		return Authenticator{}, 0, false
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	need := 2 + n*MACSize
+	if len(b) < need {
+		return Authenticator{}, 0, false
+	}
+	a := Authenticator{Tags: make([]MAC, n)}
+	for i := 0; i < n; i++ {
+		copy(a.Tags[i][:], b[2+i*MACSize:])
+	}
+	return a, need, true
+}

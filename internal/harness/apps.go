@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// EchoApp is the null-operation service used by the paper's §4.1
+// throughput experiments: it returns a fixed-size response without
+// touching state. The replica spends its time purely in the protocol.
+type EchoApp struct {
+	// RespSize is the reply body size in bytes.
+	RespSize int
+	// Executed counts operations (read with atomic).
+	Executed atomic.Uint64
+}
+
+var _ core.Application = (*EchoApp)(nil)
+
+// Execute implements core.Application.
+func (a *EchoApp) Execute(op []byte, nd core.NonDetValues, readOnly bool) []byte {
+	a.Executed.Add(1)
+	return make([]byte, a.RespSize)
+}
+
+// NewEchoFactory builds an EchoApp per replica.
+func NewEchoFactory(respSize int) AppFactory {
+	return func(uint32) core.Application {
+		return &EchoApp{RespSize: respSize}
+	}
+}
+
+// CounterApp is a minimal stateful service used by the integration tests:
+// a uint64 counter persisted in the replicated state region. Operations:
+// "inc" adds one and returns the new value; "get" (read-only capable)
+// returns the current value. Its determinism and region-backed state make
+// divergence between replicas detectable via checkpoint digests.
+type CounterApp struct {
+	region *state.Region
+}
+
+var (
+	_ core.Application = (*CounterApp)(nil)
+	_ core.StateUser   = (*CounterApp)(nil)
+)
+
+// AttachState implements core.StateUser.
+func (a *CounterApp) AttachState(region *state.Region) { a.region = region }
+
+// Execute implements core.Application.
+func (a *CounterApp) Execute(op []byte, nd core.NonDetValues, readOnly bool) []byte {
+	var buf [8]byte
+	if _, err := a.region.ReadAt(buf[:], 0); err != nil {
+		return nil
+	}
+	v := binary.BigEndian.Uint64(buf[:])
+	switch string(op) {
+	case "inc":
+		if readOnly {
+			return nil // refuse mutation on the read-only path
+		}
+		v++
+		binary.BigEndian.PutUint64(buf[:], v)
+		if _, err := a.region.WriteAt(buf[:], 0); err != nil {
+			return nil
+		}
+	case "get":
+	default:
+		return []byte("unknown op")
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, v)
+	return out
+}
+
+// NewCounterFactory builds a CounterApp per replica.
+func NewCounterFactory() AppFactory {
+	return func(uint32) core.Application { return &CounterApp{} }
+}
+
+// AuthCounterApp wraps CounterApp with an application-level authorizer
+// for dynamic membership tests: the identification buffer is
+// "user:password"; any non-empty user with password "sesame" is accepted,
+// and the user name is the principal.
+type AuthCounterApp struct {
+	CounterApp
+}
+
+var _ core.Authorizer = (*AuthCounterApp)(nil)
+
+// Authorize implements core.Authorizer.
+func (a *AuthCounterApp) Authorize(appAuth []byte) (string, bool) {
+	s := string(appAuth)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			user, pass := s[:i], s[i+1:]
+			return user, user != "" && pass == "sesame"
+		}
+	}
+	return "", false
+}
+
+// NewAuthCounterFactory builds an AuthCounterApp per replica.
+func NewAuthCounterFactory() AppFactory {
+	return func(uint32) core.Application { return &AuthCounterApp{} }
+}

@@ -1,0 +1,242 @@
+// Package harness assembles in-process PBFT clusters over the simulated
+// network, generates workloads, and regenerates the paper's tables and
+// figures (§4). It is the engine behind cmd/pbft-bench, the root-level
+// benchmarks, and the integration tests.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// AppFactory builds one application instance per replica.
+type AppFactory func(replica uint32) core.Application
+
+// ClusterOptions configures an in-process cluster.
+type ClusterOptions struct {
+	Opts       core.Options
+	NumClients int
+	Seed       int64
+	App        AppFactory
+	// Bandwidth models per-node egress speed in bytes/second
+	// (0 = infinite). The experiments use the paper's measured
+	// 938 Mbit/s.
+	Bandwidth float64
+}
+
+// Cluster is an in-process PBFT deployment: N replicas and a set of
+// pre-provisioned clients over one simulated network.
+type Cluster struct {
+	Net      *transport.Network
+	Cfg      *core.Config
+	Replicas []*core.Replica
+	Apps     []core.Application
+
+	replicaKeys []*crypto.KeyPair
+	clientKeys  []*crypto.KeyPair
+	appFactory  AppFactory
+	rng         *rand.Rand
+}
+
+// ReplicaAddr returns the network address of replica id.
+func ReplicaAddr(id uint32) string { return fmt.Sprintf("replica-%d", id) }
+
+// ClientAddr returns the network address of pre-provisioned client i.
+func ClientAddr(i int) string { return fmt.Sprintf("client-%d", i) }
+
+// NewCluster builds and starts a cluster. Stop releases it.
+func NewCluster(o ClusterOptions) (*Cluster, error) {
+	if o.App == nil {
+		return nil, fmt.Errorf("harness: ClusterOptions.App is required")
+	}
+	n := 3*o.Opts.F + 1
+	c := &Cluster{
+		Net:        transport.NewNetwork(o.Seed),
+		appFactory: o.App,
+		rng:        rand.New(rand.NewSource(o.Seed + 1)),
+	}
+	if o.Bandwidth > 0 {
+		c.Net.SetBandwidth(o.Bandwidth)
+	}
+	cfg := &core.Config{Opts: o.Opts}
+	c.replicaKeys = make([]*crypto.KeyPair, n)
+	for i := 0; i < n; i++ {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			return nil, err
+		}
+		c.replicaKeys[i] = kp
+		cfg.Replicas = append(cfg.Replicas, core.NodeInfo{
+			ID:     uint32(i),
+			Addr:   ReplicaAddr(uint32(i)),
+			PubKey: kp.Public(),
+		})
+	}
+	c.clientKeys = make([]*crypto.KeyPair, o.NumClients)
+	for i := 0; i < o.NumClients; i++ {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			return nil, err
+		}
+		c.clientKeys[i] = kp
+		cfg.Clients = append(cfg.Clients, core.NodeInfo{
+			ID:     uint32(n + i),
+			Addr:   ClientAddr(i),
+			PubKey: kp.Public(),
+		})
+	}
+	c.Cfg = cfg
+
+	c.Replicas = make([]*core.Replica, n)
+	c.Apps = make([]core.Application, n)
+	for i := 0; i < n; i++ {
+		if err := c.startReplica(uint32(i)); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startReplica creates, wires and starts replica id.
+func (c *Cluster) startReplica(id uint32) error {
+	conn, err := c.Net.Listen(ReplicaAddr(id))
+	if err != nil {
+		return err
+	}
+	app := c.appFactory(id)
+	rep, err := core.NewReplica(c.Cfg, id, c.replicaKeys[id], conn, app)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	c.Replicas[id] = rep
+	c.Apps[id] = app
+	rep.Start()
+	return nil
+}
+
+// StopReplica halts one replica (simulated crash: its volatile state is
+// gone; the region content is gone too, like a machine whose memory is
+// not battery-backed).
+func (c *Cluster) StopReplica(id uint32) {
+	if c.Replicas[id] != nil {
+		c.Replicas[id].Stop()
+		c.Replicas[id] = nil
+		c.Apps[id] = nil
+	}
+}
+
+// RestartReplica brings a stopped replica back with fresh volatile state;
+// it recovers via checkpoint proofs and state transfer.
+func (c *Cluster) RestartReplica(id uint32) error {
+	if c.Replicas[id] != nil {
+		c.StopReplica(id)
+	}
+	return c.startReplica(id)
+}
+
+// Client builds the i-th pre-provisioned client. The caller owns it (and
+// must Close it).
+func (c *Cluster) Client(i int) (*client.Client, error) {
+	conn, err := c.Net.Listen(ClientAddr(i))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.New(c.Cfg, uint32(len(c.Cfg.Replicas)+i), c.clientKeys[i], conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// DynamicClient builds an un-admitted client that must Join (§3.1).
+func (c *Cluster) DynamicClient(addr string) (*client.Client, error) {
+	kp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.Net.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.NewDynamic(c.Cfg, kp, conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// ReplicaKey exposes a replica's key material (fault-injection tests
+// model Byzantine replicas that hold real keys).
+func (c *Cluster) ReplicaKey(id uint32) *crypto.KeyPair { return c.replicaKeys[id] }
+
+// SealAsReplica authenticates an envelope exactly as replica id would
+// (authenticator in MAC mode, signature otherwise) and returns the wire
+// bytes. Byzantine-replica tests use it to re-authenticate mutated
+// messages.
+func (c *Cluster) SealAsReplica(id uint32, env *wire.Envelope) []byte {
+	kp := c.replicaKeys[id]
+	if c.Cfg.Opts.UseMACs {
+		keys := make([]crypto.SessionKey, len(c.Cfg.Replicas))
+		for i, ri := range c.Cfg.Replicas {
+			if uint32(i) == id {
+				continue
+			}
+			k, err := kp.SharedKey(ri.PubKey)
+			if err != nil {
+				return nil
+			}
+			keys[i] = k
+		}
+		env.Kind = wire.AuthMAC
+		env.Auth = crypto.ComputeAuthenticator(keys, env.SignedBytes())
+	} else {
+		env.Kind = wire.AuthSig
+		env.Sig = kp.Sign(env.SignedBytes())
+	}
+	return env.Marshal()
+}
+
+// Stop halts every replica and tears the network down.
+func (c *Cluster) Stop() {
+	for i := range c.Replicas {
+		if c.Replicas[i] != nil {
+			c.Replicas[i].Stop()
+			c.Replicas[i] = nil
+		}
+	}
+	_ = c.Net.Close()
+}
+
+// WaitConverged polls until every live replica executed at least seq, or
+// the timeout expires; it returns the highest LastExec seen per replica.
+func (c *Cluster) WaitConverged(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, r := range c.Replicas {
+			if r == nil {
+				continue
+			}
+			if r.Info().LastExec < seq {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fastOpts returns small-scale options suitable for tests.
+func fastOpts() core.Options {
+	o := core.DefaultOptions()
+	o.CheckpointInterval = 8
+	o.StateSize = 1 << 20
+	o.PageSize = 256
+	o.ViewChangeTimeout = time.Second
+	o.StatusInterval = 50 * time.Millisecond
+	o.HelloInterval = 100 * time.Millisecond
+	o.RequestTimeout = 300 * time.Millisecond
+	return o
+}
+
+func TestClusterEchoRoundTrip(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       1,
+		App:        NewEchoFactory(32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := cl.Invoke([]byte("ping"))
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if len(resp) != 32 {
+			t.Fatalf("invoke %d: got %d-byte reply, want 32", i, len(resp))
+		}
+	}
+}
+
+func TestClusterCounterSequential(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       2,
+		App:        NewCounterFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 1; i <= 20; i++ {
+		resp, err := cl.Invoke([]byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d: counter = %d", i, got)
+		}
+	}
+	resp, err := cl.InvokeReadOnly([]byte("get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != 20 {
+		t.Fatalf("read-only get = %d, want 20", got)
+	}
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestCounterValuesUniqueUnderConcurrency is a linearizability smoke
+// check: concurrent increments must return unique, gap-free values —
+// each increment appears exactly once in the total order.
+func TestCounterValuesUniqueUnderConcurrency(t *testing.T) {
+	const numClients, perClient = 6, 20
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: numClients,
+		Seed:       50,
+		App:        NewCounterFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for i := 0; i < numClients; i++ {
+		cl, err := c.Client(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				resp, err := cl.Invoke([]byte("inc"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				v := binary.BigEndian.Uint64(resp)
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(seen) != numClients*perClient {
+		t.Fatalf("%d distinct counter values, want %d", len(seen), numClients*perClient)
+	}
+	for v := uint64(1); v <= numClients*perClient; v++ {
+		if seen[v] != 1 {
+			t.Fatalf("value %d observed %d times (must be exactly once)", v, seen[v])
+		}
+	}
+}
+
+// TestCounterConsistentUnderPrimaryFailure repeats the uniqueness check
+// while the primary crashes mid-run: the view change must not lose or
+// duplicate increments.
+func TestCounterConsistentUnderPrimaryFailure(t *testing.T) {
+	const numClients, perClient = 4, 15
+	o := fastOpts()
+	o.ViewChangeTimeout = 400 * time.Millisecond
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: numClients, Seed: 51, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for i := 0; i < numClients; i++ {
+		cl, err := c.Client(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				resp, err := cl.Invoke([]byte("inc"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				v := binary.BigEndian.Uint64(resp)
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	time.Sleep(150 * time.Millisecond)
+	c.StopReplica(0) // crash the primary mid-run
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(seen) != numClients*perClient {
+		t.Fatalf("%d distinct values, want %d", len(seen), numClients*perClient)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d observed %d times", v, n)
+		}
+	}
+}
+
+// TestMessageComplexityGrowsQuadratically checks the §3.3.3 observation:
+// protocol packets per request grow superlinearly with the group size.
+func TestMessageComplexityGrowsQuadratically(t *testing.T) {
+	perReq := make(map[int]float64)
+	for _, f := range []int{1, 2} {
+		o := fastOpts()
+		o.F = f
+		o.Batching = false // isolate the per-request agreement cost
+		o.ViewChangeTimeout = 10 * time.Second
+		c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 1, Seed: 52, App: NewEchoFactory(16)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := c.Client(0)
+		if err != nil {
+			c.Stop()
+			t.Fatal(err)
+		}
+		// Warm up (hellos, status), then measure a request burst.
+		for i := 0; i < 3; i++ {
+			invokeMust(t, cl, "x")
+		}
+		c.Net.ResetStats()
+		const ops = 20
+		for i := 0; i < ops; i++ {
+			invokeMust(t, cl, "x")
+		}
+		stats := c.Net.Stats()
+		perReq[f] = float64(stats.Packets) / ops
+		cl.Close()
+		c.Stop()
+	}
+	// n goes 4 -> 7 (1.75x); quadratic message complexity means packets
+	// per request should grow clearly superlinearly (~3x); allow slack
+	// for status gossip.
+	ratio := perReq[2] / perReq[1]
+	if ratio < 1.8 {
+		t.Fatalf("packets/request grew only %.2fx from n=4 to n=7 (want superlinear growth): %v", ratio, perReq)
+	}
+}
+
+// TestReadOnlyObservesCommittedWrites checks the read-only path returns
+// fresh values once writes quiesce.
+func TestReadOnlyObservesCommittedWrites(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Opts: fastOpts(), NumClients: 1, Seed: 53, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 1; i <= 7; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	if !c.WaitConverged(7, 5*time.Second) {
+		t.Fatal("not converged")
+	}
+	resp, err := cl.InvokeReadOnly([]byte("get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != 7 {
+		t.Fatalf("read-only get = %d, want 7", got)
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// skewedCounterApp is a CounterApp whose increments add a different
+// amount — a deterministic-but-wrong application, modeling state
+// corruption or a diverging software version.
+type skewedCounterApp struct {
+	region *state.Region
+	step   uint64
+}
+
+func (a *skewedCounterApp) AttachState(region *state.Region) { a.region = region }
+
+func (a *skewedCounterApp) Execute(op []byte, nd core.NonDetValues, readOnly bool) []byte {
+	var buf [8]byte
+	if _, err := a.region.ReadAt(buf[:], 0); err != nil {
+		return nil
+	}
+	v := binary.BigEndian.Uint64(buf[:])
+	if string(op) == "inc" && !readOnly {
+		v += a.step
+		binary.BigEndian.PutUint64(buf[:], v)
+		if _, err := a.region.WriteAt(buf[:], 0); err != nil {
+			return nil
+		}
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, v)
+	return out
+}
+
+// TestDivergedReplicaDetectsAndResyncs exercises the foreign-checkpoint
+// path: replica 3 runs a skewed application, so its checkpoint digests
+// disagree with the quorum. When 2f+1 matching votes for a digest it does
+// not have arrive, it must recognize its own divergence and state-transfer
+// to the group's state.
+func TestDivergedReplicaDetectsAndResyncs(t *testing.T) {
+	o := fastOpts()
+	c, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: 1,
+		Seed:       60,
+		App: func(id uint32) core.Application {
+			step := uint64(1)
+			if id == 3 {
+				step = 2 // replica 3 diverges deterministically
+			}
+			return &skewedCounterApp{step: step}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Drive past a checkpoint: the three correct replicas agree; replica
+	// 3's digest is foreign to them and theirs is foreign to it.
+	for i := 1; i <= int(o.CheckpointInterval)+4; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d: quorum answered %d (correct replicas must win)", i, got)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info := c.Replicas[3].Info()
+		if info.Stats.StateTransfers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diverged replica never state-transferred: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

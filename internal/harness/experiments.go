@@ -1,0 +1,439 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// LibConfig names one library configuration of the paper's Table 1.
+type LibConfig struct {
+	Name    string
+	Static  bool // static client management ("sta"/"nosta")
+	MACs    bool // authenticators ("mac"/"nomac")
+	AllBig  bool // all requests treated as big ("allbig"/"noallbig")
+	Batch   bool // request batching ("batch"/"nobatch")
+	Durable bool // ACID for the SQL experiments
+}
+
+// Table1Configs are the ten rows of Table 1, in the paper's order.
+func Table1Configs() []LibConfig {
+	return []LibConfig{
+		{Name: "sta_mac_allbig_batch", Static: true, MACs: true, AllBig: true, Batch: true},
+		{Name: "sta_mac_allbig_nobatch", Static: true, MACs: true, AllBig: true, Batch: false},
+		{Name: "sta_mac_noallbig_batch", Static: true, MACs: true, AllBig: false, Batch: true},
+		{Name: "sta_mac_noallbig_nobatch", Static: true, MACs: true, AllBig: false, Batch: false},
+		{Name: "sta_nomac_allbig_batch", Static: true, MACs: false, AllBig: true, Batch: true},
+		{Name: "sta_nomac_allbig_nobatch", Static: true, MACs: false, AllBig: true, Batch: false},
+		{Name: "sta_nomac_noallbig_batch", Static: true, MACs: false, AllBig: false, Batch: true},
+		{Name: "sta_nomac_noallbig_nobatch", Static: true, MACs: false, AllBig: false, Batch: false},
+		{Name: "nosta_nomac_noallbig_batch", Static: false, MACs: false, AllBig: false, Batch: true},
+		{Name: "nosta_nomac_noallbig_nobatch", Static: false, MACs: false, AllBig: false, Batch: false},
+	}
+}
+
+// Fig5Configs are the configurations of Figure 5 (batching always on,
+// per §4.2).
+func Fig5Configs() []LibConfig {
+	return []LibConfig{
+		{Name: "sta_mac_allbig", Static: true, MACs: true, AllBig: true, Batch: true, Durable: true},
+		{Name: "sta_mac_noallbig", Static: true, MACs: true, AllBig: false, Batch: true, Durable: true},
+		{Name: "sta_nomac_allbig", Static: true, MACs: false, AllBig: true, Batch: true, Durable: true},
+		{Name: "sta_nomac_noallbig", Static: true, MACs: false, AllBig: false, Batch: true, Durable: true},
+		{Name: "nosta_nomac_noallbig", Static: false, MACs: false, AllBig: false, Batch: true, Durable: true},
+	}
+}
+
+// ExperimentOptions sizes an experiment run.
+type ExperimentOptions struct {
+	// NumClients is the closed-loop client count (the paper uses 12).
+	NumClients int
+	// Duration is the measured window per configuration.
+	Duration time.Duration
+	// Warmup runs the workload briefly before measuring.
+	Warmup time.Duration
+	// RequestSize is the null request/response size (Table 1: 1024).
+	RequestSize int
+	// Seed makes the simulated network reproducible.
+	Seed int64
+	// Out receives the report (defaults to stdout).
+	Out io.Writer
+}
+
+// DefaultExperimentOptions mirrors the paper's setup scaled to a quick
+// local run.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{
+		NumClients:  12,
+		Duration:    3 * time.Second,
+		Warmup:      500 * time.Millisecond,
+		RequestSize: 1024,
+		Seed:        42,
+	}
+}
+
+func (o *ExperimentOptions) out() io.Writer {
+	if o.Out != nil {
+		return o.Out
+	}
+	return os.Stdout
+}
+
+// BenchOptionsFor maps a LibConfig onto library options (exported for
+// the root-level benchmarks).
+func BenchOptionsFor(lc LibConfig) core.Options {
+	return buildOptions(lc)
+}
+
+// buildOptions maps a LibConfig onto library options.
+func buildOptions(lc LibConfig) core.Options {
+	o := core.DefaultOptions()
+	o.UseMACs = lc.MACs
+	o.AllBig = lc.AllBig
+	o.Batching = lc.Batch
+	o.DynamicClients = !lc.Static
+	o.CheckpointInterval = 64
+	o.StateSize = 8 << 20
+	o.ViewChangeTimeout = 5 * time.Second
+	o.RequestTimeout = time.Second
+	return o
+}
+
+// MeasureConfig runs one configuration with the null workload and
+// returns its throughput (one Table 1 cell).
+func MeasureConfig(lc LibConfig, opts ExperimentOptions, app AppFactory, w Workload) (RunResult, error) {
+	co := buildOptions(lc)
+	numClients := opts.NumClients
+	cluster, err := NewCluster(ClusterOptions{
+		Opts:       co,
+		NumClients: numClients,
+		Seed:       opts.Seed,
+		App:        app,
+		// The paper's testbed: 1 GbE measured at 938 Mbit/s by iperf.
+		Bandwidth: 938e6 / 8,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer cluster.Stop()
+	if opts.Warmup > 0 {
+		if _, err := cluster.RunClosedLoop(numClients, w, opts.Warmup, !lc.Static); err != nil {
+			return RunResult{}, err
+		}
+	}
+	return cluster.RunClosedLoop(numClients, w, opts.Duration, !lc.Static)
+}
+
+// RunTable1 regenerates Table 1: every library configuration measured
+// with null operations at the given request size.
+func RunTable1(opts ExperimentOptions) error {
+	w := opts.out()
+	fmt.Fprintf(w, "Table 1 — null-operation throughput, %d clients, %d-byte requests/responses\n",
+		opts.NumClients, opts.RequestSize)
+	fmt.Fprintf(w, "%-30s %8s %10s %8s\n", "Name", "TPS", "ops", "errors")
+	for _, lc := range Table1Configs() {
+		res, err := MeasureConfig(lc, opts, NewEchoFactory(opts.RequestSize), &NullWorkload{Size: opts.RequestSize})
+		if err != nil {
+			return fmt.Errorf("config %s: %w", lc.Name, err)
+		}
+		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", lc.Name, res.TPS(), res.Ops, res.Errors)
+	}
+	return nil
+}
+
+// RunFigure4 regenerates Figure 4: the Table 1 series, one bar per
+// configuration, at the representative 1024-byte size (other sizes via
+// opts.RequestSize).
+func RunFigure4(opts ExperimentOptions) error {
+	w := opts.out()
+	fmt.Fprintf(w, "Figure 4 — PBFT tests (null ops, %d bytes)\n", opts.RequestSize)
+	max := 0.0
+	type bar struct {
+		name string
+		tps  float64
+	}
+	bars := make([]bar, 0, 10)
+	for _, lc := range Table1Configs() {
+		res, err := MeasureConfig(lc, opts, NewEchoFactory(opts.RequestSize), &NullWorkload{Size: opts.RequestSize})
+		if err != nil {
+			return fmt.Errorf("config %s: %w", lc.Name, err)
+		}
+		bars = append(bars, bar{lc.Name, res.TPS()})
+		if res.TPS() > max {
+			max = res.TPS()
+		}
+	}
+	for _, b := range bars {
+		width := 0
+		if max > 0 {
+			width = int(b.tps / max * 50)
+		}
+		fmt.Fprintf(w, "%-30s %8.0f %s\n", b.name, b.tps, barString(width))
+	}
+	return nil
+}
+
+func barString(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// RunFigure5 regenerates Figure 5: single-row INSERTs through the
+// replicated ACID SQL state (batching on, §4.2).
+func RunFigure5(opts ExperimentOptions, diskRoot string) error {
+	w := opts.out()
+	fmt.Fprintf(w, "Figure 5 — PBFT + SQL benchmark (single-row INSERT per request, ACID)\n")
+	fmt.Fprintf(w, "%-30s %8s %10s %8s\n", "Name", "TPS", "ops", "errors")
+	for _, lc := range Fig5Configs() {
+		root, err := os.MkdirTemp(diskRoot, "fig5-"+lc.Name+"-*")
+		if err != nil {
+			return err
+		}
+		res, err := MeasureConfig(lc, opts, NewSQLFactory(lc.Durable, root), &SQLInsertWorkload{})
+		_ = os.RemoveAll(root)
+		if err != nil {
+			return fmt.Errorf("config %s: %w", lc.Name, err)
+		}
+		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", lc.Name, res.TPS(), res.Ops, res.Errors)
+	}
+	return nil
+}
+
+// RunACIDComparison regenerates the §4.2 isolation experiment: the most
+// robust configuration with and without ACID semantics (the paper
+// measured 534 vs 1155 TPS, about a 2x gap).
+func RunACIDComparison(opts ExperimentOptions, diskRoot string) error {
+	w := opts.out()
+	fmt.Fprintf(w, "§4.2 — ACID vs no-ACID, most robust configuration, dynamic clients\n")
+	fmt.Fprintf(w, "%-30s %8s %10s %8s\n", "Mode", "TPS", "ops", "errors")
+	base := LibConfig{Name: "acid", Static: false, MACs: false, AllBig: false, Batch: true, Durable: true}
+	for _, durable := range []bool{true, false} {
+		lc := base
+		lc.Durable = durable
+		name := "ACID (journal+fsync)"
+		if !durable {
+			name = "No-ACID (no journal/sync)"
+		}
+		root := ""
+		if durable {
+			var err error
+			root, err = os.MkdirTemp(diskRoot, "acid-*")
+			if err != nil {
+				return err
+			}
+		}
+		res, err := MeasureConfig(lc, opts, NewSQLFactory(durable, root), &SQLInsertWorkload{})
+		if root != "" {
+			_ = os.RemoveAll(root)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", name, res.TPS(), res.Ops, res.Errors)
+	}
+	return nil
+}
+
+// RunLossyBatchAblation backs the Table 1 divergence note: under even
+// mild packet loss (the §2.4 premise that UDP drops under stress), the
+// unbatched configuration collapses — its per-request message storm keeps
+// tripping timeouts and recovery — while batching shrugs it off. This is
+// the mechanism behind the paper's 16x batch/nobatch gap.
+func RunLossyBatchAblation(opts ExperimentOptions, lossRates []float64) error {
+	w := opts.out()
+	fmt.Fprintf(w, "Table 1 ablation — mac_allbig batch vs nobatch under uniform packet loss\n")
+	fmt.Fprintf(w, "%8s %14s %14s %8s\n", "loss", "batch TPS", "nobatch TPS", "ratio")
+	for _, loss := range lossRates {
+		tps := make(map[bool]float64)
+		for _, batch := range []bool{true, false} {
+			lc := LibConfig{Static: true, MACs: true, AllBig: true, Batch: batch}
+			co := buildOptions(lc)
+			cluster, err := NewCluster(ClusterOptions{
+				Opts:       co,
+				NumClients: opts.NumClients,
+				Seed:       opts.Seed,
+				App:        NewEchoFactory(opts.RequestSize),
+				Bandwidth:  938e6 / 8,
+			})
+			if err != nil {
+				return err
+			}
+			cluster.Net.SetDefaultFaults(transport.Faults{LossRate: loss})
+			res, err := cluster.RunClosedLoop(opts.NumClients, &NullWorkload{Size: opts.RequestSize}, opts.Duration, false)
+			cluster.Stop()
+			if err != nil {
+				return err
+			}
+			tps[batch] = res.TPS()
+		}
+		ratio := 0.0
+		if tps[false] > 0 {
+			ratio = tps[true] / tps[false]
+		}
+		fmt.Fprintf(w, "%7.1f%% %14.0f %14.0f %7.1fx\n", loss*100, tps[true], tps[false], ratio)
+	}
+	return nil
+}
+
+// RunDynamicOverhead measures the §4.1 dynamic-client overhead in
+// isolation (the paper: 988 vs 992 TPS, ~0.5%).
+func RunDynamicOverhead(opts ExperimentOptions) error {
+	w := opts.out()
+	fmt.Fprintf(w, "§4.1 — dynamic client management overhead (most robust configuration)\n")
+	fmt.Fprintf(w, "%-30s %8s\n", "Mode", "TPS")
+	for _, lc := range []LibConfig{
+		{Name: "static (sta_nomac_noallbig_batch)", Static: true, Batch: true},
+		{Name: "dynamic (nosta_nomac_noallbig_batch)", Static: false, Batch: true},
+	} {
+		res, err := MeasureConfig(lc, opts, NewEchoFactory(opts.RequestSize), &NullWorkload{Size: opts.RequestSize})
+		if err != nil {
+			return fmt.Errorf("config %s: %w", lc.Name, err)
+		}
+		fmt.Fprintf(w, "%-30s %8.0f\n", lc.Name, res.TPS())
+	}
+	return nil
+}
+
+// RunWANScaling demonstrates the quadratic message complexity the paper
+// cites as the WAN obstacle (§3.3.3): protocol messages per executed
+// request as the group size grows.
+func RunWANScaling(opts ExperimentOptions, fs []int) error {
+	w := opts.out()
+	fmt.Fprintf(w, "§3.3.3 — message complexity vs group size (n = 3f+1)\n")
+	fmt.Fprintf(w, "%4s %4s %12s %14s %12s\n", "f", "n", "requests", "packets", "pkts/req")
+	for _, f := range fs {
+		o := core.DefaultOptions()
+		o.F = f
+		o.CheckpointInterval = 64
+		o.StateSize = 4 << 20
+		o.ViewChangeTimeout = 10 * time.Second
+		o.Batching = false // isolate per-request agreement cost
+		cluster, err := NewCluster(ClusterOptions{
+			Opts:       o,
+			NumClients: 2,
+			Seed:       opts.Seed,
+			App:        NewEchoFactory(64),
+		})
+		if err != nil {
+			return err
+		}
+		cluster.Net.ResetStats()
+		res, err := cluster.RunClosedLoop(2, &NullWorkload{Size: 64}, opts.Duration, false)
+		stats := cluster.Net.Stats()
+		cluster.Stop()
+		if err != nil {
+			return err
+		}
+		perReq := 0.0
+		if res.Ops > 0 {
+			perReq = float64(stats.Packets) / float64(res.Ops)
+		}
+		fmt.Fprintf(w, "%4d %4d %12d %14d %12.1f\n", f, 3*f+1, res.Ops, stats.Packets, perReq)
+	}
+	return nil
+}
+
+// RunLossExperiment reproduces §2.4: with all-big requests, client→replica
+// loss wedges a replica until a checkpoint-driven state transfer; without
+// big handling the client's retransmission makes progress all-or-nothing.
+func RunLossExperiment(opts ExperimentOptions) error {
+	w := opts.out()
+	fmt.Fprintf(w, "§2.4 — behaviour under client→replica packet loss\n")
+	for _, allBig := range []bool{true, false} {
+		o := buildOptions(LibConfig{Static: true, MACs: true, AllBig: allBig, Batch: true})
+		o.CheckpointInterval = 16
+		cluster, err := NewCluster(ClusterOptions{
+			Opts:       o,
+			NumClients: 2,
+			Seed:       opts.Seed,
+			App:        NewEchoFactory(64),
+		})
+		if err != nil {
+			return err
+		}
+		// 30% loss from every client to replica 3 only.
+		for i := 0; i < 2; i++ {
+			cluster.Net.SetLinkFaults(ClientAddr(i), ReplicaAddr(3), transport.Faults{LossRate: 0.3})
+		}
+		res, err := cluster.RunClosedLoop(2, &NullWorkload{Size: 64}, opts.Duration, false)
+		if err != nil {
+			cluster.Stop()
+			return err
+		}
+		info := cluster.Replicas[3].Info()
+		mode := "allbig"
+		if !allBig {
+			mode = "noallbig"
+		}
+		fmt.Fprintf(w, "%-10s TPS=%7.0f replica3: exec=%d stable=%d wedged=%v state-transfers=%d\n",
+			mode, res.TPS(), info.LastExec, info.LastStable, info.Stats.WedgedNow, info.Stats.StateTransfers)
+		cluster.Stop()
+	}
+	return nil
+}
+
+// RunRecoveryExperiment reproduces §2.3: a restarted replica cannot
+// authenticate logged client requests until the blind session-hello
+// retransmission arrives; recovery time tracks the hello interval.
+func RunRecoveryExperiment(opts ExperimentOptions, helloIntervals []time.Duration) error {
+	w := opts.out()
+	fmt.Fprintf(w, "§2.3 — replica restart recovery vs authenticator retransmission period\n")
+	fmt.Fprintf(w, "%14s %16s\n", "hello period", "recovery time")
+	for _, hi := range helloIntervals {
+		o := buildOptions(LibConfig{Static: true, MACs: true, AllBig: true, Batch: true})
+		o.CheckpointInterval = 16
+		o.HelloInterval = hi
+		cluster, err := NewCluster(ClusterOptions{
+			Opts:       o,
+			NumClients: 2,
+			Seed:       opts.Seed,
+			App:        NewEchoFactory(64),
+		})
+		if err != nil {
+			return err
+		}
+		// Drive load, crash and restart replica 3, measure how long it
+		// takes to execute again.
+		stop := make(chan struct{})
+		go func() {
+			_, _ = cluster.RunClosedLoop(2, &NullWorkload{Size: 64}, opts.Duration+4*time.Second, false)
+			close(stop)
+		}()
+		time.Sleep(500 * time.Millisecond)
+		cluster.StopReplica(3)
+		time.Sleep(300 * time.Millisecond)
+		restart := time.Now()
+		if err := cluster.RestartReplica(3); err != nil {
+			cluster.Stop()
+			return err
+		}
+		// Direct execution (not mere state transfer) requires the
+		// replica to authenticate client bodies again, which waits on
+		// the blind hello retransmission — the §2.3 stall.
+		recovered := time.Duration(0)
+		for recovered == 0 {
+			info := cluster.Replicas[3].Info()
+			if info.Stats.Executed > 0 {
+				recovered = time.Since(restart)
+				break
+			}
+			select {
+			case <-stop:
+				recovered = -1
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		fmt.Fprintf(w, "%14s %16s\n", hi, recovered)
+		<-stop
+		cluster.Stop()
+	}
+	return nil
+}
+

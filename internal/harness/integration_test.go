@@ -1,0 +1,495 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// invokeMust performs one Invoke and fails the test on error.
+func invokeMust(t *testing.T, cl *client.Client, op string) []byte {
+	t.Helper()
+	resp, err := cl.Invoke([]byte(op))
+	if err != nil {
+		t.Fatalf("invoke %q: %v", op, err)
+	}
+	return resp
+}
+
+func TestConcurrentClients(t *testing.T) {
+	const numClients, perClient = 8, 25
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: numClients,
+		Seed:       3,
+		App:        NewCounterFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for i := 0; i < numClients; i++ {
+		cl, err := c.Client(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				if _, err := cl.Invoke([]byte("inc")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every increment must have landed exactly once.
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp := invokeMust(t, cl, "get")
+	if got := binary.BigEndian.Uint64(resp); got != numClients*perClient {
+		t.Fatalf("counter = %d, want %d", got, numClients*perClient)
+	}
+}
+
+func TestAllConfigurationAxes(t *testing.T) {
+	// Every cell of the paper's configuration matrix (Table 1 axes) must
+	// produce a correct service, whatever its throughput.
+	for _, mac := range []bool{true, false} {
+		for _, allbig := range []bool{true, false} {
+			for _, batch := range []bool{true, false} {
+				name := fmt.Sprintf("mac=%v allbig=%v batch=%v", mac, allbig, batch)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					o := fastOpts()
+					o.UseMACs = mac
+					o.AllBig = allbig
+					o.Batching = batch
+					c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 2, Seed: 4, App: NewCounterFactory()})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer c.Stop()
+					cl, err := c.Client(0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer cl.Close()
+					for i := 1; i <= 10; i++ {
+						resp := invokeMust(t, cl, "inc")
+						if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+							t.Fatalf("inc %d: got %d", i, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestViewChangeOnPrimaryFailure(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 400 * time.Millisecond
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 1, Seed: 5, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 1; i <= 5; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	// Kill the primary of view 0 (replica 0). The client's retransmits
+	// arm the backups' liveness timers; a view change must elect
+	// replica 1 and the service must keep going.
+	c.StopReplica(0)
+	for i := 6; i <= 12; i++ {
+		resp, err := cl.Invoke([]byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d after primary failure: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d: got %d", i, got)
+		}
+	}
+	for _, id := range []uint32{1, 2, 3} {
+		info := c.Replicas[id].Info()
+		if info.View == 0 {
+			t.Fatalf("replica %d still in view 0 after primary failure", id)
+		}
+	}
+}
+
+func TestNormalCaseMessageSchedule(t *testing.T) {
+	// Figure 1: in the failure-free case a request is executed by every
+	// replica without any view change or state transfer.
+	c, err := NewCluster(ClusterOptions{Opts: fastOpts(), NumClients: 1, Seed: 6, App: NewEchoFactory(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		invokeMust(t, cl, "x")
+	}
+	if !c.WaitConverged(10, 5*time.Second) {
+		t.Fatal("replicas did not converge")
+	}
+	for id, r := range c.Replicas {
+		info := r.Info()
+		if info.View != 0 || info.Stats.ViewChanges != 0 {
+			t.Fatalf("replica %d: unexpected view change (view=%d)", id, info.View)
+		}
+		if info.Stats.StateTransfers != 0 {
+			t.Fatalf("replica %d: unexpected state transfer", id)
+		}
+		if info.Stats.Executed != 10 {
+			t.Fatalf("replica %d executed %d requests, want 10", id, info.Stats.Executed)
+		}
+	}
+}
+
+func TestReplicaRestartRecovers(t *testing.T) {
+	o := fastOpts()
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 1, Seed: 7, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 1; i <= 10; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	// Crash a backup, make progress past a checkpoint, restart it.
+	c.StopReplica(3)
+	for i := 11; i <= 30; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	if err := c.RestartReplica(3); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the service busy so checkpoints keep forming.
+	for i := 31; i <= 45; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info := c.Replicas[3].Info()
+		if info.LastExec >= 40 {
+			if info.Stats.StateTransfers == 0 {
+				t.Fatal("restarted replica recovered without a state transfer")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica stuck at exec %d (stable %d)", info.LastExec, info.LastStable)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBigRequestLossWedgesReplica(t *testing.T) {
+	// §2.4: with all requests big, losing the single client→replica body
+	// transmission wedges that replica until the next checkpoint's state
+	// transfer. Non-big requests do not have this failure mode.
+	o := fastOpts()
+	o.AllBig = true
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 1, Seed: 8, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	invokeMust(t, cl, "inc")
+	// Drop the client→replica-3 link: replica 3 misses the body but the
+	// agreement (replica→replica) still reaches it.
+	c.Net.SetLinkFaults(ClientAddr(0), ReplicaAddr(3), transport.Faults{Partitioned: true})
+	invokeMust(t, cl, "inc")
+	invokeMust(t, cl, "inc")
+
+	// Replica 3 must be wedged: agreement done, execution stuck.
+	deadline := time.Now().Add(3 * time.Second)
+	wedged := false
+	for time.Now().Before(deadline) {
+		if info := c.Replicas[3].Info(); info.Stats.WedgedNow {
+			wedged = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !wedged {
+		t.Fatal("replica 3 never wedged on the missing big-request body")
+	}
+
+	// Heal the link for future requests and push past the checkpoint
+	// interval: the state transfer must unwedge replica 3.
+	c.Net.ClearLinkFaults(ClientAddr(0), ReplicaAddr(3))
+	for i := 0; i < int(o.CheckpointInterval)+2; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		info := c.Replicas[3].Info()
+		if !info.Stats.WedgedNow && info.LastExec >= o.CheckpointInterval && info.Stats.StateTransfers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 3 still wedged: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNonBigLossAllOrNothing(t *testing.T) {
+	// §2.4: without big-request handling the client sends to the primary
+	// and retransmits on timeout; a lost request means either every
+	// replica executes or none does — no single replica wedges.
+	o := fastOpts()
+	o.AllBig = false
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 1, Seed: 9, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Heavy loss on the client→primary link: retransmission must win.
+	c.Net.SetLinkFaults(ClientAddr(0), ReplicaAddr(0), transport.Faults{LossRate: 0.7})
+	for i := 1; i <= 10; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d: got %d", i, got)
+		}
+	}
+	if !c.WaitConverged(10, 5*time.Second) {
+		t.Fatal("replicas did not converge")
+	}
+	for id, r := range c.Replicas {
+		if info := r.Info(); info.Stats.WedgedNow {
+			t.Fatalf("replica %d wedged in non-big mode", id)
+		}
+	}
+}
+
+func TestDynamicJoinInvokeLeave(t *testing.T) {
+	// Figure 2 / §3.1: the two-phase join admits a client which can then
+	// invoke operations and leave; after leaving its requests are refused.
+	o := fastOpts()
+	o.DynamicClients = true
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 0, Seed: 10, App: NewAuthCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := c.DynamicClient("dyn-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Join([]byte("alice:sesame")); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if cl.ID() == core.JoinSender {
+		t.Fatal("join must assign a client id")
+	}
+	for i := 1; i <= 5; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d: got %d", i, got)
+		}
+	}
+	if err := cl.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// After leaving, requests must time out (the table entry is gone).
+	cl.MaxRetries = 2
+	if _, err := cl.Invoke([]byte("inc")); err == nil {
+		t.Fatal("invoke after leave must fail")
+	}
+}
+
+func TestDynamicJoinDeniedByApplication(t *testing.T) {
+	o := fastOpts()
+	o.DynamicClients = true
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 0, Seed: 11, App: NewAuthCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.DynamicClient("dyn-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Join([]byte("mallory:wrongpass"))
+	if err == nil {
+		t.Fatal("join with bad credentials must be denied")
+	}
+	if _, ok := err.(*client.ErrJoinDenied); !ok {
+		t.Fatalf("got %v, want ErrJoinDenied", err)
+	}
+}
+
+func TestDynamicSingleSessionPerPrincipal(t *testing.T) {
+	// §3.1: establishing a new session for a principal terminates the
+	// previous one, bounding a credential-holder to one live session.
+	o := fastOpts()
+	o.DynamicClients = true
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 0, Seed: 12, App: NewAuthCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	first, err := c.DynamicClient("dyn-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := first.Join([]byte("bob:sesame")); err != nil {
+		t.Fatal(err)
+	}
+	invokeMust(t, first, "inc")
+
+	second, err := c.DynamicClient("dyn-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if err := second.Join([]byte("bob:sesame")); err != nil {
+		t.Fatal(err)
+	}
+	invokeMust(t, second, "inc")
+
+	// The first session must be dead.
+	first.MaxRetries = 2
+	if _, err := first.Invoke([]byte("inc")); err == nil {
+		t.Fatal("first session must be terminated when the principal rejoins")
+	}
+}
+
+func TestJoinSequence(t *testing.T) {
+	// Figure 2 as an observable schedule: joins are ordered like any
+	// request, so the replicas' JoinsExecuted counters all advance.
+	o := fastOpts()
+	o.DynamicClients = true
+	c, err := NewCluster(ClusterOptions{Opts: o, NumClients: 0, Seed: 13, App: NewAuthCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		cl, err := c.DynamicClient(fmt.Sprintf("dyn-seq-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Join([]byte(fmt.Sprintf("user%d:sesame", i))); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		invokeMust(t, cl, "inc")
+		cl.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, r := range c.Replicas {
+			if r.Info().Stats.JoinsExecuted != 3 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for id, r := range c.Replicas {
+				t.Logf("replica %d: %+v", id, r.Info().Stats)
+			}
+			t.Fatal("not all replicas executed all joins")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStaticModeRejectsJoin(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Opts: fastOpts(), NumClients: 1, Seed: 14, App: NewCounterFactory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.DynamicClient("dyn-static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.MaxRetries = 2
+	if err := cl.Join([]byte("x:sesame")); err == nil {
+		t.Fatal("join must not succeed when DynamicClients is off")
+	}
+}
+
+func TestUnknownClientDropped(t *testing.T) {
+	// A request from an identifier absent from the redirection table is
+	// dropped before any signature verification (§3.1).
+	c, err := NewCluster(ClusterOptions{Opts: fastOpts(), NumClients: 1, Seed: 15, App: NewEchoFactory(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.DynamicClient("dyn-ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Forge a static-style client with an unknown id by using the
+	// dynamic client's key but an arbitrary id: the replicas must not
+	// answer. (Invoke fails because the client never joined; craft the
+	// check through a plain timeout.)
+	cl.MaxRetries = 2
+	if err := cl.Join(nil); err == nil {
+		t.Fatal("expected join rejection in static mode")
+	}
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/sqlstate"
+)
+
+// Workload produces the operation each closed-loop client repeats.
+type Workload interface {
+	// Op returns the next request body for client i, iteration n.
+	Op(i, n int) []byte
+	// Check inspects a reply (optional; return error to fail the run).
+	Check(resp []byte) error
+}
+
+// NullWorkload is the paper's §4.1 null-operation workload: requests of a
+// fixed size, echo replies.
+type NullWorkload struct {
+	// Size is the request body size in bytes (the paper sweeps 256,
+	// 1024, 2048, 4096).
+	Size int
+}
+
+// Op implements Workload.
+func (w *NullWorkload) Op(i, n int) []byte { return make([]byte, w.Size) }
+
+// Check implements Workload.
+func (w *NullWorkload) Check([]byte) error { return nil }
+
+// SQLInsertWorkload is the §4.2 workload: one row inserted per request —
+// key, value, the agreed timestamp and an agreed random value (the paper
+// added the latter two to check replies are identical across replicas).
+type SQLInsertWorkload struct{}
+
+// Op implements Workload.
+func (w *SQLInsertWorkload) Op(i, n int) []byte {
+	return sqlstate.EncodeExec(
+		"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?, ?, now(), random())",
+		sqldb.Text(fmt.Sprintf("voter-%d-%d", i, n)),
+		sqldb.Text("yes"),
+	)
+}
+
+// Check implements Workload.
+func (w *SQLInsertWorkload) Check(resp []byte) error {
+	r, err := sqlstate.DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if r.Result == nil || r.Result.RowsAffected != 1 {
+		return fmt.Errorf("harness: unexpected insert response %+v", r)
+	}
+	return nil
+}
+
+// VotesSchema is the schema the SQL experiments initialize.
+var VotesSchema = []string{
+	"CREATE TABLE IF NOT EXISTS votes (voter TEXT, vote TEXT, ts INTEGER, rnd INTEGER)",
+}
+
+// NewSQLFactory builds the replicated SQL application per replica
+// (§3.2): durable selects ACID mode; diskRoot hosts journals and disk
+// images (one subdirectory per replica).
+func NewSQLFactory(durable bool, diskRoot string) AppFactory {
+	return func(id uint32) core.Application {
+		diskDir := ""
+		if diskRoot != "" {
+			diskDir = fmt.Sprintf("%s/replica-%d", diskRoot, id)
+		}
+		return sqlstate.NewApp(sqlstate.Options{
+			DiskDir: diskDir,
+			Durable: durable,
+			InitSQL: VotesSchema,
+		})
+	}
+}
+
+// RunResult reports one throughput measurement.
+type RunResult struct {
+	Ops      uint64
+	Duration time.Duration
+	Errors   uint64
+}
+
+// TPS returns operations per second.
+func (r RunResult) TPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// RunClosedLoop drives numClients closed-loop clients (one outstanding
+// request each, like the paper's measurement clients) for the given
+// duration and returns the aggregate throughput. Clients joined
+// dynamically are used when dynamic is true (§3.1 overhead measurement).
+func (c *Cluster) RunClosedLoop(numClients int, w Workload, duration time.Duration, dynamic bool) (RunResult, error) {
+	clients := make([]*client.Client, numClients)
+	for i := 0; i < numClients; i++ {
+		var cl *client.Client
+		var err error
+		if dynamic {
+			cl, err = c.DynamicClient(fmt.Sprintf("dyn-load-%d", i))
+			if err == nil {
+				err = cl.Join([]byte(fmt.Sprintf("loaduser%d:sesame", i)))
+			}
+		} else {
+			cl, err = c.Client(i)
+		}
+		if err != nil {
+			for _, done := range clients[:i] {
+				if done != nil {
+					done.Close()
+				}
+			}
+			return RunResult{}, err
+		}
+		clients[i] = cl
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	var ops, errs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.Invoke(w.Op(i, n))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if err := w.Check(resp); err != nil {
+					errs.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(i, cl)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return RunResult{Ops: ops.Load(), Duration: elapsed, Errors: errs.Load()}, nil
+}

@@ -1,0 +1,122 @@
+package sqldb
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] name (col type, ...).
+type CreateTableStmt struct {
+	Name        string
+	Cols        []ColDef
+	IfNotExists bool
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// SelectItem is one projection: an expression with an optional alias, or
+// the star.
+type SelectItem struct {
+	Star bool
+	Expr Expr
+	As   string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is SELECT items [FROM t] [WHERE e] [ORDER BY ...] [LIMIT n].
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string // empty for table-less SELECT (e.g. SELECT 1+1)
+	Where   Expr
+	OrderBy []OrderItem
+	Limit   Expr // nil = no limit
+}
+
+// UpdateStmt is UPDATE t SET c=e, ... [WHERE e].
+type UpdateStmt struct {
+	Table string
+	Sets  []Assign
+	Where Expr
+}
+
+// Assign is one SET clause.
+type Assign struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE e].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// BeginStmt, CommitStmt and RollbackStmt control transactions.
+type (
+	BeginStmt    struct{}
+	CommitStmt   struct{}
+	RollbackStmt struct{}
+)
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// LiteralExpr is a constant.
+type LiteralExpr struct{ Val Value }
+
+// ColumnExpr references a column (or "rowid").
+type ColumnExpr struct{ Name string }
+
+// ParamExpr is a ? placeholder, filled from the statement arguments.
+type ParamExpr struct{ Index int }
+
+// UnaryExpr is NOT e or -e.
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+// BinaryExpr is l op r (comparisons, AND/OR, arithmetic).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// CallExpr is a function call: now(), random(), and the aggregates
+// count(*), count(e), sum(e), min(e), max(e), avg(e).
+type CallExpr struct {
+	Name string
+	Star bool
+	Args []Expr
+}
+
+func (*LiteralExpr) expr() {}
+func (*ColumnExpr) expr()  {}
+func (*ParamExpr) expr()   {}
+func (*UnaryExpr) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*CallExpr) expr()    {}

@@ -1,0 +1,389 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func testTree(t *testing.T) (*BTree, *Pager) {
+	t.Helper()
+	vfs := NewMemVFS()
+	pager, err := OpenPager(vfs, "bt.db", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pager.Close() })
+	tree, err := CreateBTree(pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, pager
+}
+
+func TestBTreeBasicCRUD(t *testing.T) {
+	tree, _ := testTree(t)
+	if _, found, err := tree.Get(1); err != nil || found {
+		t.Fatalf("empty tree Get: %v %v", found, err)
+	}
+	if err := tree.Insert(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := tree.Get(1)
+	if err != nil || !found || string(v) != "one" {
+		t.Fatalf("%q %v %v", v, found, err)
+	}
+	// Replace in place.
+	if err := tree.Insert(1, []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = tree.Get(1)
+	if string(v) != "uno" {
+		t.Fatalf("%q", v)
+	}
+	found, err = tree.Delete(1)
+	if err != nil || !found {
+		t.Fatalf("%v %v", found, err)
+	}
+	found, err = tree.Delete(1)
+	if err != nil || found {
+		t.Fatal("double delete must report not-found")
+	}
+	if _, found, _ := tree.Get(1); found {
+		t.Fatal("deleted row still visible")
+	}
+}
+
+func TestBTreeSequentialSplitChain(t *testing.T) {
+	// Monotonic inserts with payloads large enough to force many leaf
+	// splits and at least one interior split.
+	tree, _ := testTree(t)
+	payload := bytes.Repeat([]byte{7}, 900) // ~4 cells per page
+	const n = 3000
+	for i := int64(0); i < n; i++ {
+		if err := tree.Insert(i, payload); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Every key readable.
+	for _, k := range []int64{0, 1, n / 2, n - 2, n - 1} {
+		if _, found, err := tree.Get(k); err != nil || !found {
+			t.Fatalf("Get(%d): %v %v", k, found, err)
+		}
+	}
+	// The cursor sees all keys in order across the leaf chain.
+	count := int64(0)
+	for cur := tree.First(); cur.Valid(); cur.Next() {
+		if cur.RowID() != count {
+			t.Fatalf("cursor at %d, want %d", cur.RowID(), count)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("cursor saw %d rows, want %d", count, n)
+	}
+}
+
+func TestBTreeReverseAndInterleavedInserts(t *testing.T) {
+	tree, _ := testTree(t)
+	payload := bytes.Repeat([]byte{1}, 500)
+	// Reverse order stresses the left-edge split path.
+	for i := int64(999); i >= 0; i-- {
+		if err := tree.Insert(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave fresh keys between existing ones.
+	for i := int64(0); i < 1000; i++ {
+		if err := tree.Insert(10000+i*2, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := int64(-1)
+	n := 0
+	for cur := tree.First(); cur.Valid(); cur.Next() {
+		if cur.RowID() <= prev {
+			t.Fatalf("order violated: %d after %d", cur.RowID(), prev)
+		}
+		prev = cur.RowID()
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("saw %d rows, want 2000", n)
+	}
+}
+
+func TestBTreeSeekGE(t *testing.T) {
+	tree, _ := testTree(t)
+	for _, k := range []int64{10, 20, 30, 40} {
+		if err := tree.Insert(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		target int64
+		want   int64
+		valid  bool
+	}{
+		{5, 10, true}, {10, 10, true}, {11, 20, true}, {40, 40, true}, {41, 0, false},
+	}
+	for _, tt := range tests {
+		cur := tree.SeekGE(tt.target)
+		if cur.Valid() != tt.valid {
+			t.Fatalf("SeekGE(%d).Valid() = %v", tt.target, cur.Valid())
+		}
+		if tt.valid && cur.RowID() != tt.want {
+			t.Fatalf("SeekGE(%d) = %d, want %d", tt.target, cur.RowID(), tt.want)
+		}
+	}
+}
+
+func TestBTreeCursorSkipsEmptiedLeaves(t *testing.T) {
+	tree, _ := testTree(t)
+	payload := bytes.Repeat([]byte{2}, 800)
+	for i := int64(0); i < 50; i++ {
+		if err := tree.Insert(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hollow out the middle.
+	for i := int64(10); i < 40; i++ {
+		if _, err := tree.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	for cur := tree.First(); cur.Valid(); cur.Next() {
+		got = append(got, cur.RowID())
+	}
+	if len(got) != 20 || got[9] != 9 || got[10] != 40 {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestBTreePayloadLimit(t *testing.T) {
+	tree, _ := testTree(t)
+	if err := tree.Insert(1, make([]byte, MaxPayload)); err != nil {
+		t.Fatalf("max payload must fit: %v", err)
+	}
+	if err := tree.Insert(2, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload must be rejected")
+	}
+}
+
+func TestBTreeManyTreesSharePager(t *testing.T) {
+	_, pager := testTree(t)
+	trees := make([]*BTree, 5)
+	for i := range trees {
+		tr, err := CreateBTree(pager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tr
+	}
+	for i, tr := range trees {
+		for k := int64(0); k < 50; k++ {
+			if err := tr.Insert(k, []byte(fmt.Sprintf("t%d-%d", i, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, tr := range trees {
+		v, found, err := tr.Get(25)
+		if err != nil || !found || string(v) != fmt.Sprintf("t%d-25", i) {
+			t.Fatalf("tree %d: %q %v %v", i, v, found, err)
+		}
+	}
+}
+
+func TestPagerFreelistReuse(t *testing.T) {
+	vfs := NewMemVFS()
+	pager, err := OpenPager(vfs, "fl.db", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+	a, err := pager.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pager.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := pager.NumPages()
+	if err := pager.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pager.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO reuse, no growth.
+	c, err := pager.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pager.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != b || d != a {
+		t.Fatalf("reuse order: got %d,%d want %d,%d", c, d, b, a)
+	}
+	if pager.NumPages() != grown {
+		t.Fatalf("pages grew from %d to %d despite freelist", grown, pager.NumPages())
+	}
+	// Freshly allocated pages are zeroed.
+	data, err := pager.Get(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, by := range data {
+		if by != 0 {
+			t.Fatal("recycled page must be zeroed")
+		}
+	}
+}
+
+func TestPagerTransactionGuards(t *testing.T) {
+	vfs := NewMemVFS()
+	pager, err := OpenPager(vfs, "tx.db", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+	if err := pager.Commit(); err != ErrNoTransaction {
+		t.Fatalf("%v", err)
+	}
+	if err := pager.Rollback(); err != ErrNoTransaction {
+		t.Fatalf("%v", err)
+	}
+	if err := pager.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pager.Begin(); err != ErrInTransaction {
+		t.Fatalf("%v", err)
+	}
+	if err := pager.Reload(); err != ErrInTransaction {
+		t.Fatal("Reload inside a transaction must refuse")
+	}
+	if !pager.InTransaction() {
+		t.Fatal("InTransaction")
+	}
+	if err := pager.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagerRollbackRestoresAllocations(t *testing.T) {
+	vfs := NewMemVFS()
+	pager, err := OpenPager(vfs, "ra.db", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+	before := pager.NumPages()
+	if err := pager.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := pager.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pager.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if pager.NumPages() != before {
+		t.Fatalf("pages = %d after rollback, want %d", pager.NumPages(), before)
+	}
+	// Header freelist must be back to its original state too: allocate
+	// again and confirm the file grows from the same point.
+	if err := pager.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pager.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != before+1 {
+		t.Fatalf("allocation after rollback = %d, want %d", p, before+1)
+	}
+	if err := pager.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagerSyncFailureAborts(t *testing.T) {
+	vfs := NewMemVFS()
+	pager, err := OpenPager(vfs, "sf.db", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager.Close()
+	tree, err := CreateBTree(pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed baseline.
+	if err := pager.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pager.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Now make the next sync fail: the commit must abort and roll back.
+	vfs.FailSyncAfter = int(vfs.syncs)
+	if err := pager.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(2, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pager.Commit(); err == nil {
+		t.Fatal("commit with failing sync must error")
+	}
+	vfs.FailSyncAfter = -1
+	if _, found, _ := tree.Get(2); found {
+		t.Fatal("aborted commit must leave no trace")
+	}
+	if _, found, _ := tree.Get(1); !found {
+		t.Fatal("earlier committed data must survive")
+	}
+}
+
+func BenchmarkRowidPointQuery(b *testing.B) {
+	vfs := NewMemVFS()
+	db, err := Open(vfs, "pq.db", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("BEGIN"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := db.Exec("INSERT INTO t VALUES ('row')"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("COMMIT"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Query("SELECT v FROM t WHERE rowid = ?", Int(int64(i%5000)+1))
+		if err != nil || len(rows.Data) != 1 {
+			b.Fatalf("%v %v", err, rows)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkParam // ? placeholder
+	tkOp    // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; strings unquoted
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "IF": true, "NOT": true,
+	"EXISTS": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"AND": true, "OR": true, "NULL": true, "INTEGER": true, "INT": true,
+	"REAL": true, "TEXT": true, "BLOB": true, "PRIMARY": true, "KEY": true,
+	"AS": true, "TRANSACTION": true,
+}
+
+// lex tokenizes one SQL statement.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isDigit(ch) || (ch == '.' && i+1 < len(src) && isDigit(src[i+1])):
+			start := i
+			isFloat := false
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				if src[i] == '.' || src[i] == 'e' || src[i] == 'E' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := tkInt
+			if isFloat {
+				kind = tkFloat
+			}
+			toks = append(toks, token{kind: kind, text: src[start:i], pos: start})
+		case isIdentStart(ch):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word, pos: start})
+			}
+		case ch == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqldb: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: i})
+		case ch == '?':
+			toks = append(toks, token{kind: tkParam, text: "?", pos: i})
+			i++
+		case ch == '<' || ch == '>' || ch == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tkOp, text: src[i : i+2], pos: i})
+				i += 2
+			} else if ch == '<' && i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{kind: tkOp, text: "!=", pos: i})
+				i += 2
+			} else if ch == '!' {
+				return nil, fmt.Errorf("sqldb: unexpected '!' at %d", i)
+			} else {
+				toks = append(toks, token{kind: tkOp, text: string(ch), pos: i})
+				i++
+			}
+		case strings.ContainsRune("(),;*=+-/", rune(ch)):
+			toks = append(toks, token{kind: tkOp, text: string(ch), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q at %d", ch, i)
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,239 @@
+package sqldb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	st, _, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return st
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("SELECT a, 'it''s', 42, 4.5, ? FROM t -- comment\nWHERE x <= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", ",", "42", ",", "4.5", ",", "?", "FROM", "t", "WHERE", "x", "<=", "3", ""}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %q, want %q", texts, want)
+	}
+	if kinds[0] != tkKeyword || kinds[1] != tkIdent || kinds[3] != tkString ||
+		kinds[5] != tkInt || kinds[7] != tkFloat || kinds[9] != tkParam || kinds[14] != tkOp {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'open", "a @ b", "x ! y"} {
+		if _, err := lex(src); err == nil {
+			t.Fatalf("%q must fail to lex", src)
+		}
+	}
+}
+
+func TestLexerNotEqualsVariants(t *testing.T) {
+	for _, src := range []string{"a != b", "a <> b"} {
+		toks, err := lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[1].text != "!=" {
+			t.Fatalf("%q lexed as %q", src, toks[1].text)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE IF NOT EXISTS users (id INTEGER PRIMARY KEY, name TEXT, score REAL, pic BLOB, extra)")
+	ct := st.(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Name != "users" {
+		t.Fatalf("%+v", ct)
+	}
+	wantCols := []ColDef{
+		{"id", TInt}, {"name", TText}, {"score", TReal}, {"pic", TBlob}, {"extra", TText},
+	}
+	if !reflect.DeepEqual(ct.Cols, wantCols) {
+		t.Fatalf("cols = %+v", ct.Cols)
+	}
+}
+
+func TestParseInsertForms(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	ins := st.(*InsertStmt)
+	if ins.Table != "t" || !reflect.DeepEqual(ins.Cols, []string{"a", "b"}) || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	st = mustParse(t, "INSERT INTO t VALUES (now(), random(), ?, NULL)")
+	ins = st.(*InsertStmt)
+	if ins.Cols != nil || len(ins.Rows[0]) != 4 {
+		t.Fatalf("%+v", ins)
+	}
+	if _, ok := ins.Rows[0][0].(*CallExpr); !ok {
+		t.Fatal("now() must parse as a call")
+	}
+	if _, ok := ins.Rows[0][2].(*ParamExpr); !ok {
+		t.Fatal("? must parse as a parameter")
+	}
+	if lit, ok := ins.Rows[0][3].(*LiteralExpr); !ok || !lit.Val.IsNull() {
+		t.Fatal("NULL must parse as the null literal")
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	st := mustParse(t, "SELECT a, b + 1 AS bp, count(*) FROM t WHERE a = 1 AND NOT b < 2 OR c != 'x' ORDER BY a DESC, b LIMIT 10")
+	sel := st.(*SelectStmt)
+	if sel.Table != "t" || len(sel.Items) != 3 {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Items[1].As != "bp" {
+		t.Fatalf("alias = %q", sel.Items[1].As)
+	}
+	call := sel.Items[2].Expr.(*CallExpr)
+	if call.Name != "count" || !call.Star {
+		t.Fatalf("%+v", call)
+	}
+	if sel.Where == nil || len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Limit == nil {
+		t.Fatal("limit lost")
+	}
+	// OR binds looser than AND.
+	or := sel.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s, want OR", or.Op)
+	}
+	and := or.L.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("left op = %s, want AND", and.Op)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT 1 + 2 * 3 - 4 / 2")
+	sel := st.(*SelectStmt)
+	// ((1 + (2*3)) - (4/2))
+	top := sel.Items[0].Expr.(*BinaryExpr)
+	if top.Op != "-" {
+		t.Fatalf("top = %s", top.Op)
+	}
+	left := top.L.(*BinaryExpr)
+	if left.Op != "+" {
+		t.Fatalf("left = %s", left.Op)
+	}
+	mul := left.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("left.R = %s", mul.Op)
+	}
+	div := top.R.(*BinaryExpr)
+	if div.Op != "/" {
+		t.Fatalf("right = %s", div.Op)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st := mustParse(t, "UPDATE t SET a = a + 1, b = 'x' WHERE rowid = 5")
+	up := st.(*UpdateStmt)
+	if up.Table != "t" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	st = mustParse(t, "DELETE FROM t")
+	del := st.(*DeleteStmt)
+	if del.Table != "t" || del.Where != nil {
+		t.Fatalf("%+v", del)
+	}
+}
+
+func TestParseTransactions(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*BeginStmt); !ok {
+		t.Fatal("BEGIN")
+	}
+	if _, ok := mustParse(t, "BEGIN TRANSACTION").(*BeginStmt); !ok {
+		t.Fatal("BEGIN TRANSACTION")
+	}
+	if _, ok := mustParse(t, "COMMIT;").(*CommitStmt); !ok {
+		t.Fatal("COMMIT")
+	}
+	if _, ok := mustParse(t, "rollback").(*RollbackStmt); !ok {
+		t.Fatal("case-insensitive ROLLBACK")
+	}
+}
+
+func TestParseParamCounting(t *testing.T) {
+	_, n, err := Parse("INSERT INTO t VALUES (?, ?, ? + ?)")
+	if err != nil || n != 4 {
+		t.Fatalf("n = %d err = %v", n, err)
+	}
+	_, n, err = Parse("SELECT 1")
+	if err != nil || n != 0 {
+		t.Fatalf("n = %d err = %v", n, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT * FROM t WHERE",
+		"SELECT *, FROM t",
+		"CREATE TABLE t (a INTEGER,)",
+		"INSERT INTO t (a VALUES (1)",
+		"INSERT INTO t VALUES (1",
+		"UPDATE t SET = 3",
+		"DELETE FROM WHERE a = 1",
+		"SELECT (1 + 2",
+		"SELECT 1 2",
+		"CREATE VIEW v",
+		"SELECT FROM",
+		"SELECT count(* FROM t",
+		"SELECT 'a' ORDER",
+	}
+	for _, src := range bad {
+		if _, _, err := Parse(src); err == nil {
+			t.Fatalf("%q must fail to parse", src)
+		}
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	st := mustParse(t, "select A, B from T where A > 1 order by B limit 3")
+	sel := st.(*SelectStmt)
+	if sel.Table != "T" || len(sel.Items) != 2 {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	st := mustParse(t, "SELECT 'it''s a ''test'''")
+	sel := st.(*SelectStmt)
+	lit := sel.Items[0].Expr.(*LiteralExpr)
+	if lit.Val.S != "it's a 'test'" {
+		t.Fatalf("got %q", lit.Val.S)
+	}
+}
+
+func TestParseLongStatement(t *testing.T) {
+	// A wide INSERT exercises the writer paths without pathology.
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES (0")
+	for i := 1; i < 200; i++ {
+		sb.WriteString(", ")
+		sb.WriteString("1")
+	}
+	sb.WriteString(")")
+	st := mustParse(t, sb.String())
+	if len(st.(*InsertStmt).Rows[0]) != 200 {
+		t.Fatal("arity lost")
+	}
+}

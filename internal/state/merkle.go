@@ -1,0 +1,82 @@
+package state
+
+import (
+	"repro/internal/crypto"
+)
+
+// Height returns the number of interior levels of a Merkle tree over n
+// leaves with the package fanout: nodes exist at levels 1..Height, pages
+// at level 0, and the root is the single node at level Height.
+func Height(n int) int {
+	h := 0
+	w := n
+	for w > 1 {
+		w = (w + Fanout - 1) / Fanout
+		h++
+	}
+	if h == 0 {
+		h = 1 // even a single-page region has a root above the page
+	}
+	return h
+}
+
+// levelWidth returns the number of nodes at the given level for n leaves.
+func levelWidth(n, level int) int {
+	w := n
+	for i := 0; i < level; i++ {
+		w = (w + Fanout - 1) / Fanout
+	}
+	return w
+}
+
+// buildLevels computes all interior levels from leaf digests. Result[0] is
+// the leaf level itself; Result[h] has a single root entry.
+func buildLevels(leaf []crypto.Digest) [][]crypto.Digest {
+	h := Height(len(leaf))
+	levels := make([][]crypto.Digest, h+1)
+	levels[0] = leaf
+	for l := 1; l <= h; l++ {
+		below := levels[l-1]
+		width := (len(below) + Fanout - 1) / Fanout
+		cur := make([]crypto.Digest, width)
+		var buf [Fanout * crypto.DigestSize]byte
+		for i := 0; i < width; i++ {
+			lo := i * Fanout
+			hi := lo + Fanout
+			if hi > len(below) {
+				hi = len(below)
+			}
+			n := 0
+			for _, d := range below[lo:hi] {
+				copy(buf[n:], d[:])
+				n += crypto.DigestSize
+			}
+			cur[i] = crypto.DigestOf(buf[:n])
+		}
+		levels[l] = cur
+	}
+	return levels
+}
+
+// rootOf computes the Merkle root of the given leaf digests.
+func rootOf(leaf []crypto.Digest) crypto.Digest {
+	levels := buildLevels(leaf)
+	return levels[len(levels)-1][0]
+}
+
+// childrenOf returns the child digests of node (level, index), where level
+// must be >= 1. For level == 1 the children are leaf digests.
+func childrenOf(levels [][]crypto.Digest, level, index int) []crypto.Digest {
+	below := levels[level-1]
+	lo := index * Fanout
+	if lo >= len(below) {
+		return nil
+	}
+	hi := lo + Fanout
+	if hi > len(below) {
+		hi = len(below)
+	}
+	out := make([]crypto.Digest, hi-lo)
+	copy(out, below[lo:hi])
+	return out
+}

@@ -1,0 +1,521 @@
+package state
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+)
+
+func mustRegion(t *testing.T, size int64, pageSize int) *Region {
+	t.Helper()
+	r, err := NewRegion(size, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRegionValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		size     int64
+		pageSize int
+		wantErr  bool
+	}{
+		{"ok default page size", 1 << 20, 0, false},
+		{"ok explicit", 4096, 256, false},
+		{"rounds up to whole pages", 100, 256, false},
+		{"zero size", 0, 256, true},
+		{"negative size", -4, 256, true},
+		{"non power of two page", 4096, 1000, true},
+		{"tiny page", 4096, 32, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := NewRegion(tt.size, tt.pageSize)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && r.Size()%int64(r.PageSize()) != 0 {
+				t.Fatalf("size %d not page aligned", r.Size())
+			}
+		})
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	r := mustRegion(t, 1<<16, 256)
+	data := []byte("the quick brown fox")
+	// Write straddling a page boundary.
+	off := int64(256 - 7)
+	if _, err := r.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := r.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+}
+
+func TestSparseReadsReturnZeros(t *testing.T) {
+	r := mustRegion(t, 1<<16, 256)
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, err := r.ReadAt(buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %x, want 0", i, b)
+		}
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	r := mustRegion(t, 4096, 256)
+	if _, err := r.ReadAt(make([]byte, 10), 4090); err == nil {
+		t.Fatal("read past end must fail")
+	}
+	if _, err := r.WriteAt(make([]byte, 10), -1); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+	if err := r.Modify(4000, 1000); err == nil {
+		t.Fatal("modify past end must fail")
+	}
+	if _, err := r.Page(-1); err == nil {
+		t.Fatal("negative page must fail")
+	}
+	if _, err := r.Page(r.NumPages()); err == nil {
+		t.Fatal("page past end must fail")
+	}
+	if err := r.ApplyPage(0, []byte("short")); err == nil {
+		t.Fatal("short page data must fail")
+	}
+	if err := r.ApplyPage(99, make([]byte, 256)); err == nil {
+		t.Fatal("out-of-range apply must fail")
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	r := mustRegion(t, 1<<16, 256)
+	r0 := r.Root()
+	if _, err := r.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r1 := r.Root()
+	if r0 == r1 {
+		t.Fatal("root must change when content changes")
+	}
+	// Writing the same content back restores the root.
+	if _, err := r.WriteAt([]byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Root() != r0 {
+		t.Fatal("root must be a pure function of content")
+	}
+}
+
+func TestRootIndependentRegionsAgree(t *testing.T) {
+	a := mustRegion(t, 1<<16, 256)
+	b := mustRegion(t, 1<<16, 256)
+	writes := []struct {
+		off  int64
+		data string
+	}{{0, "alpha"}, {1000, "beta"}, {60000, "gamma"}}
+	for _, w := range writes {
+		if _, err := a.WriteAt([]byte(w.data), w.off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same content written in a different order.
+	for i := len(writes) - 1; i >= 0; i-- {
+		if _, err := b.WriteAt([]byte(writes[i].data), writes[i].off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("regions with identical content must have identical roots")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := mustRegion(t, 1<<16, 256)
+	if _, err := r.WriteAt([]byte("v1"), 100); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot(10)
+	rootAtSnap := r.Root()
+
+	// Mutate after the snapshot; the snapshot must keep the old bytes.
+	if _, err := r.WriteAt([]byte("v2"), 100); err != nil {
+		t.Fatal(err)
+	}
+	page, err := snap.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page[100:102], []byte("v1")) {
+		t.Fatalf("snapshot page = %q, want v1", page[100:102])
+	}
+	if snap.Root() != rootAtSnap {
+		t.Fatal("snapshot root must be frozen")
+	}
+	if r.Root() == rootAtSnap {
+		t.Fatal("live root must have moved on")
+	}
+
+	got, ok := r.SnapshotAt(10)
+	if !ok || got != snap {
+		t.Fatal("SnapshotAt must return the retained snapshot")
+	}
+	r.ReleaseBelow(11)
+	if _, ok := r.SnapshotAt(10); ok {
+		t.Fatal("released snapshot must be gone")
+	}
+}
+
+func TestSnapshotSharingIsCopyOnWrite(t *testing.T) {
+	r := mustRegion(t, 1<<20, 4096)
+	if _, err := r.WriteAt(bytes.Repeat([]byte{1}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot(1)
+	// Unmodified pages must be shared, not copied.
+	if &snap.pages[0][0] != &r.pages[0][0] {
+		t.Fatal("snapshot must share unmodified pages with the live region")
+	}
+	if _, err := r.WriteAt([]byte{2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if &snap.pages[0][0] == &r.pages[0][0] {
+		t.Fatal("modify must split the page from the snapshot")
+	}
+}
+
+func TestMerkleHeightAndWidth(t *testing.T) {
+	tests := []struct {
+		pages  int
+		height int
+	}{{1, 1}, {2, 1}, {16, 1}, {17, 2}, {256, 2}, {257, 3}, {4096, 3}}
+	for _, tt := range tests {
+		if got := Height(tt.pages); got != tt.height {
+			t.Fatalf("Height(%d) = %d, want %d", tt.pages, got, tt.height)
+		}
+		if got := levelWidth(tt.pages, Height(tt.pages)); got != 1 {
+			t.Fatalf("root level of %d pages has width %d, want 1", tt.pages, got)
+		}
+	}
+}
+
+func TestSnapshotChildrenMatchDigests(t *testing.T) {
+	r := mustRegion(t, 64*256, 256) // 64 pages, height 2
+	for i := 0; i < 64; i += 3 {
+		if _, err := r.WriteAt([]byte{byte(i)}, int64(i)*256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot(1)
+	h := snap.Height()
+	if h != 2 {
+		t.Fatalf("height = %d, want 2", h)
+	}
+	// Walk the whole tree: every node's children must hash to the node.
+	for level := h; level >= 1; level-- {
+		width := levelWidth(snap.NumPages(), level)
+		for idx := 0; idx < width; idx++ {
+			children, err := snap.Children(level, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf []byte
+			for _, d := range children {
+				buf = append(buf, d[:]...)
+			}
+			want, err := snap.NodeDigest(level, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crypto.DigestOf(buf) != want {
+				t.Fatalf("node (%d,%d): children hash mismatch", level, idx)
+			}
+		}
+	}
+	if _, err := snap.Children(0, 0); err == nil {
+		t.Fatal("level 0 has no children")
+	}
+	if _, err := snap.Children(h+1, 0); err == nil {
+		t.Fatal("level above root must fail")
+	}
+}
+
+// runSync drives a Syncer to completion against a source snapshot,
+// returning the number of page fetches.
+func runSync(t *testing.T, dst *Region, src *Snapshot) int {
+	t.Helper()
+	s := NewSyncer(dst.LeafDigests(), src.Root())
+	for rounds := 0; !s.Done(); rounds++ {
+		if rounds > 10000 {
+			t.Fatal("sync did not converge")
+		}
+		for _, ref := range s.Pending() {
+			if ref.Level == 0 {
+				data, err := src.Page(ref.Index)
+				if err != nil {
+					t.Fatal(err)
+				}
+				apply, err := s.OnPage(ref.Index, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if apply {
+					if err := dst.ApplyPage(ref.Index, data); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				children, err := src.Children(ref.Level, ref.Index)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.OnNode(ref, children); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s.PagesVerified()
+}
+
+func TestSyncTransfersOnlyDiff(t *testing.T) {
+	src := mustRegion(t, 64*256, 256)
+	dst := mustRegion(t, 64*256, 256)
+	common := bytes.Repeat([]byte{7}, 256)
+	for i := 0; i < 64; i++ {
+		_, _ = src.WriteAt(common, int64(i)*256)
+		_, _ = dst.WriteAt(common, int64(i)*256)
+	}
+	// Diverge three pages on the source.
+	for _, p := range []int{3, 17, 60} {
+		if _, err := src.WriteAt([]byte("changed"), int64(p)*256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := src.Snapshot(5)
+	fetched := runSync(t, dst, snap)
+	if fetched != 3 {
+		t.Fatalf("fetched %d pages, want 3", fetched)
+	}
+	if dst.Root() != src.Root() {
+		t.Fatal("roots must match after sync")
+	}
+}
+
+func TestSyncFromEmptyRegion(t *testing.T) {
+	src := mustRegion(t, 32*256, 256)
+	for i := 0; i < 32; i++ {
+		if _, err := src.WriteAt([]byte{byte(i + 1)}, int64(i)*256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := src.Snapshot(1)
+	dst := mustRegion(t, 32*256, 256)
+	fetched := runSync(t, dst, snap)
+	if fetched != 32 {
+		t.Fatalf("fetched %d pages, want 32", fetched)
+	}
+	if dst.Root() != snap.Root() {
+		t.Fatal("roots must match after sync")
+	}
+}
+
+func TestSyncAlreadyIdentical(t *testing.T) {
+	a := mustRegion(t, 16*256, 256)
+	s := NewSyncer(a.LeafDigests(), a.Root())
+	if !s.Done() {
+		t.Fatal("identical content must need no fetches")
+	}
+}
+
+func TestSyncRejectsForgedData(t *testing.T) {
+	src := mustRegion(t, 16*256, 256)
+	if _, err := src.WriteAt([]byte("real"), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := src.Snapshot(1)
+	dst := mustRegion(t, 16*256, 256)
+	s := NewSyncer(dst.LeafDigests(), snap.Root())
+
+	// Forged root children.
+	forged := make([]crypto.Digest, Fanout)
+	root := NodeRef{Level: snap.Height(), Index: 0}
+	if err := s.OnNode(root, forged); err == nil {
+		t.Fatal("forged node children must be rejected")
+	}
+	// Legit children, then a forged page.
+	children, err := snap.Children(root.Level, root.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OnNode(root, children); err != nil {
+		t.Fatal(err)
+	}
+	var pageRef *NodeRef
+	for _, ref := range s.Pending() {
+		if ref.Level == 0 {
+			r := ref
+			pageRef = &r
+			break
+		}
+	}
+	if pageRef == nil {
+		t.Fatal("expected pending page fetches")
+	}
+	if _, err := s.OnPage(pageRef.Index, bytes.Repeat([]byte{9}, 256)); err == nil {
+		t.Fatal("forged page must be rejected")
+	}
+	// Unrequested page is ignored without error.
+	if apply, err := s.OnPage(15, bytes.Repeat([]byte{0}, 256)); err != nil || apply {
+		t.Fatalf("unrequested page: apply=%v err=%v", apply, err)
+	}
+}
+
+func TestQuickRegionMatchesReferenceBuffer(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		const size = 1 << 14
+		r, err := NewRegion(size, 256)
+		if err != nil {
+			return false
+		}
+		ref := make([]byte, size)
+		for op := 0; op < 50; op++ {
+			off := rnd.Int63n(size - 1)
+			length := rnd.Intn(int(size-off)) % 700
+			data := make([]byte, length)
+			rnd.Read(data)
+			if _, err := r.WriteAt(data, off); err != nil {
+				return false
+			}
+			copy(ref[off:], data)
+		}
+		got := make([]byte, size)
+		if _, err := r.ReadAt(got, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSyncConvergesFromAnyDivergence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		const pages = 48
+		src, _ := NewRegion(pages*256, 256)
+		dst, _ := NewRegion(pages*256, 256)
+		for i := 0; i < pages; i++ {
+			buf := make([]byte, 256)
+			rnd.Read(buf)
+			_, _ = src.WriteAt(buf, int64(i)*256)
+			if rnd.Intn(2) == 0 {
+				_, _ = dst.WriteAt(buf, int64(i)*256) // same page
+			} else if rnd.Intn(2) == 0 {
+				other := make([]byte, 256)
+				rnd.Read(other)
+				_, _ = dst.WriteAt(other, int64(i)*256) // diverged page
+			} // else: dst page left sparse
+		}
+		snap := src.Snapshot(1)
+		s := NewSyncer(dst.LeafDigests(), snap.Root())
+		for rounds := 0; !s.Done(); rounds++ {
+			if rounds > 1000 {
+				return false
+			}
+			for _, ref := range s.Pending() {
+				if ref.Level == 0 {
+					data, err := snap.Page(ref.Index)
+					if err != nil {
+						return false
+					}
+					apply, err := s.OnPage(ref.Index, data)
+					if err != nil {
+						return false
+					}
+					if apply {
+						if err := dst.ApplyPage(ref.Index, data); err != nil {
+							return false
+						}
+					}
+				} else {
+					children, err := snap.Children(ref.Level, ref.Index)
+					if err != nil {
+						return false
+					}
+					if err := s.OnNode(ref, children); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return dst.Root() == snap.Root()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRegionWrite4K(b *testing.B) {
+	r, err := NewRegion(64<<20, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.WriteAt(data, int64(i%16384)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionRoot16MiB(b *testing.B) {
+	r, err := NewRegion(16<<20, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := 0; i < 4096; i++ {
+		_, _ = r.WriteAt(data, int64(i)*4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One dirty page per checkpoint, the common case.
+		_, _ = r.WriteAt([]byte{byte(i)}, 0)
+		r.Root()
+	}
+}
+
+func BenchmarkSnapshot16MiB(b *testing.B) {
+	r, err := NewRegion(16<<20, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Snapshot(uint64(i))
+		r.ReleaseBelow(uint64(i))
+	}
+}

@@ -1,0 +1,125 @@
+package state
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+)
+
+// NodeRef names a Merkle tree node: level 0 is a page, the root sits at
+// level Height.
+type NodeRef struct {
+	Level int
+	Index int
+}
+
+// Syncer drives the tree-walking state-transfer algorithm of §2.1: given
+// the agreed root digest of a checkpoint, it walks down from the root,
+// compares remote child digests with the local tree, and requests only the
+// differing subtrees. Every received node and page is verified against the
+// digest expected from its (already verified) parent, so the transferred
+// state is authenticated by the agreed root alone — data messages need no
+// signatures.
+//
+// The caller owns the network: it asks Pending() what to fetch, feeds
+// responses to OnNode/OnPage, and applies returned pages to the region.
+type Syncer struct {
+	target   crypto.Digest
+	levels   [][]crypto.Digest // local tree
+	expected map[NodeRef]crypto.Digest
+	pending  map[NodeRef]struct{}
+	verified int // pages fetched and verified
+}
+
+// NewSyncer prepares a sync of the local region content (described by its
+// current leaf digests) toward the agreed root digest target.
+func NewSyncer(localLeaves []crypto.Digest, target crypto.Digest) *Syncer {
+	levels := buildLevels(localLeaves)
+	s := &Syncer{
+		target:   target,
+		levels:   levels,
+		expected: make(map[NodeRef]crypto.Digest),
+		pending:  make(map[NodeRef]struct{}),
+	}
+	root := NodeRef{Level: len(levels) - 1, Index: 0}
+	if levels[root.Level][0] != target {
+		s.expected[root] = target
+		s.pending[root] = struct{}{}
+	}
+	return s
+}
+
+// Done reports whether the local tree now matches the target root.
+func (s *Syncer) Done() bool { return len(s.pending) == 0 }
+
+// Pending returns the outstanding fetches (nodes whose children we need,
+// or pages when Level == 0). The caller may re-request them at any time;
+// fetching is idempotent.
+func (s *Syncer) Pending() []NodeRef {
+	out := make([]NodeRef, 0, len(s.pending))
+	for ref := range s.pending {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// PagesVerified returns how many pages were fetched and verified.
+func (s *Syncer) PagesVerified() int { return s.verified }
+
+// OnNode processes the children digests of node ref (Level >= 1). It
+// verifies them against the expected node digest and schedules fetches for
+// the children that differ locally. It returns an error when the response
+// fails verification (a faulty peer); the caller should retry elsewhere.
+func (s *Syncer) OnNode(ref NodeRef, children []crypto.Digest) error {
+	if ref.Level < 1 || ref.Level >= len(s.levels) {
+		return fmt.Errorf("state: node level %d out of range", ref.Level)
+	}
+	want, ok := s.expected[ref]
+	if !ok {
+		// Not requested (duplicate or stale): ignore.
+		return nil
+	}
+	var buf []byte
+	for _, d := range children {
+		buf = append(buf, d[:]...)
+	}
+	if crypto.DigestOf(buf) != want {
+		return fmt.Errorf("state: node (%d,%d) children do not hash to the expected digest", ref.Level, ref.Index)
+	}
+	below := s.levels[ref.Level-1]
+	base := ref.Index * Fanout
+	if base+len(children) > len(below) {
+		return fmt.Errorf("state: node (%d,%d) has %d children, local tree has %d", ref.Level, ref.Index, len(children), len(below)-base)
+	}
+	delete(s.pending, ref)
+	delete(s.expected, ref)
+	for i, d := range children {
+		childRef := NodeRef{Level: ref.Level - 1, Index: base + i}
+		if below[childRef.Index] == d {
+			continue // subtree already identical
+		}
+		s.expected[childRef] = d
+		s.pending[childRef] = struct{}{}
+	}
+	return nil
+}
+
+// OnPage processes fetched page data. It verifies the page against the
+// expected leaf digest and, on success, reports that the page should be
+// applied to the region (apply == true). Duplicate or unrequested pages
+// return apply == false with no error.
+func (s *Syncer) OnPage(index int, data []byte) (apply bool, err error) {
+	ref := NodeRef{Level: 0, Index: index}
+	want, ok := s.expected[ref]
+	if !ok {
+		return false, nil
+	}
+	if crypto.DigestOf(data) != want {
+		return false, fmt.Errorf("state: page %d does not hash to the expected digest", index)
+	}
+	delete(s.pending, ref)
+	delete(s.expected, ref)
+	s.levels[0][index] = want
+	s.verified++
+	return true, nil
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Faults describes the failure behaviour of a link (or of the whole network
+// when set as the default). The zero value is a perfect link.
+type Faults struct {
+	// LossRate is the probability in [0,1] that a packet is dropped.
+	LossRate float64
+	// DuplicateRate is the probability in [0,1] that a packet is
+	// delivered twice.
+	DuplicateRate float64
+	// Delay delivers packets after a fixed latency (for WAN emulation).
+	Delay time.Duration
+	// Jitter adds a uniformly random extra latency in [0,Jitter).
+	Jitter time.Duration
+	// Partitioned drops every packet on the link.
+	Partitioned bool
+}
+
+// Stats counts traffic through the network; the WAN experiment (§3.3.3)
+// uses it to demonstrate PBFT's quadratic message complexity.
+type Stats struct {
+	Packets uint64
+	Bytes   uint64
+	Dropped uint64
+}
+
+type linkKey struct{ from, to string }
+
+// Network is an in-memory datagram network. Endpoints attach by address;
+// links can be given independent fault behaviour at runtime.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemConn
+	links     map[linkKey]Faults
+	def       Faults
+	rng       *rand.Rand
+	stats     Stats
+	wg        sync.WaitGroup
+	closed    bool
+
+	// bandwidth models per-node egress serialization (bytes/second);
+	// 0 means infinite. egressFree tracks when each sender's "NIC"
+	// frees up, so back-to-back packets queue like on a real link —
+	// this is what makes the paper's big-request optimization (§2.1)
+	// measurable: it moves body bytes off the primary's egress.
+	bandwidth  float64
+	egressFree map[string]time.Time
+}
+
+// SetBandwidth models each node's egress link speed in bytes per second
+// (0 = infinite). The paper's testbed was 1 GbE measured at 938 Mbit/s.
+func (n *Network) SetBandwidth(bytesPerSec float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bandwidth = bytesPerSec
+	n.egressFree = make(map[string]time.Time)
+}
+
+// NewNetwork creates an in-memory network. The seed makes loss and jitter
+// reproducible.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		endpoints: make(map[string]*MemConn),
+		links:     make(map[linkKey]Faults),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// recvBuffer is the per-endpoint inbound queue length. Packets arriving at
+// a full queue are dropped, mirroring a UDP socket buffer overflow — the
+// exact failure mode the paper observed on the loop-back interface (§2.4).
+const recvBuffer = 8192
+
+// Listen attaches a new endpoint at addr.
+func (n *Network) Listen(addr string) (*MemConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	c := &MemConn{
+		net:  n,
+		addr: addr,
+		ch:   make(chan Packet, recvBuffer),
+	}
+	n.endpoints[addr] = c
+	return c, nil
+}
+
+// SetDefaultFaults sets the behaviour of every link without an explicit
+// override.
+func (n *Network) SetDefaultFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = f
+}
+
+// SetLinkFaults overrides the behaviour of the directed link from → to.
+func (n *Network) SetLinkFaults(from, to string, f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = f
+}
+
+// ClearLinkFaults removes a per-link override.
+func (n *Network) ClearLinkFaults(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{from, to})
+}
+
+// Isolate partitions a node away from everyone (both directions).
+func (n *Network) Isolate(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for a := range n.endpoints {
+		if a == addr {
+			continue
+		}
+		n.links[linkKey{addr, a}] = Faults{Partitioned: true}
+		n.links[linkKey{a, addr}] = Faults{Partitioned: true}
+	}
+}
+
+// Heal removes all per-link overrides involving addr.
+func (n *Network) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k := range n.links {
+		if k.from == addr || k.to == addr {
+			delete(n.links, k)
+		}
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Close shuts the network down: all endpoints close and in-flight delayed
+// deliveries are awaited.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*MemConn, 0, len(n.endpoints))
+	for _, c := range n.endpoints {
+		eps = append(eps, c)
+	}
+	n.mu.Unlock()
+	for _, c := range eps {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// send routes one datagram. Called by MemConn.Send.
+func (n *Network) send(from, to string, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to]
+	f, okLink := n.links[linkKey{from, to}]
+	if !okLink {
+		f = n.def
+	}
+	n.stats.Packets++
+	n.stats.Bytes += uint64(len(data))
+	if !ok {
+		// Unknown destination: a UDP sendto succeeds; the packet vanishes.
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	drop := f.Partitioned || (f.LossRate > 0 && n.rng.Float64() < f.LossRate)
+	dup := f.DuplicateRate > 0 && n.rng.Float64() < f.DuplicateRate
+	delay := f.Delay
+	if f.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(f.Jitter)))
+	}
+	if drop {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	if n.bandwidth > 0 {
+		// Egress serialization: the packet leaves when the sender's
+		// link is free plus its own transmission time.
+		now := time.Now()
+		free := n.egressFree[from]
+		if free.Before(now) {
+			free = now
+		}
+		tx := time.Duration(float64(len(data)) / n.bandwidth * float64(time.Second))
+		free = free.Add(tx)
+		n.egressFree[from] = free
+		delay += free.Sub(now)
+	}
+	n.mu.Unlock()
+
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		payload := make([]byte, len(data))
+		copy(payload, data)
+		pkt := Packet{From: from, Data: payload}
+		// Sub-timer-resolution delays are delivered inline: the OS
+		// timer wheel cannot express them, and the egress accounting
+		// above still charges the sender's link, so saturation (the
+		// case that matters) produces real, schedulable delays.
+		if delay < 100*time.Microsecond {
+			dst.deliver(pkt, &n.mu, &n.stats)
+			continue
+		}
+		n.wg.Add(1)
+		time.AfterFunc(delay, func() {
+			defer n.wg.Done()
+			dst.deliver(pkt, &n.mu, &n.stats)
+		})
+	}
+	return nil
+}
+
+// MemConn is an endpoint on a Network.
+type MemConn struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	ch     chan Packet
+	closed bool
+}
+
+var _ Conn = (*MemConn)(nil)
+
+// Addr returns the endpoint's address.
+func (c *MemConn) Addr() string { return c.addr }
+
+// Send transmits data to the endpoint at to, subject to link faults.
+func (c *MemConn) Send(to string, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	return c.net.send(c.addr, to, data)
+}
+
+// Recv returns the inbound packet channel.
+func (c *MemConn) Recv() <-chan Packet { return c.ch }
+
+// deliver enqueues a packet, dropping it if the receiver's buffer is full
+// or the endpoint closed (UDP semantics).
+func (c *MemConn) deliver(p Packet, statsMu *sync.Mutex, stats *Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.ch <- p:
+	default:
+		statsMu.Lock()
+		stats.Dropped++
+		statsMu.Unlock()
+	}
+}
+
+// Close detaches the endpoint from the network and closes its channel.
+func (c *MemConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.ch)
+	c.mu.Unlock()
+
+	c.net.mu.Lock()
+	delete(c.net.endpoints, c.addr)
+	c.net.mu.Unlock()
+	return nil
+}

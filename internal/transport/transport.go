@@ -1,0 +1,30 @@
+// Package transport moves datagrams between nodes. Two implementations are
+// provided: an in-memory network with controllable packet loss, delay,
+// duplication and partitions (used by tests, benchmarks and the fault
+// experiments of §2.4 of the paper), and a UDP transport matching the
+// original PBFT deployment. Both present unreliable, unordered datagram
+// semantics: the protocol layer must tolerate loss and duplication.
+package transport
+
+// Packet is one received datagram.
+type Packet struct {
+	// From is the sender's address as observed by the transport.
+	From string
+	// Data is the datagram payload. The slice is owned by the receiver.
+	Data []byte
+}
+
+// Conn is a node's endpoint on the network. Implementations are safe for
+// concurrent use.
+type Conn interface {
+	// Addr returns the endpoint's own address.
+	Addr() string
+	// Send transmits data to the endpoint at address to. Delivery is
+	// best-effort: a nil error does not mean the packet arrived.
+	Send(to string, data []byte) error
+	// Recv returns the channel of inbound packets. The channel is closed
+	// when the connection closes.
+	Recv() <-chan Packet
+	// Close releases the endpoint. Further Sends fail.
+	Close() error
+}

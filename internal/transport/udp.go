@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxDatagram is the largest datagram the UDP transport sends or receives.
+// The original PBFT implementation fragmented larger messages; we keep
+// protocol messages under this bound (state pages are 4 KiB) and let the
+// OS fragment at the IP layer when needed.
+const maxDatagram = 64 << 10
+
+// UDPConn is a Conn over a UDP socket, mirroring the deployment
+// environment of the original PBFT implementation.
+type UDPConn struct {
+	sock *net.UDPConn
+	addr string
+	ch   chan Packet
+
+	mu     sync.Mutex
+	peers  map[string]*net.UDPAddr
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Conn = (*UDPConn)(nil)
+
+// ListenUDP opens a UDP endpoint at addr (e.g. "127.0.0.1:7001"; a port of
+// 0 picks a free port).
+func ListenUDP(addr string) (*UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+	sock, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	c := &UDPConn{
+		sock:  sock,
+		addr:  sock.LocalAddr().String(),
+		ch:    make(chan Packet, recvBuffer),
+		peers: make(map[string]*net.UDPAddr),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the bound local address.
+func (c *UDPConn) Addr() string { return c.addr }
+
+// Recv returns the inbound packet channel.
+func (c *UDPConn) Recv() <-chan Packet { return c.ch }
+
+// Send transmits one datagram to the UDP address to.
+func (c *UDPConn) Send(to string, data []byte) error {
+	if len(data) > maxDatagram {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), maxDatagram)
+	}
+	ua, err := c.resolve(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	_, err = c.sock.WriteToUDP(data, ua)
+	return err
+}
+
+func (c *UDPConn) resolve(to string) (*net.UDPAddr, error) {
+	c.mu.Lock()
+	ua, ok := c.peers[to]
+	c.mu.Unlock()
+	if ok {
+		return ua, nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", to, err)
+	}
+	c.mu.Lock()
+	c.peers[to] = ua
+	c.mu.Unlock()
+	return ua, nil
+}
+
+func (c *UDPConn) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := c.sock.ReadFromUDP(buf)
+		if err != nil {
+			// Socket closed (or fatal error): end the loop.
+			close(c.ch)
+			return
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case c.ch <- Packet{From: from.String(), Data: data}:
+		default:
+			// Receiver too slow: drop, exactly like a kernel socket
+			// buffer overflow.
+		}
+	}
+}
+
+// Close shuts the socket down and waits for the reader goroutine.
+func (c *UDPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.sock.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+)
+
+// AuthKind says how an Envelope is authenticated.
+type AuthKind uint8
+
+// Authentication kinds.
+const (
+	// AuthNone marks unauthenticated envelopes (only used for messages
+	// whose payload carries its own proof, e.g. state pages verified
+	// against an agreed Merkle root).
+	AuthNone AuthKind = 0
+	// AuthSig marks envelopes signed with the sender's private key.
+	AuthSig AuthKind = 1
+	// AuthMAC marks envelopes carrying an authenticator (one MAC per
+	// replica) — the optimization of §2.1 of the paper.
+	AuthMAC AuthKind = 2
+)
+
+// Envelope frames every message on the wire: type, sender identity, opaque
+// payload, and the authentication trailer.
+type Envelope struct {
+	Type   MsgType
+	Sender uint32
+	// Payload is the marshaled message body.
+	Payload []byte
+	// Kind selects which trailer field is meaningful.
+	Kind AuthKind
+	// Sig is the signature over SignedBytes when Kind == AuthSig.
+	Sig []byte
+	// Auth is the authenticator over SignedBytes when Kind == AuthMAC.
+	Auth crypto.Authenticator
+}
+
+// SignedBytes returns the byte string covered by the signature or
+// authenticator: type, sender, and payload.
+func (e *Envelope) SignedBytes() []byte {
+	w := NewWriter(5 + len(e.Payload))
+	w.U8(uint8(e.Type))
+	w.U32(e.Sender)
+	w.Raw(e.Payload)
+	return w.Bytes()
+}
+
+// Marshal flattens the envelope for transmission.
+func (e *Envelope) Marshal() []byte {
+	w := NewWriter(16 + len(e.Payload) + len(e.Sig) + len(e.Auth.Tags)*crypto.MACSize)
+	w.U8(uint8(e.Type))
+	w.U32(e.Sender)
+	w.Bytes32(e.Payload)
+	w.U8(uint8(e.Kind))
+	switch e.Kind {
+	case AuthSig:
+		w.Bytes32(e.Sig)
+	case AuthMAC:
+		w.Raw(e.Auth.Marshal())
+	}
+	return w.Bytes()
+}
+
+// UnmarshalEnvelope parses a transmitted envelope.
+func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+	r := NewReader(b)
+	e := &Envelope{
+		Type:   MsgType(r.U8()),
+		Sender: r.U32(),
+	}
+	e.Payload = r.Bytes32()
+	e.Kind = AuthKind(r.U8())
+	switch e.Kind {
+	case AuthNone:
+	case AuthSig:
+		e.Sig = r.Bytes32()
+	case AuthMAC:
+		if r.Err() == nil {
+			auth, n, ok := crypto.UnmarshalAuthenticator(b[r.Offset():])
+			if !ok {
+				return nil, ErrTruncated
+			}
+			e.Auth = auth
+			r.Fixed(make([]byte, n))
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown auth kind %d", e.Kind)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if e.Type == MTInvalid || e.Type > MTStatus {
+		return nil, fmt.Errorf("wire: unknown message type %d", e.Type)
+	}
+	return e, nil
+}

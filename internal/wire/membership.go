@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"repro/internal/crypto"
+)
+
+// Join phases (§3.1 of the paper). The join is split in two so that a
+// malicious client cannot exhaust the node table with phony addresses: the
+// client must receive the challenge at the address it claims to own before
+// it can complete the join.
+const (
+	// JoinPhaseHello is the first phase: the client submits its address,
+	// public key, nonce and application-level identification buffer.
+	JoinPhaseHello uint8 = 1
+	// JoinPhaseResponse is the second phase: the client echoes the
+	// challenge solution.
+	JoinPhaseResponse uint8 = 2
+)
+
+// JoinOp is the body (Request.Op) of a system Join request. Leave requests
+// have an empty body; they are identified by the OpLeave code.
+type JoinOp struct {
+	Phase    uint8
+	Addr     string
+	PubKey   []byte // crypto.MarshalPublicKey form
+	Nonce    uint64
+	AppAuth  []byte        // application-level identification buffer
+	Response crypto.Digest // solution, set in phase 2
+}
+
+// SysOp codes distinguish system request bodies.
+const (
+	OpJoin  uint8 = 1
+	OpLeave uint8 = 2
+)
+
+// MarshalSysOp wraps a system operation body with its code.
+func MarshalSysOp(code uint8, body []byte) []byte {
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, code)
+	return append(out, body...)
+}
+
+// SplitSysOp splits a system request body into code and payload.
+func SplitSysOp(op []byte) (code uint8, body []byte, ok bool) {
+	if len(op) < 1 {
+		return 0, nil, false
+	}
+	return op[0], op[1:], true
+}
+
+// Marshal returns the standalone wire form.
+func (m *JoinOp) Marshal() []byte {
+	w := NewWriter(64 + len(m.Addr) + len(m.PubKey) + len(m.AppAuth))
+	w.U8(m.Phase)
+	w.String32(m.Addr)
+	w.Bytes32(m.PubKey)
+	w.U64(m.Nonce)
+	w.Bytes32(m.AppAuth)
+	w.Raw(m.Response[:])
+	return w.Bytes()
+}
+
+// UnmarshalJoinOp parses a standalone JoinOp.
+func UnmarshalJoinOp(b []byte) (*JoinOp, error) {
+	r := NewReader(b)
+	var m JoinOp
+	m.Phase = r.U8()
+	m.Addr = r.String32()
+	m.PubKey = r.Bytes32()
+	m.Nonce = r.U64()
+	m.AppAuth = r.Bytes32()
+	r.Fixed(m.Response[:])
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// JoinChallenge is sent by each replica to the claimed client address after
+// ordering a phase-1 join. The challenge is derived deterministically from
+// the ordered request so all correct replicas send the same value.
+type JoinChallenge struct {
+	Replica   uint32
+	Seq       uint64
+	Challenge crypto.Digest
+}
+
+// Encode appends the wire form to w.
+func (m *JoinChallenge) Encode(w *Writer) {
+	w.U32(m.Replica)
+	w.U64(m.Seq)
+	w.Raw(m.Challenge[:])
+}
+
+// Decode parses the wire form from r.
+func (m *JoinChallenge) Decode(r *Reader) {
+	m.Replica = r.U32()
+	m.Seq = r.U64()
+	r.Fixed(m.Challenge[:])
+}
+
+// Marshal returns the standalone wire form.
+func (m *JoinChallenge) Marshal() []byte {
+	w := NewWriter(44)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalJoinChallenge parses a standalone JoinChallenge.
+func UnmarshalJoinChallenge(b []byte) (*JoinChallenge, error) {
+	r := NewReader(b)
+	var m JoinChallenge
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SessionHello (re-)establishes a client's session key material at a
+// replica. Clients retransmit it blindly on a timer; this is the
+// authenticator-retransmission mechanism whose interaction with recovery
+// the paper analyzes in §2.3 (a restarted replica has no session keys and
+// cannot authenticate logged requests until the next hello arrives).
+type SessionHello struct {
+	ClientID uint32
+	Addr     string
+	PubKey   []byte
+}
+
+// Encode appends the wire form to w.
+func (m *SessionHello) Encode(w *Writer) {
+	w.U32(m.ClientID)
+	w.String32(m.Addr)
+	w.Bytes32(m.PubKey)
+}
+
+// Decode parses the wire form from r.
+func (m *SessionHello) Decode(r *Reader) {
+	m.ClientID = r.U32()
+	m.Addr = r.String32()
+	m.PubKey = r.Bytes32()
+}
+
+// Marshal returns the standalone wire form.
+func (m *SessionHello) Marshal() []byte {
+	w := NewWriter(16 + len(m.Addr) + len(m.PubKey))
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalSessionHello parses a standalone SessionHello.
+func UnmarshalSessionHello(b []byte) (*SessionHello, error) {
+	r := NewReader(b)
+	var m SessionHello
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// JoinResult is the reply body of a successful join: the identifier the
+// service assigned to the client.
+type JoinResult struct {
+	ClientID uint32
+	Accepted bool
+	Reason   string
+}
+
+// Marshal returns the standalone wire form.
+func (m *JoinResult) Marshal() []byte {
+	w := NewWriter(16 + len(m.Reason))
+	w.U32(m.ClientID)
+	if m.Accepted {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.String32(m.Reason)
+	return w.Bytes()
+}
+
+// UnmarshalJoinResult parses a standalone JoinResult.
+func UnmarshalJoinResult(b []byte) (*JoinResult, error) {
+	r := NewReader(b)
+	var m JoinResult
+	m.ClientID = r.U32()
+	m.Accepted = r.U8() == 1
+	m.Reason = r.String32()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

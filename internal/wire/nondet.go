@@ -1,0 +1,35 @@
+package wire
+
+// NonDet is the non-deterministic payload the primary attaches to each
+// pre-prepare (§2.5): a wall-clock timestamp and a random seed. Every
+// replica executes the batch with the same values, and each replica's
+// validation upcall may accept or reject the primary's choices.
+type NonDet struct {
+	// Time is the primary's wall clock in nanoseconds since the Unix
+	// epoch. It also timestamps client sessions for staleness eviction
+	// (§3.1).
+	Time uint64
+	// Rand is the seed all replicas use for "random" values requested
+	// during execution of this batch.
+	Rand [32]byte
+}
+
+// Marshal returns the standalone wire form.
+func (m *NonDet) Marshal() []byte {
+	w := NewWriter(40)
+	w.U64(m.Time)
+	w.Raw(m.Rand[:])
+	return w.Bytes()
+}
+
+// UnmarshalNonDet parses a standalone NonDet.
+func UnmarshalNonDet(b []byte) (*NonDet, error) {
+	r := NewReader(b)
+	var m NonDet
+	m.Time = r.U64()
+	r.Fixed(m.Rand[:])
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

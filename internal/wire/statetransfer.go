@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"repro/internal/crypto"
+)
+
+// Fetch asks a peer for a node of its checkpointed state's Merkle tree
+// (Level > 0) or for a data page (Level == 0). Seq names the checkpoint the
+// requester is synchronizing to.
+type Fetch struct {
+	Seq     uint64
+	Level   uint32
+	Index   uint32
+	Replica uint32 // requester
+}
+
+// Encode appends the wire form to w.
+func (m *Fetch) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.U32(m.Level)
+	w.U32(m.Index)
+	w.U32(m.Replica)
+}
+
+// Decode parses the wire form from r.
+func (m *Fetch) Decode(r *Reader) {
+	m.Seq = r.U64()
+	m.Level = r.U32()
+	m.Index = r.U32()
+	m.Replica = r.U32()
+}
+
+// Marshal returns the standalone wire form.
+func (m *Fetch) Marshal() []byte {
+	w := NewWriter(20)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalFetch parses a standalone Fetch.
+func UnmarshalFetch(b []byte) (*Fetch, error) {
+	r := NewReader(b)
+	var m Fetch
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// StateNode answers a Fetch for an inner Merkle node: the digests of its
+// children. The requester compares them with its own tree and recurses only
+// into differing subtrees.
+type StateNode struct {
+	Seq      uint64
+	Level    uint32
+	Index    uint32
+	Children []crypto.Digest
+}
+
+// Encode appends the wire form to w.
+func (m *StateNode) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.U32(m.Level)
+	w.U32(m.Index)
+	w.U32(uint32(len(m.Children)))
+	for i := range m.Children {
+		w.Raw(m.Children[i][:])
+	}
+}
+
+// Decode parses the wire form from r.
+func (m *StateNode) Decode(r *Reader) {
+	m.Seq = r.U64()
+	m.Level = r.U32()
+	m.Index = r.U32()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if n > maxFieldLen/crypto.DigestSize {
+		r.err = ErrOversized
+		return
+	}
+	m.Children = make([]crypto.Digest, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		r.Fixed(m.Children[i][:])
+	}
+}
+
+// Marshal returns the standalone wire form.
+func (m *StateNode) Marshal() []byte {
+	w := NewWriter(24 + len(m.Children)*crypto.DigestSize)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalStateNode parses a standalone StateNode.
+func UnmarshalStateNode(b []byte) (*StateNode, error) {
+	r := NewReader(b)
+	var m StateNode
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// StatePage answers a Fetch for a leaf: the raw bytes of one state page at
+// the named checkpoint.
+type StatePage struct {
+	Seq   uint64
+	Index uint32
+	Data  []byte
+}
+
+// Encode appends the wire form to w.
+func (m *StatePage) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.U32(m.Index)
+	w.Bytes32(m.Data)
+}
+
+// Decode parses the wire form from r.
+func (m *StatePage) Decode(r *Reader) {
+	m.Seq = r.U64()
+	m.Index = r.U32()
+	m.Data = r.Bytes32()
+}
+
+// Marshal returns the standalone wire form.
+func (m *StatePage) Marshal() []byte {
+	w := NewWriter(16 + len(m.Data))
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalStatePage parses a standalone StatePage.
+func UnmarshalStatePage(b []byte) (*StatePage, error) {
+	r := NewReader(b)
+	var m StatePage
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

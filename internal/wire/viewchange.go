@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"repro/internal/crypto"
+)
+
+// PreparedInfo summarizes a prepared certificate carried in a view change:
+// the sequence number, the view in which the pre-prepare was sent, the
+// batch digest it prepared, and the original pre-prepare bytes so the new
+// primary can re-propose the batch contents in its new-view message.
+type PreparedInfo struct {
+	Seq    uint64
+	View   uint64
+	Digest crypto.Digest
+	PPRaw  []byte
+}
+
+func (p *PreparedInfo) encode(w *Writer) {
+	w.U64(p.Seq)
+	w.U64(p.View)
+	w.Raw(p.Digest[:])
+	w.Bytes32(p.PPRaw)
+}
+
+func (p *PreparedInfo) decode(r *Reader) {
+	p.Seq = r.U64()
+	p.View = r.U64()
+	r.Fixed(p.Digest[:])
+	p.PPRaw = r.Bytes32()
+}
+
+// ViewChange is a replica's vote to move to a new view, carrying its last
+// stable checkpoint and its prepared certificates above it (the C and P
+// sets of Castro–Liskov). View changes are always signed.
+type ViewChange struct {
+	NewView      uint64
+	LastStable   uint64
+	StableDigest crypto.Digest
+	Prepared     []PreparedInfo
+	Replica      uint32
+}
+
+// Encode appends the wire form to w.
+func (m *ViewChange) Encode(w *Writer) {
+	w.U64(m.NewView)
+	w.U64(m.LastStable)
+	w.Raw(m.StableDigest[:])
+	w.U32(uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		m.Prepared[i].encode(w)
+	}
+	w.U32(m.Replica)
+}
+
+// Decode parses the wire form from r.
+func (m *ViewChange) Decode(r *Reader) {
+	m.NewView = r.U64()
+	m.LastStable = r.U64()
+	r.Fixed(m.StableDigest[:])
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if n > maxFieldLen/8 {
+		r.err = ErrOversized
+		return
+	}
+	if n > 0 {
+		m.Prepared = make([]PreparedInfo, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var p PreparedInfo
+		p.decode(r)
+		m.Prepared = append(m.Prepared, p)
+	}
+	m.Replica = r.U32()
+}
+
+// Marshal returns the standalone wire form.
+func (m *ViewChange) Marshal() []byte {
+	w := NewWriter(64 + len(m.Prepared)*48)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalViewChange parses a standalone ViewChange.
+func UnmarshalViewChange(b []byte) (*ViewChange, error) {
+	r := NewReader(b)
+	var m ViewChange
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// NewView is the new primary's proof that a view change is justified and
+// its re-proposal of in-flight sequence numbers (the V and O sets).
+// ViewChanges holds the raw signed envelopes of the 2f+1 supporting view
+// changes so every replica can re-verify them.
+type NewView struct {
+	View        uint64
+	ViewChanges [][]byte
+	PrePrepares []PrePrepare
+}
+
+// Encode appends the wire form to w.
+func (m *NewView) Encode(w *Writer) {
+	w.U64(m.View)
+	w.U32(uint32(len(m.ViewChanges)))
+	for _, vc := range m.ViewChanges {
+		w.Bytes32(vc)
+	}
+	w.U32(uint32(len(m.PrePrepares)))
+	for i := range m.PrePrepares {
+		pp := m.PrePrepares[i].Marshal()
+		w.Bytes32(pp)
+	}
+}
+
+// Decode parses the wire form from r.
+func (m *NewView) Decode(r *Reader) {
+	m.View = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if n > maxFieldLen/8 {
+		r.err = ErrOversized
+		return
+	}
+	if n > 0 {
+		m.ViewChanges = make([][]byte, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.ViewChanges = append(m.ViewChanges, r.Bytes32())
+	}
+	n = int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if n > maxFieldLen/8 {
+		r.err = ErrOversized
+		return
+	}
+	if n > 0 {
+		m.PrePrepares = make([]PrePrepare, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		raw := r.Bytes32()
+		if r.Err() != nil {
+			return
+		}
+		pp, err := UnmarshalPrePrepare(raw)
+		if err != nil {
+			r.err = err
+			return
+		}
+		m.PrePrepares = append(m.PrePrepares, *pp)
+	}
+}
+
+// Marshal returns the standalone wire form.
+func (m *NewView) Marshal() []byte {
+	w := NewWriter(256)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalNewView parses a standalone NewView.
+func UnmarshalNewView(b []byte) (*NewView, error) {
+	r := NewReader(b)
+	var m NewView
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Status is a periodic gossip of a replica's progress; peers use it to
+// retransmit what the sender is missing and to detect lag.
+type Status struct {
+	View       uint64
+	LastExec   uint64
+	LastStable uint64
+	Replica    uint32
+}
+
+// Encode appends the wire form to w.
+func (m *Status) Encode(w *Writer) {
+	w.U64(m.View)
+	w.U64(m.LastExec)
+	w.U64(m.LastStable)
+	w.U32(m.Replica)
+}
+
+// Decode parses the wire form from r.
+func (m *Status) Decode(r *Reader) {
+	m.View = r.U64()
+	m.LastExec = r.U64()
+	m.LastStable = r.U64()
+	m.Replica = r.U32()
+}
+
+// Marshal returns the standalone wire form.
+func (m *Status) Marshal() []byte {
+	w := NewWriter(28)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalStatus parses a standalone Status.
+func UnmarshalStatus(b []byte) (*Status, error) {
+	r := NewReader(b)
+	var m Status
+	m.Decode(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

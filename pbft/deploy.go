@@ -1,0 +1,120 @@
+package pbft
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+)
+
+// DeployNode is one node entry in a deployment file.
+type DeployNode struct {
+	ID     uint32 `json:"id"`
+	Addr   string `json:"addr"`
+	PubKey string `json:"pubkey"` // hex of the marshaled public identity
+}
+
+// Deployment is the JSON deployment description shared by every process
+// of a cluster (the static a-priori knowledge PBFT assumes, §3.1).
+type Deployment struct {
+	Options  Options      `json:"options"`
+	Replicas []DeployNode `json:"replicas"`
+	Clients  []DeployNode `json:"clients,omitempty"`
+}
+
+// Config materializes the deployment into a protocol Config.
+func (d *Deployment) Config() (*Config, error) {
+	cfg := &core.Config{Opts: d.Options}
+	for _, n := range d.Replicas {
+		ni, err := deployToNode(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Replicas = append(cfg.Replicas, ni)
+	}
+	for _, n := range d.Clients {
+		ni, err := deployToNode(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Clients = append(cfg.Clients, ni)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func deployToNode(n DeployNode) (NodeInfo, error) {
+	raw, err := hex.DecodeString(n.PubKey)
+	if err != nil {
+		return NodeInfo{}, fmt.Errorf("node %d: bad public key: %w", n.ID, err)
+	}
+	pub, err := crypto.UnmarshalPublicKey(raw)
+	if err != nil {
+		return NodeInfo{}, fmt.Errorf("node %d: %w", n.ID, err)
+	}
+	return NodeInfo{ID: n.ID, Addr: n.Addr, PubKey: pub}, nil
+}
+
+// LoadDeployment reads a deployment file.
+func LoadDeployment(path string) (*Deployment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Deployment
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// Save writes the deployment file.
+func (d *Deployment) Save(path string) error {
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// MarshalKeyPair serializes private key material for a key file.
+func MarshalKeyPair(kp *KeyPair) []byte { return kp.Marshal() }
+
+// UnmarshalKeyPair parses a key file's content.
+func UnmarshalKeyPair(b []byte) (*KeyPair, error) { return crypto.UnmarshalKeyPair(b) }
+
+// LoadKeyFile reads a hex key file written by the deployment generator.
+func LoadKeyFile(path string) (*KeyPair, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := hex.DecodeString(stringTrim(raw))
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return crypto.UnmarshalKeyPair(b)
+}
+
+// SaveKeyFile writes a hex key file.
+func SaveKeyFile(path string, kp *KeyPair) error {
+	return os.WriteFile(path, []byte(hex.EncodeToString(kp.Marshal())+"\n"), 0o600)
+}
+
+func stringTrim(b []byte) string {
+	s := string(b)
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r' || s[len(s)-1] == ' ') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// PublicKeyHex renders a node's public identity for a deployment file.
+func PublicKeyHex(kp *KeyPair) string {
+	return hex.EncodeToString(crypto.MarshalPublicKey(kp.Public()))
+}

@@ -1,0 +1,102 @@
+// Package pbft is the public API of the PBFT middleware: Practical
+// Byzantine Fault Tolerance (Castro–Liskov) with the extensions studied
+// in "On the Practicality of 'Practical' Byzantine Fault Tolerance"
+// (MIDDLEWARE 2012) — dynamic client membership and a pluggable
+// application interface whose state lives in a replicated, checkpointed
+// memory region.
+//
+// A service deployment is N = 3f+1 replicas, each running a Replica
+// around an Application, plus any number of clients. Clients either come
+// pre-provisioned in the Config (static membership) or Join at runtime
+// (§3.1 of the paper). See package sqlstate for the SQL/ACID state
+// abstraction of §3.2 and the examples directory for complete programs.
+package pbft
+
+import (
+	"io"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/state"
+	"repro/internal/transport"
+)
+
+// Re-exported protocol types. The aliases make the internal packages'
+// documented types available as pbft.X without an import maze.
+type (
+	// Options selects the library configuration (the axes of the
+	// paper's Table 1: UseMACs, AllBig, Batching, DynamicClients).
+	Options = core.Options
+	// Config describes a deployment: the replica group and the static
+	// clients.
+	Config = core.Config
+	// NodeInfo is one node's public identity.
+	NodeInfo = core.NodeInfo
+	// Replica is one member of the PBFT group.
+	Replica = core.Replica
+	// ReplicaInfo is a progress snapshot of a replica.
+	ReplicaInfo = core.Info
+	// Client invokes operations against the replicated service.
+	Client = client.Client
+	// Application is the replicated service implementation.
+	Application = core.Application
+	// Authorizer admits dynamic clients at the application level.
+	Authorizer = core.Authorizer
+	// StateUser receives the replicated state region before start.
+	StateUser = core.StateUser
+	// StateRegion is the replicated memory region handed to StateUser
+	// applications: free reads, modify notification before writes
+	// (WriteAt notifies itself).
+	StateRegion = state.Region
+	// NonDetValues carries the agreed non-deterministic inputs.
+	NonDetValues = core.NonDetValues
+	// KeyPair is a node's long-term key material.
+	KeyPair = crypto.KeyPair
+	// PublicKey is a node's public identity.
+	PublicKey = crypto.PublicKey
+	// Conn is a datagram endpoint (UDP or in-memory).
+	Conn = transport.Conn
+	// Network is the in-memory fault-injecting network.
+	Network = transport.Network
+	// Faults configures link behaviour on the in-memory network.
+	Faults = transport.Faults
+)
+
+// ErrJoinDenied is returned by Client.Join when the service refuses.
+type ErrJoinDenied = client.ErrJoinDenied
+
+// DefaultOptions returns the original library's preferred configuration:
+// every optimization on (first row of Table 1).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// GenerateKeyPair creates node key material (rng nil means crypto/rand).
+func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
+	return crypto.GenerateKeyPair(rng)
+}
+
+// NewReplica builds a replica over the connection; call Start on it.
+func NewReplica(cfg *Config, id uint32, kp *KeyPair, conn Conn, app Application) (*Replica, error) {
+	return core.NewReplica(cfg, id, kp, conn, app)
+}
+
+// NewClient builds a pre-provisioned (static membership) client.
+func NewClient(cfg *Config, id uint32, kp *KeyPair, conn Conn) (*Client, error) {
+	return client.New(cfg, id, kp, conn)
+}
+
+// NewDynamicClient builds a client that must Join before invoking (§3.1).
+func NewDynamicClient(cfg *Config, kp *KeyPair, conn Conn) (*Client, error) {
+	return client.NewDynamic(cfg, kp, conn)
+}
+
+// ListenUDP opens a UDP endpoint (the original deployment transport).
+func ListenUDP(addr string) (Conn, error) {
+	return transport.ListenUDP(addr)
+}
+
+// NewNetwork creates an in-memory network with fault injection, used by
+// tests, benchmarks and the fault-behaviour demos (§2.4).
+func NewNetwork(seed int64) *Network {
+	return transport.NewNetwork(seed)
+}

@@ -1,0 +1,351 @@
+package sqlstate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/internal/state"
+)
+
+func testRegion(t *testing.T) *state.Region {
+	t.Helper()
+	r, err := state.NewRegion(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegionFileReadWrite(t *testing.T) {
+	region := testRegion(t)
+	vfs, err := NewVFS(region, "db", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vfs.Close()
+	f, err := vfs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := f.Size(); size != 0 {
+		t.Fatalf("fresh db size = %d", size)
+	}
+	data := []byte("hello replicated world")
+	if _, err := f.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := f.Size(); size != 122 {
+		t.Fatalf("logical size = %d, want 122", size)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// The bytes live in the region (replicated).
+	regionBytes := make([]byte, len(data))
+	if _, err := region.ReadAt(regionBytes, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(regionBytes, data) {
+		t.Fatal("database bytes must live in the replicated region")
+	}
+	// Truncation zeroes the tail (canonical digests).
+	if err := f.Truncate(105); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := f.Size(); size != 105 {
+		t.Fatalf("size after truncate = %d", size)
+	}
+	tail := make([]byte, 10)
+	if _, err := region.ReadAt(tail, 105); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tail {
+		if b != 0 {
+			t.Fatal("truncated range must be zeroed")
+		}
+	}
+}
+
+func TestRegionFileCapacity(t *testing.T) {
+	region := testRegion(t)
+	vfs, err := NewVFS(region, "db", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vfs.Close()
+	f, err := vfs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last 8 bytes are VFS bookkeeping: writing into them must fail.
+	if _, err := f.WriteAt([]byte("x"), region.Size()-4); err == nil {
+		t.Fatal("write into the reserved tail must fail")
+	}
+	if err := f.Truncate(region.Size()); err == nil {
+		t.Fatal("truncate beyond capacity must fail")
+	}
+}
+
+func TestVFSNonDeterminismRouting(t *testing.T) {
+	region := testRegion(t)
+	vfs, err := NewVFS(region, "db", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vfs.Close()
+	nd := core.NonDetValues{Time: time.Unix(42, 99)}
+	nd.Rand[0] = 7
+	vfs.SetNonDet(nd)
+	if !vfs.Now().Equal(time.Unix(42, 99)) {
+		t.Fatalf("Now() = %v", vfs.Now())
+	}
+	var a, b [16]byte
+	if err := vfs.Rand(a[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.Rand(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("the random stream must advance")
+	}
+	// Re-setting the same non-determinism resets the stream: a second
+	// replica executing the same request sees the same values.
+	vfs.SetNonDet(nd)
+	var a2 [16]byte
+	if err := vfs.Rand(a2[:]); err != nil {
+		t.Fatal(err)
+	}
+	if a != a2 {
+		t.Fatal("the random stream must be a pure function of the agreed seed")
+	}
+	// Different seed, different stream.
+	nd.Rand[0] = 8
+	vfs.SetNonDet(nd)
+	var c [16]byte
+	if err := vfs.Rand(c[:]); err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different agreed seeds must give different streams")
+	}
+}
+
+func TestVFSJournalOnDisk(t *testing.T) {
+	region := testRegion(t)
+	vfs, err := NewVFS(region, "db", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vfs.Close()
+	jf, err := vfs.Open("db-journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteAt([]byte("journal"), 0); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	ok, err := vfs.Exists("db-journal")
+	if err != nil || !ok {
+		t.Fatalf("journal must exist on disk: %v %v", ok, err)
+	}
+	if err := vfs.Delete("db-journal"); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = vfs.Exists("db-journal")
+	if ok {
+		t.Fatal("journal must be deletable")
+	}
+	if err := vfs.Delete("db"); err == nil {
+		t.Fatal("the region database must not be deletable")
+	}
+}
+
+func TestVFSDiskImageSync(t *testing.T) {
+	region := testRegion(t)
+	dir := t.TempDir()
+	vfs, err := NewVFS(region, "db", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vfs.Close()
+	f, err := vfs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xCD}, 4096)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The disk image mirrors the synced page (§3.2: the database file
+	// is synchronized with its disk image on commit).
+	img := make([]byte, 4096)
+	if _, err := vfs.mirror.ReadAt(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, payload) {
+		t.Fatal("disk image must match the region after Sync")
+	}
+}
+
+func TestAppExecuteSQL(t *testing.T) {
+	app := NewApp(Options{
+		Durable: false,
+		InitSQL: []string{"CREATE TABLE kv (k TEXT, v TEXT)"},
+	})
+	app.AttachState(testRegion(t))
+	nd := core.NonDetValues{Time: time.Unix(1, 0)}
+
+	resp := app.Execute(EncodeExec("INSERT INTO kv VALUES ('a', '1')"), nd, false)
+	r, err := DecodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.RowsAffected != 1 {
+		t.Fatalf("result %+v", r.Result)
+	}
+
+	resp = app.Execute(EncodeQuery("SELECT v FROM kv WHERE k = ?", Text("a")), nd, true)
+	r, err = DecodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows.Data) != 1 || r.Rows.Data[0][0].S != "1" {
+		t.Fatalf("rows %+v", r.Rows)
+	}
+
+	// SQL errors come back as service errors.
+	resp = app.Execute(EncodeExec("INSERT INTO missing VALUES (1)"), nd, false)
+	if _, err := DecodeResponse(resp); err == nil {
+		t.Fatal("error must round-trip")
+	}
+	// Mutation on the read-only path is refused.
+	resp = app.Execute(EncodeExec("INSERT INTO kv VALUES ('b', '2')"), nd, true)
+	if _, err := DecodeResponse(resp); err == nil {
+		t.Fatal("read-only mutation must be refused")
+	}
+	// Garbage op.
+	resp = app.Execute([]byte{0xFF, 0x01}, nd, false)
+	if _, err := DecodeResponse(resp); err == nil {
+		t.Fatal("garbage op must be refused")
+	}
+}
+
+func TestAppDeterministicAcrossReplicas(t *testing.T) {
+	// Two replicas of the app executing the same ordered ops with the
+	// same non-determinism must produce identical region digests — the
+	// property checkpoint agreement depends on.
+	mk := func() (*App, *state.Region) {
+		region := testRegion(t)
+		app := NewApp(Options{
+			Durable: false,
+			InitSQL: []string{"CREATE TABLE t (v TEXT, ts INTEGER, r INTEGER)"},
+		})
+		app.AttachState(region)
+		return app, region
+	}
+	a1, r1 := mk()
+	a2, r2 := mk()
+	ops := [][]byte{
+		EncodeExec("INSERT INTO t VALUES ('x', now(), random())"),
+		EncodeExec("INSERT INTO t VALUES ('y', now(), random())"),
+		EncodeExec("UPDATE t SET v = 'z' WHERE v = 'x'"),
+		EncodeExec("DELETE FROM t WHERE v = 'y'"),
+	}
+	for i, op := range ops {
+		nd := core.NonDetValues{Time: time.Unix(int64(100+i), 0)}
+		nd.Rand[5] = byte(i)
+		out1 := a1.Execute(op, nd, false)
+		out2 := a2.Execute(op, nd, false)
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("op %d: replies diverge", i)
+		}
+	}
+	if r1.Root() != r2.Root() {
+		t.Fatal("region digests diverge: replicas could never checkpoint")
+	}
+}
+
+func TestAppSurvivesRegionRewrite(t *testing.T) {
+	// Simulate a state transfer: replica B's region is overwritten with
+	// replica A's content; B's engine must pick it up via Reload.
+	regionA := testRegion(t)
+	appA := NewApp(Options{Durable: false, InitSQL: []string{"CREATE TABLE t (v INTEGER)"}})
+	appA.AttachState(regionA)
+	nd := core.NonDetValues{Time: time.Unix(5, 0)}
+	for i := 0; i < 5; i++ {
+		if _, err := DecodeResponse(appA.Execute(EncodeExec("INSERT INTO t VALUES (1)"), nd, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	regionB := testRegion(t)
+	appB := NewApp(Options{Durable: false, InitSQL: []string{"CREATE TABLE t (v INTEGER)"}})
+	appB.AttachState(regionB)
+	// Overwrite B's region with A's pages (what state transfer does).
+	for p := 0; p < regionA.NumPages(); p++ {
+		data, err := regionA.Page(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := regionB.ApplyPage(p, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := appB.Execute(EncodeQuery("SELECT count(*) FROM t"), nd, false)
+	r, err := DecodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Data[0][0].I != 5 {
+		t.Fatalf("count after region rewrite = %v", r.Rows.Data)
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	r1, err := DecodeResponse(encodeResult(sqldb.Result{RowsAffected: 3, LastInsertID: 9}))
+	if err != nil || r1.Result.RowsAffected != 3 || r1.Result.LastInsertID != 9 {
+		t.Fatalf("%v %+v", err, r1)
+	}
+	rows := &sqldb.Rows{Columns: []string{"a", "b"}, Data: [][]sqldb.Value{
+		{Int(1), Text("x")},
+		{Null(), Bytes([]byte{9})},
+	}}
+	r2, err := DecodeResponse(encodeRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows.Data) != 2 || r2.Rows.Data[0][1].S != "x" || !r2.Rows.Data[1][0].IsNull() {
+		t.Fatalf("%+v", r2.Rows)
+	}
+	if _, err := DecodeResponse(encodeError(errors.New("boom"))); err == nil || err.Error() != "boom" {
+		t.Fatalf("error round trip: %v", err)
+	}
+	if _, err := DecodeResponse([]byte{99}); err == nil {
+		t.Fatal("malformed response must error")
+	}
+	if _, err := DecodeResponse(nil); err == nil {
+		t.Fatal("empty response must error")
+	}
+}
+
+func TestDurableRequiresDiskDir(t *testing.T) {
+	app := NewApp(Options{Durable: true})
+	app.AttachState(testRegion(t))
+	resp := app.Execute(EncodeQuery("SELECT 1"), core.NonDetValues{}, false)
+	if _, err := DecodeResponse(resp); err == nil {
+		t.Fatal("durable mode without a disk directory must fail loudly")
+	}
+}

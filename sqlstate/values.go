@@ -1,0 +1,42 @@
+package sqlstate
+
+import (
+	"repro/internal/sqldb"
+)
+
+// Re-exported engine types, so applications built on the replicated SQL
+// state need only this package.
+type (
+	// Value is one dynamically typed SQL value.
+	Value = sqldb.Value
+	// Rows is a materialized result set.
+	Rows = sqldb.Rows
+	// Result reports a mutating statement's outcome.
+	Result = sqldb.Result
+	// DB is the embedded database handle (local, non-replicated use).
+	DB = sqldb.DB
+)
+
+// Value type codes (Value.T).
+const (
+	TNull = sqldb.TNull
+	TInt  = sqldb.TInt
+	TReal = sqldb.TReal
+	TText = sqldb.TText
+	TBlob = sqldb.TBlob
+)
+
+// Null returns the SQL NULL value.
+func Null() Value { return sqldb.Null() }
+
+// Int builds an INTEGER value.
+func Int(v int64) Value { return sqldb.Int(v) }
+
+// Real builds a REAL value.
+func Real(v float64) Value { return sqldb.Real(v) }
+
+// Text builds a TEXT value.
+func Text(s string) Value { return sqldb.Text(s) }
+
+// Bytes builds a BLOB value.
+func Bytes(b []byte) Value { return sqldb.Bytes(b) }

@@ -1,0 +1,293 @@
+// Package sqlstate is the paper's §3.2 state abstraction: the embedded
+// ACID SQL engine (internal/sqldb, the SQLite substitute) mounted on the
+// PBFT replicated state region through a VFS layer (Fig. 3).
+//
+// The database file lives in the replicated memory region — every page
+// write performs the region's modify notification, so PBFT's
+// copy-on-write checkpoints and Merkle-tree synchronization see the
+// database like any other state. The rollback journal lives on the real
+// disk, and commits synchronize the database's disk image, exactly the
+// design of §3.2: a committed transaction is durable, and a node's
+// database file is usable on its own if the node leaves the service.
+// Time and randomness are routed through the agreed non-determinism
+// values, so every replica computes identical rows (§2.5, §4.2).
+package sqlstate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/internal/state"
+)
+
+// regionTailReserve is the number of bytes at the end of the region
+// reserved for VFS bookkeeping (the database file's logical size).
+const regionTailReserve = 8
+
+// VFS implements sqldb.VFS over a replicated state region. The database
+// file maps onto the region; every other file (the rollback journal) goes
+// to a disk directory.
+type VFS struct {
+	mu      sync.Mutex
+	region  *state.Region
+	dbName  string
+	diskDir string
+	mirror  *os.File // disk image of the database, synced on commit
+	dirty   map[int64]bool
+
+	nd      core.NonDetValues
+	randCtr uint64
+}
+
+var _ sqldb.VFS = (*VFS)(nil)
+
+// NewVFS mounts a VFS for the named database file over the region.
+// diskDir hosts the rollback journal and the database's disk image;
+// empty disables the disk image (the journal still needs a directory, so
+// diskDir may only be empty when the pager runs in non-durable mode).
+func NewVFS(region *state.Region, dbName, diskDir string) (*VFS, error) {
+	v := &VFS{
+		region:  region,
+		dbName:  dbName,
+		diskDir: diskDir,
+		dirty:   make(map[int64]bool),
+	}
+	if diskDir != "" {
+		if err := os.MkdirAll(diskDir, 0o755); err != nil {
+			return nil, err
+		}
+		mirror, err := os.OpenFile(filepath.Join(diskDir, dbName+".image"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		v.mirror = mirror
+	}
+	return v, nil
+}
+
+// SetNonDet installs the agreed non-deterministic values for the
+// operation being executed; the replica calls it before every Execute.
+func (v *VFS) SetNonDet(nd core.NonDetValues) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nd = nd
+	v.randCtr = 0
+}
+
+// Now implements sqldb.VFS with the agreed timestamp.
+func (v *VFS) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.nd.Time.IsZero() {
+		return time.Unix(0, 0)
+	}
+	return v.nd.Time
+}
+
+// Rand implements sqldb.VFS with a deterministic stream expanded from the
+// agreed seed: every replica sees identical "randomness" (§2.5).
+func (v *VFS) Rand(p []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(p) > 0 {
+		var block [8 + 32]byte
+		binary.BigEndian.PutUint64(block[:8], v.randCtr)
+		copy(block[8:], v.nd.Rand[:])
+		sum := sha256.Sum256(block[:])
+		n := copy(p, sum[:])
+		p = p[n:]
+		v.randCtr++
+	}
+	return nil
+}
+
+// Open implements sqldb.VFS.
+func (v *VFS) Open(name string) (sqldb.File, error) {
+	if name == v.dbName {
+		return &regionFile{vfs: v}, nil
+	}
+	if v.diskDir == "" {
+		return nil, fmt.Errorf("sqlstate: no disk directory for file %q", name)
+	}
+	f, err := os.OpenFile(filepath.Join(v.diskDir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{f: f}, nil
+}
+
+// Delete implements sqldb.VFS.
+func (v *VFS) Delete(name string) error {
+	if name == v.dbName {
+		return fmt.Errorf("sqlstate: cannot delete the region database")
+	}
+	if v.diskDir == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(v.diskDir, name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Exists implements sqldb.VFS.
+func (v *VFS) Exists(name string) (bool, error) {
+	if name == v.dbName {
+		return v.logicalSize() > 0, nil
+	}
+	if v.diskDir == "" {
+		return false, nil
+	}
+	_, err := os.Stat(filepath.Join(v.diskDir, name))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// logicalSize reads the database file's logical size from the region
+// tail.
+func (v *VFS) logicalSize() int64 {
+	var buf [8]byte
+	if _, err := v.region.ReadAt(buf[:], v.region.Size()-regionTailReserve); err != nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(buf[:]))
+}
+
+func (v *VFS) setLogicalSize(size int64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(size))
+	_, err := v.region.WriteAt(buf[:], v.region.Size()-regionTailReserve)
+	return err
+}
+
+// Close releases the disk image handle.
+func (v *VFS) Close() error {
+	if v.mirror != nil {
+		return v.mirror.Close()
+	}
+	return nil
+}
+
+// regionFile is the database file mapped onto the replicated region.
+type regionFile struct {
+	vfs *VFS
+}
+
+var _ sqldb.File = (*regionFile)(nil)
+
+func (f *regionFile) capacity() int64 {
+	return f.vfs.region.Size() - regionTailReserve
+}
+
+func (f *regionFile) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > f.capacity() {
+		return 0, fmt.Errorf("sqlstate: read beyond region capacity")
+	}
+	// Reads beyond the logical size return zeros, like a sparse file
+	// (§3.2's large-sparse-file trick).
+	return f.vfs.region.ReadAt(p, off)
+}
+
+func (f *regionFile) WriteAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > f.capacity() {
+		return 0, fmt.Errorf("sqlstate: database grew past the region capacity (%d bytes)", f.capacity())
+	}
+	// Region WriteAt performs the PBFT modify notification itself.
+	n, err := f.vfs.region.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	if end := off + int64(len(p)); end > f.vfs.logicalSize() {
+		if err := f.vfs.setLogicalSize(end); err != nil {
+			return n, err
+		}
+	}
+	f.vfs.mu.Lock()
+	for page := off / sqldb.PageSize; page <= (off+int64(len(p))-1)/sqldb.PageSize; page++ {
+		f.vfs.dirty[page] = true
+	}
+	f.vfs.mu.Unlock()
+	return n, nil
+}
+
+func (f *regionFile) Truncate(size int64) error {
+	if size > f.capacity() {
+		return fmt.Errorf("sqlstate: truncate beyond region capacity")
+	}
+	cur := f.vfs.logicalSize()
+	if size < cur {
+		// Zero the truncated range so region digests stay canonical.
+		zero := make([]byte, 4096)
+		for off := size; off < cur; off += int64(len(zero)) {
+			n := int64(len(zero))
+			if off+n > cur {
+				n = cur - off
+			}
+			if _, err := f.vfs.region.WriteAt(zero[:n], off); err != nil {
+				return err
+			}
+		}
+	}
+	return f.vfs.setLogicalSize(size)
+}
+
+// Sync flushes the dirty pages to the database's disk image (the §3.2
+// "database file is synchronized with its disk image on transaction
+// commit"). Without a disk image it is a no-op.
+func (f *regionFile) Sync() error {
+	v := f.vfs
+	if v.mirror == nil {
+		return nil
+	}
+	v.mu.Lock()
+	pages := make([]int64, 0, len(v.dirty))
+	for p := range v.dirty {
+		pages = append(pages, p)
+	}
+	v.dirty = make(map[int64]bool)
+	v.mu.Unlock()
+	buf := make([]byte, sqldb.PageSize)
+	for _, page := range pages {
+		off := page * sqldb.PageSize
+		if _, err := v.region.ReadAt(buf, off); err != nil {
+			return err
+		}
+		if _, err := v.mirror.WriteAt(buf, off); err != nil {
+			return err
+		}
+	}
+	return v.mirror.Sync()
+}
+
+func (f *regionFile) Size() (int64, error) { return f.vfs.logicalSize(), nil }
+
+func (f *regionFile) Close() error { return nil }
+
+// diskFile adapts an *os.File (journal files).
+type diskFile struct{ f *os.File }
+
+func (d *diskFile) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
+func (d *diskFile) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+func (d *diskFile) Truncate(size int64) error                { return d.f.Truncate(size) }
+func (d *diskFile) Sync() error                              { return d.f.Sync() }
+func (d *diskFile) Close() error                             { return d.f.Close() }
+func (d *diskFile) Size() (int64, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
