@@ -183,6 +183,43 @@ func BenchmarkDynamicOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyWorkers sweeps the ingress verification pool size on the
+// default MAC+batching configuration: the staged pipeline moves
+// authenticator checks and wire decoding off the protocol loop, so on
+// multi-core hosts throughput should grow with the worker count (see also
+// the BenchmarkVerifyPipeline micro-benchmark in internal/core).
+func BenchmarkVerifyWorkers(b *testing.B) {
+	lc := harness.Table1Configs()[0] // sta_mac_allbig_batch, the default
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := harness.BenchOptionsFor(lc)
+			opts.VerifyWorkers = workers
+			c, err := harness.NewCluster(harness.ClusterOptions{
+				Opts:       opts,
+				NumClients: 12,
+				Seed:       42,
+				App:        harness.NewEchoFactory(1024),
+				Bandwidth:  938e6 / 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			pool := make(chan *client.Client, 12)
+			for i := 0; i < 12; i++ {
+				cl, err := c.Client(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { cl.Close() })
+				pool <- cl
+			}
+			payload := make([]byte, 1024)
+			runClientBench(b, pool, func(int) []byte { return payload }, nil)
+		})
+	}
+}
+
 // BenchmarkGroupSize shows the §3.3.3 obstacle: request latency grows
 // with the group size (quadratic message complexity).
 func BenchmarkGroupSize(b *testing.B) {

@@ -41,6 +41,7 @@ type Client struct {
 	view         uint64 // view estimate from replies
 	timestamp    uint64
 	sessionKeys  []crypto.SessionKey
+	replicaAddrs []string
 	lastHello    time.Time
 	joined       bool
 	closed       bool
@@ -93,7 +94,9 @@ func newClient(cfg *core.Config, kp *crypto.KeyPair, conn transport.Conn) (*Clie
 		timestamp: uint64(time.Now().UnixNano()),
 	}
 	c.sessionKeys = make([]crypto.SessionKey, c.n)
+	c.replicaAddrs = make([]string, c.n)
 	for i, ri := range cfg.Replicas {
+		c.replicaAddrs[i] = ri.Addr
 		// Pairwise key: client ephemeral x replica static.
 		sk, err := eph.SharedKey(ri.PubKey)
 		if err != nil {
@@ -156,15 +159,15 @@ func (c *Client) maybeHello() {
 	}
 }
 
+// broadcast seals and marshals once, then fans the same byte slice out to
+// every replica through the transport's native broadcast path. Request
+// retransmissions reuse the memoized wire form across rounds.
 func (c *Client) broadcast(env *wire.Envelope) {
-	raw := env.Marshal()
-	for _, ri := range c.cfg.Replicas {
-		_ = c.conn.Send(ri.Addr, raw)
-	}
+	_ = transport.Broadcast(c.conn, c.replicaAddrs, env.Raw())
 }
 
 func (c *Client) sendToPrimary(env *wire.Envelope) {
-	_ = c.conn.Send(c.cfg.Replicas[c.cfg.Primary(c.view)].Addr, env.Marshal())
+	_ = c.conn.Send(c.cfg.Replicas[c.cfg.Primary(c.view)].Addr, env.Raw())
 }
 
 // Invoke submits an operation for totally ordered execution and waits for

@@ -4,37 +4,9 @@ import (
 	"repro/internal/wire"
 )
 
-// onRequestEnvelope authenticates and routes a client request. raw is the
+// onRequest processes an authenticated client request. raw is the
 // envelope's wire form, kept for relaying to the primary unchanged (so the
 // primary verifies the client's own authentication, not the relayer's).
-func (r *Replica) onRequestEnvelope(env *wire.Envelope, raw []byte) {
-	req, err := wire.UnmarshalRequest(env.Payload)
-	if err != nil {
-		r.stats.DroppedBadAuth++
-		return
-	}
-	// Join requests authenticate against the key inside the body; all
-	// other requests against the node table.
-	if req.System() && env.Sender == JoinSender {
-		if !r.cfg.Opts.DynamicClients {
-			return
-		}
-		r.onJoinRequest(env, req)
-		return
-	}
-	client, ok := r.verifyFromClient(env)
-	if !ok {
-		r.stats.DroppedBadAuth++
-		return
-	}
-	if req.ClientID != env.Sender {
-		r.stats.DroppedBadAuth++
-		return
-	}
-	r.onRequest(req, client, raw)
-}
-
-// onRequest processes an authenticated client request.
 func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
 	if req.ReadOnly() {
 		r.execReadOnly(req, client)
@@ -143,7 +115,7 @@ func (r *Replica) propose(reqs []*wire.Request) {
 	e := r.getEntry(pp.Seq)
 	e.view = r.view
 	e.pp = pp
-	e.ppRaw = env.Marshal()
+	e.ppRaw = env.Raw()
 	e.digest = pp.BatchDigest()
 	r.broadcast(env)
 	r.tryPrepared(e)
@@ -165,17 +137,9 @@ func (r *Replica) inWindow(seq uint64) bool {
 	return seq > r.lastStable && seq <= r.lastStable+r.cfg.LogWindow()
 }
 
-// onPrePrepare processes a primary's sequence assignment (backup side).
-func (r *Replica) onPrePrepare(env *wire.Envelope) {
-	pp, err := wire.UnmarshalPrePrepare(env.Payload)
-	if err != nil {
-		return
-	}
-	r.acceptPrePrepare(pp, env, false)
-}
-
-// acceptPrePrepare validates and logs a pre-prepare. fromNewView skips the
-// checks that do not apply to re-proposed assignments.
+// acceptPrePrepare validates and logs a pre-prepare (decoded and
+// authenticated by the ingress pipeline). fromNewView skips the checks
+// that do not apply to re-proposed assignments.
 func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, fromNewView bool) {
 	if !fromNewView {
 		if r.inViewChange || pp.View != r.view || env.Sender != r.cfg.Primary(pp.View) {
@@ -207,11 +171,11 @@ func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, from
 		}
 	}
 	if e.pp != nil && pp.View > e.view {
-		e.resetForView(pp.View, pp, env.Marshal(), digest)
+		e.resetForView(pp.View, pp, env.Raw(), digest)
 	} else {
 		e.view = pp.View
 		e.pp = pp
-		e.ppRaw = env.Marshal()
+		e.ppRaw = env.Raw()
 		e.digest = digest
 	}
 	// Remember full bodies so status retransmission can serve them, and
@@ -235,16 +199,13 @@ func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, from
 	r.tryExecute()
 }
 
-// onPrepare records a backup's prepare vote.
-func (r *Replica) onPrepare(env *wire.Envelope) {
-	p, err := wire.UnmarshalPrepare(env.Payload)
-	if err != nil || p.Replica != env.Sender {
-		return
-	}
+// onPrepare records a backup's prepare vote (decoded and authenticated by
+// the ingress pipeline).
+func (r *Replica) onPrepare(p *wire.Prepare) {
 	if p.View != r.view || !r.inWindow(p.Seq) || r.inViewChange {
 		return
 	}
-	if env.Sender == r.cfg.Primary(p.View) {
+	if p.Replica == r.cfg.Primary(p.View) {
 		return // the primary's pre-prepare is its prepare
 	}
 	e := r.getEntry(p.Seq)
@@ -271,12 +232,9 @@ func (r *Replica) tryPrepared(e *entry) {
 	r.tryCommitted(e)
 }
 
-// onCommit records a replica's commit vote.
-func (r *Replica) onCommit(env *wire.Envelope) {
-	c, err := wire.UnmarshalCommit(env.Payload)
-	if err != nil || c.Replica != env.Sender {
-		return
-	}
+// onCommit records a replica's commit vote (decoded and authenticated by
+// the ingress pipeline).
+func (r *Replica) onCommit(c *wire.Commit) {
 	if c.View != r.view || !r.inWindow(c.Seq) || r.inViewChange {
 		return
 	}

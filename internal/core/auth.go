@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"repro/internal/crypto"
 	"repro/internal/wire"
 )
@@ -55,53 +57,28 @@ func (r *Replica) sealNone(t wire.MsgType, payload []byte) *wire.Envelope {
 	return &wire.Envelope{Type: t, Sender: r.id, Payload: payload, Kind: wire.AuthNone}
 }
 
-// verifyFromReplica authenticates an envelope claimed to come from a
-// fellow replica.
-func (r *Replica) verifyFromReplica(env *wire.Envelope) bool {
-	if int(env.Sender) >= r.n || env.Sender == r.id {
-		return false
-	}
-	switch env.Kind {
-	case wire.AuthMAC:
-		return env.Auth.VerifyEntry(int(r.id), r.replicaKeys[env.Sender], env.SignedBytes())
-	case wire.AuthSig:
-		return crypto.Verify(r.cfg.Replicas[env.Sender].PubKey, env.SignedBytes(), env.Sig)
-	default:
-		return false
-	}
-}
+// Inbound verification lives in the ingress pipeline (ingress.go): the
+// worker pool authenticates every packet against immutable replica key
+// material and the clientAuthTable before the protocol loop sees it.
 
 // verifySignedReplica authenticates an always-signed replica envelope
-// (view change, checkpoint, ...). It is usable on stored raw envelopes.
+// (view change, checkpoint, ...). The protocol loop uses it on stored raw
+// envelopes (view-change votes inside a new-view proof); live traffic is
+// verified by the ingress workers with the same routine.
 func (r *Replica) verifySignedReplica(env *wire.Envelope) bool {
-	if int(env.Sender) >= r.n {
-		return false
-	}
-	if env.Kind != wire.AuthSig {
-		return false
-	}
-	return crypto.Verify(r.cfg.Replicas[env.Sender].PubKey, env.SignedBytes(), env.Sig)
+	return r.ingress.verifySignedReplica(env)
 }
 
-// verifyFromClient authenticates a client envelope against the node table
-// (the §3.1 redirection-table lookup happens before any cryptography).
-func (r *Replica) verifyFromClient(env *wire.Envelope) (*nodeEntry, bool) {
-	entry := r.nodes.get(env.Sender)
-	if entry == nil || int(env.Sender) < r.n {
-		return nil, false
-	}
-	switch env.Kind {
-	case wire.AuthMAC:
-		if !entry.HasSession {
-			// No session key material (e.g. this replica restarted and
-			// the client's hello has not been retransmitted yet — the
-			// §2.3 stall). The request cannot be authenticated.
-			return nil, false
-		}
-		return entry, env.Auth.VerifyEntry(int(r.id), entry.Session, env.SignedBytes())
-	case wire.AuthSig:
-		return entry, crypto.Verify(entry.Pub, env.SignedBytes(), env.Sig)
-	default:
-		return nil, false
-	}
+// pubKeyEqual reports whether two node identities are the same key pair.
+func pubKeyEqual(a, b crypto.PublicKey) bool {
+	return bytes.Equal(a.Sign, b.Sign) && bytes.Equal(a.DH, b.DH)
+}
+
+// reverifyClient re-runs client authentication inside the protocol loop
+// for packets the ingress could not clear: the packet may have raced a
+// session install or join whose effects the loop has applied by now, so
+// verification at processing time (the pre-pipeline semantics) is
+// authoritative.
+func (r *Replica) reverifyClient(env *wire.Envelope, client *nodeEntry) bool {
+	return verifyClientEnvelope(env, r.id, clientAuthOf(client))
 }

@@ -44,17 +44,14 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 		Replica:     r.id,
 	}
 	env := r.sealSigned(wire.MTCheckpoint, msg.Marshal())
-	ck.votes[r.id] = env.Marshal()
+	ck.votes[r.id] = env.Raw()
 	r.broadcast(env)
 	r.tryStable(ck)
 }
 
-// onCheckpoint records a peer's (signed) checkpoint vote.
-func (r *Replica) onCheckpoint(env *wire.Envelope, raw []byte) {
-	m, err := wire.UnmarshalCheckpoint(env.Payload)
-	if err != nil || m.Replica != env.Sender || !m.Consistent() {
-		return
-	}
+// onCheckpoint records a peer's checkpoint vote (decoded, consistency-
+// checked and signature-verified by the ingress pipeline).
+func (r *Replica) onCheckpoint(m *wire.Checkpoint, raw []byte) {
 	if m.Seq <= r.lastStable {
 		return // old news
 	}

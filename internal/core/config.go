@@ -1,14 +1,9 @@
-// Package core implements the PBFT replica: the three-phase agreement
-// protocol of Castro–Liskov with its performance optimizations (MAC
-// authenticators, big-request handling, tentative execution, read-only
-// requests, batching with a congestion window), checkpointing with Merkle
-// state snapshots, view changes, state transfer, and the paper's dynamic
-// client membership extension (§3.1).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/crypto"
@@ -106,6 +101,11 @@ type Options struct {
 	// ValidateNonDet disables the time-delta validation entirely when
 	// false (the blunt fix discussed in §2.5).
 	ValidateNonDet bool
+
+	// VerifyWorkers sizes the ingress verification pool: the goroutines
+	// that authenticate and decode inbound packets in parallel before
+	// they reach the protocol loop. 0 means GOMAXPROCS.
+	VerifyWorkers int
 }
 
 // DefaultOptions returns the configuration the original library shipped
@@ -132,6 +132,14 @@ func DefaultOptions() Options {
 		MaxTimeDrift:       time.Minute,
 		ValidateNonDet:     true,
 	}
+}
+
+// verifyWorkers resolves the effective ingress pool size.
+func (o *Options) verifyWorkers() int {
+	if o.VerifyWorkers > 0 {
+		return o.VerifyWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Robust mirrors the paper's "most robust" configuration
@@ -189,6 +197,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Opts.StateSize <= 0 {
 		return errors.New("core: StateSize must be positive")
+	}
+	if c.Opts.VerifyWorkers < 0 {
+		return errors.New("core: VerifyWorkers must be >= 0")
 	}
 	return nil
 }

@@ -303,17 +303,17 @@ func TestAuthenticatorSealVerify(t *testing.T) {
 		r1.Stop()
 	}()
 
-	// Replica-to-replica MAC mode.
+	// Replica-to-replica MAC mode (verified by the ingress stage).
 	env := r0.sealToReplicas(wire.MTPrepare, []byte("payload"))
-	if !r1.verifyFromReplica(env) {
+	if !r1.ingress.verifyFromReplica(env) {
 		t.Fatal("peer must verify an authentic MAC envelope")
 	}
-	if r0.verifyFromReplica(env) {
+	if r0.ingress.verifyFromReplica(env) {
 		t.Fatal("a replica must not accept its own sender id")
 	}
 	tampered := *env
 	tampered.Payload = []byte("tampered")
-	if r1.verifyFromReplica(&tampered) {
+	if r1.ingress.verifyFromReplica(&tampered) {
 		t.Fatal("tampered payload must fail")
 	}
 
@@ -330,21 +330,21 @@ func TestAuthenticatorSealVerify(t *testing.T) {
 
 	// Client without a session in MAC mode is refused (the §2.3 gate).
 	clientEnv := &wire.Envelope{Type: wire.MTRequest, Sender: 4, Payload: []byte("op"), Kind: wire.AuthMAC}
-	if _, ok := r0.verifyFromClient(clientEnv); ok {
+	if r0.ingress.verifyFromClient(clientEnv) {
 		t.Fatal("client MAC without session key material must fail")
 	}
 
-	// Client with a signature verifies against the node table.
+	// Client with a signature verifies against the published auth view.
 	sigEnv := &wire.Envelope{Type: wire.MTRequest, Sender: 4, Payload: []byte("op"), Kind: wire.AuthSig}
 	sigEnv.Sig = ckeys[0].Sign(sigEnv.SignedBytes())
-	if _, ok := r0.verifyFromClient(sigEnv); !ok {
+	if !r0.ingress.verifyFromClient(sigEnv) {
 		t.Fatal("signed client envelope must verify")
 	}
 	// Unknown sender id: the redirection-table check fires before any
 	// cryptography (§3.1).
 	ghost := *sigEnv
 	ghost.Sender = 999
-	if _, ok := r0.verifyFromClient(&ghost); ok {
+	if r0.ingress.verifyFromClient(&ghost) {
 		t.Fatal("unknown client id must be dropped")
 	}
 }

@@ -322,6 +322,9 @@ func (r *Replica) unmarshalMeta(b []byte) error {
 	r.replyCache = replyCache
 	r.pendingJoins = pj
 	r.idSeed = idSeed
+	// The dynamic membership rows changed wholesale (state transfer
+	// install or rollback): republish the ingress verifiers' view.
+	r.syncClientAuth()
 	return nil
 }
 

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// verifyFromClient authenticates a client envelope against the published
+// auth view, the way processRequest does (lookup + verifyClientEnvelope).
+// Test-only: production paths inline the lookup because they also need
+// the generation and verified identity.
+func (in *ingress) verifyFromClient(env *wire.Envelope) bool {
+	if int(env.Sender) < in.n {
+		return false
+	}
+	ca, ok, _ := in.clients.lookup(env.Sender)
+	return ok && verifyClientEnvelope(env, in.id, ca)
+}
+
+// ingressFixture builds a standalone ingress stage for replica 0 of an
+// n=4 group, plus the key material to seal traffic as any peer.
+type ingressFixture struct {
+	kps         []*crypto.KeyPair
+	replicaPubs []crypto.PublicKey
+	recvKeys    []crypto.SessionKey // replica 0's pairwise keys
+	in          *ingress
+}
+
+func newIngressFixture(t testing.TB, workers int) *ingressFixture {
+	t.Helper()
+	const n = 4
+	f := &ingressFixture{
+		kps:         make([]*crypto.KeyPair, n),
+		replicaPubs: make([]crypto.PublicKey, n),
+		recvKeys:    make([]crypto.SessionKey, n),
+	}
+	for i := range f.kps {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.kps[i] = kp
+		f.replicaPubs[i] = kp.Public()
+	}
+	for i := 1; i < n; i++ {
+		k, err := f.kps[0].SharedKey(f.kps[i].Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.recvKeys[i] = k
+	}
+	f.in = newIngress(0, n, f.kps[0], f.recvKeys, f.replicaPubs, workers)
+	return f
+}
+
+// sealMAC seals an envelope from peer `from` with a full authenticator,
+// exactly like sealToReplicas.
+func (f *ingressFixture) sealMAC(t testing.TB, from uint32, mt wire.MsgType, payload []byte) []byte {
+	t.Helper()
+	env := &wire.Envelope{Type: mt, Sender: from, Payload: payload}
+	keys := make([]crypto.SessionKey, len(f.kps))
+	for i := range f.kps {
+		if uint32(i) == from {
+			continue
+		}
+		k, err := f.kps[from].SharedKey(f.kps[i].Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	env.Kind = wire.AuthMAC
+	env.Auth = crypto.ComputeAuthenticator(keys, env.SignedBytes())
+	return env.Marshal()
+}
+
+// sealSig seals a signed envelope from peer `from`.
+func (f *ingressFixture) sealSig(from uint32, mt wire.MsgType, payload []byte) []byte {
+	env := &wire.Envelope{Type: mt, Sender: from, Payload: payload, Kind: wire.AuthSig}
+	env.Sig = f.kps[from].Sign(env.SignedBytes())
+	return env.Marshal()
+}
+
+// TestIngressPerSenderFIFO floods a many-worker pipeline with messages
+// whose verification costs differ wildly (cheap garbage drops, MAC
+// checks, signature checks) and asserts the survivors reach the consumer
+// in exact arrival order — the reorder buffer must mask the workers'
+// out-of-order completions.
+func TestIngressPerSenderFIFO(t *testing.T) {
+	f := newIngressFixture(t, 8)
+	const total = 400
+	src := make(chan transport.Packet, total*2)
+	f.in.start(src)
+	defer f.in.stop()
+
+	for seq := uint64(1); seq <= total; seq++ {
+		p := wire.Prepare{View: 0, Seq: seq, Digest: crypto.DigestOf([]byte("d")), Replica: 1}
+		var raw []byte
+		if seq%3 == 0 {
+			raw = f.sealSig(1, wire.MTPrepare, p.Marshal()) // expensive verify
+		} else {
+			raw = f.sealMAC(t, 1, wire.MTPrepare, p.Marshal()) // cheap verify
+		}
+		src <- transport.Packet{From: "r1", Data: raw}
+		if seq%5 == 0 {
+			src <- transport.Packet{From: "x", Data: []byte("garbage")} // instant drop
+		}
+	}
+	close(src)
+
+	var got []uint64
+	for m := range f.in.out {
+		if m.prep == nil {
+			t.Fatalf("expected a decoded prepare, got %+v", m.env)
+		}
+		got = append(got, m.prep.Seq)
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d messages", len(got), total)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("delivery out of order at %d: got seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if dropped := f.in.droppedBadAuth.Load(); dropped != total/5 {
+		t.Fatalf("dropped %d, want %d garbage packets", dropped, total/5)
+	}
+}
+
+// TestIngressConcurrentBadAuthCounted injects forged and garbage packets
+// from several goroutines at once and checks that every one of them shows
+// up in DroppedBadAuth (counted by the worker pool), while legitimate
+// traffic keeps flowing. Run with -race to validate the stats path.
+func TestIngressConcurrentBadAuthCounted(t *testing.T) {
+	d := newProtocolDriver(t, 2)
+	const (
+		senders   = 4
+		perSender = 25
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// A prepare sealed with the WRONG key (peer 1 forging peer 0)
+			// and undecodable garbage, interleaved.
+			prep := wire.Prepare{View: 0, Seq: uint64(g + 1), Digest: crypto.DigestOf([]byte("x")), Replica: 0}
+			env := &wire.Envelope{Type: wire.MTPrepare, Sender: 0, Payload: prep.Marshal()}
+			keys := make([]crypto.SessionKey, len(d.cfg.Replicas))
+			for i, ri := range d.cfg.Replicas {
+				if i == 1 {
+					continue
+				}
+				k, err := d.rkeys[1].SharedKey(ri.PubKey) // forger's keys
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				keys[i] = k
+			}
+			env.Kind = wire.AuthMAC
+			env.Auth = crypto.ComputeAuthenticator(keys, env.SignedBytes())
+			forged := env.Marshal()
+			for i := 0; i < perSender; i++ {
+				if i%2 == 0 {
+					d.inject(1, forged)
+				} else {
+					d.inject(1, []byte{0xFF, 0xFE, byte(g), byte(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.waitFor(func(i Info) bool { return i.Stats.DroppedBadAuth >= senders*perSender },
+		"all forged and garbage packets counted")
+
+	// The replica still works: a legitimate pre-prepare + prepare pair
+	// drives agreement as usual.
+	d.prepareSeq(1, "op-after-flood")
+	d.waitFor(func(i Info) bool { return i.LastExec >= 1 }, "execution after flood")
+}
+
+// TestIngressWorkerPoolSizes exercises the FIFO pipeline at several pool
+// sizes, including the degenerate single worker.
+func TestIngressWorkerPoolSizes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			f := newIngressFixture(t, workers)
+			const total = 60
+			src := make(chan transport.Packet, total)
+			f.in.start(src)
+			defer f.in.stop()
+			for seq := uint64(1); seq <= total; seq++ {
+				p := wire.Prepare{View: 0, Seq: seq, Digest: crypto.DigestOf([]byte("d")), Replica: 3}
+				src <- transport.Packet{From: "r3", Data: f.sealMAC(t, 3, wire.MTPrepare, p.Marshal())}
+			}
+			close(src)
+			var count, last uint64
+			for m := range f.in.out {
+				count++
+				if m.prep.Seq != last+1 {
+					t.Fatalf("out of order: %d after %d", m.prep.Seq, last)
+				}
+				last = m.prep.Seq
+			}
+			if count != total {
+				t.Fatalf("delivered %d of %d", count, total)
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyPipeline measures ingress throughput — envelope decode,
+// authenticator (or signature) verification, payload decode and digest
+// warm-up — as the worker pool grows. This is the knob Options.
+// VerifyWorkers exposes; the signature mode shows the multi-core scaling
+// headroom, the MAC mode the paper's cheap-authentication regime.
+func BenchmarkVerifyPipeline(b *testing.B) {
+	for _, mode := range []string{"mac", "sig"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				f := newIngressFixture(b, workers)
+				// A realistic pre-prepare: one 1 KiB request, so each
+				// packet costs an envelope decode, an auth check over
+				// ~1 KiB, a payload decode and a batch digest.
+				req := wire.Request{ClientID: 4, Timestamp: 1, Op: make([]byte, 1024)}
+				pp := wire.PrePrepare{
+					View:    0,
+					Seq:     1,
+					NonDet:  (&wire.NonDet{Time: 1}).Marshal(),
+					Entries: []wire.BatchEntry{{Full: true, Req: req}},
+				}
+				var raw []byte
+				if mode == "mac" {
+					raw = f.sealMAC(b, 1, wire.MTPrePrepare, pp.Marshal())
+				} else {
+					raw = f.sealSig(1, wire.MTPrePrepare, pp.Marshal())
+				}
+				src := make(chan transport.Packet, 1024)
+				f.in.start(src)
+				drained := make(chan struct{})
+				go func() {
+					defer close(drained)
+					for range f.in.out {
+					}
+				}()
+				b.SetBytes(int64(len(raw)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src <- transport.Packet{From: "r1", Data: raw}
+				}
+				close(src)
+				<-drained
+				b.StopTimer()
+				f.in.stop()
+			})
+		}
+	}
+}

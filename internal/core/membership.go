@@ -177,6 +177,7 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 		if principal != "" {
 			for _, old := range r.nodes.byPrincipal(principal) {
 				r.nodes.remove(old.ID)
+				r.unpublishClientAuth(old.ID)
 				delete(r.replyCache, old.ID)
 				delete(r.lastReqTS, old.ID)
 				r.stats.SessionsEvicted++
@@ -191,6 +192,7 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 			}
 			for _, old := range r.nodes.staleBefore(cutoff) {
 				r.nodes.remove(old.ID)
+				r.unpublishClientAuth(old.ID)
 				delete(r.replyCache, old.ID)
 				delete(r.lastReqTS, old.ID)
 				r.stats.SessionsEvicted++
@@ -201,14 +203,16 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 			break
 		}
 		id := r.allocateClientID(op.PubKey)
-		r.nodes.add(&nodeEntry{
+		admitted := &nodeEntry{
 			ID:         id,
 			Addr:       pj.addr,
 			Pub:        pj.pub,
 			Principal:  principal,
 			LastActive: uint64(nd.Time.UnixNano()),
 			Dynamic:    true,
-		})
+		}
+		r.nodes.add(admitted)
+		r.publishClientAuth(admitted)
 		result.ClientID = id
 		result.Accepted = true
 		r.stats.JoinsExecuted++
@@ -269,6 +273,7 @@ func (r *Replica) execLeave(req *wire.Request, tentative bool) *wire.Reply {
 	}
 	r.sendReply(rep, client)
 	r.nodes.remove(req.ClientID)
+	r.unpublishClientAuth(req.ClientID)
 	delete(r.replyCache, req.ClientID)
 	delete(r.lastReqTS, req.ClientID)
 	r.stats.LeavesExecuted++
@@ -298,26 +303,47 @@ func (r *Replica) allocateClientID(pubRaw []byte) uint32 {
 // onSessionHello (re-)establishes a client's MAC session keys. Clients
 // retransmit hellos blindly on a timer; a replica that restarted regains
 // the ability to authenticate the client only when the next hello arrives
-// — the recovery behaviour of §2.3.
-func (r *Replica) onSessionHello(env *wire.Envelope) {
-	h, err := wire.UnmarshalSessionHello(env.Payload)
-	if err != nil || h.ClientID != env.Sender {
-		return
-	}
+// — the recovery behaviour of §2.3. The ingress worker already verified
+// the hello's signature and derived the shared key; the loop re-checks
+// that the entry's identity is still the one the worker verified against
+// (the client could have left and another joined under the same id in the
+// meantime), then installs the key.
+func (r *Replica) onSessionHello(m *inMsg) {
+	h := m.hello
 	client := r.nodes.get(h.ClientID)
 	if client == nil || int(h.ClientID) < r.n {
 		return
 	}
-	if env.Kind != wire.AuthSig || !crypto.Verify(client.Pub, env.SignedBytes(), env.Sig) {
-		r.stats.DroppedBadAuth++
-		return
-	}
-	ephemeral, err := crypto.UnmarshalPublicKey(h.PubKey)
-	if err != nil {
-		return
-	}
-	sk, err := r.kp.SharedKey(ephemeral)
-	if err != nil {
+	sk := m.sessionKey
+	if m.authPending {
+		// The worker could not clear the hello (unknown client or
+		// failed signature against its view). An unmoved view means
+		// its verdict stands — and an unknown client with an unmoved
+		// view cannot reach here (nodes.get above would be nil), so
+		// this counts exactly the definitive signature failures.
+		if r.ingress.clients.generation() == m.authGen {
+			r.stats.DroppedBadAuth++
+			return
+		}
+		// The view moved: verify and derive here, against the loop's
+		// current table.
+		env := m.env
+		if env.Kind != wire.AuthSig || !crypto.Verify(client.Pub, env.SignedBytes(), env.Sig) {
+			r.stats.DroppedBadAuth++
+			return
+		}
+		ephemeral, err := crypto.UnmarshalPublicKey(h.PubKey)
+		if err != nil {
+			return
+		}
+		sk, err = r.kp.SharedKey(ephemeral)
+		if err != nil {
+			return
+		}
+	} else if !pubKeyEqual(client.Pub, m.verifiedPub) {
+		// The entry's identity changed between verification and
+		// processing (leave + rejoin under the same id): the worker's
+		// verification no longer vouches for this entry.
 		return
 	}
 	client.Session = sk
@@ -325,4 +351,5 @@ func (r *Replica) onSessionHello(env *wire.Envelope) {
 	if h.Addr != "" {
 		client.Addr = h.Addr
 	}
+	r.publishClientAuth(client)
 }

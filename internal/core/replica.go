@@ -12,7 +12,9 @@ import (
 
 // Replica is one member of the PBFT group. All protocol state is confined
 // to the event-loop goroutine started by Start; external access goes
-// through Inspect.
+// through Inspect. Inbound packets reach the loop through the ingress
+// verification pipeline (see ingress.go), which authenticates and decodes
+// them in parallel while preserving arrival order.
 type Replica struct {
 	id     uint32
 	cfg    *Config
@@ -23,6 +25,8 @@ type Replica struct {
 
 	n, f, quorum int
 	replicaKeys  []crypto.SessionKey
+	peerAddrs    []string // every other replica, for egress fan-out
+	ingress      *ingress
 
 	// Protocol state owned by the run goroutine.
 	view            uint64
@@ -73,14 +77,16 @@ type Replica struct {
 // Stats counts replica-side protocol events; the harness reads them
 // through Inspect.
 type Stats struct {
-	Executed        uint64 // requests executed (excluding read-only)
-	ReadOnlyExec    uint64
-	Batches         uint64 // pre-prepares executed
-	Checkpoints     uint64
-	StableCkpts     uint64
-	ViewChanges     uint64
-	StateTransfers  uint64
-	PagesFetched    uint64
+	Executed       uint64 // requests executed (excluding read-only)
+	ReadOnlyExec   uint64
+	Batches        uint64 // pre-prepares executed
+	Checkpoints    uint64
+	StableCkpts    uint64
+	ViewChanges    uint64
+	StateTransfers uint64
+	PagesFetched   uint64
+	// DroppedBadAuth counts packets rejected for failed authentication,
+	// whether by the ingress verifier pool or by the protocol loop.
 	DroppedBadAuth  uint64
 	RejectedNonDet  uint64
 	WedgedNow       bool
@@ -168,7 +174,12 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 
 	// Pairwise replica MAC keys are derived from the static identities.
 	r.replicaKeys = make([]crypto.SessionKey, r.n)
+	replicaPubs := make([]crypto.PublicKey, r.n)
 	for i, ri := range cfg.Replicas {
+		replicaPubs[i] = ri.PubKey
+		if uint32(i) != id {
+			r.peerAddrs = append(r.peerAddrs, ri.Addr)
+		}
 		if uint32(i) == id {
 			continue
 		}
@@ -178,6 +189,7 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		}
 		r.replicaKeys[i] = k
 	}
+	r.ingress = newIngress(id, r.n, kp, r.replicaKeys, replicaPubs, cfg.Opts.verifyWorkers())
 
 	// Seed the node table: replicas and (static membership) clients.
 	for _, ri := range cfg.Replicas {
@@ -187,6 +199,7 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		ci := ci
 		r.nodes.add(&nodeEntry{ID: ci.ID, Addr: ci.Addr, Pub: ci.PubKey})
 	}
+	r.syncClientAuth()
 
 	// The genesis checkpoint at sequence 0 anchors rollback and sync.
 	r.recordLocalCheckpoint(0)
@@ -194,8 +207,9 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 	return r, nil
 }
 
-// Start launches the event loop.
+// Start launches the ingress pipeline and the event loop.
 func (r *Replica) Start() {
+	r.ingress.start(r.conn.Recv())
 	go r.run()
 }
 
@@ -247,6 +261,7 @@ func (r *Replica) Info() Info {
 
 func (r *Replica) info() Info {
 	st := r.stats
+	st.DroppedBadAuth += r.ingress.droppedBadAuth.Load()
 	st.WedgedNow = r.wedged()
 	st.SyncingNow = r.sync != nil
 	return Info{
@@ -278,8 +293,10 @@ func (r *Replica) SetNonDet(provider func() wire.NonDet, validator func(wire.Non
 }
 
 // run is the event loop: one goroutine owns every piece of protocol state.
+// It consumes pre-verified, typed messages from the ingress pipeline.
 func (r *Replica) run() {
 	defer close(r.doneCh)
+	defer r.ingress.stop()
 	defer r.conn.Close()
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
@@ -289,78 +306,80 @@ func (r *Replica) run() {
 			return
 		case fn := <-r.ctl:
 			fn()
-		case pkt, ok := <-r.conn.Recv():
+		case m, ok := <-r.ingress.out:
 			if !ok {
 				return
 			}
-			r.handlePacket(pkt)
+			r.handleVerified(m)
 		case <-tick.C:
 			r.onTick()
 		}
 	}
 }
 
-// handlePacket parses, authenticates and dispatches one datagram.
-func (r *Replica) handlePacket(pkt transport.Packet) {
-	env, err := wire.UnmarshalEnvelope(pkt.Data)
-	if err != nil {
-		r.stats.DroppedBadAuth++
-		return
-	}
+// handleVerified dispatches one authenticated message from the ingress
+// pipeline to its protocol handler. All cryptography already happened in
+// the verifier pool; what remains is stateful validation and the protocol
+// transitions themselves.
+func (r *Replica) handleVerified(m *inMsg) {
+	env := m.env
 	switch env.Type {
 	case wire.MTRequest:
-		r.onRequestEnvelope(env, pkt.Data)
+		if m.req.System() && env.Sender == JoinSender {
+			if !r.cfg.Opts.DynamicClients {
+				return
+			}
+			r.onJoinRequest(env, m.req)
+			return
+		}
+		client := r.nodes.get(env.Sender)
+		if client == nil {
+			// Authenticated against a session the protocol loop has
+			// since evicted; treat like any other failed auth.
+			r.stats.DroppedBadAuth++
+			return
+		}
+		if m.authPending {
+			// The worker failed to authenticate. If the auth view has
+			// not moved since, that verdict stands (re-verification
+			// would return the same answer — this is what keeps forged
+			// floods off the loop); otherwise re-verify at processing
+			// time, which is where a racing session install or join has
+			// been applied by now.
+			if r.ingress.clients.generation() == m.authGen || !r.reverifyClient(env, client) {
+				r.stats.DroppedBadAuth++
+				return
+			}
+		} else if !pubKeyEqual(client.Pub, m.verifiedPub) && !r.reverifyClient(env, client) {
+			// The id was vacated and reassigned while the packet was in
+			// the pipeline: the worker's verification vouched for a
+			// different principal.
+			r.stats.DroppedBadAuth++
+			return
+		}
+		r.onRequest(m.req, client, m.raw)
 	case wire.MTPrePrepare:
-		if r.verifyFromReplica(env) {
-			r.onPrePrepare(env)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.acceptPrePrepare(m.pp, env, false)
 	case wire.MTPrepare:
-		if r.verifyFromReplica(env) {
-			r.onPrepare(env)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.onPrepare(m.prep)
 	case wire.MTCommit:
-		if r.verifyFromReplica(env) {
-			r.onCommit(env)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.onCommit(m.cmt)
 	case wire.MTCheckpoint:
-		if r.verifySignedReplica(env) {
-			r.onCheckpoint(env, pkt.Data)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.onCheckpoint(m.ckpt, m.raw)
 	case wire.MTViewChange:
-		if r.verifySignedReplica(env) {
-			r.onViewChange(env, pkt.Data)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.onViewChange(env, m.raw)
 	case wire.MTNewView:
-		if r.verifySignedReplica(env) {
-			r.onNewView(env, pkt.Data)
-		} else {
-			r.stats.DroppedBadAuth++
-		}
+		r.onNewView(env, m.raw)
 	case wire.MTSessionHello:
-		r.onSessionHello(env)
+		r.onSessionHello(m)
 	case wire.MTStatus:
-		if r.verifyFromReplica(env) {
-			r.onStatus(env)
-		}
+		r.onStatus(m.status)
 	case wire.MTFetch:
 		r.onFetch(env)
 	case wire.MTStateNode:
 		r.onStateNode(env)
 	case wire.MTStatePage:
 		r.onStatePage(env)
-	default:
-		// Replies and join challenges are client-bound; a replica
-		// ignores them.
 	}
 }
 
@@ -384,15 +403,11 @@ func (r *Replica) isPrimary() bool {
 	return r.cfg.Primary(r.view) == r.id
 }
 
-// broadcast sends an envelope to every other replica.
+// broadcast is the egress fan-out: seal once, marshal once, ship the same
+// byte slice to every other replica through the transport's native
+// broadcast path.
 func (r *Replica) broadcast(env *wire.Envelope) {
-	raw := env.Marshal()
-	for _, ri := range r.cfg.Replicas {
-		if ri.ID == r.id {
-			continue
-		}
-		_ = r.conn.Send(ri.Addr, raw)
-	}
+	_ = transport.Broadcast(r.conn, r.peerAddrs, env.Raw())
 }
 
 // sendToReplica sends an envelope to one replica.
@@ -400,12 +415,12 @@ func (r *Replica) sendToReplica(id uint32, env *wire.Envelope) {
 	if int(id) >= r.n || id == r.id {
 		return
 	}
-	_ = r.conn.Send(r.cfg.Replicas[id].Addr, env.Marshal())
+	_ = r.conn.Send(r.cfg.Replicas[id].Addr, env.Raw())
 }
 
 // sendToAddr sends an envelope to an arbitrary address (clients).
 func (r *Replica) sendToAddr(addr string, env *wire.Envelope) {
-	_ = r.conn.Send(addr, env.Marshal())
+	_ = r.conn.Send(addr, env.Raw())
 }
 
 // broadcastStatus gossips progress so lagging peers get retransmissions.

@@ -231,12 +231,9 @@ func (r *Replica) maybeFinishSync() {
 	r.tryExecute()
 }
 
-// onStatus reacts to a peer's progress gossip with retransmissions.
-func (r *Replica) onStatus(env *wire.Envelope) {
-	st, err := wire.UnmarshalStatus(env.Payload)
-	if err != nil || st.Replica != env.Sender {
-		return
-	}
+// onStatus reacts to a peer's progress gossip (decoded and authenticated
+// by the ingress pipeline) with retransmissions.
+func (r *Replica) onStatus(st *wire.Status) {
 	// Peer lags on stable checkpoints: hand it the proof so it can
 	// state-transfer.
 	if st.LastStable < r.lastStable && len(r.stableProof) > 0 {

@@ -48,7 +48,7 @@ func (r *Replica) startViewChange(target uint64) {
 		}
 	}
 	env := r.sealSigned(wire.MTViewChange, vc.Marshal())
-	raw := env.Marshal()
+	raw := env.Raw()
 	r.recordViewChange(vc, raw)
 	r.broadcast(env)
 	r.tryNewView(target)
@@ -133,7 +133,7 @@ func (r *Replica) tryNewView(target uint64) {
 	o := computeO(target, selected)
 	nv := &wire.NewView{View: target, ViewChanges: raws, PrePrepares: o}
 	env := r.sealSigned(wire.MTNewView, nv.Marshal())
-	raw := env.Marshal()
+	raw := env.Raw()
 	r.broadcast(env)
 	r.installNewView(nv, raw)
 }

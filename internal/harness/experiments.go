@@ -436,4 +436,3 @@ func RunRecoveryExperiment(opts ExperimentOptions, helloIntervals []time.Duratio
 	}
 	return nil
 }
-

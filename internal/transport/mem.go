@@ -182,13 +182,20 @@ func (n *Network) Close() error {
 	return nil
 }
 
-// send routes one datagram. Called by MemConn.Send.
-func (n *Network) send(from, to string, data []byte) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
-	}
+// delivery is one routed datagram awaiting execution: where it goes, when
+// it leaves, and how many copies arrive.
+type delivery struct {
+	dst    *MemConn
+	from   string
+	data   []byte
+	delay  time.Duration
+	copies int
+}
+
+// routeLocked decides one datagram's fate (drop, duplicate, delay,
+// bandwidth queuing). Caller holds n.mu; a nil return means the packet
+// was dropped (or the destination does not exist).
+func (n *Network) routeLocked(from, to string, data []byte) *delivery {
 	dst, ok := n.endpoints[to]
 	f, okLink := n.links[linkKey{from, to}]
 	if !okLink {
@@ -199,7 +206,6 @@ func (n *Network) send(from, to string, data []byte) error {
 	if !ok {
 		// Unknown destination: a UDP sendto succeeds; the packet vanishes.
 		n.stats.Dropped++
-		n.mu.Unlock()
 		return nil
 	}
 	drop := f.Partitioned || (f.LossRate > 0 && n.rng.Float64() < f.LossRate)
@@ -210,7 +216,6 @@ func (n *Network) send(from, to string, data []byte) error {
 	}
 	if drop {
 		n.stats.Dropped++
-		n.mu.Unlock()
 		return nil
 	}
 	if n.bandwidth > 0 {
@@ -226,29 +231,67 @@ func (n *Network) send(from, to string, data []byte) error {
 		n.egressFree[from] = free
 		delay += free.Sub(now)
 	}
-	n.mu.Unlock()
-
-	copies := 1
+	d := &delivery{dst: dst, from: from, data: data, delay: delay, copies: 1}
 	if dup {
-		copies = 2
+		d.copies = 2
 	}
-	for i := 0; i < copies; i++ {
-		payload := make([]byte, len(data))
-		copy(payload, data)
-		pkt := Packet{From: from, Data: payload}
+	return d
+}
+
+// execute performs a routed delivery. Caller must NOT hold n.mu.
+func (n *Network) execute(d *delivery) {
+	for i := 0; i < d.copies; i++ {
+		payload := make([]byte, len(d.data))
+		copy(payload, d.data)
+		pkt := Packet{From: d.from, Data: payload}
 		// Sub-timer-resolution delays are delivered inline: the OS
 		// timer wheel cannot express them, and the egress accounting
 		// above still charges the sender's link, so saturation (the
 		// case that matters) produces real, schedulable delays.
-		if delay < 100*time.Microsecond {
-			dst.deliver(pkt, &n.mu, &n.stats)
+		if d.delay < 100*time.Microsecond {
+			d.dst.deliver(pkt, &n.mu, &n.stats)
 			continue
 		}
 		n.wg.Add(1)
-		time.AfterFunc(delay, func() {
+		time.AfterFunc(d.delay, func() {
 			defer n.wg.Done()
-			dst.deliver(pkt, &n.mu, &n.stats)
+			d.dst.deliver(pkt, &n.mu, &n.stats)
 		})
+	}
+}
+
+// send routes one datagram. Called by MemConn.Send.
+func (n *Network) send(from, to string, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	d := n.routeLocked(from, to, data)
+	n.mu.Unlock()
+	if d != nil {
+		n.execute(d)
+	}
+	return nil
+}
+
+// sendMany routes one datagram to several destinations under a single
+// lock acquisition — the fan-out path behind MemConn.Broadcast.
+func (n *Network) sendMany(from string, addrs []string, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	deliveries := make([]*delivery, 0, len(addrs))
+	for _, to := range addrs {
+		if d := n.routeLocked(from, to, data); d != nil {
+			deliveries = append(deliveries, d)
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range deliveries {
+		n.execute(d)
 	}
 	return nil
 }
@@ -263,7 +306,10 @@ type MemConn struct {
 	closed bool
 }
 
-var _ Conn = (*MemConn)(nil)
+var (
+	_ Conn        = (*MemConn)(nil)
+	_ Broadcaster = (*MemConn)(nil)
+)
 
 // Addr returns the endpoint's address.
 func (c *MemConn) Addr() string { return c.addr }
@@ -281,6 +327,18 @@ func (c *MemConn) Send(to string, data []byte) error {
 
 // Recv returns the inbound packet channel.
 func (c *MemConn) Recv() <-chan Packet { return c.ch }
+
+// Broadcast sends data to every address, routing the whole fan-out under
+// one network lock acquisition.
+func (c *MemConn) Broadcast(addrs []string, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	return c.net.sendMany(c.addr, addrs, data)
+}
 
 // deliver enqueues a packet, dropping it if the receiver's buffer is full
 // or the endpoint closed (UDP semantics).

@@ -6,6 +6,8 @@
 // semantics: the protocol layer must tolerate loss and duplication.
 package transport
 
+import "errors"
+
 // Packet is one received datagram.
 type Packet struct {
 	// From is the sender's address as observed by the transport.
@@ -28,3 +30,37 @@ type Conn interface {
 	// Close releases the endpoint. Further Sends fail.
 	Close() error
 }
+
+// Broadcaster is the optional fan-out fast path of a Conn: transmit one
+// already-marshaled datagram to many destinations in a single call. Both
+// built-in transports implement it; wrappers (e.g. fault-injecting test
+// conns) may not, and then Broadcast falls back to per-address Send.
+type Broadcaster interface {
+	// Broadcast sends the same data to every address. Best-effort like
+	// Send; the first per-destination error is returned but the remaining
+	// destinations are still attempted.
+	Broadcast(addrs []string, data []byte) error
+}
+
+// Broadcast transmits data to every address through the Conn's native
+// fan-out when it has one, or by looping over Send otherwise. Protocol
+// egress stages use it to seal and marshal a message once and ship the
+// same byte slice to all peers.
+func Broadcast(c Conn, addrs []string, data []byte) error {
+	if b, ok := c.(Broadcaster); ok {
+		return b.Broadcast(addrs, data)
+	}
+	var first error
+	for _, to := range addrs {
+		if err := c.Send(to, data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ErrTooLarge is returned (wrapped) when a datagram exceeds the
+// transport's size limit. Oversized sends are silently lost on real
+// networks; the typed error plus the per-conn counter make the drop
+// observable to the protocol layer.
+var ErrTooLarge = errors.New("transport: datagram exceeds size limit")

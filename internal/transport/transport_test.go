@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -286,9 +287,85 @@ func TestUDPOversizedDatagramRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send(a.Addr(), make([]byte, maxDatagram+1)); err == nil {
+	err = a.Send(a.Addr(), make([]byte, maxDatagram+1))
+	if err == nil {
 		t.Fatal("oversized datagram must be rejected")
 	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("error %v must wrap ErrTooLarge", err)
+	}
+	if got := a.OversizedSends(); got != 1 {
+		t.Fatalf("OversizedSends = %d, want 1", got)
+	}
+	// The broadcast path counts one refusal per destination.
+	err = a.Broadcast([]string{a.Addr(), a.Addr()}, make([]byte, maxDatagram+1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("broadcast error %v must wrap ErrTooLarge", err)
+	}
+	if got := a.OversizedSends(); got != 3 {
+		t.Fatalf("OversizedSends = %d, want 3", got)
+	}
+}
+
+func TestUDPBroadcastDelivers(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := a.Broadcast([]string{b.Addr(), c.Addr()}, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []*UDPConn{b, c} {
+		if p := recvOne(t, dst); string(p.Data) != "fanout" {
+			t.Fatalf("got %q", p.Data)
+		}
+	}
+}
+
+func TestMemBroadcastDelivers(t *testing.T) {
+	n := NewNetwork(7)
+	defer n.Close()
+	a, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Listen("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transportBroadcast(a, []string{"b", "c"}, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []*MemConn{b, c} {
+		if p := recvOne(t, dst); string(p.Data) != "fanout" {
+			t.Fatalf("got %q", p.Data)
+		}
+	}
+	st := n.Stats()
+	if st.Packets != 2 {
+		t.Fatalf("packets = %d, want 2", st.Packets)
+	}
+}
+
+// transportBroadcast calls the package-level Broadcast helper through the
+// Conn interface, exercising the Broadcaster fast-path detection.
+func transportBroadcast(c Conn, addrs []string, data []byte) error {
+	return Broadcast(c, addrs, data)
 }
 
 func TestUDPCloseStopsReceiver(t *testing.T) {

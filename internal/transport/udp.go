@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // maxDatagram is the largest datagram the UDP transport sends or receives.
@@ -19,13 +20,18 @@ type UDPConn struct {
 	addr string
 	ch   chan Packet
 
+	oversized atomic.Uint64
+
 	mu     sync.Mutex
 	peers  map[string]*net.UDPAddr
 	closed bool
 	wg     sync.WaitGroup
 }
 
-var _ Conn = (*UDPConn)(nil)
+var (
+	_ Conn        = (*UDPConn)(nil)
+	_ Broadcaster = (*UDPConn)(nil)
+)
 
 // ListenUDP opens a UDP endpoint at addr (e.g. "127.0.0.1:7001"; a port of
 // 0 picks a free port).
@@ -55,10 +61,14 @@ func (c *UDPConn) Addr() string { return c.addr }
 // Recv returns the inbound packet channel.
 func (c *UDPConn) Recv() <-chan Packet { return c.ch }
 
-// Send transmits one datagram to the UDP address to.
+// Send transmits one datagram to the UDP address to. Payloads over the
+// datagram limit return a wrapped ErrTooLarge and count in
+// OversizedSends, so protocol-layer drops stay observable even when the
+// caller treats sends as best-effort.
 func (c *UDPConn) Send(to string, data []byte) error {
 	if len(data) > maxDatagram {
-		return fmt.Errorf("transport: datagram of %d bytes exceeds limit %d", len(data), maxDatagram)
+		c.oversized.Add(1)
+		return fmt.Errorf("%w: %d bytes over limit %d", ErrTooLarge, len(data), maxDatagram)
 	}
 	ua, err := c.resolve(to)
 	if err != nil {
@@ -73,6 +83,36 @@ func (c *UDPConn) Send(to string, data []byte) error {
 	_, err = c.sock.WriteToUDP(data, ua)
 	return err
 }
+
+// Broadcast sends the same datagram to every address: one size check and
+// one close check for the whole fan-out.
+func (c *UDPConn) Broadcast(addrs []string, data []byte) error {
+	if len(data) > maxDatagram {
+		c.oversized.Add(uint64(len(addrs)))
+		return fmt.Errorf("%w: %d bytes over limit %d", ErrTooLarge, len(data), maxDatagram)
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	var first error
+	for _, to := range addrs {
+		ua, err := c.resolve(to)
+		if err == nil {
+			_, err = c.sock.WriteToUDP(data, ua)
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OversizedSends returns how many sends were refused for exceeding the
+// datagram size limit.
+func (c *UDPConn) OversizedSends() uint64 { return c.oversized.Load() }
 
 func (c *UDPConn) resolve(to string) (*net.UDPAddr, error) {
 	c.mu.Lock()

@@ -24,6 +24,13 @@ const (
 
 // Envelope frames every message on the wire: type, sender identity, opaque
 // payload, and the authentication trailer.
+//
+// An Envelope is not safe for concurrent use: Raw memoizes the marshaled
+// form, so no field may change after the first Raw call. The pipeline
+// stages rely on single ownership: a verifier worker decodes and
+// authenticates an envelope before handing it to the protocol loop, and
+// egress paths seal an envelope completely before broadcasting its Raw
+// form.
 type Envelope struct {
 	Type   MsgType
 	Sender uint32
@@ -35,6 +42,8 @@ type Envelope struct {
 	Sig []byte
 	// Auth is the authenticator over SignedBytes when Kind == AuthMAC.
 	Auth crypto.Authenticator
+
+	raw []byte // memoized Marshal (via Raw)
 }
 
 // SignedBytes returns the byte string covered by the signature or
@@ -45,6 +54,17 @@ func (e *Envelope) SignedBytes() []byte {
 	w.U32(e.Sender)
 	w.Raw(e.Payload)
 	return w.Bytes()
+}
+
+// Raw returns the memoized wire form of a fully sealed envelope. Egress
+// paths use it to marshal-and-authenticate once and fan the same byte
+// slice out to every destination; callers must not mutate the envelope
+// (or the returned slice) afterwards.
+func (e *Envelope) Raw() []byte {
+	if e.raw == nil {
+		e.raw = e.Marshal()
+	}
+	return e.raw
 }
 
 // Marshal flattens the envelope for transmission.
@@ -94,5 +114,8 @@ func UnmarshalEnvelope(b []byte) (*Envelope, error) {
 	if e.Type == MTInvalid || e.Type > MTStatus {
 		return nil, fmt.Errorf("wire: unknown message type %d", e.Type)
 	}
+	// The input buffer IS the wire form; callers that relay or store the
+	// envelope (Raw) reuse it instead of re-marshaling.
+	e.raw = b
 	return e, nil
 }

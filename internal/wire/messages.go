@@ -19,11 +19,19 @@ const (
 )
 
 // Request is a client operation submitted for total ordering.
+//
+// A Request is not safe for concurrent use: Digest memoizes its result, so
+// the identifying fields must not change after the first Digest call. The
+// memo travels with value copies, letting the ingress pipeline compute big
+// request digests once, off the protocol loop.
 type Request struct {
 	ClientID  uint32
 	Timestamp uint64 // client-local, strictly increasing request identifier
 	Flags     uint8
 	Op        []byte
+
+	digest    crypto.Digest // memoized Digest
+	hasDigest bool
 }
 
 // ReadOnly reports whether the read-only flag is set.
@@ -36,14 +44,19 @@ func (m *Request) System() bool { return m.Flags&FlagSystem != 0 }
 func (m *Request) Big() bool { return m.Flags&FlagBig != 0 }
 
 // Digest returns the content digest identifying the request in agreement
-// messages and batch digests.
+// messages and batch digests. The result is memoized; see the Request
+// concurrency note.
 func (m *Request) Digest() crypto.Digest {
-	w := NewWriter(16 + len(m.Op))
-	w.U32(m.ClientID)
-	w.U64(m.Timestamp)
-	w.U8(m.Flags)
-	w.Raw(m.Op)
-	return crypto.DigestOf(w.Bytes())
+	if !m.hasDigest {
+		w := NewWriter(16 + len(m.Op))
+		w.U32(m.ClientID)
+		w.U64(m.Timestamp)
+		w.U8(m.Flags)
+		w.Raw(m.Op)
+		m.digest = crypto.DigestOf(w.Bytes())
+		m.hasDigest = true
+	}
+	return m.digest
 }
 
 // Encode appends the wire form to w.
@@ -193,24 +206,35 @@ func (e *BatchEntry) decode(r *Reader) {
 
 // PrePrepare is the primary's sequence-number assignment for a batch of
 // requests, carrying the non-deterministic choices for their execution.
+//
+// A PrePrepare is not safe for concurrent use: BatchDigest memoizes its
+// result, so NonDet and Entries must not change after the first
+// BatchDigest call.
 type PrePrepare struct {
 	View    uint64
 	Seq     uint64
 	NonDet  []byte
 	Entries []BatchEntry
+
+	batchDigest    crypto.Digest // memoized BatchDigest
+	hasBatchDigest bool
 }
 
 // BatchDigest returns the digest that prepares and commits agree on: the
 // digest of the sequence of request digests plus the non-deterministic
-// payload.
+// payload. The result is memoized; see the PrePrepare concurrency note.
 func (m *PrePrepare) BatchDigest() crypto.Digest {
-	w := NewWriter(len(m.Entries)*crypto.DigestSize + len(m.NonDet) + 8)
-	w.Bytes32(m.NonDet)
-	for i := range m.Entries {
-		d := m.Entries[i].RequestDigest()
-		w.Raw(d[:])
+	if !m.hasBatchDigest {
+		w := NewWriter(len(m.Entries)*crypto.DigestSize + len(m.NonDet) + 8)
+		w.Bytes32(m.NonDet)
+		for i := range m.Entries {
+			d := m.Entries[i].RequestDigest()
+			w.Raw(d[:])
+		}
+		m.batchDigest = crypto.DigestOf(w.Bytes())
+		m.hasBatchDigest = true
 	}
-	return crypto.DigestOf(w.Bytes())
+	return m.batchDigest
 }
 
 // Encode appends the wire form to w.
