@@ -7,6 +7,7 @@
 //	BenchmarkACIDvsNoACID    — §4.2: journal+fsync vs neither
 //	BenchmarkDynamicOverhead — §4.1: static vs dynamic client management
 //	BenchmarkGroupSize       — §3.3.3: agreement latency as n = 3f+1 grows
+//	BenchmarkPipeline        — 1 pipelined client vs an equal client fleet
 //
 // Each op is one client request against a live in-process cluster of
 // 3f+1 replicas over the simulated 1 GbE network; parallel workers model
@@ -16,8 +17,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/client"
@@ -49,7 +53,7 @@ func benchCluster(b *testing.B, lc harness.LibConfig, app harness.AppFactory, nu
 		} else {
 			cl, err = c.DynamicClient(fmt.Sprintf("bench-dyn-%d", i))
 			if err == nil {
-				err = cl.Join([]byte(fmt.Sprintf("benchuser%d:x", i)))
+				err = cl.Join(context.Background(), []byte(fmt.Sprintf("benchuser%d:x", i)))
 			}
 		}
 		if err != nil {
@@ -73,7 +77,7 @@ func runClientBench(b *testing.B, pool chan *client.Client, op func(i int) []byt
 			defer func() { pool <- cl }()
 			i := 0
 			for pb.Next() {
-				resp, err := cl.Invoke(op(i))
+				resp, err := cl.Invoke(context.Background(), op(i))
 				if err != nil {
 					b.Error(err)
 					return
@@ -220,6 +224,75 @@ func BenchmarkVerifyWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline compares the two ways of keeping 16 requests in
+// flight on the default configuration: the paper's model (16 closed-loop
+// clients, one outstanding request each — a goroutine + connection +
+// session per simulated user) against one pipelined client multiplexing
+// a 16-deep window through the concurrent Submit API. ns/op is per
+// operation at equal total in-flight budget.
+func BenchmarkPipeline(b *testing.B) {
+	const inflight = 16
+	lc := harness.Table1Configs()[0] // sta_mac_allbig_batch, the default
+	for _, bc := range []struct {
+		name              string
+		numClients, depth int
+	}{
+		{"16clients_x_depth1", inflight, 1},
+		{"1client_x_depth16", 1, inflight},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c, err := harness.NewCluster(harness.ClusterOptions{
+				Opts:       harness.BenchOptionsFor(lc),
+				NumClients: bc.numClients,
+				Seed:       42,
+				App:        harness.NewEchoFactory(1024),
+				Bandwidth:  938e6 / 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			clients := make([]*client.Client, bc.numClients)
+			for i := range clients {
+				cl, err := c.Client(i, client.WithPipelineDepth(bc.depth))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { cl.Close() })
+				clients[i] = cl
+			}
+			payload := make([]byte, 1024)
+			ctx := context.Background()
+			b.ResetTimer()
+			// inflight workers split across the clients: every worker
+			// drives one in-flight slot.
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			ops := make(chan struct{}, inflight)
+			for w := 0; w < inflight; w++ {
+				wg.Add(1)
+				go func(cl *client.Client) {
+					defer wg.Done()
+					for range ops {
+						if _, err := cl.Invoke(ctx, payload); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+				}(clients[w%len(clients)])
+			}
+			for i := 0; i < b.N; i++ {
+				ops <- struct{}{}
+			}
+			close(ops)
+			wg.Wait()
+			if failed.Load() {
+				b.Fatal("invoke failed")
+			}
+		})
+	}
+}
+
 // BenchmarkGroupSize shows the §3.3.3 obstacle: request latency grows
 // with the group size (quadratic message complexity).
 func BenchmarkGroupSize(b *testing.B) {
@@ -246,7 +319,7 @@ func BenchmarkGroupSize(b *testing.B) {
 			payload := make([]byte, 64)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := cl.Invoke(payload); err != nil {
+				if _, err := cl.Invoke(context.Background(), payload); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,7 +12,12 @@
 //	pbft-bench -experiment wan               # §3.3.3 message complexity
 //	pbft-bench -experiment loss              # §2.4 packet-loss behaviour
 //	pbft-bench -experiment recovery          # §2.3 restart recovery
+//	pbft-bench -experiment pipeline          # pipelined client vs client fleet
 //	pbft-bench -experiment all
+//
+// The -pipeline flag sets how many requests each load client keeps in
+// flight (request pipelining over the concurrent client API); the default
+// 1 is the paper's closed-loop model.
 package main
 
 import (
@@ -32,11 +37,12 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
 	size := flag.Int("size", 1024, "null request/response size in bytes (paper: 256..4096)")
+	pipeline := flag.Int("pipeline", 1, "in-flight requests per load client (1 = closed loop)")
 	seed := flag.Int64("seed", 42, "simulated network seed")
 	flag.Parse()
 
@@ -45,6 +51,7 @@ func run() error {
 	opts.Warmup = *warmup
 	opts.NumClients = *clients
 	opts.RequestSize = *size
+	opts.PipelineDepth = *pipeline
 	opts.Seed = *seed
 	opts.Out = os.Stdout
 
@@ -66,6 +73,8 @@ func run() error {
 			return harness.RunLossExperiment(opts)
 		case "lossy":
 			return harness.RunLossyBatchAblation(opts, []float64{0, 0.005, 0.01, 0.02})
+		case "pipeline":
+			return harness.RunPipelineComparison(opts, []int{1, 4, 8, 16})
 		case "recovery":
 			return harness.RunRecoveryExperiment(opts, []time.Duration{
 				200 * time.Millisecond, 500 * time.Millisecond, time.Second,
@@ -76,7 +85,7 @@ func run() error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery", "pipeline"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -12,14 +12,21 @@
 // Dynamic clients (deployment generated with -dynamic) join first:
 //
 //	pbft-client -dir ./deploy -join alice:sesame -sql "SELECT count(*) FROM votes"
+//
+// Pipelined submission keeps -pipeline requests in flight through the
+// concurrent client API; -count repeats the operation that many times:
+//
+//	pbft-client -dir ./deploy -id 4 -op inc -count 64 -pipeline 16
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/pbft"
 	"repro/sqlstate"
@@ -40,7 +47,13 @@ func run() error {
 	op := flag.String("op", "", "send one raw operation (echo/counter apps)")
 	readOnly := flag.Bool("readonly", false, "use the read-only optimization (SELECT only)")
 	leave := flag.Bool("leave", false, "leave the service after the operation (dynamic clients)")
+	count := flag.Int("count", 1, "repeat the operation this many times")
+	pipeline := flag.Int("pipeline", 1, "requests kept in flight at once (request pipelining)")
+	timeout := flag.Duration("timeout", time.Minute, "overall deadline for the run")
 	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
 	if err != nil {
@@ -51,6 +64,7 @@ func run() error {
 		return err
 	}
 
+	copts := []pbft.ClientOption{pbft.WithPipelineDepth(*pipeline)}
 	var cl *pbft.Client
 	if *join != "" {
 		kp, err := pbft.GenerateKeyPair(nil)
@@ -61,11 +75,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cl, err = pbft.NewDynamicClient(cfg, kp, conn)
+		cl, err = pbft.NewDynamicClient(cfg, kp, conn, copts...)
 		if err != nil {
 			return err
 		}
-		if err := cl.Join([]byte(*join)); err != nil {
+		if err := cl.Join(ctx, []byte(*join)); err != nil {
 			return err
 		}
 		fmt.Printf("joined as client %d\n", cl.ID())
@@ -87,7 +101,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn)
+		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn, copts...)
 		if err != nil {
 			return err
 		}
@@ -97,16 +111,14 @@ func run() error {
 	switch {
 	case *sql != "":
 		body := sqlstate.EncodeExec(*sql)
+		var callOpts []pbft.CallOption
 		if isSelect(*sql) {
 			body = sqlstate.EncodeQuery(*sql)
 		}
-		var resp []byte
-		var err error
 		if *readOnly {
-			resp, err = cl.InvokeReadOnly(body)
-		} else {
-			resp, err = cl.Invoke(body)
+			callOpts = append(callOpts, pbft.ReadOnly())
 		}
+		resp, err := invokeMany(ctx, cl, body, *count, callOpts...)
 		if err != nil {
 			return err
 		}
@@ -116,7 +128,7 @@ func run() error {
 		}
 		printResponse(r)
 	case *op != "":
-		resp, err := cl.Invoke([]byte(*op))
+		resp, err := invokeMany(ctx, cl, []byte(*op), *count)
 		if err != nil {
 			return err
 		}
@@ -128,12 +140,40 @@ func run() error {
 	}
 
 	if *leave {
-		if err := cl.Leave(); err != nil {
+		if err := cl.Leave(ctx); err != nil {
 			return err
 		}
 		fmt.Println("left the service")
 	}
 	return nil
+}
+
+// invokeMany submits the operation count times through the client's
+// pipeline window and returns the last response. With count 1 it is a
+// plain synchronous invoke.
+func invokeMany(ctx context.Context, cl *pbft.Client, body []byte, count int, opts ...pbft.CallOption) ([]byte, error) {
+	if count < 1 {
+		count = 1
+	}
+	start := time.Now()
+	calls := make([]*pbft.Call, 0, count)
+	for i := 0; i < count; i++ {
+		calls = append(calls, cl.Submit(ctx, body, opts...))
+	}
+	var last []byte
+	for _, call := range calls {
+		resp, err := call.Result()
+		if err != nil {
+			return nil, err
+		}
+		last = resp
+	}
+	if count > 1 {
+		elapsed := time.Since(start)
+		fmt.Printf("%d ops in %s (%.0f ops/s, window %d)\n",
+			count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds(), cl.PipelineDepth())
+	}
+	return last, nil
 }
 
 func isSelect(sql string) bool {

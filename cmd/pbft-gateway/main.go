@@ -4,7 +4,9 @@
 // HTTP/JSON gateway that embeds a real PBFT client.
 //
 // The gateway joins the replicated service as a dynamic client (or uses a
-// static identity) and translates REST calls into ordered SQL requests:
+// static identity) and translates REST calls into ordered SQL requests.
+// Handlers share one concurrent PBFT client and pipeline up to -pipeline
+// requests at once, so simultaneous HTTP requests are not serialized:
 //
 //	pbft-gateway -dir ./deploy -listen 127.0.0.1:8080 -join gateway:secret
 //
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,7 +28,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/pbft"
@@ -44,7 +46,9 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	join := flag.String("join", "", "join dynamically with this identification buffer")
 	id := flag.Uint("id", 0, "static client id (when not joining)")
+	pipeline := flag.Int("pipeline", 0, "requests kept in flight at once (0 = deployment window)")
 	flag.Parse()
+	copts := []pbft.ClientOption{pbft.WithPipelineDepth(*pipeline)}
 
 	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
 	if err != nil {
@@ -65,11 +69,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cl, err = pbft.NewDynamicClient(cfg, kp, conn)
+		cl, err = pbft.NewDynamicClient(cfg, kp, conn, copts...)
 		if err != nil {
 			return err
 		}
-		if err := cl.Join([]byte(*join)); err != nil {
+		if err := cl.Join(context.Background(), []byte(*join)); err != nil {
 			return err
 		}
 	} else {
@@ -90,7 +94,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn)
+		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn, copts...)
 		if err != nil {
 			return err
 		}
@@ -113,10 +117,11 @@ func run() error {
 	return srv.ListenAndServe()
 }
 
-// gateway serializes access to the single PBFT client (one outstanding
-// request per client is a protocol rule; scale by running more gateways).
+// gateway multiplexes HTTP requests over one concurrent PBFT client:
+// handlers submit directly and the client pipelines up to its window,
+// blocking the excess — one endpoint serves many simultaneous users
+// without a client identity per user.
 type gateway struct {
-	mu     sync.Mutex
 	client *pbft.Client
 }
 
@@ -169,14 +174,12 @@ func (g *gateway) handle(w http.ResponseWriter, r *http.Request, query bool) {
 		body = sqlstate.EncodeExec(req.SQL, args...)
 	}
 
-	g.mu.Lock()
 	var raw []byte
 	if query && req.ReadOnly {
-		raw, err = g.client.InvokeReadOnly(body)
+		raw, err = g.client.InvokeReadOnly(r.Context(), body)
 	} else {
-		raw, err = g.client.Invoke(body)
+		raw, err = g.client.Invoke(r.Context(), body)
 	}
-	g.mu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, sqlResponse{Error: "service: " + err.Error()})
 		return

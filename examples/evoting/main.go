@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -134,16 +135,15 @@ func castVote(net *pbft.Network, cfg *pbft.Config, voter, password, choice strin
 	if err != nil {
 		return err
 	}
-	cl, err := pbft.NewDynamicClient(cfg, kp, conn)
+	cl, err := pbft.NewDynamicClient(cfg, kp, conn, pbft.WithMaxRetries(4))
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	cl.MaxRetries = 4
-	if err := cl.Join([]byte(voter + ":" + password)); err != nil {
+	if err := cl.Join(context.Background(), []byte(voter+":"+password)); err != nil {
 		return err
 	}
-	resp, err := cl.Invoke(sqlstate.EncodeExec(
+	resp, err := cl.Invoke(context.Background(), sqlstate.EncodeExec(
 		"INSERT INTO votes (voter, choice, ts, receipt) VALUES (?, ?, now(), random())",
 		sqlstate.Text(voter), sqlstate.Text(choice)))
 	if err != nil {
@@ -153,7 +153,7 @@ func castVote(net *pbft.Network, cfg *pbft.Config, voter, password, choice strin
 		return err
 	}
 	fmt.Printf("%s voted (session %d)\n", voter, cl.ID())
-	return cl.Leave()
+	return cl.Leave(context.Background())
 }
 
 func tally(net *pbft.Network, cfg *pbft.Config) error {
@@ -170,11 +170,11 @@ func tally(net *pbft.Network, cfg *pbft.Config) error {
 		return err
 	}
 	defer cl.Close()
-	if err := cl.Join([]byte("alice:a-pass")); err != nil { // auditors use their own credentials
+	if err := cl.Join(context.Background(), []byte("alice:a-pass")); err != nil { // auditors use their own credentials
 		return err
 	}
 	for _, choice := range []string{"fizz", "buzz"} {
-		resp, err := cl.Invoke(sqlstate.EncodeQuery(
+		resp, err := cl.Invoke(context.Background(), sqlstate.EncodeQuery(
 			"SELECT count(*) AS votes FROM votes WHERE choice = ?", sqlstate.Text(choice)))
 		if err != nil {
 			return err

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,14 +62,14 @@ func wedgeDemo() error {
 	}
 	defer cl.Close()
 
-	if _, err := cl.Invoke([]byte("inc")); err != nil {
+	if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 		return err
 	}
 	fmt.Println("request 1 executed everywhere")
 
 	// Drop exactly the client→replica-3 body transmissions.
 	c.Net.SetLinkFaults(harness.ClientAddr(0), harness.ReplicaAddr(3), transport.Faults{Partitioned: true})
-	if _, err := cl.Invoke([]byte("inc")); err != nil {
+	if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 		return err
 	}
 	c.Net.ClearLinkFaults(harness.ClientAddr(0), harness.ReplicaAddr(3))
@@ -79,7 +80,7 @@ func wedgeDemo() error {
 
 	// Push past the checkpoint interval; state transfer unwedges it.
 	for i := 0; i < 10; i++ {
-		if _, err := cl.Invoke([]byte("inc")); err != nil {
+		if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 			return err
 		}
 	}
@@ -121,7 +122,7 @@ func recoveryDemo() error {
 	defer cl.Close()
 
 	for i := 0; i < 20; i++ {
-		if _, err := cl.Invoke([]byte("inc")); err != nil {
+		if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 			return err
 		}
 	}
@@ -137,7 +138,7 @@ func recoveryDemo() error {
 	go func() {
 		defer close(done)
 		for i := 0; i < 40; i++ {
-			if _, err := cl.Invoke([]byte("inc")); err != nil {
+			if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 				return
 			}
 			time.Sleep(50 * time.Millisecond)

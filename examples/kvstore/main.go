@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -191,7 +192,7 @@ func run() error {
 		"keys",
 	}
 	for _, op := range ops {
-		resp, err := cl.Invoke([]byte(op))
+		resp, err := cl.Invoke(context.Background(), []byte(op))
 		if err != nil {
 			return err
 		}
@@ -200,7 +201,7 @@ func run() error {
 
 	// Reads can use the optimized read-only path (§2.1): no agreement,
 	// the client collects a 2f+1 quorum of direct replies.
-	resp, err := cl.InvokeReadOnly([]byte("get shape"))
+	resp, err := cl.InvokeReadOnly(context.Background(), []byte("get shape"))
 	if err != nil {
 		return err
 	}

@@ -2,12 +2,21 @@
 // this process over the in-memory network. The replicated service is a
 // ten-line echo application.
 //
+// The client API is asynchronous and context-aware: Submit returns a
+// *pbft.Call future, Invoke is its synchronous wrapper, and one client
+// safely serves many goroutines at once, pipelining up to
+// pbft.WithPipelineDepth requests. This program shows all three shapes:
+// a plain Invoke, a batch of futures, and concurrent goroutines sharing
+// the client.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"repro/pbft"
 )
@@ -30,6 +39,7 @@ func main() {
 func run() error {
 	const f = 1
 	n := 3*f + 1
+	ctx := context.Background()
 
 	// Every node needs key material and a network endpoint.
 	net := pbft.NewNetwork(1)
@@ -81,25 +91,57 @@ func run() error {
 		}
 	}()
 
-	// Invoke operations: each one runs the full three-phase agreement
-	// across the four replicas before the client accepts the reply
-	// quorum (Figure 1 of the paper).
+	// One client, pipelining up to 8 requests. The connection is owned
+	// by the client afterwards; Close releases it.
 	conn, err := net.Listen("client-0")
 	if err != nil {
 		return err
 	}
-	cl, err := pbft.NewClient(cfg, uint32(n), clientKey, conn)
+	cl, err := pbft.NewClient(cfg, uint32(n), clientKey, conn, pbft.WithPipelineDepth(8))
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
 
-	for _, msg := range []string{"hello", "byzantine", "world"} {
-		resp, err := cl.Invoke([]byte(msg))
+	// Synchronous: each Invoke runs the full three-phase agreement
+	// across the four replicas before the reply quorum is accepted
+	// (Figure 1 of the paper).
+	resp, err := cl.Invoke(ctx, []byte("hello"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("invoke(%q) -> %q\n", "hello", resp)
+
+	// Asynchronous: Submit returns futures; the requests travel through
+	// agreement together (pipelined), not one after the other.
+	var calls []*pbft.Call
+	for _, msg := range []string{"byzantine", "fault", "tolerance"} {
+		calls = append(calls, cl.Submit(ctx, []byte(msg)))
+	}
+	for i, call := range calls {
+		resp, err := call.Result()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("invoke(%q) -> %q\n", msg, resp)
+		fmt.Printf("call %d -> %q\n", i, resp)
+	}
+
+	// Concurrent: many goroutines may share one client.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := cl.Invoke(ctx, []byte(fmt.Sprintf("worker-%d", g))); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
 	}
 
 	for i, r := range replicas {

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// Call is one in-flight request: a future that completes when a reply
+// quorum assembles, the submission context is cancelled, the
+// retransmission budget runs out, or the client closes. Calls are created
+// by Client.Submit and are safe for concurrent use.
+type Call struct {
+	c         *Client
+	ctx       context.Context
+	clientID  uint32
+	timestamp uint64
+	env       *wire.Envelope
+	multicast bool // retransmissions always broadcast; this is the first send
+	windowed  bool // sequential timestamp, counted against the span window
+
+	mu         sync.Mutex
+	finished   bool
+	attempts   int
+	byDigest   map[crypto.Digest]*replyQuorum
+	timer      *time.Timer
+	stopCtx    func() bool
+	holdsSlot  bool
+	registered bool
+
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// Done returns a channel closed when the call completes.
+func (call *Call) Done() <-chan struct{} { return call.done }
+
+// Result blocks until the call completes and returns its outcome. It may
+// be called any number of times from any goroutine.
+func (call *Call) Result() ([]byte, error) {
+	<-call.done
+	return call.result, call.err
+}
+
+// Err returns nil while the call is in flight, and the call's outcome
+// error (possibly nil) once it completed.
+func (call *Call) Err() error {
+	select {
+	case <-call.done:
+		return call.err
+	default:
+		return nil
+	}
+}
+
+// failedCall builds an already-completed Call (Submit never returns nil).
+func failedCall(err error) *Call {
+	call := &Call{finished: true, err: err, done: make(chan struct{})}
+	close(call.done)
+	return call
+}
+
+// armCtx wires context cancellation into the call. context.AfterFunc
+// keeps this allocation-only: no goroutine is parked per call.
+func (call *Call) armCtx() {
+	if call.ctx == nil || call.ctx.Done() == nil {
+		return
+	}
+	call.mu.Lock()
+	if call.finished {
+		call.mu.Unlock()
+		return
+	}
+	ctx := call.ctx
+	call.stopCtx = context.AfterFunc(ctx, func() {
+		call.finish(nil, ctx.Err())
+	})
+	call.mu.Unlock()
+}
+
+// armTimer starts the per-call retransmission timer. One time.AfterFunc
+// per call, stopped on completion — timers cannot leak past the call by
+// construction (the old awaitReplies allocated a fresh timer per round
+// and leaked the final one on early return).
+func (call *Call) armTimer(d time.Duration) {
+	call.mu.Lock()
+	if !call.finished {
+		call.timer = time.AfterFunc(d, func() { call.onTimeout(d) })
+	}
+	call.mu.Unlock()
+}
+
+// onTimeout fires when a reply quorum did not assemble within one round:
+// retransmit to every replica (they relay to the primary and arm their
+// view-change timers) or, with the retry budget exhausted, fail the call.
+func (call *Call) onTimeout(d time.Duration) {
+	call.mu.Lock()
+	if call.finished {
+		call.mu.Unlock()
+		return
+	}
+	call.attempts++
+	if call.attempts >= call.c.maxRetries {
+		call.mu.Unlock()
+		call.finish(nil, ErrTimeout)
+		return
+	}
+	call.timer.Reset(d)
+	call.mu.Unlock()
+	call.c.maybeHello()
+	_ = call.c.broadcast(call.env)
+}
+
+// deliver folds one authenticated, routed reply into the quorum state.
+func (call *Call) deliver(rep *wire.Reply) {
+	call.mu.Lock()
+	if call.finished {
+		call.mu.Unlock()
+		return
+	}
+	result, ok := recordReply(call.byDigest, rep, call.c.f, call.c.quorum)
+	call.mu.Unlock()
+	if ok {
+		call.finish(result, nil)
+	}
+}
+
+// finish completes the call exactly once: record the outcome, stop the
+// retransmission timer and context hook, leave the routing table, close
+// Done, and release the pipeline slot.
+func (call *Call) finish(result []byte, err error) {
+	call.mu.Lock()
+	if call.finished {
+		call.mu.Unlock()
+		return
+	}
+	call.finished = true
+	call.result, call.err = result, err
+	timer := call.timer
+	stopCtx := call.stopCtx
+	call.mu.Unlock()
+
+	if timer != nil {
+		timer.Stop()
+	}
+	if stopCtx != nil {
+		stopCtx()
+	}
+	if call.registered {
+		c := call.c
+		c.mu.Lock()
+		if c.calls[call.timestamp] == call {
+			delete(c.calls, call.timestamp)
+		}
+		c.mu.Unlock()
+	}
+	close(call.done)
+	if call.holdsSlot {
+		call.c.slots <- struct{}{}
+	}
+}

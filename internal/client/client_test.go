@@ -1,8 +1,13 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -12,12 +17,13 @@ import (
 
 // testSetup builds a config (no live replicas) and a client over the mem
 // network for white-box protocol tests.
-func testSetup(t *testing.T, useMACs bool) (*core.Config, *Client, []*crypto.KeyPair) {
+func testSetup(t *testing.T, useMACs bool, opts ...Option) (*core.Config, *Client, []*crypto.KeyPair) {
 	t.Helper()
-	opts := core.DefaultOptions()
-	opts.UseMACs = useMACs
-	opts.StateSize = 1 << 20
-	cfg := &core.Config{Opts: opts}
+	o := core.DefaultOptions()
+	o.UseMACs = useMACs
+	o.StateSize = 1 << 20
+	o.RequestTimeout = 20 * time.Millisecond
+	cfg := &core.Config{Opts: o}
 	rkeys := make([]*crypto.KeyPair, 4)
 	for i := 0; i < 4; i++ {
 		kp, err := crypto.GenerateKeyPair(nil)
@@ -39,7 +45,7 @@ func testSetup(t *testing.T, useMACs bool) (*core.Config, *Client, []*crypto.Key
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := New(cfg, 4, ckp, conn)
+	cl, err := New(cfg, 4, ckp, conn, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,74 +67,86 @@ func sealReply(t *testing.T, cfg *core.Config, cl *Client, rkeys []*crypto.KeyPa
 	return env.Marshal()
 }
 
+// pendingCall registers a bare in-flight call for dispatch tests.
+func pendingCall(cl *Client, ts uint64) *Call {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	env := cl.seal(cl.id, wire.MTRequest, (&wire.Request{ClientID: cl.id, Timestamp: ts}).Marshal(), false)
+	return cl.register(context.Background(), cl.id, ts, env, false, false)
+}
+
+func mkReply(ts uint64, replica uint32, result string, tentative bool) *wire.Reply {
+	rep := &wire.Reply{Timestamp: ts, ClientID: 4, Replica: replica, Result: []byte(result)}
+	if tentative {
+		rep.Flags |= wire.FlagTentative
+	}
+	return rep
+}
+
 func TestRecordReplyQuorums(t *testing.T) {
-	_, cl, _ := testSetup(t, false)
-	mkReply := func(replica uint32, result string, tentative bool) *wire.Reply {
-		rep := &wire.Reply{Timestamp: 1, ClientID: 4, Replica: replica, Result: []byte(result)}
-		if tentative {
-			rep.Flags |= wire.FlagTentative
-		}
-		return rep
+	const f, quorum = 1, 3
+	rec := func(q map[crypto.Digest]*replyQuorum, rep *wire.Reply) ([]byte, bool) {
+		return recordReply(q, rep, f, quorum)
 	}
 
 	t.Run("f+1 stable suffices", func(t *testing.T) {
 		q := make(map[crypto.Digest]*replyQuorum)
-		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+		if _, ok := rec(q, mkReply(1, 0, "ok", false)); ok {
 			t.Fatal("one stable reply must not suffice")
 		}
-		if got := cl.recordReply(q, mkReply(1, "ok", false)); string(got) != "ok" {
+		if got, ok := rec(q, mkReply(1, 1, "ok", false)); !ok || string(got) != "ok" {
 			t.Fatalf("two stable matching replies (f+1) must be accepted, got %v", got)
 		}
 	})
 
 	t.Run("tentative needs 2f+1", func(t *testing.T) {
 		q := make(map[crypto.Digest]*replyQuorum)
-		if cl.recordReply(q, mkReply(0, "ok", true)) != nil {
+		if _, ok := rec(q, mkReply(1, 0, "ok", true)); ok {
 			t.Fatal("one tentative reply")
 		}
-		if cl.recordReply(q, mkReply(1, "ok", true)) != nil {
+		if _, ok := rec(q, mkReply(1, 1, "ok", true)); ok {
 			t.Fatal("two tentative replies are below the 2f+1 quorum")
 		}
-		if got := cl.recordReply(q, mkReply(2, "ok", true)); string(got) != "ok" {
+		if got, ok := rec(q, mkReply(1, 2, "ok", true)); !ok || string(got) != "ok" {
 			t.Fatal("three matching tentative replies (2f+1) must be accepted")
 		}
 	})
 
 	t.Run("mismatching results never combine", func(t *testing.T) {
 		q := make(map[crypto.Digest]*replyQuorum)
-		cl.recordReply(q, mkReply(0, "a", false))
-		if cl.recordReply(q, mkReply(1, "b", false)) != nil {
+		rec(q, mkReply(1, 0, "a", false))
+		if _, ok := rec(q, mkReply(1, 1, "b", false)); ok {
 			t.Fatal("divergent results must not form a quorum")
 		}
-		if got := cl.recordReply(q, mkReply(2, "a", false)); string(got) != "a" {
+		if got, ok := rec(q, mkReply(1, 2, "a", false)); !ok || string(got) != "a" {
 			t.Fatal("the matching pair must win")
 		}
 	})
 
 	t.Run("duplicate replica does not double count", func(t *testing.T) {
 		q := make(map[crypto.Digest]*replyQuorum)
-		cl.recordReply(q, mkReply(0, "ok", false))
-		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+		rec(q, mkReply(1, 0, "ok", false))
+		if _, ok := rec(q, mkReply(1, 0, "ok", false)); ok {
 			t.Fatal("the same replica retransmitting must count once")
 		}
 	})
 
 	t.Run("stable upgrade replaces tentative vote", func(t *testing.T) {
 		q := make(map[crypto.Digest]*replyQuorum)
-		cl.recordReply(q, mkReply(0, "ok", true))
-		cl.recordReply(q, mkReply(1, "ok", true))
+		rec(q, mkReply(1, 0, "ok", true))
+		rec(q, mkReply(1, 1, "ok", true))
 		// Replica 0 resends as stable: now 1 stable + 1 tentative = 2
 		// total, still below both quorums.
-		if cl.recordReply(q, mkReply(0, "ok", false)) != nil {
+		if _, ok := rec(q, mkReply(1, 0, "ok", false)); ok {
 			t.Fatal("1 stable + 1 tentative must not be accepted")
 		}
-		if got := cl.recordReply(q, mkReply(1, "ok", false)); string(got) != "ok" {
+		if got, ok := rec(q, mkReply(1, 1, "ok", false)); !ok || string(got) != "ok" {
 			t.Fatal("2 stable must be accepted")
 		}
 	})
 }
 
-func TestParseReplyAuthentication(t *testing.T) {
+func TestDispatchAuthentication(t *testing.T) {
 	for _, mac := range []bool{true, false} {
 		name := "signatures"
 		if mac {
@@ -136,53 +154,46 @@ func TestParseReplyAuthentication(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			cfg, cl, rkeys := testSetup(t, mac)
-			rep := &wire.Reply{Timestamp: 9, ClientID: 4, Replica: 2, Result: []byte("r")}
-			raw := sealReply(t, cfg, cl, rkeys, 2, rep, mac)
-			if cl.parseReply(raw, 9) == nil {
-				t.Fatal("authentic reply must parse")
-			}
-			if cl.parseReply(raw, 8) != nil {
-				t.Fatal("stale timestamp must be filtered")
-			}
+			call := pendingCall(cl, 9)
+
+			// A reply for another timestamp must not touch this call.
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, mkReply(8, 2, "r", false), mac))
 			// Claimed sender != signer.
-			env := &wire.Envelope{Type: wire.MTReply, Sender: 1, Payload: rep.Marshal(), Kind: wire.AuthSig}
-			env.Sig = rkeys[2].Sign(env.SignedBytes())
-			if cl.parseReply(env.Marshal(), 9) != nil {
-				t.Fatal("reply claiming another replica must be rejected")
-			}
+			lying := &wire.Envelope{Type: wire.MTReply, Sender: 1, Payload: mkReply(9, 1, "r", false).Marshal(), Kind: wire.AuthSig}
+			lying.Sig = rkeys[2].Sign(lying.SignedBytes())
+			cl.dispatch(lying.Marshal())
 			// Replica id out of range.
-			badID := &wire.Envelope{Type: wire.MTReply, Sender: 99, Payload: rep.Marshal(), Kind: wire.AuthSig}
+			badID := &wire.Envelope{Type: wire.MTReply, Sender: 99, Payload: mkReply(9, 99, "r", false).Marshal(), Kind: wire.AuthSig}
 			badID.Sig = rkeys[2].Sign(badID.SignedBytes())
-			if cl.parseReply(badID.Marshal(), 9) != nil {
-				t.Fatal("unknown replica id must be rejected")
-			}
+			cl.dispatch(badID.Marshal())
 			// Garbage bytes.
-			if cl.parseReply([]byte("garbage"), 9) != nil {
-				t.Fatal("garbage must be rejected")
-			}
+			cl.dispatch([]byte("garbage"))
 			// Reply body whose Replica field disagrees with the envelope.
-			lying := &wire.Reply{Timestamp: 9, ClientID: 4, Replica: 3, Result: []byte("r")}
-			rawLying := sealReply(t, cfg, cl, rkeys, 2, lying, mac)
-			if cl.parseReply(rawLying, 9) != nil {
-				t.Fatal("reply body/envelope sender mismatch must be rejected")
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, mkReply(9, 3, "r", false), mac))
+			if call.Err() != nil || len(call.byDigest) != 0 {
+				t.Fatal("unauthentic or misrouted replies must not reach the call")
+			}
+
+			// Two authentic replies complete the call (f+1 stable).
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, mkReply(9, 2, "r", false), mac))
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 3, mkReply(9, 3, "r", false), mac))
+			result, err := call.Result()
+			if err != nil || string(result) != "r" {
+				t.Fatalf("authentic quorum must complete the call, got %q/%v", result, err)
 			}
 		})
 	}
 }
 
-func TestParseReplyUpdatesViewEstimate(t *testing.T) {
+func TestDispatchUpdatesViewEstimate(t *testing.T) {
 	cfg, cl, rkeys := testSetup(t, false)
-	rep := &wire.Reply{View: 5, Timestamp: 1, ClientID: 4, Replica: 1, Result: []byte("x")}
-	raw := sealReply(t, cfg, cl, rkeys, 1, rep, false)
-	if cl.parseReply(raw, 1) == nil {
-		t.Fatal("reply must parse")
-	}
+	pendingCall(cl, 1)
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 1, &wire.Reply{View: 5, Timestamp: 1, ClientID: 4, Replica: 1, Result: []byte("x")}, false))
 	if cl.view != 5 {
 		t.Fatalf("view estimate = %d, want 5", cl.view)
 	}
 	// Older view does not regress the estimate.
-	rep2 := &wire.Reply{View: 3, Timestamp: 1, ClientID: 4, Replica: 2, Result: []byte("x")}
-	cl.parseReply(sealReply(t, cfg, cl, rkeys, 2, rep2, false), 1)
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, &wire.Reply{View: 3, Timestamp: 1, ClientID: 4, Replica: 2, Result: []byte("x")}, false))
 	if cl.view != 5 {
 		t.Fatalf("view estimate regressed to %d", cl.view)
 	}
@@ -193,7 +204,7 @@ func TestInvokeOnClosedClient(t *testing.T) {
 	if err := cl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Invoke([]byte("x")); err != ErrClosed {
+	if _, err := cl.Invoke(context.Background(), []byte("x")); err != ErrClosed {
 		t.Fatalf("got %v, want ErrClosed", err)
 	}
 	if err := cl.Close(); err != nil {
@@ -228,11 +239,11 @@ func TestDynamicClientMustJoinFirst(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("x")); err == nil {
-		t.Fatal("invoke before join must fail")
+	if _, err := cl.Invoke(context.Background(), []byte("x")); err != ErrNotJoined {
+		t.Fatalf("invoke before join: got %v, want ErrNotJoined", err)
 	}
-	if err := cl.Leave(); err == nil {
-		t.Fatal("leave before join must fail")
+	if err := cl.Leave(context.Background()); err != ErrNotJoined {
+		t.Fatalf("leave before join: got %v, want ErrNotJoined", err)
 	}
 }
 
@@ -256,5 +267,220 @@ func TestClientTimestampsMonotonicAcrossInstances(t *testing.T) {
 	defer cl2.Close()
 	if cl2.timestamp < first {
 		t.Fatal("a later client instance must not reuse earlier timestamps")
+	}
+}
+
+// TestSubmitContextCancellation: a call against unreachable replicas must
+// complete promptly when its context is cancelled mid-quorum.
+func TestSubmitContextCancellation(t *testing.T) {
+	_, cl, _ := testSetup(t, false, WithMaxRetries(1000))
+	ctx, cancel := context.WithCancel(context.Background())
+	call := cl.Submit(ctx, []byte("never-answered"))
+	select {
+	case <-call.Done():
+		t.Fatal("call must still be in flight")
+	case <-time.After(5 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-call.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancellation must complete the call promptly")
+	}
+	if _, err := call.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestSubmitWindowBackpressure: the pipeline window bounds in-flight
+// calls; a blocked Submit honors context cancellation.
+func TestSubmitWindowBackpressure(t *testing.T) {
+	_, cl, _ := testSetup(t, false, WithPipelineDepth(2), WithMaxRetries(1000))
+	ctx := context.Background()
+	c1 := cl.Submit(ctx, []byte("a"))
+	c2 := cl.Submit(ctx, []byte("b"))
+	if c1.Err() != nil || c2.Err() != nil {
+		t.Fatal("first two calls fill the window")
+	}
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	c3 := cl.Submit(cctx, []byte("c"))
+	if _, err := c3.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked submit must fail with the context: %v", err)
+	}
+}
+
+// TestSubmitTimestampSpanGate: the pipeline must cap the in-flight
+// timestamp span at the replica window W, or a stalled oldest request
+// would slide below the replicas' dedup floor and never execute. With
+// the oldest call stuck, fast siblings completing and resubmitting may
+// advance the timestamp to stuck+W-1 but no further.
+func TestSubmitTimestampSpanGate(t *testing.T) {
+	const w = 4
+	opts := []Option{WithPipelineDepth(2), WithMaxRetries(1000)}
+	cfg, cl, rkeys := testSetup(t, false, opts...)
+	cfg.Opts.ClientWindow = w
+	cl.window = w // testSetup built the client before the override
+
+	stuck := cl.Submit(context.Background(), []byte("stuck"))
+	base := stuck.timestamp
+	// Complete sibling calls by quorum so their slots recycle; each
+	// resubmission takes a fresh, higher timestamp — up to base+w-1,
+	// the last one inside the window.
+	for i := 0; i < w-1; i++ {
+		sib := cl.Submit(context.Background(), []byte("fast"))
+		if got := sib.timestamp - base; got >= w {
+			t.Fatalf("timestamp span %d breached window %d", got, w)
+		}
+		rep := &wire.Reply{Timestamp: sib.timestamp, ClientID: 4, Result: []byte("ok")}
+		cl.dispatch(sealReply(t, cfg, cl, rkeys, 0, withReplica(rep, 0), false))
+		cl.dispatch(sealReply(t, cfg, cl, rkeys, 1, withReplica(rep, 1), false))
+		if _, err := sib.Result(); err != nil {
+			t.Fatalf("sibling %d: %v", i, err)
+		}
+	}
+	// The next submission would need ts base+w+1 — beyond the span.
+	// It must block until the stuck call completes (here: via context).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	blocked := cl.Submit(ctx, []byte("blocked"))
+	if _, err := blocked.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit beyond the span must block on the oldest call: %v", err)
+	}
+	if stuck.Err() != nil {
+		t.Fatal("stuck call must still be in flight")
+	}
+	// Completing the oldest reopens the window.
+	rep := &wire.Reply{Timestamp: base, ClientID: 4, Result: []byte("ok")}
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 0, withReplica(rep, 0), false))
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 1, withReplica(rep, 1), false))
+	if _, err := stuck.Result(); err != nil {
+		t.Fatal(err)
+	}
+	follow := cl.Submit(context.Background(), []byte("follow"))
+	if follow.Err() != nil {
+		t.Fatal("window must reopen after the oldest call completes")
+	}
+}
+
+// withReplica stamps the reply's originating replica (quorum replies must
+// come from distinct replicas).
+func withReplica(rep *wire.Reply, id uint32) *wire.Reply {
+	r := *rep
+	r.Replica = id
+	return &r
+}
+
+// TestCallCompletionAfterClose: closing the client completes in-flight
+// calls with ErrClosed instead of leaving waiters hanging.
+func TestCallCompletionAfterClose(t *testing.T) {
+	_, cl, _ := testSetup(t, false, WithMaxRetries(1000))
+	call := cl.Submit(context.Background(), []byte("x"))
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-call.Done():
+	case <-time.After(time.Second):
+		t.Fatal("close must complete in-flight calls")
+	}
+	if _, err := call.Result(); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestRetransmissionTimeout: with unreachable replicas the retry budget
+// expires into ErrTimeout (and the per-call timer stops afterwards).
+func TestRetransmissionTimeout(t *testing.T) {
+	_, cl, _ := testSetup(t, false, WithMaxRetries(2))
+	if _, err := cl.Invoke(context.Background(), []byte("x")); err != ErrTimeout {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+}
+
+// TestCloseNoGoroutineLeak: a client that submitted calls and closed must
+// leave no demux goroutine, timer callback, or context watcher behind.
+func TestCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		_, cl, _ := testSetup(t, true, WithPipelineDepth(4), WithMaxRetries(1000))
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := make([]*Call, 0, 4)
+		for i := 0; i < 4; i++ {
+			calls = append(calls, cl.Submit(ctx, []byte("x")))
+		}
+		cancel()
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, call := range calls {
+			<-call.Done()
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// tooLargeConn fails every transmit with transport.ErrTooLarge, modeling
+// an oversized datagram.
+type tooLargeConn struct {
+	recv chan transport.Packet
+}
+
+func (c *tooLargeConn) Addr() string { return "huge" }
+func (c *tooLargeConn) Send(string, []byte) error {
+	return fmt.Errorf("%w: test", transport.ErrTooLarge)
+}
+func (c *tooLargeConn) Recv() <-chan transport.Packet { return c.recv }
+func (c *tooLargeConn) Close() error {
+	close(c.recv)
+	return nil
+}
+
+// TestSubmitSurfacesErrTooLarge: a deterministic transport refusal fails
+// the call immediately instead of burning retransmission rounds into
+// ErrTimeout.
+func TestSubmitSurfacesErrTooLarge(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.UseMACs = false
+	opts.StateSize = 1 << 20
+	cfg := &core.Config{Opts: opts}
+	for i := 0; i < 4; i++ {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Replicas = append(cfg.Replicas, core.NodeInfo{ID: uint32(i), Addr: fmt.Sprintf("r%d", i), PubKey: kp.Public()})
+	}
+	ckp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clients = append(cfg.Clients, core.NodeInfo{ID: 4, Addr: "huge", PubKey: ckp.Public()})
+	cl, err := New(cfg, 4, ckp, &tooLargeConn{recv: make(chan transport.Packet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	if _, err := cl.Invoke(context.Background(), []byte("x")); !errors.Is(err, transport.ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("oversized send must fail immediately, took %s", elapsed)
+	}
+	if !strings.Contains(fmt.Sprint(transport.ErrTooLarge), "size limit") {
+		t.Fatal("sanity: typed error text changed")
 	}
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -15,14 +17,20 @@ import (
 // phase 1 submits the client's address, public key, nonce and the
 // application-level identification buffer and waits for f+1 matching
 // challenges; phase 2 echoes the challenge solution and waits for the
-// ordered join result carrying the assigned client identifier.
-func (c *Client) Join(appAuth []byte) error {
+// ordered join result carrying the assigned client identifier. Join
+// honors ctx for cancellation and deadlines.
+func (c *Client) Join(ctx context.Context, appAuth []byte) error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	if c.joined {
+		c.mu.Unlock()
 		return errors.New("client: already joined")
 	}
+	c.mu.Unlock()
+
 	var nb [8]byte
 	if _, err := rand.Read(nb[:]); err != nil {
 		return err
@@ -43,8 +51,8 @@ func (c *Client) Join(appAuth []byte) error {
 		Flags:     wire.FlagSystem | wire.FlagBig,
 		Op:        wire.MarshalSysOp(wire.OpJoin, hello.Marshal()),
 	}
-	env1 := c.seal(wire.MTRequest, req1.Marshal(), true)
-	challenge, err := c.awaitChallenges(env1)
+	env1 := c.seal(core.JoinSender, wire.MTRequest, req1.Marshal(), true)
+	challenge, err := c.awaitChallenges(ctx, env1)
 	if err != nil {
 		return err
 	}
@@ -62,57 +70,88 @@ func (c *Client) Join(appAuth []byte) error {
 		Flags:     wire.FlagSystem | wire.FlagBig,
 		Op:        wire.MarshalSysOp(wire.OpJoin, response.Marshal()),
 	}
-	env2 := c.seal(wire.MTRequest, req2.Marshal(), true)
-	c.broadcast(env2)
-	result, err := c.awaitJoinResult(req2, env2)
+	env2 := c.seal(core.JoinSender, wire.MTRequest, req2.Marshal(), true)
+	raw, err := c.submitSystem(ctx, core.JoinSender, req2.Timestamp, env2)
+	if err != nil {
+		return err
+	}
+	result, err := wire.UnmarshalJoinResult(raw)
 	if err != nil {
 		return err
 	}
 	if !result.Accepted {
 		return &ErrJoinDenied{Reason: result.Reason}
 	}
+
+	c.mu.Lock()
 	c.id = result.ClientID
 	c.joined = true
 	c.timestamp = uint64(time.Now().UnixNano())
 	if c.cfg.Opts.UseMACs {
-		c.sendHello()
+		c.lastHello = time.Now()
+	}
+	c.mu.Unlock()
+	if c.cfg.Opts.UseMACs {
+		c.broadcast(c.helloEnvelope(result.ClientID))
 	}
 	return nil
 }
 
-// awaitChallenges broadcasts the phase-1 request until f+1 replicas sent a
-// matching (identical) challenge.
-func (c *Client) awaitChallenges(env *wire.Envelope) (crypto.Digest, error) {
-	byChallenge := make(map[crypto.Digest]map[uint32]bool)
-	retries := c.MaxRetries
-	if retries == 0 {
-		retries = 20
+// submitSystem runs one pre-sealed system request through the call
+// machinery (window slot, demux routing, per-call retransmission) and
+// waits for its reply quorum. System requests are always multicast.
+func (c *Client) submitSystem(ctx context.Context, clientID uint32, ts uint64, env *wire.Envelope) ([]byte, error) {
+	select {
+	case <-c.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.demuxDone:
+		return nil, ErrClosed
 	}
-	for attempt := 0; attempt < retries; attempt++ {
-		c.broadcast(env)
-		deadline := time.NewTimer(c.cfg.Opts.RequestTimeout)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.slots <- struct{}{}
+		return nil, ErrClosed
+	}
+	call := c.register(ctx, clientID, ts, env, true, true)
+	c.mu.Unlock()
+	c.launch(call, "")
+	return call.Result()
+}
+
+// awaitChallenges broadcasts the phase-1 request until f+1 replicas sent a
+// matching (identical) challenge. The demux goroutine feeds verified
+// challenges through a sink channel registered for the duration.
+func (c *Client) awaitChallenges(ctx context.Context, env *wire.Envelope) (crypto.Digest, error) {
+	sink := make(chan *wire.JoinChallenge, 4*c.n)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return crypto.Digest{}, ErrClosed
+	}
+	c.challSink = sink
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.challSink = nil
+		c.mu.Unlock()
+	}()
+
+	byChallenge := make(map[crypto.Digest]map[uint32]bool)
+	deadline := time.NewTimer(c.cfg.Opts.RequestTimeout)
+	defer deadline.Stop()
+	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		if err := c.broadcast(env); errors.Is(err, transport.ErrTooLarge) {
+			return crypto.Digest{}, err
+		}
+		if attempt > 0 {
+			deadline.Reset(c.cfg.Opts.RequestTimeout)
+		}
 	recv:
 		for {
 			select {
-			case pkt, ok := <-c.conn.Recv():
-				if !ok {
-					deadline.Stop()
-					return crypto.Digest{}, ErrClosed
-				}
-				renv, err := wire.UnmarshalEnvelope(pkt.Data)
-				if err != nil || renv.Type != wire.MTJoinChall {
-					continue
-				}
-				if int(renv.Sender) >= c.n || renv.Kind != wire.AuthSig {
-					continue
-				}
-				if !crypto.Verify(c.cfg.Replicas[renv.Sender].PubKey, renv.SignedBytes(), renv.Sig) {
-					continue
-				}
-				ch, err := wire.UnmarshalJoinChallenge(renv.Payload)
-				if err != nil || ch.Replica != renv.Sender {
-					continue
-				}
+			case ch := <-sink:
 				voters, ok := byChallenge[ch.Challenge]
 				if !ok {
 					voters = make(map[uint32]bool)
@@ -120,52 +159,53 @@ func (c *Client) awaitChallenges(env *wire.Envelope) (crypto.Digest, error) {
 				}
 				voters[ch.Replica] = true
 				if len(voters) >= c.f+1 {
-					deadline.Stop()
 					return ch.Challenge, nil
 				}
 			case <-deadline.C:
 				break recv
+			case <-ctx.Done():
+				return crypto.Digest{}, ctx.Err()
+			case <-c.demuxDone:
+				return crypto.Digest{}, ErrClosed
 			}
 		}
 	}
 	return crypto.Digest{}, ErrTimeout
 }
 
-// awaitJoinResult waits for a quorum of matching join replies and parses
-// the embedded result.
-func (c *Client) awaitJoinResult(req *wire.Request, env *wire.Envelope) (*wire.JoinResult, error) {
-	raw, err := c.awaitReplies(req, env)
-	if err != nil {
-		return nil, err
-	}
-	return wire.UnmarshalJoinResult(raw)
-}
-
 // Leave withdraws the client from the service (§3.1); the replicas remove
 // it from their tables and refuse further requests.
-func (c *Client) Leave() error {
+func (c *Client) Leave(ctx context.Context) error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	if !c.joined {
-		return errors.New("client: not joined")
+		c.mu.Unlock()
+		return ErrNotJoined
 	}
 	c.timestamp++
+	ts := c.timestamp
+	id := c.id
+	c.mu.Unlock()
+
 	req := &wire.Request{
-		ClientID:  c.id,
-		Timestamp: c.timestamp,
+		ClientID:  id,
+		Timestamp: ts,
 		Flags:     wire.FlagSystem | wire.FlagBig,
 		Op:        wire.MarshalSysOp(wire.OpLeave, nil),
 	}
-	env := c.seal(wire.MTRequest, req.Marshal(), false)
-	c.broadcast(env)
-	result, err := c.awaitReplies(req, env)
+	env := c.seal(id, wire.MTRequest, req.Marshal(), false)
+	result, err := c.submitSystem(ctx, id, ts, env)
 	if err != nil {
 		return err
 	}
 	if string(result) != "bye" {
 		return errors.New("client: unexpected leave reply")
 	}
+	c.mu.Lock()
 	c.joined = false
+	c.mu.Unlock()
 	return nil
 }

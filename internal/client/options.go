@@ -1,0 +1,37 @@
+package client
+
+// defaultMaxRetries bounds retransmission rounds per request when
+// WithMaxRetries is not given (the original library's hard-coded 20).
+const defaultMaxRetries = 20
+
+// Option configures a Client at construction time.
+type Option func(*Client)
+
+// WithPipelineDepth bounds how many requests the client keeps in flight
+// at once; Submit blocks (or fails on context cancellation) while the
+// window is full. Values above the deployment's per-client replica window
+// (Options.ClientWindow) only get the excess dropped at the primary and
+// retransmitted later. 0 or negative selects the deployment window.
+func WithPipelineDepth(n int) Option {
+	return func(c *Client) { c.pipelineDepth = n }
+}
+
+// WithMaxRetries bounds retransmission rounds per request before the call
+// fails with ErrTimeout. 0 or negative selects the default (20).
+func WithMaxRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// callOpts collects per-call options.
+type callOpts struct {
+	readOnly bool
+}
+
+// CallOption configures one Submit.
+type CallOption func(*callOpts)
+
+// ReadOnly marks the operation read-only: replicas execute it immediately
+// without agreement and the client assembles a 2f+1 matching quorum.
+func ReadOnly() CallOption {
+	return func(o *callOpts) { o.readOnly = true }
+}

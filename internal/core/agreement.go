@@ -12,9 +12,13 @@ func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
 		r.execReadOnly(req, client)
 		return
 	}
-	// Already executed? Retransmit the cached reply.
-	if last := r.lastReqTS[req.ClientID]; req.Timestamp <= last {
-		if cached := r.replyCache[req.ClientID]; cached != nil && cached.Timestamp == req.Timestamp {
+	// Already executed? Retransmit the cached reply. Also disarm any
+	// liveness timer a backup armed for an earlier relay of this
+	// request: a retransmission that dedups here must not keep pushing
+	// the replica toward a view change it cannot satisfy.
+	if cw := r.clientWins[req.ClientID]; cw != nil && cw.executed(req.Timestamp, r.cfg.ClientWindow()) {
+		delete(r.pendingSeen, reqKey{req.ClientID, req.Timestamp})
+		if cached := cw.cachedReply(req.Timestamp); cached != nil {
 			r.sendReply(cached, client)
 		}
 		return
@@ -23,10 +27,21 @@ func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
 		r.bigBodies[req.Digest()] = &bigBody{req: req}
 	}
 	if r.isPrimary() && !r.inViewChange {
-		if queued := r.primaryQueued[req.ClientID]; req.Timestamp <= queued {
-			return // single outstanding request per client
+		queued := r.primaryQueued[req.ClientID]
+		if queued[req.Timestamp] {
+			return // already queued or ordered
 		}
-		r.primaryQueued[req.ClientID] = req.Timestamp
+		// Bounded pipeline: at most W requests per client queued at once;
+		// anything beyond the window is dropped and left to the client's
+		// retransmission once earlier requests execute.
+		if uint64(len(queued)) >= r.cfg.ClientWindow() {
+			return
+		}
+		if queued == nil {
+			queued = make(map[uint64]bool)
+			r.primaryQueued[req.ClientID] = queued
+		}
+		queued[req.Timestamp] = true
 		r.pendingQueue = append(r.pendingQueue, req)
 		r.tryPropose()
 		return

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// clientWindow is the per-client sliding window of executed request
+// timestamps. The original implementation kept a single (lastReqTS,
+// replyCache) pair per client, which forces one outstanding request per
+// client: a pipelined client whose requests are ordered out of timestamp
+// order would see the lower timestamps dropped as duplicates. The window
+// instead remembers every executed timestamp in (maxTS-W, maxTS] together
+// with its cached reply, so up to W requests per client can be in flight
+// at once and still be deduplicated exactly.
+//
+// Whether a request is a duplicate decides whether it executes, so this
+// structure is replicated state: it is folded into checkpoint digests
+// (marshalMeta), shipped during state transfer, and restored on rollback.
+// W comes from Options.ClientWindow and must therefore be identical at
+// every replica.
+type clientWindow struct {
+	maxTS uint64                 // highest executed timestamp
+	done  map[uint64]*wire.Reply // executed timestamps in (maxTS-W, maxTS]
+}
+
+func newClientWindow() *clientWindow {
+	return &clientWindow{done: make(map[uint64]*wire.Reply)}
+}
+
+// floor returns the exclusive lower bound of the window: timestamps at or
+// below it are treated as executed long ago.
+func (cw *clientWindow) floor(w uint64) uint64 {
+	if cw.maxTS <= w {
+		return 0
+	}
+	return cw.maxTS - w
+}
+
+// executed reports whether ts was already executed (or slid below the
+// window, which counts as executed: the client has long since moved on).
+func (cw *clientWindow) executed(ts, w uint64) bool {
+	if ts <= cw.floor(w) {
+		return true
+	}
+	_, ok := cw.done[ts]
+	return ok
+}
+
+// cachedReply returns the retained reply for an executed timestamp, or nil
+// when the timestamp slid out of the window (the client then only gets an
+// answer from replicas that still hold it, or times out — same as the old
+// single-entry cache once a newer request overwrote it).
+func (cw *clientWindow) cachedReply(ts uint64) *wire.Reply {
+	return cw.done[ts]
+}
+
+// record marks ts executed with its reply and slides the window forward.
+func (cw *clientWindow) record(ts uint64, rep *wire.Reply, w uint64) {
+	cw.done[ts] = rep
+	if ts > cw.maxTS {
+		cw.maxTS = ts
+	}
+	floor := cw.floor(w)
+	for t := range cw.done {
+		if t <= floor {
+			delete(cw.done, t)
+		}
+	}
+}
+
+// sortedTS returns the executed timestamps in ascending order (canonical
+// serialization order).
+func (cw *clientWindow) sortedTS() []uint64 {
+	out := make([]uint64, 0, len(cw.done))
+	for t := range cw.done {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clientWin returns (creating if needed) the window for one client.
+func (r *Replica) clientWin(id uint32) *clientWindow {
+	cw, ok := r.clientWins[id]
+	if !ok {
+		cw = newClientWindow()
+		r.clientWins[id] = cw
+	}
+	return cw
+}

@@ -106,7 +106,20 @@ type Options struct {
 	// that authenticate and decode inbound packets in parallel before
 	// they reach the protocol loop. 0 means GOMAXPROCS.
 	VerifyWorkers int
+
+	// ClientWindow is W, the per-client window of outstanding request
+	// timestamps a replica tracks for deduplication and reply caching.
+	// A pipelined client can keep up to W requests in flight; requests
+	// whose timestamp falls at or below the window floor are dropped as
+	// duplicates. Duplicate detection decides execution, so W is part of
+	// the replicated-state contract and must match across the group.
+	// 0 means DefaultClientWindow.
+	ClientWindow uint64
 }
+
+// DefaultClientWindow is the per-client pipeline window replicas track
+// when Options.ClientWindow is zero.
+const DefaultClientWindow = 16
 
 // DefaultOptions returns the configuration the original library shipped
 // with: every optimization enabled (first row of Table 1), f = 1.
@@ -131,6 +144,7 @@ func DefaultOptions() Options {
 		RequestTimeout:     500 * time.Millisecond,
 		MaxTimeDrift:       time.Minute,
 		ValidateNonDet:     true,
+		ClientWindow:       DefaultClientWindow,
 	}
 }
 
@@ -221,6 +235,15 @@ func (c *Config) LogWindow() uint64 {
 		return c.Opts.LogWindow
 	}
 	return 2 * c.Opts.CheckpointInterval
+}
+
+// ClientWindow returns W, the per-client pipeline window (defaults to
+// DefaultClientWindow).
+func (c *Config) ClientWindow() uint64 {
+	if c.Opts.ClientWindow != 0 {
+		return c.Opts.ClientWindow
+	}
+	return DefaultClientWindow
 }
 
 // IsBig reports whether a request body of the given size takes the

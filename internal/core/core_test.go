@@ -238,9 +238,11 @@ func TestReplicaMetaRoundTrip(t *testing.T) {
 		r.Stop()
 	}()
 
-	// Populate every replicated-metadata structure.
-	r.lastReqTS[100] = 7
-	r.replyCache[100] = &wire.Reply{Timestamp: 7, ClientID: 100, Result: []byte("cached")}
+	// Populate every replicated-metadata structure. Client 100 has a
+	// pipelined window: timestamps 5 and 7 executed, 6 still outstanding.
+	cw := r.clientWin(100)
+	cw.record(5, &wire.Reply{Timestamp: 5, ClientID: 100, Result: []byte("old")}, cfg.ClientWindow())
+	cw.record(7, &wire.Reply{Timestamp: 7, ClientID: 100, Result: []byte("cached")}, cfg.ClientWindow())
 	kp, err := crypto.GenerateKeyPair(nil)
 	if err != nil {
 		t.Fatal(err)
@@ -263,10 +265,17 @@ func TestReplicaMetaRoundTrip(t *testing.T) {
 	if err := r2.unmarshalMeta(blob); err != nil {
 		t.Fatal(err)
 	}
-	if r2.lastReqTS[100] != 7 {
-		t.Fatal("lastReqTS lost")
+	cw2 := r2.clientWins[100]
+	if cw2 == nil || cw2.maxTS != 7 {
+		t.Fatalf("client window lost: %+v", cw2)
 	}
-	rep := r2.replyCache[100]
+	if !cw2.executed(5, cfg.ClientWindow()) || !cw2.executed(7, cfg.ClientWindow()) {
+		t.Fatal("executed timestamps lost")
+	}
+	if cw2.executed(6, cfg.ClientWindow()) {
+		t.Fatal("outstanding timestamp 6 must stay executable")
+	}
+	rep := cw2.cachedReply(7)
 	if rep == nil || string(rep.Result) != "cached" {
 		t.Fatalf("reply cache lost: %+v", rep)
 	}

@@ -149,10 +149,18 @@ func (r *Replica) executeEntry(e *entry) {
 func (r *Replica) executeRequest(req *wire.Request, nd NonDetValues, tentative bool, seq uint64) *wire.Reply {
 	key := reqKey{req.ClientID, req.Timestamp}
 	delete(r.pendingSeen, key)
+	if q := r.primaryQueued[req.ClientID]; q != nil {
+		delete(q, req.Timestamp)
+		if len(q) == 0 {
+			delete(r.primaryQueued, req.ClientID)
+		}
+	}
 	if req.System() {
 		return r.executeSystem(req, nd, tentative, seq)
 	}
-	if last := r.lastReqTS[req.ClientID]; req.Timestamp <= last {
+	w := r.cfg.ClientWindow()
+	cw := r.clientWin(req.ClientID)
+	if cw.executed(req.Timestamp, w) {
 		return nil // duplicate within a batch or across batches
 	}
 	result := r.app.Execute(req.Op, nd, false)
@@ -166,8 +174,7 @@ func (r *Replica) executeRequest(req *wire.Request, nd NonDetValues, tentative b
 	if tentative {
 		rep.Flags |= wire.FlagTentative
 	}
-	r.lastReqTS[req.ClientID] = req.Timestamp
-	r.replyCache[req.ClientID] = rep
+	cw.record(req.Timestamp, rep, w)
 	client := r.nodes.get(req.ClientID)
 	if client != nil {
 		client.LastActive = uint64(nd.Time.UnixNano())
@@ -201,36 +208,42 @@ func (r *Replica) checkLiveness(now time.Time) {
 
 // --- Replicated middleware metadata -------------------------------------
 //
-// The reply cache, per-client request timestamps, dynamic membership and
-// pending joins are part of the replicated state: they are folded into
-// checkpoint digests, shipped during state transfer, and restored on
-// rollback.
+// The per-client execution windows (executed timestamps + cached replies),
+// dynamic membership and pending joins are part of the replicated state:
+// they are folded into checkpoint digests, shipped during state transfer,
+// and restored on rollback.
 
 func (r *Replica) marshalMeta() []byte {
 	w := wire.NewWriter(1024)
 
-	clients := make([]uint32, 0, len(r.lastReqTS))
-	for c := range r.lastReqTS {
+	clients := make([]uint32, 0, len(r.clientWins))
+	for c := range r.clientWins {
 		clients = append(clients, c)
 	}
 	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	w.U32(uint32(len(clients)))
 	for _, c := range clients {
+		cw := r.clientWins[c]
 		w.U32(c)
-		w.U64(r.lastReqTS[c])
-		if rep := r.replyCache[c]; rep != nil {
-			w.U8(1)
-			// Canonical form: volatile fields (view, tentative flag,
-			// origin replica) are timing-dependent and must not leak
-			// into the agreed state digest.
-			canon := wire.Reply{
-				Timestamp: rep.Timestamp,
-				ClientID:  rep.ClientID,
-				Result:    rep.Result,
+		w.U64(cw.maxTS)
+		tss := cw.sortedTS()
+		w.U32(uint32(len(tss)))
+		for _, ts := range tss {
+			w.U64(ts)
+			if rep := cw.done[ts]; rep != nil {
+				w.U8(1)
+				// Canonical form: volatile fields (view, tentative flag,
+				// origin replica) are timing-dependent and must not leak
+				// into the agreed state digest.
+				canon := wire.Reply{
+					Timestamp: rep.Timestamp,
+					ClientID:  rep.ClientID,
+					Result:    rep.Result,
+				}
+				w.Bytes32(canon.Marshal())
+			} else {
+				w.U8(0)
 			}
-			w.Bytes32(canon.Marshal())
-		} else {
-			w.U8(0)
 		}
 	}
 
@@ -259,25 +272,32 @@ func (r *Replica) marshalMeta() []byte {
 func (r *Replica) unmarshalMeta(b []byte) error {
 	rd := wire.NewReader(b)
 	nClients := int(rd.U32())
-	lastReqTS := make(map[uint32]uint64, nClients)
-	replyCache := make(map[uint32]*wire.Reply, nClients)
+	clientWins := make(map[uint32]*clientWindow, nClients)
 	for i := 0; i < nClients; i++ {
 		c := rd.U32()
-		lastReqTS[c] = rd.U64()
-		if rd.U8() == 1 {
-			raw := rd.Bytes32()
-			if rd.Err() != nil {
-				return rd.Err()
+		cw := newClientWindow()
+		cw.maxTS = rd.U64()
+		nTS := int(rd.U32())
+		for j := 0; j < nTS; j++ {
+			ts := rd.U64()
+			var rep *wire.Reply
+			if rd.U8() == 1 {
+				raw := rd.Bytes32()
+				if rd.Err() != nil {
+					return rd.Err()
+				}
+				var err error
+				rep, err = wire.UnmarshalReply(raw)
+				if err != nil {
+					return err
+				}
+				// Rehydrate the volatile fields for this replica.
+				rep.Replica = r.id
+				rep.View = r.view
 			}
-			rep, err := wire.UnmarshalReply(raw)
-			if err != nil {
-				return err
-			}
-			// Rehydrate the volatile fields for this replica.
-			rep.Replica = r.id
-			rep.View = r.view
-			replyCache[c] = rep
+			cw.done[ts] = rep
 		}
+		clientWins[c] = cw
 	}
 	if err := rd.Err(); err != nil {
 		return err
@@ -318,8 +338,7 @@ func (r *Replica) unmarshalMeta(b []byte) error {
 	if err := rd.Done(); err != nil {
 		return err
 	}
-	r.lastReqTS = lastReqTS
-	r.replyCache = replyCache
+	r.clientWins = clientWins
 	r.pendingJoins = pj
 	r.idSeed = idSeed
 	// The dynamic membership rows changed wholesale (state transfer

@@ -178,8 +178,8 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 			for _, old := range r.nodes.byPrincipal(principal) {
 				r.nodes.remove(old.ID)
 				r.unpublishClientAuth(old.ID)
-				delete(r.replyCache, old.ID)
-				delete(r.lastReqTS, old.ID)
+				delete(r.clientWins, old.ID)
+				delete(r.primaryQueued, old.ID)
 				r.stats.SessionsEvicted++
 			}
 		}
@@ -193,8 +193,8 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 			for _, old := range r.nodes.staleBefore(cutoff) {
 				r.nodes.remove(old.ID)
 				r.unpublishClientAuth(old.ID)
-				delete(r.replyCache, old.ID)
-				delete(r.lastReqTS, old.ID)
+				delete(r.clientWins, old.ID)
+				delete(r.primaryQueued, old.ID)
 				r.stats.SessionsEvicted++
 			}
 		}
@@ -274,8 +274,8 @@ func (r *Replica) execLeave(req *wire.Request, tentative bool) *wire.Reply {
 	r.sendReply(rep, client)
 	r.nodes.remove(req.ClientID)
 	r.unpublishClientAuth(req.ClientID)
-	delete(r.replyCache, req.ClientID)
-	delete(r.lastReqTS, req.ClientID)
+	delete(r.clientWins, req.ClientID)
+	delete(r.primaryQueued, req.ClientID)
 	r.stats.LeavesExecuted++
 	return rep
 }

@@ -37,10 +37,9 @@ type Replica struct {
 	log             map[uint64]*entry
 	nodes           *nodeTable
 	bigBodies       map[crypto.Digest]*bigBody
-	replyCache      map[uint32]*wire.Reply
-	lastReqTS       map[uint32]uint64
+	clientWins      map[uint32]*clientWindow
 	pendingQueue    []*wire.Request
-	primaryQueued   map[uint32]uint64
+	primaryQueued   map[uint32]map[uint64]bool
 	pendingSeen     map[reqKey]time.Time
 
 	ckpts        map[uint64]*ckptRecord
@@ -157,9 +156,8 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		log:           make(map[uint64]*entry),
 		nodes:         newNodeTable(cfg.Opts.MaxNodes),
 		bigBodies:     make(map[crypto.Digest]*bigBody),
-		replyCache:    make(map[uint32]*wire.Reply),
-		lastReqTS:     make(map[uint32]uint64),
-		primaryQueued: make(map[uint32]uint64),
+		clientWins:    make(map[uint32]*clientWindow),
+		primaryQueued: make(map[uint32]map[uint64]bool),
 		pendingSeen:   make(map[reqKey]time.Time),
 		ckpts:         make(map[uint64]*ckptRecord),
 		pendingJoins:  make(map[string]*pendingJoin),

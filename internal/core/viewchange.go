@@ -253,7 +253,7 @@ func (r *Replica) installNewView(nv *wire.NewView, raw []byte) {
 	r.vcTarget = 0
 	r.vcDeadline = time.Time{} // disarmed until the next view change
 	r.newViewRaw = raw
-	r.primaryQueued = make(map[uint32]uint64)
+	r.primaryQueued = make(map[uint32]map[uint64]bool)
 	r.primaryJoinSeen = nil
 	r.pendingQueue = nil
 	// Restart the request liveness timers: the new primary deserves a

@@ -145,12 +145,12 @@ func (c *Cluster) RestartReplica(id uint32) error {
 
 // Client builds the i-th pre-provisioned client. The caller owns it (and
 // must Close it).
-func (c *Cluster) Client(i int) (*client.Client, error) {
+func (c *Cluster) Client(i int, opts ...client.Option) (*client.Client, error) {
 	conn, err := c.Net.Listen(ClientAddr(i))
 	if err != nil {
 		return nil, err
 	}
-	cl, err := client.New(c.Cfg, uint32(len(c.Cfg.Replicas)+i), c.clientKeys[i], conn)
+	cl, err := client.New(c.Cfg, uint32(len(c.Cfg.Replicas)+i), c.clientKeys[i], conn, opts...)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -159,7 +159,7 @@ func (c *Cluster) Client(i int) (*client.Client, error) {
 }
 
 // DynamicClient builds an un-admitted client that must Join (§3.1).
-func (c *Cluster) DynamicClient(addr string) (*client.Client, error) {
+func (c *Cluster) DynamicClient(addr string, opts ...client.Option) (*client.Client, error) {
 	kp, err := crypto.GenerateKeyPair(nil)
 	if err != nil {
 		return nil, err
@@ -168,7 +168,7 @@ func (c *Cluster) DynamicClient(addr string) (*client.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := client.NewDynamic(c.Cfg, kp, conn)
+	cl, err := client.NewDynamic(c.Cfg, kp, conn, opts...)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestClusterEchoRoundTrip(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := 0; i < 5; i++ {
-		resp, err := cl.Invoke([]byte("ping"))
+		resp, err := cl.Invoke(context.Background(), []byte("ping"))
 		if err != nil {
 			t.Fatalf("invoke %d: %v", i, err)
 		}
@@ -65,7 +66,7 @@ func TestClusterCounterSequential(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := 1; i <= 20; i++ {
-		resp, err := cl.Invoke([]byte("inc"))
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
 		if err != nil {
 			t.Fatalf("inc %d: %v", i, err)
 		}
@@ -73,7 +74,7 @@ func TestClusterCounterSequential(t *testing.T) {
 			t.Fatalf("inc %d: counter = %d", i, got)
 		}
 	}
-	resp, err := cl.InvokeReadOnly([]byte("get"))
+	resp, err := cl.InvokeReadOnly(context.Background(), []byte("get"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ func TestCounterValuesUniqueUnderConcurrency(t *testing.T) {
 			defer wg.Done()
 			defer cl.Close()
 			for j := 0; j < perClient; j++ {
-				resp, err := cl.Invoke([]byte("inc"))
+				resp, err := cl.Invoke(context.Background(), []byte("inc"))
 				if err != nil {
 					errs <- err
 					return
@@ -93,7 +94,7 @@ func TestCounterConsistentUnderPrimaryFailure(t *testing.T) {
 			defer wg.Done()
 			defer cl.Close()
 			for j := 0; j < perClient; j++ {
-				resp, err := cl.Invoke([]byte("inc"))
+				resp, err := cl.Invoke(context.Background(), []byte("inc"))
 				if err != nil {
 					errs <- err
 					return
@@ -182,7 +183,7 @@ func TestReadOnlyObservesCommittedWrites(t *testing.T) {
 	if !c.WaitConverged(7, 5*time.Second) {
 		t.Fatal("not converged")
 	}
-	resp, err := cl.InvokeReadOnly([]byte("get"))
+	resp, err := cl.InvokeReadOnly(context.Background(), []byte("get"))
 	if err != nil {
 		t.Fatal(err)
 	}

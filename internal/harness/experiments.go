@@ -58,6 +58,9 @@ type ExperimentOptions struct {
 	Warmup time.Duration
 	// RequestSize is the null request/response size (Table 1: 1024).
 	RequestSize int
+	// PipelineDepth is how many requests each load client keeps in
+	// flight (0 or 1 = the paper's closed-loop model).
+	PipelineDepth int
 	// Seed makes the simulated network reproducible.
 	Seed int64
 	// Out receives the report (defaults to stdout).
@@ -120,12 +123,16 @@ func MeasureConfig(lc LibConfig, opts ExperimentOptions, app AppFactory, w Workl
 		return RunResult{}, err
 	}
 	defer cluster.Stop()
+	depth := opts.PipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
 	if opts.Warmup > 0 {
-		if _, err := cluster.RunClosedLoop(numClients, w, opts.Warmup, !lc.Static); err != nil {
+		if _, err := cluster.RunPipelined(numClients, depth, w, opts.Warmup, !lc.Static); err != nil {
 			return RunResult{}, err
 		}
 	}
-	return cluster.RunClosedLoop(numClients, w, opts.Duration, !lc.Static)
+	return cluster.RunPipelined(numClients, depth, w, opts.Duration, !lc.Static)
 }
 
 // RunTable1 regenerates Table 1: every library configuration measured
@@ -297,6 +304,47 @@ func RunDynamicOverhead(opts ExperimentOptions) error {
 			return fmt.Errorf("config %s: %w", lc.Name, err)
 		}
 		fmt.Fprintf(w, "%-30s %8.0f\n", lc.Name, res.TPS())
+	}
+	return nil
+}
+
+// RunPipelineComparison measures what request pipelining buys: the same
+// total in-flight budget arranged as many closed-loop clients (the
+// paper's model: one outstanding request each, one endpoint per simulated
+// user) versus one pipelined client multiplexing the whole window. The
+// pipelined arrangement is how a single gateway endpoint serves a large
+// user population without a goroutine+connection per user.
+func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
+	w := opts.out()
+	if len(depths) == 0 {
+		depths = []int{1, 4, 8, 16}
+	}
+	fmt.Fprintf(w, "Pipelined client — %d in-flight requests: N clients x depth 1 vs 1 client x depth N\n", depths[len(depths)-1])
+	fmt.Fprintf(w, "%8s %18s %18s %8s\n", "inflight", "N clients TPS", "pipelined TPS", "errors")
+	for _, depth := range depths {
+		run := func(numClients, d int) (RunResult, error) {
+			cluster, err := NewCluster(ClusterOptions{
+				Opts:       buildOptions(LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}),
+				NumClients: numClients,
+				Seed:       opts.Seed,
+				App:        NewEchoFactory(opts.RequestSize),
+				Bandwidth:  938e6 / 8,
+			})
+			if err != nil {
+				return RunResult{}, err
+			}
+			defer cluster.Stop()
+			return cluster.RunPipelined(numClients, d, &NullWorkload{Size: opts.RequestSize}, opts.Duration, false)
+		}
+		wide, err := run(depth, 1)
+		if err != nil {
+			return err
+		}
+		deep, err := run(1, depth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d %18.0f %18.0f %8d\n", depth, wide.TPS(), deep.TPS(), wide.Errors+deep.Errors)
 	}
 	return nil
 }

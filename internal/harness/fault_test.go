@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -244,7 +246,7 @@ func TestByzantinePrimaryEquivocates(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := 1; i <= 5; i++ {
-		resp, err := cl.Invoke([]byte("inc"))
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
 		if err != nil {
 			t.Fatalf("inc %d: %v", i, err)
 		}
@@ -288,7 +290,7 @@ func TestServiceSurvivesLossAndDuplication(t *testing.T) {
 			defer wg.Done()
 			defer cl.Close()
 			for j := 0; j < 15; j++ {
-				if _, err := cl.Invoke([]byte("inc")); err != nil {
+				if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 					errs <- err
 					return
 				}
@@ -331,7 +333,7 @@ func TestCascadedViewChanges(t *testing.T) {
 	invokeMust(t, cl, "inc")
 	c.StopReplica(0) // primary of view 0
 	for i := 2; i <= 4; i++ {
-		if _, err := cl.Invoke([]byte("inc")); err != nil {
+		if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 			t.Fatalf("after first failure, inc %d: %v", i, err)
 		}
 	}
@@ -348,7 +350,7 @@ func TestCascadedViewChanges(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 5; i <= 8; i++ {
-		resp, err := cl.Invoke([]byte("inc"))
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
 		if err != nil {
 			t.Fatalf("after second failure, inc %d: %v", i, err)
 		}
@@ -371,12 +373,12 @@ func TestSessionEvictionWhenTableFull(t *testing.T) {
 	}
 	defer c.Stop()
 
-	c1, err := c.DynamicClient("dyn-e1")
+	c1, err := c.DynamicClient("dyn-e1", client.WithMaxRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	if err := c1.Join([]byte("u1:sesame")); err != nil {
+	if err := c1.Join(context.Background(), []byte("u1:sesame")); err != nil {
 		t.Fatal(err)
 	}
 	invokeMust(t, c1, "inc")
@@ -386,20 +388,19 @@ func TestSessionEvictionWhenTableFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if err := c2.Join([]byte("u2:sesame")); err != nil {
+	if err := c2.Join(context.Background(), []byte("u2:sesame")); err != nil {
 		t.Fatal(err)
 	}
 	invokeMust(t, c2, "inc")
 
 	// Immediately, a third join must be denied: the table is full and
 	// both sessions are fresh.
-	c3, err := c.DynamicClient("dyn-e3")
+	c3, err := c.DynamicClient("dyn-e3", client.WithMaxRetries(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c3.Close()
-	c3.MaxRetries = 4
-	if err := c3.Join([]byte("u3:sesame")); err == nil {
+	if err := c3.Join(context.Background(), []byte("u3:sesame")); err == nil {
 		t.Fatal("join into a full table with fresh sessions must be denied")
 	}
 
@@ -411,14 +412,13 @@ func TestSessionEvictionWhenTableFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c4.Close()
-	if err := c4.Join([]byte("u4:sesame")); err != nil {
+	if err := c4.Join(context.Background(), []byte("u4:sesame")); err != nil {
 		t.Fatalf("join after staleness window: %v", err)
 	}
 	invokeMust(t, c4, "inc")
 
 	// The evicted session is dead.
-	c1.MaxRetries = 2
-	if _, err := c1.Invoke([]byte("inc")); err == nil {
+	if _, err := c1.Invoke(context.Background(), []byte("inc")); err == nil {
 		t.Fatal("evicted session must be terminated")
 	}
 }
@@ -442,10 +442,10 @@ func TestBigThresholdRouting(t *testing.T) {
 	small := make([]byte, 100)
 	large := make([]byte, 2048)
 	for i := 0; i < 3; i++ {
-		if _, err := cl.Invoke(small); err != nil {
+		if _, err := cl.Invoke(context.Background(), small); err != nil {
 			t.Fatalf("small %d: %v", i, err)
 		}
-		if _, err := cl.Invoke(large); err != nil {
+		if _, err := cl.Invoke(context.Background(), large); err != nil {
 			t.Fatalf("large %d: %v", i, err)
 		}
 	}

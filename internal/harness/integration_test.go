@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -15,7 +16,7 @@ import (
 // invokeMust performs one Invoke and fails the test on error.
 func invokeMust(t *testing.T, cl *client.Client, op string) []byte {
 	t.Helper()
-	resp, err := cl.Invoke([]byte(op))
+	resp, err := cl.Invoke(context.Background(), []byte(op))
 	if err != nil {
 		t.Fatalf("invoke %q: %v", op, err)
 	}
@@ -47,7 +48,7 @@ func TestConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			defer cl.Close()
 			for j := 0; j < perClient; j++ {
-				if _, err := cl.Invoke([]byte("inc")); err != nil {
+				if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
 					errs <- err
 					return
 				}
@@ -129,7 +130,7 @@ func TestViewChangeOnPrimaryFailure(t *testing.T) {
 	// replica 1 and the service must keep going.
 	c.StopReplica(0)
 	for i := 6; i <= 12; i++ {
-		resp, err := cl.Invoke([]byte("inc"))
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
 		if err != nil {
 			t.Fatalf("inc %d after primary failure: %v", i, err)
 		}
@@ -325,12 +326,12 @@ func TestDynamicJoinInvokeLeave(t *testing.T) {
 	}
 	defer c.Stop()
 
-	cl, err := c.DynamicClient("dyn-1")
+	cl, err := c.DynamicClient("dyn-1", client.WithMaxRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Join([]byte("alice:sesame")); err != nil {
+	if err := cl.Join(context.Background(), []byte("alice:sesame")); err != nil {
 		t.Fatalf("join: %v", err)
 	}
 	if cl.ID() == core.JoinSender {
@@ -342,12 +343,11 @@ func TestDynamicJoinInvokeLeave(t *testing.T) {
 			t.Fatalf("inc %d: got %d", i, got)
 		}
 	}
-	if err := cl.Leave(); err != nil {
+	if err := cl.Leave(context.Background()); err != nil {
 		t.Fatalf("leave: %v", err)
 	}
 	// After leaving, requests must time out (the table entry is gone).
-	cl.MaxRetries = 2
-	if _, err := cl.Invoke([]byte("inc")); err == nil {
+	if _, err := cl.Invoke(context.Background(), []byte("inc")); err == nil {
 		t.Fatal("invoke after leave must fail")
 	}
 }
@@ -365,7 +365,7 @@ func TestDynamicJoinDeniedByApplication(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	err = cl.Join([]byte("mallory:wrongpass"))
+	err = cl.Join(context.Background(), []byte("mallory:wrongpass"))
 	if err == nil {
 		t.Fatal("join with bad credentials must be denied")
 	}
@@ -385,12 +385,12 @@ func TestDynamicSingleSessionPerPrincipal(t *testing.T) {
 	}
 	defer c.Stop()
 
-	first, err := c.DynamicClient("dyn-a")
+	first, err := c.DynamicClient("dyn-a", client.WithMaxRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Close()
-	if err := first.Join([]byte("bob:sesame")); err != nil {
+	if err := first.Join(context.Background(), []byte("bob:sesame")); err != nil {
 		t.Fatal(err)
 	}
 	invokeMust(t, first, "inc")
@@ -400,14 +400,13 @@ func TestDynamicSingleSessionPerPrincipal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer second.Close()
-	if err := second.Join([]byte("bob:sesame")); err != nil {
+	if err := second.Join(context.Background(), []byte("bob:sesame")); err != nil {
 		t.Fatal(err)
 	}
 	invokeMust(t, second, "inc")
 
 	// The first session must be dead.
-	first.MaxRetries = 2
-	if _, err := first.Invoke([]byte("inc")); err == nil {
+	if _, err := first.Invoke(context.Background(), []byte("inc")); err == nil {
 		t.Fatal("first session must be terminated when the principal rejoins")
 	}
 }
@@ -427,7 +426,7 @@ func TestJoinSequence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.Join([]byte(fmt.Sprintf("user%d:sesame", i))); err != nil {
+		if err := cl.Join(context.Background(), []byte(fmt.Sprintf("user%d:sesame", i))); err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
 		invokeMust(t, cl, "inc")
@@ -460,13 +459,12 @@ func TestStaticModeRejectsJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
-	cl, err := c.DynamicClient("dyn-static")
+	cl, err := c.DynamicClient("dyn-static", client.WithMaxRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	cl.MaxRetries = 2
-	if err := cl.Join([]byte("x:sesame")); err == nil {
+	if err := cl.Join(context.Background(), []byte("x:sesame")); err == nil {
 		t.Fatal("join must not succeed when DynamicClients is off")
 	}
 }
@@ -479,7 +477,7 @@ func TestUnknownClientDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
-	cl, err := c.DynamicClient("dyn-ghost")
+	cl, err := c.DynamicClient("dyn-ghost", client.WithMaxRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,8 +486,7 @@ func TestUnknownClientDropped(t *testing.T) {
 	// dynamic client's key but an arbitrary id: the replicas must not
 	// answer. (Invoke fails because the client never joined; craft the
 	// check through a plain timeout.)
-	cl.MaxRetries = 2
-	if err := cl.Join(nil); err == nil {
+	if err := cl.Join(context.Background(), nil); err == nil {
 		t.Fatal("expected join rejection in static mode")
 	}
 }

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/transport"
+)
+
+// TestPipelineConcurrentInvokes is the acceptance test for the concurrent
+// client API: one client, many goroutines, a pipeline window deeper than
+// one — every operation must succeed exactly once across the replicas.
+func TestPipelineConcurrentInvokes(t *testing.T) {
+	const depth, workers, perWorker = 8, 16, 6
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       51,
+		App:        NewCounterFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0, client.WithPipelineDepth(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < perWorker; n++ {
+				if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
+					t.Errorf("worker %d op %d: %v", g, n, err)
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		return
+	}
+	// Exactly-once: the replicated counter equals the submitted
+	// increments — a lost op would read low, a duplicate execution high.
+	const want = workers * perWorker
+	resp, err := cl.Invoke(context.Background(), []byte("get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != want {
+		t.Fatalf("counter = %d, want %d (duplicate or lost execution)", got, want)
+	}
+}
+
+// TestPipelineDedupUnderDuplication floods the network with duplicated
+// datagrams while a pipelined client runs: the replica-side sliding
+// window must keep executions exact despite every request potentially
+// arriving (and being relayed) twice.
+func TestPipelineDedupUnderDuplication(t *testing.T) {
+	const depth, total = 4, 24
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       52,
+		App:        NewEchoFactory(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Net.SetDefaultFaults(transport.Faults{DuplicateRate: 0.5})
+	cl, err := c.Client(0, client.WithPipelineDepth(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	calls := make([]*client.Call, 0, total)
+	for i := 0; i < total; i++ {
+		calls = append(calls, cl.Submit(context.Background(), []byte(fmt.Sprintf("dup-%d", i))))
+	}
+	for i, call := range calls {
+		if _, err := call.Result(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for id, r := range c.Replicas {
+			got := r.Info().Stats.Executed
+			if got > total {
+				t.Fatalf("replica %d executed %d > %d submitted under duplication", id, got, total)
+			}
+			if got != total {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge on the exact execution count")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipelineCancelMidQuorum cuts the client off from all but one
+// replica so a quorum can never assemble, then cancels: the call must
+// complete promptly with the context error while other calls on the same
+// client are unaffected afterwards.
+func TestPipelineCancelMidQuorum(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       53,
+		App:        NewEchoFactory(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0, client.WithMaxRetries(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Warm up through the healthy network.
+	if _, err := cl.Invoke(context.Background(), []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	// Sever replies from 3 of 4 replicas: at most one (tentative-free)
+	// reply can arrive, below every quorum.
+	for id := uint32(1); id <= 3; id++ {
+		c.Net.SetLinkFaults(ReplicaAddr(id), ClientAddr(0), transport.Faults{Partitioned: true})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	call := cl.Submit(ctx, []byte("stuck"))
+	time.Sleep(50 * time.Millisecond) // let partial replies trickle in
+	start := time.Now()
+	cancel()
+	select {
+	case <-call.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled call did not complete")
+	}
+	if _, err := call.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Fatalf("cancellation took %s", waited)
+	}
+	// Heal the network; the client keeps working.
+	for id := uint32(1); id <= 3; id++ {
+		c.Net.SetLinkFaults(ReplicaAddr(id), ClientAddr(0), transport.Faults{})
+	}
+	if _, err := cl.Invoke(context.Background(), []byte("healed")); err != nil {
+		t.Fatalf("invoke after cancellation: %v", err)
+	}
+}
+
+// TestPipelineDepthSaturation verifies a single client actually sustains
+// its full window: with depth n, n submissions proceed without any
+// completing first, and all n complete.
+func TestPipelineDepthSaturation(t *testing.T) {
+	const depth = 8
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       54,
+		App:        NewEchoFactory(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0, client.WithPipelineDepth(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Hold replies back so the window genuinely fills.
+	for id := uint32(0); id <= 3; id++ {
+		c.Net.SetLinkFaults(ReplicaAddr(id), ClientAddr(0), transport.Faults{Delay: 100 * time.Millisecond})
+	}
+	calls := make([]*client.Call, 0, depth)
+	start := time.Now()
+	for i := 0; i < depth; i++ {
+		calls = append(calls, cl.Submit(context.Background(), []byte(fmt.Sprintf("sat-%d", i))))
+	}
+	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
+		t.Fatalf("submitting %d calls blocked for %s: window not sustained", depth, elapsed)
+	}
+	for i, call := range calls {
+		if _, err := call.Result(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}

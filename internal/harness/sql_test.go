@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestSQLClusterEndToEnd(t *testing.T) {
 
 	// The e-voting insert of §4.2.
 	for i := 0; i < 5; i++ {
-		resp, err := cl.Invoke(sqlstate.EncodeExec(
+		resp, err := cl.Invoke(context.Background(), sqlstate.EncodeExec(
 			"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?, ?, now(), random())",
 			sqldb.Text("alice"), sqldb.Text("yes")))
 		if err != nil {
@@ -44,7 +45,7 @@ func TestSQLClusterEndToEnd(t *testing.T) {
 	}
 	// Query through ordered path: replies must match across replicas
 	// (the paper added ts/rnd columns exactly to verify this).
-	resp, err := cl.Invoke(sqlstate.EncodeQuery("SELECT count(*), min(rnd), max(rnd) FROM votes"))
+	resp, err := cl.Invoke(context.Background(), sqlstate.EncodeQuery("SELECT count(*), min(rnd), max(rnd) FROM votes"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSQLClusterEndToEnd(t *testing.T) {
 	// the client could not have assembled matching reply quorums above.
 
 	// Read-only query path.
-	resp, err = cl.InvokeReadOnly(sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
+	resp, err = cl.InvokeReadOnly(context.Background(), sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestSQLClusterEndToEnd(t *testing.T) {
 		t.Fatalf("read-only count = %v", r.Rows.Data)
 	}
 	// A mutating statement on the read-only path must be refused.
-	resp, err = cl.InvokeReadOnly(sqlstate.EncodeExec("DELETE FROM votes"))
+	resp, err = cl.InvokeReadOnly(context.Background(), sqlstate.EncodeExec("DELETE FROM votes"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSQLClusterRestartStateTransfer(t *testing.T) {
 	insert := func(n int) {
 		t.Helper()
 		for i := 0; i < n; i++ {
-			resp, err := cl.Invoke(sqlstate.EncodeExec(
+			resp, err := cl.Invoke(context.Background(), sqlstate.EncodeExec(
 				"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?, 'y', now(), random())",
 				sqldb.Text("v")))
 			if err != nil {
@@ -132,7 +133,7 @@ func TestSQLClusterRestartStateTransfer(t *testing.T) {
 	}
 	// The restarted replica's database content must now answer queries
 	// consistently (it participates in reply quorums).
-	resp, err := cl.Invoke(sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
+	resp, err := cl.Invoke(context.Background(), sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
 	if err != nil {
 		t.Fatal(err)
 	}

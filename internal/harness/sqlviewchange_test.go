@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -32,7 +33,7 @@ func TestSQLSurvivesViewChange(t *testing.T) {
 
 	insert := func(voter string) {
 		t.Helper()
-		resp, err := cl.Invoke(sqlstate.EncodeExec(
+		resp, err := cl.Invoke(context.Background(), sqlstate.EncodeExec(
 			"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?, 'y', now(), random())",
 			sqlstate.Text(voter)))
 		if err != nil {
@@ -55,7 +56,7 @@ func TestSQLSurvivesViewChange(t *testing.T) {
 		insert("after")
 	}
 
-	resp, err := cl.Invoke(sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
+	resp, err := cl.Invoke(context.Background(), sqlstate.EncodeQuery("SELECT count(*) FROM votes"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSQLDurableDataSurvivesOnDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		resp, err := cl.Invoke(sqlstate.EncodeExec(
+		resp, err := cl.Invoke(context.Background(), sqlstate.EncodeExec(
 			"INSERT INTO votes (voter, vote, ts, rnd) VALUES ('d', 'y', now(), random())"))
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -102,17 +103,29 @@ func (r RunResult) TPS() float64 {
 // duration and returns the aggregate throughput. Clients joined
 // dynamically are used when dynamic is true (§3.1 overhead measurement).
 func (c *Cluster) RunClosedLoop(numClients int, w Workload, duration time.Duration, dynamic bool) (RunResult, error) {
+	return c.RunPipelined(numClients, 1, w, duration, dynamic)
+}
+
+// RunPipelined drives numClients load-generating clients, each keeping
+// depth requests in flight through one pipelined client (depth 1 is the
+// paper's closed-loop model). One goroutine per in-flight slot submits
+// through the shared client; the client's own window provides the
+// backpressure.
+func (c *Cluster) RunPipelined(numClients, depth int, w Workload, duration time.Duration, dynamic bool) (RunResult, error) {
+	if depth < 1 {
+		depth = 1
+	}
 	clients := make([]*client.Client, numClients)
 	for i := 0; i < numClients; i++ {
 		var cl *client.Client
 		var err error
 		if dynamic {
-			cl, err = c.DynamicClient(fmt.Sprintf("dyn-load-%d", i))
+			cl, err = c.DynamicClient(fmt.Sprintf("dyn-load-%d", i), client.WithPipelineDepth(depth))
 			if err == nil {
-				err = cl.Join([]byte(fmt.Sprintf("loaduser%d:sesame", i)))
+				err = cl.Join(context.Background(), []byte(fmt.Sprintf("loaduser%d:sesame", i)))
 			}
 		} else {
-			cl, err = c.Client(i)
+			cl, err = c.Client(i, client.WithPipelineDepth(depth))
 		}
 		if err != nil {
 			for _, done := range clients[:i] {
@@ -131,34 +144,38 @@ func (c *Cluster) RunClosedLoop(numClients int, w Workload, duration time.Durati
 	}()
 
 	var ops, errs atomic.Uint64
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i, cl := range clients {
-		wg.Add(1)
-		go func(i int, cl *client.Client) {
-			defer wg.Done()
-			for n := 0; ; n++ {
-				select {
-				case <-stop:
-					return
-				default:
+		for d := 0; d < depth; d++ {
+			wg.Add(1)
+			go func(i, d int, cl *client.Client) {
+				defer wg.Done()
+				for n := d; ; n += depth {
+					if ctx.Err() != nil {
+						return
+					}
+					resp, err := cl.Invoke(ctx, w.Op(i, n))
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						errs.Add(1)
+						continue
+					}
+					if err := w.Check(resp); err != nil {
+						errs.Add(1)
+						continue
+					}
+					ops.Add(1)
 				}
-				resp, err := cl.Invoke(w.Op(i, n))
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				if err := w.Check(resp); err != nil {
-					errs.Add(1)
-					continue
-				}
-				ops.Add(1)
-			}
-		}(i, cl)
+			}(i, d, cl)
+		}
 	}
 	time.Sleep(duration)
-	close(stop)
+	cancel()
 	wg.Wait()
 	elapsed := time.Since(start)
 	return RunResult{Ops: ops.Load(), Duration: elapsed, Errors: errs.Load()}, nil

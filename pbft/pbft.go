@@ -10,6 +10,26 @@
 // pre-provisioned in the Config (static membership) or Join at runtime
 // (§3.1 of the paper). See package sqlstate for the SQL/ACID state
 // abstraction of §3.2 and the examples directory for complete programs.
+//
+// # Clients, concurrency and pipelining
+//
+// A Client is safe for concurrent use and pipelines requests: Submit
+// returns a *Call future immediately, and up to WithPipelineDepth
+// requests stay in flight at once while a single demux goroutine collects
+// reply quorums for all of them. The synchronous wrappers block per call
+// but may be used from many goroutines over one client:
+//
+//	cl, _ := pbft.NewClient(cfg, id, kp, conn, pbft.WithPipelineDepth(16))
+//	call := cl.Submit(ctx, op)          // asynchronous: a future
+//	result, err := call.Result()        // wait for the reply quorum
+//	result, err = cl.Invoke(ctx, op)    // synchronous wrapper
+//	result, err = cl.InvokeReadOnly(ctx, op)
+//
+// Every submission takes a context.Context; cancellation or a deadline
+// completes the call promptly with the context's error. Replicas track a
+// per-client window of Options.ClientWindow outstanding timestamps, so a
+// pipelined client's requests are ordered and executed concurrently
+// without being dropped as duplicates.
 package pbft
 
 import (
@@ -37,8 +57,17 @@ type (
 	Replica = core.Replica
 	// ReplicaInfo is a progress snapshot of a replica.
 	ReplicaInfo = core.Info
-	// Client invokes operations against the replicated service.
+	// Client invokes operations against the replicated service. It is
+	// safe for concurrent use and pipelines up to WithPipelineDepth
+	// requests.
 	Client = client.Client
+	// Call is one in-flight request: a future returned by Client.Submit.
+	Call = client.Call
+	// ClientOption configures a client at construction
+	// (WithPipelineDepth, WithMaxRetries).
+	ClientOption = client.Option
+	// CallOption configures one Submit (ReadOnly).
+	CallOption = client.CallOption
 	// Application is the replicated service implementation.
 	Application = core.Application
 	// Authorizer admits dynamic clients at the application level.
@@ -66,6 +95,27 @@ type (
 // ErrJoinDenied is returned by Client.Join when the service refuses.
 type ErrJoinDenied = client.ErrJoinDenied
 
+// Client sentinel errors, re-exported for errors.Is checks.
+var (
+	// ErrClosed is returned by operations on a closed client.
+	ErrClosed = client.ErrClosed
+	// ErrTimeout is returned when a call's retransmission budget ran out
+	// before a reply quorum assembled.
+	ErrTimeout = client.ErrTimeout
+	// ErrNotJoined is returned when a dynamic client invokes before Join.
+	ErrNotJoined = client.ErrNotJoined
+)
+
+// WithPipelineDepth bounds how many requests a client keeps in flight at
+// once (0 selects the deployment's Options.ClientWindow).
+func WithPipelineDepth(n int) ClientOption { return client.WithPipelineDepth(n) }
+
+// WithMaxRetries bounds retransmission rounds per call before ErrTimeout.
+func WithMaxRetries(n int) ClientOption { return client.WithMaxRetries(n) }
+
+// ReadOnly marks one Submit read-only (immediate execution, 2f+1 quorum).
+func ReadOnly() CallOption { return client.ReadOnly() }
+
 // DefaultOptions returns the original library's preferred configuration:
 // every optimization on (first row of Table 1).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -81,13 +131,13 @@ func NewReplica(cfg *Config, id uint32, kp *KeyPair, conn Conn, app Application)
 }
 
 // NewClient builds a pre-provisioned (static membership) client.
-func NewClient(cfg *Config, id uint32, kp *KeyPair, conn Conn) (*Client, error) {
-	return client.New(cfg, id, kp, conn)
+func NewClient(cfg *Config, id uint32, kp *KeyPair, conn Conn, opts ...ClientOption) (*Client, error) {
+	return client.New(cfg, id, kp, conn, opts...)
 }
 
 // NewDynamicClient builds a client that must Join before invoking (§3.1).
-func NewDynamicClient(cfg *Config, kp *KeyPair, conn Conn) (*Client, error) {
-	return client.NewDynamic(cfg, kp, conn)
+func NewDynamicClient(cfg *Config, kp *KeyPair, conn Conn, opts ...ClientOption) (*Client, error) {
+	return client.NewDynamic(cfg, kp, conn, opts...)
 }
 
 // ListenUDP opens a UDP endpoint (the original deployment transport).

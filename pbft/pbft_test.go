@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -84,7 +85,7 @@ func TestUDPClusterEndToEnd(t *testing.T) {
 	// replies, checkpoints.
 	_, replicas, cl := buildUDPCluster(t, testOptions())
 	for i := 0; i < 20; i++ {
-		resp, err := cl.Invoke([]byte(fmt.Sprintf("op%d", i)))
+		resp, err := cl.Invoke(context.Background(), []byte(fmt.Sprintf("op%d", i)))
 		if err != nil {
 			t.Fatalf("invoke %d: %v", i, err)
 		}
@@ -109,7 +110,7 @@ func TestUDPClusterEndToEnd(t *testing.T) {
 
 func TestUDPClusterSignatureMode(t *testing.T) {
 	_, _, cl := buildUDPCluster(t, testOptions().Robust())
-	resp, err := cl.Invoke([]byte("signed"))
+	resp, err := cl.Invoke(context.Background(), []byte("signed"))
 	if err != nil {
 		t.Fatal(err)
 	}
