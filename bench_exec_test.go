@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// BenchmarkExecShards measures the sharded execution engine on the
+// keyed-counter workload (mostly non-conflicting operations, a few
+// shared hot keys). Each op is one client request against a live 4-replica
+// cluster; 12 parallel closed-loop clients drive load.
+//
+// On a single-core host the shard counts above 1 measure pure scheduling
+// overhead (the acceptance bar is "no regression"); on a multi-core host
+// the sharded configurations spread application work across cores.
+func BenchmarkExecShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			lc := harness.LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}
+			_, pool := benchCluster(b, lc, harness.NewCounterFactory(), 12,
+				func(o *core.Options) { o.ExecShards = shards })
+			w := &harness.KeyedCounterWorkload{}
+			// A global op counter assigns each call a distinct
+			// (client, iteration) stream — the pooled workers'
+			// private counters would all start at 0 and walk the
+			// keyset in lockstep, colliding on every key.
+			var ops atomic.Int64
+			runClientBench(b, pool,
+				func(int) []byte {
+					n := int(ops.Add(1))
+					return w.Op(n%12, n/12)
+				},
+				w.Check)
+		})
+	}
+}

@@ -25,15 +25,20 @@ import (
 	"testing"
 
 	"repro/internal/client"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sqldb"
 	"repro/sqlstate"
 )
 
-// benchCluster builds a cluster plus a pool of ready clients.
-func benchCluster(b *testing.B, lc harness.LibConfig, app harness.AppFactory, numClients int) (*harness.Cluster, chan *client.Client) {
+// benchCluster builds a cluster plus a pool of ready clients. Optional
+// mutators adjust the library options (e.g. the execution shard count).
+func benchCluster(b *testing.B, lc harness.LibConfig, app harness.AppFactory, numClients int, mutate ...func(*core.Options)) (*harness.Cluster, chan *client.Client) {
 	b.Helper()
 	opts := harness.BenchOptionsFor(lc)
+	for _, m := range mutate {
+		m(&opts)
+	}
 	c, err := harness.NewCluster(harness.ClusterOptions{
 		Opts:       opts,
 		NumClients: numClients,

@@ -13,11 +13,14 @@
 //	pbft-bench -experiment loss              # §2.4 packet-loss behaviour
 //	pbft-bench -experiment recovery          # §2.3 restart recovery
 //	pbft-bench -experiment pipeline          # pipelined client vs client fleet
+//	pbft-bench -experiment exec -shards 4    # sharded execution engine
 //	pbft-bench -experiment all
 //
 // The -pipeline flag sets how many requests each load client keeps in
 // flight (request pipelining over the concurrent client API); the default
-// 1 is the paper's closed-loop model.
+// 1 is the paper's closed-loop model. The -shards flag sets the largest
+// execution shard count the exec experiment sweeps to (compared against
+// the serial configuration).
 package main
 
 import (
@@ -37,12 +40,13 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
 	size := flag.Int("size", 1024, "null request/response size in bytes (paper: 256..4096)")
 	pipeline := flag.Int("pipeline", 1, "in-flight requests per load client (1 = closed loop)")
+	shards := flag.Int("shards", 4, "max execution shards for the exec experiment")
 	seed := flag.Int64("seed", 42, "simulated network seed")
 	flag.Parse()
 
@@ -75,6 +79,15 @@ func run() error {
 			return harness.RunLossyBatchAblation(opts, []float64{0, 0.005, 0.01, 0.02})
 		case "pipeline":
 			return harness.RunPipelineComparison(opts, []int{1, 4, 8, 16})
+		case "exec":
+			list := []int{1}
+			for s := 2; s < *shards; s *= 2 {
+				list = append(list, s)
+			}
+			if *shards > 1 {
+				list = append(list, *shards)
+			}
+			return harness.RunExecShardComparison(opts, list)
 		case "recovery":
 			return harness.RunRecoveryExperiment(opts, []time.Duration{
 				200 * time.Millisecond, 500 * time.Millisecond, time.Second,
@@ -85,7 +98,7 @@ func run() error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery", "pipeline"} {
+		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery", "pipeline", "exec"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -2,9 +2,15 @@
 // raw state region directly — answering the paper's §3.2 question "what
 // can a modern application do with just a pointer to a memory region?"
 // the hard way, for contrast with the SQL abstraction (see the evoting
-// example). The store serializes its map into the region after every
-// mutation and re-reads it before every operation, so checkpointing,
-// state transfer and rollback all just work.
+// example).
+//
+// The store hashes keys onto fixed-size buckets, each a private byte
+// range of the region, and implements pbft.Sharder with the bucket index
+// as the conflict key: operations on different buckets have disjoint
+// state footprints and commute, so the replica's sharded execution engine
+// (Options.ExecShards) applies them concurrently while checkpointing,
+// state transfer and rollback keep working unchanged. "keys" scans every
+// bucket and is unkeyed — the engine runs it as a barrier.
 //
 //	go run ./examples/kvstore
 package main
@@ -20,28 +26,71 @@ import (
 	"repro/pbft"
 )
 
-// kvApp replicates a map[string]string in the state region.
+const (
+	// numBuckets fixed-size buckets; each key lives in exactly one.
+	numBuckets = 64
+	// bucketSize bytes per bucket (one region page: bucket writes touch
+	// exactly one checkpoint page).
+	bucketSize = 4096
+)
+
+// kvApp replicates a bucketed map[string]string in the state region.
 //
-// Region layout: u32 entry count, then (u16 klen, key, u16 vlen, value)*.
-// Every Execute deserializes and reserializes the whole map — a deliberate
-// illustration of the state-management burden PBFT leaves to applications
-// (§3.2); the SQL abstraction exists because this does not scale.
+// Bucket layout: u16 entry count, then (u16 klen, key, u16 vlen, value)*
+// in sorted key order — the byte layout must be deterministic because
+// replicas agree on state via region digests (the determinism trap of
+// §2.5, one level down).
+//
+// The fixed bucketing is the price of disjoint footprints: each bucket
+// holds at most bucketSize bytes of entries, and a set that would
+// overflow its bucket fails with ERR (the demo keeps it simple — a real
+// store would chain overflow buckets from a free area, keeping the
+// conflict key per chain).
 type kvApp struct {
 	region *pbft.StateRegion
 }
 
 func (a *kvApp) AttachState(region *pbft.StateRegion) { a.region = region }
 
-func (a *kvApp) load() map[string]string {
+// bucketOf hashes a key onto its bucket (FNV-1a; any fixed function
+// works — it only has to be the same at every replica).
+func bucketOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % numBuckets
+}
+
+// Keys implements pbft.Sharder: the conflict key of a keyed operation is
+// its bucket — never the user key, because two keys sharing a bucket
+// share bytes and must serialize. "keys" touches every bucket: unkeyed,
+// so the engine runs it as a barrier.
+func (a *kvApp) Keys(op []byte) [][]byte {
+	fields := strings.SplitN(string(op), " ", 3)
+	switch fields[0] {
+	case "set", "get", "del":
+		if len(fields) < 2 {
+			return nil
+		}
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], bucketOf(fields[1]))
+		return [][]byte{b[:]}
+	}
+	return nil
+}
+
+func (a *kvApp) loadBucket(b uint32) map[string]string {
 	m := make(map[string]string)
-	var cnt [4]byte
-	if _, err := a.region.ReadAt(cnt[:], 0); err != nil {
+	base := int64(b) * bucketSize
+	buf := make([]byte, 2)
+	if _, err := a.region.ReadAt(buf, base); err != nil {
 		return m
 	}
-	n := binary.BigEndian.Uint32(cnt[:])
-	off := int64(4)
-	buf := make([]byte, 2)
-	for i := uint32(0); i < n; i++ {
+	n := binary.BigEndian.Uint16(buf)
+	off := base + 2
+	for i := uint16(0); i < n; i++ {
 		readStr := func() string {
 			if _, err := a.region.ReadAt(buf, off); err != nil {
 				return ""
@@ -62,17 +111,13 @@ func (a *kvApp) load() map[string]string {
 	return m
 }
 
-func (a *kvApp) store(m map[string]string) {
-	// Serialize in sorted key order: replicas agree on state via region
-	// digests, so the byte layout must be deterministic — Go map
-	// iteration order would diverge the replicas (the determinism trap
-	// of §2.5, one level down).
+func (a *kvApp) storeBucket(b uint32, m map[string]string) error {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := binary.BigEndian.AppendUint32(nil, uint32(len(m)))
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(m)))
 	for _, k := range keys {
 		v := m[k]
 		out = binary.BigEndian.AppendUint16(out, uint16(len(k)))
@@ -80,43 +125,58 @@ func (a *kvApp) store(m map[string]string) {
 		out = binary.BigEndian.AppendUint16(out, uint16(len(v)))
 		out = append(out, v...)
 	}
-	// WriteAt performs the modify notification PBFT requires before
-	// state changes (§2.1).
-	if _, err := a.region.WriteAt(out, 0); err != nil {
-		panic(err) // region sized far beyond this demo's needs
+	if len(out) > bucketSize {
+		return fmt.Errorf("bucket %d overflow (%d bytes)", b, len(out))
 	}
+	// Zero-pad to the full bucket so stale tail bytes cannot linger in
+	// the agreed state after deletes.
+	out = append(out, make([]byte, bucketSize-len(out))...)
+	// WriteAt performs the modify notification PBFT requires (§2.1).
+	_, err := a.region.WriteAt(out, int64(b)*bucketSize)
+	return err
 }
 
 // Execute implements ops "set k v", "get k", "del k", "keys".
 func (a *kvApp) Execute(op []byte, nd pbft.NonDetValues, readOnly bool) []byte {
 	fields := strings.SplitN(string(op), " ", 3)
-	m := a.load()
 	switch fields[0] {
 	case "set":
 		if readOnly || len(fields) != 3 {
 			return []byte("ERR")
 		}
+		b := bucketOf(fields[1])
+		m := a.loadBucket(b)
 		m[fields[1]] = fields[2]
-		a.store(m)
+		if err := a.storeBucket(b, m); err != nil {
+			return []byte("ERR " + err.Error())
+		}
 		return []byte("OK")
 	case "del":
 		if readOnly || len(fields) != 2 {
 			return []byte("ERR")
 		}
+		b := bucketOf(fields[1])
+		m := a.loadBucket(b)
 		delete(m, fields[1])
-		a.store(m)
+		if err := a.storeBucket(b, m); err != nil {
+			return []byte("ERR " + err.Error())
+		}
 		return []byte("OK")
 	case "get":
 		if len(fields) != 2 {
 			return []byte("ERR")
 		}
-		v, ok := m[fields[1]]
+		v, ok := a.loadBucket(bucketOf(fields[1]))[fields[1]]
 		if !ok {
 			return []byte("(nil)")
 		}
 		return []byte(v)
 	case "keys":
-		return []byte(fmt.Sprint(len(m), " keys"))
+		total := 0
+		for b := uint32(0); b < numBuckets; b++ {
+			total += len(a.loadBucket(b))
+		}
+		return []byte(fmt.Sprint(total, " keys"))
 	default:
 		return []byte("ERR unknown op")
 	}
@@ -134,7 +194,9 @@ func run() error {
 	net := pbft.NewNetwork(3)
 	defer net.Close()
 
-	opts := pbft.DefaultOptions()
+	// Four execution shards: operations on different buckets apply in
+	// parallel behind the ordered commit stream.
+	opts := pbft.DefaultOptions().WithExecShards(4)
 	cfg := &pbft.Config{Opts: opts}
 	keys := make([]*pbft.KeyPair, n)
 	for i := 0; i < n; i++ {
@@ -200,7 +262,8 @@ func run() error {
 	}
 
 	// Reads can use the optimized read-only path (§2.1): no agreement,
-	// the client collects a 2f+1 quorum of direct replies.
+	// the client collects a 2f+1 quorum of direct replies. Keyed reads
+	// run on their bucket's shard, off the replica's protocol loop.
 	resp, err := cl.InvokeReadOnly(context.Background(), []byte("get shape"))
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ type Call struct {
 	mu         sync.Mutex
 	finished   bool
 	attempts   int
+	start      time.Time // first transmission; anchors the retry budget
 	byDigest   map[crypto.Digest]*replyQuorum
 	timer      *time.Timer
 	stopCtx    func() bool
@@ -89,27 +91,73 @@ func (call *Call) armCtx() {
 func (call *Call) armTimer(d time.Duration) {
 	call.mu.Lock()
 	if !call.finished {
-		call.timer = time.AfterFunc(d, func() { call.onTimeout(d) })
+		call.start = time.Now()
+		call.timer = time.AfterFunc(d, call.onTimeout)
 	}
 	call.mu.Unlock()
 }
 
+// backoffGraceRounds is how many retransmission rounds stay at the base
+// interval before exponential backoff starts. Early retransmissions are
+// what drive recovery — they re-arm backup liveness timers through a
+// view change and re-deliver requests a dead primary swallowed — so the
+// first rounds stay dense and only a persistently unresponsive service
+// gets backed off.
+const backoffGraceRounds = 3
+
+// retransmitDelay is the adaptive per-call backoff: the base interval
+// (Options.RequestTimeout) holds for the grace rounds, then grows
+// exponentially with the retransmission round, capped at the client's
+// backoff ceiling; the wait is jittered across [d/2, d] (floored at the
+// base) so a fleet of calls stalled by the same outage does not
+// retransmit in lockstep when the service returns.
+func (call *Call) retransmitDelay(attempt int) time.Duration {
+	base := call.c.cfg.Opts.RequestTimeout
+	d := base
+	cap := call.c.backoffCap
+	for i := backoffGraceRounds; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if half := d / 2; half > 0 {
+		d = half + rand.N(half+1)
+	}
+	if d < base {
+		// A cap at or below the base interval degrades to the old
+		// fixed-interval scheme — backoff must never retransmit FASTER
+		// than the base rate.
+		d = base
+	}
+	return d
+}
+
 // onTimeout fires when a reply quorum did not assemble within one round:
 // retransmit to every replica (they relay to the primary and arm their
-// view-change timers) or, with the retry budget exhausted, fail the call.
-func (call *Call) onTimeout(d time.Duration) {
+// view-change timers) and back off. The call's total time budget stays
+// maxRetries x RequestTimeout — what the fixed-interval scheme spent —
+// so backoff changes how often a stalled service is hammered, not how
+// long a caller waits for ErrTimeout.
+func (call *Call) onTimeout() {
 	call.mu.Lock()
 	if call.finished {
 		call.mu.Unlock()
 		return
 	}
 	call.attempts++
-	if call.attempts >= call.c.maxRetries {
+	budget := time.Duration(call.c.maxRetries) * call.c.cfg.Opts.RequestTimeout
+	remaining := budget - time.Since(call.start)
+	if remaining <= 0 {
 		call.mu.Unlock()
 		call.finish(nil, ErrTimeout)
 		return
 	}
-	call.timer.Reset(d)
+	delay := call.retransmitDelay(call.attempts)
+	if delay > remaining {
+		delay = remaining
+	}
+	call.timer.Reset(delay)
 	call.mu.Unlock()
 	call.c.maybeHello()
 	_ = call.c.broadcast(call.env)

@@ -1,6 +1,7 @@
 // Package client implements the PBFT client protocol: asynchronous,
-// pipelined request submission with per-call retransmission, reply quorum
-// collection (f+1 stable or 2f+1 with tentative replies), the read-only
+// pipelined request submission with adaptive per-call retransmission
+// (exponential backoff with jitter, capped — see WithBackoffCap), reply
+// quorum collection (f+1 stable or 2f+1 with tentative replies), the read-only
 // and big-request paths, MAC session establishment with blind periodic
 // retransmission (§2.3 of the paper), and the dynamic Join/Leave flow of
 // §3.1.
@@ -56,6 +57,7 @@ type Client struct {
 
 	pipelineDepth int
 	maxRetries    int
+	backoffCap    time.Duration // retransmission backoff ceiling
 	window        uint64        // replica-side dedup window W (timestamp span cap)
 	slots         chan struct{} // pipeline window semaphore
 
@@ -131,6 +133,9 @@ func newClient(cfg *core.Config, kp *crypto.KeyPair, conn transport.Conn, opts [
 	}
 	if c.maxRetries <= 0 {
 		c.maxRetries = defaultMaxRetries
+	}
+	if c.backoffCap <= 0 {
+		c.backoffCap = 8 * cfg.Opts.RequestTimeout
 	}
 	c.slots = make(chan struct{}, c.pipelineDepth)
 	for i := 0; i < c.pipelineDepth; i++ {

@@ -484,3 +484,59 @@ func TestSubmitSurfacesErrTooLarge(t *testing.T) {
 		t.Fatal("sanity: typed error text changed")
 	}
 }
+
+// TestRetransmitBackoff: the per-call retransmission delay grows
+// exponentially from the base interval, stays inside the jitter window
+// [d/2, d], and caps at the backoff ceiling.
+func TestRetransmitBackoff(t *testing.T) {
+	_, cl, _ := testSetup(t, false)
+	defer cl.Close()
+	base := cl.cfg.Opts.RequestTimeout
+	if want := 8 * base; cl.backoffCap != want {
+		t.Fatalf("default backoff cap = %v, want %v", cl.backoffCap, want)
+	}
+	call := &Call{c: cl}
+	for attempt := 0; attempt < 12; attempt++ {
+		want := base
+		for i := backoffGraceRounds; i < attempt && want < cl.backoffCap; i++ {
+			want *= 2
+		}
+		if want > cl.backoffCap {
+			want = cl.backoffCap
+		}
+		for trial := 0; trial < 50; trial++ {
+			got := call.retransmitDelay(attempt)
+			if got < base || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, base, want)
+			}
+		}
+	}
+}
+
+// TestRetransmitBackoffCapOption: WithBackoffCap bounds the growth, and
+// the delay never drops below the base interval — a cap at or below
+// RequestTimeout degrades to fixed-interval retransmission, never to a
+// faster rate.
+func TestRetransmitBackoffCapOption(t *testing.T) {
+	_, cl, _ := testSetup(t, false, WithBackoffCap(30*time.Millisecond))
+	defer cl.Close()
+	base := cl.cfg.Opts.RequestTimeout // 20ms in testSetup
+	call := &Call{c: cl}
+	for attempt := 0; attempt < 10; attempt++ {
+		got := call.retransmitDelay(attempt)
+		if got > 30*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds the 30ms cap", attempt, got)
+		}
+		if got < base {
+			t.Fatalf("attempt %d: delay %v below the %v base interval", attempt, got, base)
+		}
+	}
+	_, cl2, _ := testSetup(t, false, WithBackoffCap(time.Millisecond))
+	defer cl2.Close()
+	call2 := &Call{c: cl2}
+	for attempt := 0; attempt < 5; attempt++ {
+		if got := call2.retransmitDelay(attempt); got != base {
+			t.Fatalf("cap below base: attempt %d delay %v, want fixed %v", attempt, got, base)
+		}
+	}
+}

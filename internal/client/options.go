@@ -1,5 +1,7 @@
 package client
 
+import "time"
+
 // defaultMaxRetries bounds retransmission rounds per request when
 // WithMaxRetries is not given (the original library's hard-coded 20).
 const defaultMaxRetries = 20
@@ -16,10 +18,24 @@ func WithPipelineDepth(n int) Option {
 	return func(c *Client) { c.pipelineDepth = n }
 }
 
-// WithMaxRetries bounds retransmission rounds per request before the call
-// fails with ErrTimeout. 0 or negative selects the default (20).
+// WithMaxRetries sizes the per-call retry budget: a call fails with
+// ErrTimeout after n x the deployment's Options.RequestTimeout without a
+// reply quorum (the time the old fixed-interval scheme spent on n
+// rounds; with adaptive backoff, fewer retransmissions fit in the same
+// budget). 0 or negative selects the default (20).
 func WithMaxRetries(n int) Option {
 	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoffCap bounds the per-call retransmission backoff. Each call
+// retransmits after the deployment's Options.RequestTimeout, then backs
+// off exponentially (with jitter) up to this cap, so a stalled service is
+// not hammered at a fixed rate by every outstanding call. The delay never
+// drops below RequestTimeout: a cap at or below it selects plain
+// fixed-interval retransmission. 0 or negative selects the default cap
+// of 8x RequestTimeout.
+func WithBackoffCap(d time.Duration) Option {
+	return func(c *Client) { c.backoffCap = d }
 }
 
 // callOpts collects per-call options.

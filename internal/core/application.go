@@ -25,6 +25,45 @@ type Application interface {
 	Execute(op []byte, nd NonDetValues, readOnly bool) []byte
 }
 
+// Sharder is implemented by applications that opt into the sharded
+// execution engine (Options.ExecShards > 1). Keys returns the conflict
+// keyset of an operation: the set of logical entities the operation reads
+// or writes. The engine runs operations with disjoint keysets
+// concurrently on different shard workers and serializes operations that
+// share a key in commit order; a nil/empty keyset marks the operation a
+// barrier (it runs alone, after everything before it and before
+// everything after it).
+//
+// An implementation must obey the determinism rules (see ARCHITECTURE.md):
+//
+//   - Keys must be a pure function of the operation bytes.
+//   - Execute must be safe to call concurrently for operations with
+//     disjoint keysets.
+//   - Operations with disjoint keysets must commute at the byte level:
+//     their state-region footprints are disjoint, and neither's reply nor
+//     writes depend on whether the other ran first. Operations that
+//     cannot satisfy this (whole-state scans, allocator-order-sensitive
+//     writes) must return nil and take the barrier path.
+//
+// The shard count itself is NOT part of the replicated-state contract:
+// replicas with different ExecShards values (including 1) produce
+// identical reply streams and checkpoint digests, because conflicting
+// operations are ordered identically everywhere and non-conflicting
+// operations commute.
+type Sharder interface {
+	// Keys returns the operation's conflict keyset (nil = barrier).
+	Keys(op []byte) [][]byte
+}
+
+// ShardObserver is implemented by applications that adapt their
+// execution strategy to the engine's shard count (e.g. sqlstate routes
+// shardable queries over private pagers only when queries can actually
+// run concurrently). The replica calls it once, before Start.
+type ShardObserver interface {
+	// ObserveExecShards reports the engine's effective shard count.
+	ObserveExecShards(shards int)
+}
+
 // Authorizer is implemented by applications that admit dynamic clients
 // (§3.1). The identification buffer from the Join request is passed down;
 // the application maps it to a stable principal (e.g. a user id). The

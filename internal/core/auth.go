@@ -40,10 +40,17 @@ func (r *Replica) sealSigned(t wire.MsgType, payload []byte) *wire.Envelope {
 // sealToClient authenticates a reply to one client: a single-tag
 // authenticator under the client's session key, or a signature.
 func (r *Replica) sealToClient(t wire.MsgType, payload []byte, client *nodeEntry) *wire.Envelope {
+	return r.sealWithSession(t, payload, client.Session, r.cfg.Opts.UseMACs && client.HasSession)
+}
+
+// sealWithSession is sealToClient over snapshotted session material: safe
+// off the protocol loop (the read-only path seals on a shard worker from
+// values captured at submission time).
+func (r *Replica) sealWithSession(t wire.MsgType, payload []byte, session crypto.SessionKey, useMAC bool) *wire.Envelope {
 	env := &wire.Envelope{Type: t, Sender: r.id, Payload: payload}
-	if r.cfg.Opts.UseMACs && client.HasSession {
+	if useMAC {
 		env.Kind = wire.AuthMAC
-		env.Auth = crypto.ComputeAuthenticator([]crypto.SessionKey{client.Session}, env.SignedBytes())
+		env.Auth = crypto.ComputeAuthenticator([]crypto.SessionKey{session}, env.SignedBytes())
 	} else {
 		env.Kind = wire.AuthSig
 		env.Sig = r.kp.Sign(env.SignedBytes())

@@ -70,6 +70,17 @@ func (cw *clientWindow) record(ts uint64, rep *wire.Reply, w uint64) {
 	}
 }
 
+// attach fills in the cached reply for a timestamp recorded earlier
+// (execution completes asynchronously on the engine). A timestamp that
+// already slid out of the window is left alone — the same information
+// loss serial execution has when a newer request pushes the floor past
+// an older one.
+func (cw *clientWindow) attach(ts uint64, rep *wire.Reply) {
+	if _, ok := cw.done[ts]; ok {
+		cw.done[ts] = rep
+	}
+}
+
 // sortedTS returns the executed timestamps in ascending order (canonical
 // serialization order).
 func (cw *clientWindow) sortedTS() []uint64 {

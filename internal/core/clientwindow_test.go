@@ -68,8 +68,14 @@ func TestPipelineWindowReplicaDedup(t *testing.T) {
 	}()
 
 	exec := func(ts uint64) *wire.Reply {
+		e := newEntry(1)
 		req := &wire.Request{ClientID: 100, Timestamp: ts, Op: []byte("op")}
-		return r.executeRequest(req, NonDetValues{}, false, 1)
+		r.submitRequest(req, NonDetValues{}, false, e)
+		r.reapApplies()
+		if len(e.replies) == 0 {
+			return nil // deduplicated: nothing was scheduled
+		}
+		return e.replies[0]
 	}
 
 	if exec(3) == nil || exec(1) == nil {

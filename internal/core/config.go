@@ -107,6 +107,16 @@ type Options struct {
 	// they reach the protocol loop. 0 means GOMAXPROCS.
 	VerifyWorkers int
 
+	// ExecShards sizes the sharded execution engine: the workers that
+	// apply committed operations behind the ordered commit stream. An
+	// application implementing Sharder gets non-conflicting operations
+	// applied concurrently across shards; everything else (and every
+	// operation at 1 shard) applies serially in commit order. 0 or 1
+	// selects the serial configuration. Unlike ClientWindow, the shard
+	// count is a purely local tuning knob — replicas with different
+	// values stay digest-identical (see Sharder).
+	ExecShards int
+
 	// ClientWindow is W, the per-client window of outstanding request
 	// timestamps a replica tracks for deduplication and reply caching.
 	// A pipelined client can keep up to W requests in flight; requests
@@ -144,8 +154,24 @@ func DefaultOptions() Options {
 		RequestTimeout:     500 * time.Millisecond,
 		MaxTimeDrift:       time.Minute,
 		ValidateNonDet:     true,
+		ExecShards:         1,
 		ClientWindow:       DefaultClientWindow,
 	}
+}
+
+// WithExecShards returns a copy of the options with the execution engine
+// sized to n shards (chainable, like Robust).
+func (o Options) WithExecShards(n int) Options {
+	o.ExecShards = n
+	return o
+}
+
+// execShards resolves the effective execution shard count.
+func (o *Options) execShards() int {
+	if o.ExecShards > 0 {
+		return o.ExecShards
+	}
+	return 1
 }
 
 // verifyWorkers resolves the effective ingress pool size.
@@ -214,6 +240,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Opts.VerifyWorkers < 0 {
 		return errors.New("core: VerifyWorkers must be >= 0")
+	}
+	if c.Opts.ExecShards < 0 {
+		return errors.New("core: ExecShards must be >= 0")
 	}
 	return nil
 }

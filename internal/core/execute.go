@@ -41,24 +41,34 @@ func nonDetValues(raw []byte) NonDetValues {
 	return NonDetValues{Time: time.Unix(0, int64(nd.Time)), Rand: nd.Rand}
 }
 
-// execReadOnly serves the read-only optimization: execute immediately,
-// without agreement; the client assembles a 2f+1 quorum of matching
-// replies itself.
+// execReadOnly serves the read-only optimization (§2.1): execute without
+// agreement; the client assembles a 2f+1 quorum of matching replies
+// itself. Execution is dispatched to the sharded engine so application
+// work — possibly a slow read — never runs on the protocol loop: a keyed
+// read runs on its shard, ordered behind any scheduled conflicting write;
+// an unkeyed read is an engine barrier. The reply is sealed and sent by
+// the shard worker from state snapshotted here, on the loop.
 func (r *Replica) execReadOnly(req *wire.Request, client *nodeEntry) {
 	if r.sync != nil {
 		return // state mid-transfer: results would be garbage
 	}
-	result := r.app.Execute(req.Op, NonDetValues{Time: r.now()}, true)
+	r.stats.ReadOnlyExec++
 	rep := &wire.Reply{
 		View:      r.view,
 		Timestamp: req.Timestamp,
 		ClientID:  req.ClientID,
 		Replica:   r.id,
 		Flags:     wire.FlagTentative,
-		Result:    result,
 	}
-	r.stats.ReadOnlyExec++
-	r.sendReply(rep, client)
+	op := req.Op
+	nd := NonDetValues{Time: r.now()}
+	useMAC := r.cfg.Opts.UseMACs && client.HasSession
+	session := client.Session
+	addr := client.Addr
+	r.exec.SubmitDetached(r.shardKeys(op), func() {
+		rep.Result = r.app.Execute(op, nd, true)
+		r.sendToAddr(addr, r.sealWithSession(wire.MTReply, rep.Marshal(), session, useMAC))
+	})
 }
 
 // sendReply transmits a reply to its client.
@@ -70,40 +80,56 @@ func (r *Replica) sendReply(rep *wire.Reply, client *nodeEntry) {
 	r.sendToAddr(client.Addr, env)
 }
 
-// tryExecute runs every executable entry in sequence order. An entry is
-// executable when committed, or — with tentative execution — as soon as it
-// is prepared (§2.1). Execution wedges on a missing big-request body
-// (§2.4) until state transfer overtakes the gap.
+// tryExecute schedules every executable entry in sequence order on the
+// execution engine, then reaps the results. An entry is executable when
+// committed, or — with tentative execution — as soon as it is prepared
+// (§2.1). Execution wedges on a missing big-request body (§2.4) until
+// state transfer overtakes the gap.
+//
+// All executable entries are submitted before the first blocking reap, so
+// non-conflicting operations across consecutive batches churn on every
+// shard at once; the loop then blocks only as long as the slowest chain.
+// Checkpoint boundaries drain the engine first, so the snapshot observes
+// exactly the operations up to the boundary — the property that keeps
+// checkpoint digests identical across replicas and shard counts.
 func (r *Replica) tryExecute() {
-	if r.sync != nil {
+	if r.sync != nil || r.executing {
 		return
 	}
+	r.executing = true
+	defer func() { r.executing = false }()
 	for {
 		e := r.log[r.lastExec+1]
 		if e == nil || e.pp == nil {
-			return
+			break
 		}
 		canExec := e.committed || (e.prepared && r.cfg.Opts.TentativeExecution && !r.inViewChange)
 		if !canExec {
-			return
+			break
 		}
 		if !r.resolveBodies(e) {
 			e.missingBody = true
-			return // wedged (§2.4)
+			break // wedged (§2.4)
 		}
 		e.missingBody = false
-		r.executeEntry(e)
+		r.submitEntry(e)
 		r.lastExec = e.seq
 		if e.committed {
 			r.advanceCommittedContig()
 		}
 		if e.seq%r.cfg.Opts.CheckpointInterval == 0 {
+			// Reaping waits for every scheduled mutation, so the
+			// snapshot observes exactly the operations up to the
+			// boundary. Detached reads may still run — they only read
+			// the (internally synchronized) region.
+			r.reapApplies()
 			r.takeCheckpoint(e.seq)
 		}
 		if r.isPrimary() {
 			r.tryPropose() // the congestion window may have room again
 		}
 	}
+	r.reapApplies()
 }
 
 // resolveBodies checks that every request body of the batch is available.
@@ -120,8 +146,32 @@ func (r *Replica) resolveBodies(e *entry) bool {
 	return true
 }
 
-// executeEntry applies one agreed batch to the application.
-func (r *Replica) executeEntry(e *entry) {
+// pendingApply is one request handed to the execution engine and not yet
+// reaped. The shard worker writes result; the loop reads it only after
+// exec.WaitIdle returned, whose ordered-completion counter chain is the
+// happens-before edge publishing the write.
+type pendingApply struct {
+	req       *wire.Request
+	e         *entry
+	tentative bool
+	ndTime    time.Time
+	result    []byte
+}
+
+// shardKeys asks the application for an operation's conflict keyset. The
+// upcall is skipped in the serial configuration, where every operation
+// runs in commit order regardless.
+func (r *Replica) shardKeys(op []byte) [][]byte {
+	if r.sharder == nil || r.exec.Serial() {
+		return nil
+	}
+	return r.sharder.Keys(op)
+}
+
+// submitEntry schedules one agreed batch. The loop-side bookkeeping
+// (deduplication, pending-request tracking, membership operations) runs
+// here in commit order; the application work goes to the engine.
+func (r *Replica) submitEntry(e *entry) {
 	nd := nonDetValues(e.pp.NonDet)
 	tentative := !e.committed
 	e.replies = e.replies[:0]
@@ -134,19 +184,15 @@ func (r *Replica) executeEntry(e *entry) {
 			req = r.bigBodies[be.Digest].req
 			r.bigBodies[be.Digest].executedSeq = e.seq
 		}
-		rep := r.executeRequest(req, nd, tentative, e.seq)
-		if rep != nil {
-			e.replies = append(e.replies, rep)
-		}
+		r.submitRequest(req, nd, tentative, e)
 	}
 	e.executed = true
 	r.stats.Batches++
 }
 
-// executeRequest applies one request and sends the reply. It returns the
-// reply for tentative-flag upgrading, or nil if the request was a
-// duplicate.
-func (r *Replica) executeRequest(req *wire.Request, nd NonDetValues, tentative bool, seq uint64) *wire.Reply {
+// submitRequest performs one request's loop-side work and hands the
+// application execution to the engine (or, for duplicates, nothing).
+func (r *Replica) submitRequest(req *wire.Request, nd NonDetValues, tentative bool, e *entry) {
 	key := reqKey{req.ClientID, req.Timestamp}
 	delete(r.pendingSeen, key)
 	if q := r.primaryQueued[req.ClientID]; q != nil {
@@ -156,32 +202,65 @@ func (r *Replica) executeRequest(req *wire.Request, nd NonDetValues, tentative b
 		}
 	}
 	if req.System() {
-		return r.executeSystem(req, nd, tentative, seq)
+		// Join/Leave mutate protocol-loop state (node table, sessions,
+		// pending joins): execute on the loop itself, as a barrier —
+		// everything scheduled before must have applied (reaping waits
+		// for it).
+		r.reapApplies()
+		if rep := r.executeSystem(req, nd, tentative, e.seq); rep != nil {
+			e.replies = append(e.replies, rep)
+		}
+		return
 	}
 	w := r.cfg.ClientWindow()
 	cw := r.clientWin(req.ClientID)
 	if cw.executed(req.Timestamp, w) {
-		return nil // duplicate within a batch or across batches
+		return // duplicate within a batch or across batches
 	}
-	result := r.app.Execute(req.Op, nd, false)
-	rep := &wire.Reply{
-		View:      r.view,
-		Timestamp: req.Timestamp,
-		ClientID:  req.ClientID,
-		Replica:   r.id,
-		Result:    result,
+	// Mark executed now — later batches must see this timestamp as done —
+	// and attach the cached reply when the result is reaped.
+	cw.record(req.Timestamp, nil, w)
+	pa := &pendingApply{req: req, e: e, tentative: tentative, ndTime: nd.Time}
+	op := req.Op
+	r.exec.Submit(r.shardKeys(op), func() {
+		pa.result = r.app.Execute(op, nd, false)
+	})
+	r.applyQueue = append(r.applyQueue, pa)
+}
+
+// reapApplies waits for every scheduled mutation (one park for the whole
+// span, however many shards ran it), then builds, records and sends the
+// replies in submission order — replies leave the replica strictly in
+// sequence order no matter which shard ran each operation. Nothing else
+// runs on the loop between submit and reap, so the loop state a reply
+// depends on (view, node table) is exactly what serial execution would
+// have seen.
+func (r *Replica) reapApplies() {
+	// Every task in applyQueue was submitted before this point, so one
+	// WaitIdle covers them all — results are written and visible.
+	r.exec.WaitIdle()
+	for _, pa := range r.applyQueue {
+		rep := &wire.Reply{
+			View:      r.view,
+			Timestamp: pa.req.Timestamp,
+			ClientID:  pa.req.ClientID,
+			Replica:   r.id,
+			Result:    pa.result,
+		}
+		if pa.tentative {
+			rep.Flags |= wire.FlagTentative
+		}
+		r.clientWin(pa.req.ClientID).attach(pa.req.Timestamp, rep)
+		pa.e.replies = append(pa.e.replies, rep)
+		client := r.nodes.get(pa.req.ClientID)
+		if client != nil {
+			client.LastActive = uint64(pa.ndTime.UnixNano())
+		}
+		r.stats.Executed++
+		r.sendReply(rep, client)
 	}
-	if tentative {
-		rep.Flags |= wire.FlagTentative
-	}
-	cw.record(req.Timestamp, rep, w)
-	client := r.nodes.get(req.ClientID)
-	if client != nil {
-		client.LastActive = uint64(nd.Time.UnixNano())
-	}
-	r.stats.Executed++
-	r.sendReply(rep, client)
-	return rep
+	clear(r.applyQueue) // release the reaped span's requests and tasks
+	r.applyQueue = r.applyQueue[:0]
 }
 
 // checkLiveness fires the view-change timer: a pending request that sat
@@ -377,6 +456,8 @@ func (r *Replica) rollbackTentative() {
 	if ck == nil || ck.snap == nil {
 		return // cannot roll back without the anchor; state transfer will fix us
 	}
+	// Quiesce detached reads before rewinding the region under them.
+	r.exec.Drain()
 	r.region.Restore(ck.snap)
 	if err := r.unmarshalMeta(ck.meta); err != nil {
 		return
@@ -393,12 +474,14 @@ func (r *Replica) rollbackTentative() {
 		if e == nil || !e.committed || e.pp == nil || !r.resolveBodies(e) {
 			break
 		}
-		r.executeEntry(e)
+		r.submitEntry(e)
 		r.lastExec = s
 		if e.seq%r.cfg.Opts.CheckpointInterval == 0 {
+			r.reapApplies()
 			r.takeCheckpoint(e.seq)
 		}
 	}
+	r.reapApplies()
 	r.committedContig = r.lastExec
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/exec"
 	"repro/internal/state"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -28,6 +29,12 @@ type Replica struct {
 	peerAddrs    []string // every other replica, for egress fan-out
 	ingress      *ingress
 
+	// Sharded execution engine (exec.Engine): applies committed
+	// operations behind the commit stream, concurrently when the
+	// application's Sharder declares them non-conflicting.
+	exec    *exec.Engine
+	sharder Sharder
+
 	// Protocol state owned by the run goroutine.
 	view            uint64
 	seq             uint64 // last assigned sequence number (as primary)
@@ -41,6 +48,8 @@ type Replica struct {
 	pendingQueue    []*wire.Request
 	primaryQueued   map[uint32]map[uint64]bool
 	pendingSeen     map[reqKey]time.Time
+	applyQueue      []*pendingApply // submitted to the engine, not yet reaped
+	executing       bool            // tryExecute reentrancy guard
 
 	ckpts        map[uint64]*ckptRecord
 	stableProof  [][]byte
@@ -84,6 +93,12 @@ type Stats struct {
 	ViewChanges    uint64
 	StateTransfers uint64
 	PagesFetched   uint64
+	// ExecSharded counts operations the execution engine ran on a
+	// single shard (the concurrent path); ExecBarriers counts
+	// operations that rendezvoused every shard (unkeyed or multi-shard
+	// keysets, drains, membership operations).
+	ExecSharded  uint64
+	ExecBarriers uint64
 	// DroppedBadAuth counts packets rejected for failed authentication,
 	// whether by the ingress verifier pool or by the protocol loop.
 	DroppedBadAuth  uint64
@@ -188,6 +203,20 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		r.replicaKeys[i] = k
 	}
 	r.ingress = newIngress(id, r.n, kp, r.replicaKeys, replicaPubs, cfg.Opts.verifyWorkers())
+	if sh, ok := app.(Sharder); ok {
+		r.sharder = sh
+	}
+	shards := cfg.Opts.execShards()
+	if r.sharder == nil {
+		// Without a Sharder every operation would be an all-shard
+		// barrier: same schedule as serial, minus the serial engine's
+		// inline fast path. Clamp.
+		shards = 1
+	}
+	r.exec = exec.New(shards)
+	if so, ok := app.(ShardObserver); ok {
+		so.ObserveExecShards(shards)
+	}
 
 	// Seed the node table: replicas and (static membership) clients.
 	for _, ri := range cfg.Replicas {
@@ -232,6 +261,11 @@ type Info struct {
 	LastExec     uint64
 	LastStable   uint64
 	InViewChange bool
+	// StableDigest is the composite state digest of the last stable
+	// checkpoint (the agreed region root + metadata digest). Replicas
+	// at the same LastStable must report the same value — the
+	// determinism suite's cross-replica assertion.
+	StableDigest [32]byte
 	Stats        Stats
 }
 
@@ -260,15 +294,22 @@ func (r *Replica) Info() Info {
 func (r *Replica) info() Info {
 	st := r.stats
 	st.DroppedBadAuth += r.ingress.droppedBadAuth.Load()
+	est := r.exec.Stats()
+	st.ExecSharded = est.Sharded
+	st.ExecBarriers = est.Barriers
 	st.WedgedNow = r.wedged()
 	st.SyncingNow = r.sync != nil
-	return Info{
+	info := Info{
 		View:         r.view,
 		LastExec:     r.lastExec,
 		LastStable:   r.lastStable,
 		InViewChange: r.inViewChange,
 		Stats:        st,
 	}
+	if ck := r.ckpts[r.lastStable]; ck != nil {
+		info.StableDigest = ck.digest
+	}
+	return info
 }
 
 func (r *Replica) wedged() bool {
@@ -296,6 +337,7 @@ func (r *Replica) run() {
 	defer close(r.doneCh)
 	defer r.ingress.stop()
 	defer r.conn.Close()
+	defer r.exec.Stop() // first: drain in-flight applies and detached reads
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {

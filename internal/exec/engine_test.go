@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSameKeyFIFO: operations sharing a key execute in submission order.
+func TestSameKeyFIFO(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		e := New(shards)
+		var last int64 = -1
+		var bad atomic.Int64
+		key := [][]byte{[]byte("k")}
+		for i := 0; i < 1000; i++ {
+			i := int64(i)
+			e.Submit(key, func() {
+				if last != i-1 {
+					bad.Add(1)
+				}
+				last = i
+			})
+		}
+		e.Stop()
+		if bad.Load() != 0 {
+			t.Fatalf("shards=%d: %d out-of-order executions", shards, bad.Load())
+		}
+	}
+}
+
+// TestBarrierExclusive: a barrier task never overlaps keyed work submitted
+// before or after it.
+func TestBarrierExclusive(t *testing.T) {
+	e := New(4)
+	var running atomic.Int32
+	var overlap atomic.Int32
+	keyed := func(k string) func() {
+		return func() {
+			if running.Add(1) > 4 { // more than the shard count: impossible
+				overlap.Add(1)
+			}
+			running.Add(-1)
+		}
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			e.Submit([][]byte{[]byte(fmt.Sprint("key", i))}, keyed(fmt.Sprint("key", i)))
+		}
+		e.Submit(nil, func() {
+			if running.Load() != 0 {
+				overlap.Add(1)
+			}
+		})
+	}
+	e.Stop()
+	if overlap.Load() != 0 {
+		t.Fatalf("%d barrier overlaps", overlap.Load())
+	}
+}
+
+// TestMultiShardKeysetIsBarrier: a keyset spanning shards runs after all
+// prior keyed work.
+func TestMultiShardKeysetIsBarrier(t *testing.T) {
+	e := New(8)
+	// Find two keys on different shards.
+	var a, b []byte
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprint("key", i))
+		if a == nil {
+			a = k
+			continue
+		}
+		sa, _ := e.shardOf([][]byte{a})
+		sb, _ := e.shardOf([][]byte{k})
+		if sa != sb {
+			b = k
+			break
+		}
+	}
+	if _, ok := e.shardOf([][]byte{a, b}); ok {
+		t.Fatal("multi-shard keyset reported a single shard")
+	}
+	var doneA, doneB, sawBoth atomic.Bool
+	e.Submit([][]byte{a}, func() { doneA.Store(true) })
+	e.Submit([][]byte{b}, func() { doneB.Store(true) })
+	task := e.Submit([][]byte{a, b}, func() { sawBoth.Store(doneA.Load() && doneB.Load()) })
+	<-task.Done()
+	if !sawBoth.Load() {
+		t.Fatal("multi-shard op ran before earlier keyed work completed")
+	}
+	st := e.Stats()
+	if st.Sharded != 2 || st.Barriers != 1 {
+		t.Fatalf("stats = %+v, want 2 sharded / 1 barrier", st)
+	}
+	e.Stop()
+}
+
+// TestDrainWaits: Drain returns only after all submitted work ran.
+func TestDrainWaits(t *testing.T) {
+	e := New(4)
+	defer e.Stop()
+	var n atomic.Int32
+	for i := 0; i < 100; i++ {
+		e.Submit([][]byte{[]byte(fmt.Sprint(i))}, func() { n.Add(1) })
+	}
+	e.Drain()
+	if n.Load() != 100 {
+		t.Fatalf("drain returned with %d/100 tasks executed", n.Load())
+	}
+}
+
+// TestReapOrderIsSubmissionOrder: waiting tasks in submission order
+// observes every earlier same-key result (reply release order).
+func TestReapOrderIsSubmissionOrder(t *testing.T) {
+	e := New(4)
+	defer e.Stop()
+	results := make([]int, 0, 200)
+	tasks := make([]*Task, 0, 200)
+	slots := make([]int, 200)
+	for i := 0; i < 200; i++ {
+		i := i
+		key := [][]byte{[]byte(fmt.Sprint("k", i%7))}
+		tasks = append(tasks, e.Submit(key, func() { slots[i] = i + 1 }))
+	}
+	for i, task := range tasks {
+		<-task.Done()
+		results = append(results, slots[i])
+	}
+	for i, r := range results {
+		if r != i+1 {
+			t.Fatalf("result %d = %d, want %d", i, r, i+1)
+		}
+	}
+}
+
+func BenchmarkSubmitKeyed(b *testing.B) {
+	e := New(4)
+	defer e.Stop()
+	key := [][]byte{[]byte("hot")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Submit(key, func() {})
+	}
+	e.Drain()
+}
+
+// TestWaitIdle: WaitIdle returns only after every ordered task ran, and
+// ignores detached work.
+func TestWaitIdle(t *testing.T) {
+	e := New(4)
+	defer e.Stop()
+	var n atomic.Int32
+	for i := 0; i < 200; i++ {
+		e.Submit([][]byte{[]byte(fmt.Sprint(i % 9))}, func() { n.Add(1) })
+	}
+	slowRead := make(chan struct{})
+	e.SubmitDetached([][]byte{[]byte("read-key")}, func() { <-slowRead })
+	e.WaitIdle()
+	if n.Load() != 200 {
+		t.Fatalf("WaitIdle returned with %d/200 ordered tasks executed", n.Load())
+	}
+	close(slowRead) // the detached task never blocked WaitIdle
+	e.WaitIdle()    // idempotent when idle
+}
+
+// TestSerialInlineFastPath: with one shard and nothing queued, Submit
+// runs the task on the caller.
+func TestSerialInlineFastPath(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	ran := false
+	task := e.Submit(nil, func() { ran = true })
+	if !ran {
+		t.Fatal("serial idle submit did not run inline")
+	}
+	select {
+	case <-task.Done():
+	default:
+		t.Fatal("inline task's Done channel is open")
+	}
+	// With a detached task in flight, ordered work must queue behind it.
+	gate := make(chan struct{})
+	e.SubmitDetached([][]byte{[]byte("k")}, func() { <-gate })
+	var order []string
+	var mu sync.Mutex
+	e.Submit(nil, func() { mu.Lock(); order = append(order, "ordered"); mu.Unlock() })
+	mu.Lock()
+	if len(order) != 0 {
+		mu.Unlock()
+		t.Fatal("ordered op ran inline while a detached task was in flight")
+	}
+	mu.Unlock()
+	close(gate)
+	e.WaitIdle()
+	if len(order) != 1 {
+		t.Fatal("ordered op never ran after the detached task finished")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/state"
 )
 
@@ -33,11 +34,27 @@ func NewEchoFactory(respSize int) AppFactory {
 	}
 }
 
+// counterSlots is the number of 8-byte counter cells a CounterApp hosts.
+// Slot 0 serves the legacy unkeyed "inc"/"get" operations; named counters
+// hash onto slots 1..counterSlots-1.
+const counterSlots = 1024
+
 // CounterApp is a minimal stateful service used by the integration tests:
-// a uint64 counter persisted in the replicated state region. Operations:
-// "inc" adds one and returns the new value; "get" (read-only capable)
-// returns the current value. Its determinism and region-backed state make
-// divergence between replicas detectable via checkpoint digests.
+// an array of uint64 counters persisted in the replicated state region.
+//
+// Operations: "inc" / "get" address the legacy counter in slot 0 and are
+// unkeyed (execution barriers under the sharded engine); "inc <name>",
+// "get <name>" and "bump <name>" address the named counter's slot and
+// carry that slot as their conflict key, so operations on different slots
+// apply concurrently. "bump" increments like "inc" but answers a fixed
+// "OK": its reply is independent of the interleaving with other clients'
+// bumps of the same counter, which is what the determinism suite needs to
+// compare reply streams across shard counts under contention.
+//
+// Each operation touches only its slot's 8 bytes, so disjoint-keyset
+// operations commute byte-wise — the Sharder contract. Distinct names
+// that collide onto one slot share a conflict key and therefore
+// serialize; the key IS the storage cell, never the name.
 type CounterApp struct {
 	region *state.Region
 }
@@ -45,31 +62,73 @@ type CounterApp struct {
 var (
 	_ core.Application = (*CounterApp)(nil)
 	_ core.StateUser   = (*CounterApp)(nil)
+	_ core.Sharder     = (*CounterApp)(nil)
 )
 
 // AttachState implements core.StateUser.
 func (a *CounterApp) AttachState(region *state.Region) { a.region = region }
 
+// counterSlot maps an operation to its slot: 0 for the legacy unkeyed
+// ops, a name-hashed slot in [1, counterSlots) otherwise.
+func counterSlot(name []byte) uint64 {
+	if len(name) == 0 {
+		return 0
+	}
+	return 1 + exec.Hash64(name)%(counterSlots-1)
+}
+
+// splitCounterOp parses "verb" or "verb name" without copying (Keys runs
+// per committed operation on the protocol loop — keep it allocation-free).
+func splitCounterOp(op []byte) (verb, name []byte) {
+	for i := 0; i < len(op); i++ {
+		if op[i] == ' ' {
+			return op[:i], op[i+1:]
+		}
+	}
+	return op, nil
+}
+
+// Keys implements core.Sharder: the conflict key of a named operation is
+// its storage slot; legacy unkeyed operations are barriers.
+func (a *CounterApp) Keys(op []byte) [][]byte {
+	verb, name := splitCounterOp(op)
+	if len(name) == 0 {
+		return nil
+	}
+	switch string(verb) { // compiler-recognized, no allocation
+	case "inc", "get", "bump":
+		key := make([]byte, 8)
+		binary.BigEndian.PutUint64(key, counterSlot(name))
+		return [][]byte{key}
+	}
+	return nil
+}
+
 // Execute implements core.Application.
 func (a *CounterApp) Execute(op []byte, nd core.NonDetValues, readOnly bool) []byte {
+	verb, name := splitCounterOp(op)
+	off := int64(counterSlot(name) * 8)
 	var buf [8]byte
-	if _, err := a.region.ReadAt(buf[:], 0); err != nil {
+	if _, err := a.region.ReadAt(buf[:], off); err != nil {
 		return nil
 	}
 	v := binary.BigEndian.Uint64(buf[:])
-	switch string(op) {
-	case "inc":
+	switch string(verb) {
+	case "inc", "bump":
 		if readOnly {
 			return nil // refuse mutation on the read-only path
 		}
 		v++
 		binary.BigEndian.PutUint64(buf[:], v)
-		if _, err := a.region.WriteAt(buf[:], 0); err != nil {
+		if _, err := a.region.WriteAt(buf[:], off); err != nil {
 			return nil
 		}
 	case "get":
 	default:
 		return []byte("unknown op")
+	}
+	if string(verb) == "bump" {
+		return []byte("OK")
 	}
 	out := make([]byte, 8)
 	binary.BigEndian.PutUint64(out, v)

@@ -349,6 +349,55 @@ func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
 	return nil
 }
 
+// RunExecShardComparison measures the sharded execution engine: the
+// keyed-counter workload (mostly non-conflicting operations) against the
+// same cluster at each shard count. Shards beyond the host's core count
+// cannot help; on a single-core host the interesting result is that
+// sharding does not regress (the engine's scheduling overhead is paid but
+// unusable).
+func RunExecShardComparison(opts ExperimentOptions, shards []int) error {
+	w := opts.out()
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4}
+	}
+	fmt.Fprintf(w, "Sharded execution — keyed counter workload, %d clients x depth %d\n",
+		opts.NumClients, max(opts.PipelineDepth, 1))
+	fmt.Fprintf(w, "%8s %10s %10s %12s %10s %8s\n", "shards", "TPS", "ops", "sharded-ops", "barriers", "errors")
+	for _, s := range shards {
+		o := buildOptions(LibConfig{Static: true, MACs: true, AllBig: true, Batch: true}).WithExecShards(s)
+		cluster, err := NewCluster(ClusterOptions{
+			Opts:       o,
+			NumClients: opts.NumClients,
+			Seed:       opts.Seed,
+			App:        NewCounterFactory(),
+			Bandwidth:  938e6 / 8,
+		})
+		if err != nil {
+			return err
+		}
+		depth := max(opts.PipelineDepth, 1)
+		if opts.Warmup > 0 {
+			if _, err := cluster.RunPipelined(opts.NumClients, depth, &KeyedCounterWorkload{}, opts.Warmup, false); err != nil {
+				cluster.Stop()
+				return err
+			}
+		}
+		res, err := cluster.RunPipelined(opts.NumClients, depth, &KeyedCounterWorkload{}, opts.Duration, false)
+		info := cluster.Replicas[0].Info()
+		cluster.Stop()
+		if err != nil {
+			return err
+		}
+		sharded, barriers := fmt.Sprint(info.Stats.ExecSharded), fmt.Sprint(info.Stats.ExecBarriers)
+		if s <= 1 {
+			sharded, barriers = "-", "-" // serial: nothing is routed by keyset
+		}
+		fmt.Fprintf(w, "%8d %10.0f %10d %12s %10s %8d\n",
+			s, res.TPS(), res.Ops, sharded, barriers, res.Errors)
+	}
+	return nil
+}
+
 // RunWANScaling demonstrates the quadratic message complexity the paper
 // cites as the WAN obstacle (§3.3.3): protocol messages per executed
 // request as the group size grows.

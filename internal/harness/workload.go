@@ -35,6 +35,41 @@ func (w *NullWorkload) Op(i, n int) []byte { return make([]byte, w.Size) }
 // Check implements Workload.
 func (w *NullWorkload) Check([]byte) error { return nil }
 
+// KeyedCounterWorkload drives the sharded execution engine: every request
+// bumps one of Keys named counters (CounterApp "bump <name>"), spreading
+// clients across the keyset so non-conflicting operations dominate. The
+// "bump" reply is a fixed "OK", so throughput runs stay checkable under
+// cross-client contention.
+type KeyedCounterWorkload struct {
+	// Keys is the number of distinct counter names (0 = 128).
+	Keys int
+}
+
+func (w *KeyedCounterWorkload) keyCount() int {
+	if w.Keys > 0 {
+		return w.Keys
+	}
+	return 128
+}
+
+// Op implements Workload.
+func (w *KeyedCounterWorkload) Op(i, n int) []byte {
+	// Every client walks the keyset cyclically, phase-shifted by a
+	// fixed stride per client index: clients at different phases mix
+	// conflicting (same key, different clients) and non-conflicting
+	// operations as the walks overlap.
+	k := (i*7919 + n) % w.keyCount()
+	return []byte(fmt.Sprintf("bump key-%d", k))
+}
+
+// Check implements Workload.
+func (w *KeyedCounterWorkload) Check(resp []byte) error {
+	if string(resp) != "OK" {
+		return fmt.Errorf("harness: bump answered %q", resp)
+	}
+	return nil
+}
+
 // SQLInsertWorkload is the §4.2 workload: one row inserted per request —
 // key, value, the agreed timestamp and an agreed random value (the paper
 // added the latter two to check replies are identical across replicas).

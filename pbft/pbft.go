@@ -30,10 +30,25 @@
 // per-client window of Options.ClientWindow outstanding timestamps, so a
 // pipelined client's requests are ordered and executed concurrently
 // without being dropped as duplicates.
+//
+// # Sharded execution
+//
+// Replicas apply committed operations through a deterministic sharded
+// execution engine. An Application that also implements Sharder declares
+// each operation's conflict keyset; with Options.ExecShards > 1 (e.g.
+// DefaultOptions().WithExecShards(n)) non-conflicting operations apply
+// concurrently on different shard workers while conflicting ones keep
+// commit order, replies are released strictly in sequence order, and
+// checkpoint digests stay byte-identical to serial execution. Read-only
+// operations are dispatched through the same engine, so slow reads never
+// run on the replica's protocol loop. The shard count is a local tuning
+// knob, not part of the replicated contract — replicas may differ. See
+// ARCHITECTURE.md for the determinism rules a Sharder must obey.
 package pbft
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -70,6 +85,13 @@ type (
 	CallOption = client.CallOption
 	// Application is the replicated service implementation.
 	Application = core.Application
+	// Sharder is implemented by applications that opt into sharded
+	// execution: Keys returns an operation's conflict keyset (nil =
+	// barrier). See the determinism rules on core.Sharder.
+	Sharder = core.Sharder
+	// ShardObserver is notified of the engine's effective shard count
+	// before the replica starts (optional).
+	ShardObserver = core.ShardObserver
 	// Authorizer admits dynamic clients at the application level.
 	Authorizer = core.Authorizer
 	// StateUser receives the replicated state region before start.
@@ -110,8 +132,16 @@ var (
 // once (0 selects the deployment's Options.ClientWindow).
 func WithPipelineDepth(n int) ClientOption { return client.WithPipelineDepth(n) }
 
-// WithMaxRetries bounds retransmission rounds per call before ErrTimeout.
+// WithMaxRetries sizes the per-call retry budget: a call fails with
+// ErrTimeout after n x Options.RequestTimeout without a reply quorum.
+// Retransmissions are paced adaptively within that budget (dense at
+// first, then exponential backoff), so fewer than n sends may occur.
 func WithMaxRetries(n int) ClientOption { return client.WithMaxRetries(n) }
+
+// WithBackoffCap bounds the per-call retransmission backoff ceiling
+// (0 or negative selects the default of 8x Options.RequestTimeout; a cap
+// at or below RequestTimeout selects fixed-interval retransmission).
+func WithBackoffCap(d time.Duration) ClientOption { return client.WithBackoffCap(d) }
 
 // ReadOnly marks one Submit read-only (immediate execution, 2f+1 quorum).
 func ReadOnly() CallOption { return client.ReadOnly() }

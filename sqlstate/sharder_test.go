@@ -1,0 +1,101 @@
+package sqlstate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sqldb"
+	"repro/internal/state"
+)
+
+func TestSharderKeys(t *testing.T) {
+	app := NewApp(Options{})
+	cases := []struct {
+		name string
+		op   []byte
+		want []byte // nil = barrier
+	}{
+		{"single-table select", EncodeQuery("SELECT * FROM votes"), []byte("table:votes")},
+		{"select with where", EncodeQuery("SELECT voter FROM votes WHERE vote = ?", sqldb.Text("yes")), []byte("table:votes")},
+		{"select with order/limit", EncodeQuery("SELECT voter FROM votes ORDER BY voter LIMIT 10"), []byte("table:votes")},
+		{"aggregate select", EncodeQuery("SELECT count(*) FROM votes"), []byte("table:votes")},
+		{"tableless select", EncodeQuery("SELECT 1+1"), nil},
+		{"nondet now()", EncodeQuery("SELECT voter FROM votes WHERE ts < now()"), nil},
+		{"nondet random()", EncodeQuery("SELECT random()"), nil},
+		{"insert is a barrier", EncodeExec("INSERT INTO votes (voter) VALUES (?)", sqldb.Text("v")), nil},
+		{"update is a barrier", EncodeExec("UPDATE votes SET vote = ? WHERE voter = ?", sqldb.Text("no"), sqldb.Text("v")), nil},
+		{"delete is a barrier", EncodeExec("DELETE FROM votes"), nil},
+		{"create is a barrier", EncodeExec("CREATE TABLE t (a INTEGER)"), nil},
+		{"malformed op", []byte{0xff, 0x01}, nil},
+		{"unparsable sql", EncodeQuery("SELEC oops"), nil},
+	}
+	for _, tc := range cases {
+		keys := app.Keys(tc.op)
+		if tc.want == nil {
+			if keys != nil {
+				t.Errorf("%s: got keys %q, want barrier", tc.name, keys)
+			}
+			continue
+		}
+		if len(keys) != 1 || !bytes.Equal(keys[0], tc.want) {
+			t.Errorf("%s: got keys %q, want [%q]", tc.name, keys, tc.want)
+		}
+	}
+}
+
+// TestTxnControlRejectedIdentically: explicit transaction control is
+// rejected deterministically — a BEGIN that slipped through would hold
+// the shared handle's transaction open across ordered operations,
+// wedging every later Reload — and serial and sharded replicas must
+// answer byte-identically before and after (reply-stream parity across
+// ExecShards).
+func TestTxnControlRejectedIdentically(t *testing.T) {
+	newApp := func() *App {
+		region, err := state.NewRegion(1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := NewApp(Options{InitSQL: []string{"CREATE TABLE t (a INTEGER)"}})
+		app.AttachState(region)
+		if app.err != nil {
+			t.Fatal(app.err)
+		}
+		return app
+	}
+	nd := core.NonDetValues{}
+	query := EncodeQuery("SELECT a FROM t")
+
+	serial := newApp()
+	sharded := newApp()
+	sharded.ObserveExecShards(4) // what the replica reports when sharding
+
+	for _, sql := range []string{"BEGIN", "COMMIT", "ROLLBACK"} {
+		ra := serial.Execute(EncodeExec(sql), nd, false)
+		rb := sharded.Execute(EncodeExec(sql), nd, false)
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("%s: reply streams diverge: %q vs %q", sql, ra, rb)
+		}
+		if _, err := DecodeResponse(ra); err == nil {
+			t.Fatalf("%s: transaction control must be rejected", sql)
+		}
+		if serial.DB().Pager().InTransaction() {
+			t.Fatalf("%s: left a transaction open", sql)
+		}
+	}
+
+	// The service keeps working afterwards, identically on both paths.
+	for _, app := range []*App{serial, sharded} {
+		if _, err := DecodeResponse(app.Execute(EncodeExec("INSERT INTO t (a) VALUES (7)"), nd, false)); err != nil {
+			t.Fatalf("insert after rejected txn control: %v", err)
+		}
+	}
+	ra, aerr := DecodeResponse(serial.Execute(query, nd, false))
+	rb, berr := DecodeResponse(sharded.Execute(query, nd, false))
+	if aerr != nil || berr != nil {
+		t.Fatalf("query: %v / %v", aerr, berr)
+	}
+	if len(ra.Rows.Data) != 1 || len(rb.Rows.Data) != 1 || ra.Rows.Data[0][0].I != 7 || rb.Rows.Data[0][0].I != 7 {
+		t.Fatalf("rows diverge: %+v vs %+v", ra.Rows.Data, rb.Rows.Data)
+	}
+}
