@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/pbft/metrics"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func run() error {
 	pipeline := flag.Int("pipeline", 1, "in-flight requests per load client (1 = closed loop)")
 	shards := flag.Int("shards", 4, "max execution shards for the exec experiment")
 	seed := flag.Int64("seed", 42, "simulated network seed")
+	withMetrics := flag.Bool("metrics", false, "print a protocol-event metrics summary per experiment")
 	flag.Parse()
 
 	opts := harness.DefaultExperimentOptions()
@@ -59,7 +61,22 @@ func run() error {
 	opts.Seed = *seed
 	opts.Out = os.Stdout
 
+	// One aggregating registry across every replica of every cluster an
+	// experiment builds; the per-experiment report is the snapshot delta.
+	var reg *metrics.Metrics
+	if *withMetrics {
+		reg = metrics.New()
+		opts.Tracer = reg
+	}
+
 	runOne := func(name string) error {
+		var before metrics.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+			defer func() {
+				fmt.Printf("[metrics %s] %s\n", name, reg.Snapshot().Sub(before).Summary())
+			}()
+		}
 		switch name {
 		case "table1":
 			return harness.RunTable1(opts)

@@ -26,9 +26,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/pbft"
+	"repro/pbft/metrics"
 	"repro/sqlstate"
 )
 
@@ -50,7 +52,11 @@ func run() error {
 	count := flag.Int("count", 1, "repeat the operation this many times")
 	pipeline := flag.Int("pipeline", 1, "requests kept in flight at once (request pipelining)")
 	timeout := flag.Duration("timeout", time.Minute, "overall deadline for the run")
+	stats := flag.Bool("stats", false, "print per-call latency statistics after the run")
 	flag.Parse()
+	if *stats {
+		callStats = metrics.NewClient()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -145,8 +151,18 @@ func run() error {
 		}
 		fmt.Println("left the service")
 	}
+	if callStats != nil {
+		s := callStats.Snapshot()
+		ms := func(sec float64) float64 { return sec * 1e3 }
+		fmt.Printf("latency: %d calls, %d failed, mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			s.Requests, s.Failures, ms(s.Latency.Mean()),
+			ms(s.Latency.Quantile(0.50)), ms(s.Latency.Quantile(0.95)), ms(s.Latency.Quantile(0.99)))
+	}
 	return nil
 }
+
+// callStats collects per-call latency when -stats is set (nil otherwise).
+var callStats *metrics.ClientMetrics
 
 // invokeMany submits the operation count times through the client's
 // pipeline window and returns the last response. With count 1 it is a
@@ -156,9 +172,22 @@ func invokeMany(ctx context.Context, cl *pbft.Client, body []byte, count int, op
 		count = 1
 	}
 	start := time.Now()
+	var wg sync.WaitGroup
 	calls := make([]*pbft.Call, 0, count)
 	for i := 0; i < count; i++ {
-		calls = append(calls, cl.Submit(ctx, body, opts...))
+		call := cl.Submit(ctx, body, opts...)
+		if callStats != nil {
+			// Per-call latency: stamp at completion, not at the ordered
+			// result collection below (pipelined calls overlap).
+			submitted := time.Now()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-call.Done()
+				callStats.Observe(time.Since(submitted), call.Err())
+			}()
+		}
+		calls = append(calls, call)
 	}
 	var last []byte
 	for _, call := range calls {
@@ -168,6 +197,7 @@ func invokeMany(ctx context.Context, cl *pbft.Client, body []byte, count int, op
 		}
 		last = resp
 	}
+	wg.Wait()
 	if count > 1 {
 		elapsed := time.Since(start)
 		fmt.Printf("%d ops in %s (%.0f ops/s, window %d)\n",

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/pbft"
+	"repro/pbft/metrics"
 	"repro/sqlstate"
 )
 
@@ -101,10 +102,11 @@ func run() error {
 	}
 	defer cl.Close()
 
-	gw := &gateway{client: cl}
+	gw := &gateway{client: cl, metrics: metrics.NewClient()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/exec", gw.handleExec)
 	mux.HandleFunc("/query", gw.handleQuery)
+	mux.Handle("/metrics", gw.metrics.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -123,6 +125,9 @@ func run() error {
 // without a client identity per user.
 type gateway struct {
 	client *pbft.Client
+	// metrics aggregates request counts and PBFT call latency, exposed
+	// at /metrics in the Prometheus text format.
+	metrics *metrics.ClientMetrics
 }
 
 type sqlRequest struct {
@@ -175,11 +180,13 @@ func (g *gateway) handle(w http.ResponseWriter, r *http.Request, query bool) {
 	}
 
 	var raw []byte
+	start := time.Now()
 	if query && req.ReadOnly {
 		raw, err = g.client.InvokeReadOnly(r.Context(), body)
 	} else {
 		raw, err = g.client.Invoke(r.Context(), body)
 	}
+	g.metrics.Observe(time.Since(start), err)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, sqlResponse{Error: "service: " + err.Error()})
 		return

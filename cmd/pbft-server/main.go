@@ -16,15 +16,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/harness"
 	"repro/pbft"
+	"repro/pbft/metrics"
 	"repro/sqlstate"
 )
 
@@ -46,6 +51,8 @@ func run() error {
 	robust := flag.Bool("robust", false, "use the most robust configuration for -gen (nomac, noallbig)")
 	id := flag.Uint("id", 0, "replica id to run")
 	app := flag.String("app", "sql", "application: echo | counter | sql")
+	metricsAddr := flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics and /healthz (empty disables)")
+	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *gen {
@@ -85,18 +92,54 @@ func run() error {
 		return fmt.Errorf("unknown application %q", *app)
 	}
 
+	// The metrics registry doubles as the replica's event tracer; the
+	// HTTP mux serves it as /metrics plus a /healthz tied to the
+	// replica's lifecycle.
+	reg := metrics.New()
+	cfg.Opts = cfg.Opts.WithTracer(reg)
+
 	rep, err := pbft.NewReplica(cfg, uint32(*id), kp, conn, application)
 	if err != nil {
 		return err
 	}
-	rep.Start()
+	reg.AddReplica(uint32(*id), rep.Info)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsSrv = &http.Server{
+			Handler:           metrics.Mux(reg, rep.Running),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		fmt.Printf("metrics on http://%s/metrics (healthz on /healthz)\n", ln.Addr())
+	}
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- rep.Run(context.Background()) }()
 	fmt.Printf("replica %d listening on %s (app=%s, f=%d, n=%d)\n",
 		*id, cfg.Replicas[*id].Addr, *app, cfg.Opts.F, cfg.N())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	rep.Stop()
+	select {
+	case <-sig:
+	case err := <-runErr:
+		return err
+	}
+	// Graceful, bounded shutdown: drain the ingress backlog, reap the
+	// execution engine, flush pending replies, then close.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := rep.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pbft-server: graceful shutdown: %v\n", err)
+	}
+	if metricsSrv != nil {
+		_ = metricsSrv.Close()
+	}
 	info := rep.Info()
 	fmt.Printf("replica %d stopped: view=%d executed=%d stable=%d\n",
 		*id, info.View, info.LastExec, info.LastStable)

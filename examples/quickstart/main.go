@@ -2,12 +2,16 @@
 // this process over the in-memory network. The replicated service is a
 // ten-line echo application.
 //
-// The client API is asynchronous and context-aware: Submit returns a
-// *pbft.Call future, Invoke is its synchronous wrapper, and one client
-// safely serves many goroutines at once, pipelining up to
-// pbft.WithPipelineDepth requests. This program shows all three shapes:
-// a plain Invoke, a batch of futures, and concurrent goroutines sharing
-// the client.
+// Both halves of the API are context-aware. Replicas run under the node
+// runtime lifecycle: Run(ctx) blocks until Shutdown(ctx) drains the
+// replica gracefully (in-flight committed requests still get replies),
+// and an Options.Tracer observes typed protocol events — here a
+// metrics registry that aggregates them. Clients are asynchronous:
+// Submit returns a *pbft.Call future, Invoke is its synchronous
+// wrapper, and one client safely serves many goroutines at once,
+// pipelining up to pbft.WithPipelineDepth requests. This program shows
+// all of it: Run/Shutdown, a metrics tracer, a plain Invoke, a batch of
+// futures, and concurrent goroutines sharing the client.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,8 +21,10 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"repro/pbft"
+	"repro/pbft/metrics"
 )
 
 // echoApp is the smallest possible Application: it returns the operation
@@ -71,7 +77,14 @@ func run() error {
 		PubKey: clientKey.Public(),
 	})
 
-	// Start the replicas.
+	// One metrics registry aggregates the protocol events of all four
+	// replicas (its tracer hooks are safe for concurrent use).
+	reg := metrics.New()
+	cfg.Opts = cfg.Opts.WithTracer(reg)
+
+	// Start the replicas under the node runtime: Run(ctx) blocks until
+	// the context ends or Shutdown is called, so each replica gets a
+	// goroutine here.
 	replicas := make([]*pbft.Replica, n)
 	for i := 0; i < n; i++ {
 		conn, err := net.Listen(cfg.Replicas[i].Addr)
@@ -82,12 +95,23 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rep.Start()
+		reg.AddReplica(uint32(i), rep.Info)
+		go func() {
+			if err := rep.Run(ctx); err != nil {
+				log.Printf("replica: %v", err)
+			}
+		}()
 		replicas[i] = rep
 	}
 	defer func() {
+		// Graceful, bounded teardown: drain ingress, reap the execution
+		// engine, flush pending replies, then close.
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
 		for _, r := range replicas {
-			r.Stop()
+			if err := r.Shutdown(sctx); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
 		}
 	}()
 
@@ -148,5 +172,7 @@ func run() error {
 		info := r.Info()
 		fmt.Printf("replica %d: view=%d executed=%d\n", i, info.View, info.Stats.Executed)
 	}
+	// The tracer saw every batch and commit across the group.
+	fmt.Printf("metrics: %s\n", reg.Snapshot().Summary())
 	return nil
 }

@@ -20,12 +20,13 @@ type Call struct {
 	clientID  uint32
 	timestamp uint64
 	env       *wire.Envelope
-	multicast bool // retransmissions always broadcast; this is the first send
+	multicast bool // big/read-only/system: every send broadcasts
 	windowed  bool // sequential timestamp, counted against the span window
 
 	mu         sync.Mutex
 	finished   bool
 	attempts   int
+	sentView   uint64    // view whose primary last received this call
 	start      time.Time // first transmission; anchors the retry budget
 	byDigest   map[crypto.Digest]*replyQuorum
 	timer      *time.Timer
@@ -134,11 +135,19 @@ func (call *Call) retransmitDelay(attempt int) time.Duration {
 }
 
 // onTimeout fires when a reply quorum did not assemble within one round:
-// retransmit to every replica (they relay to the primary and arm their
-// view-change timers) and back off. The call's total time budget stays
-// maxRetries x RequestTimeout — what the fixed-interval scheme spent —
-// so backoff changes how often a stalled service is hammered, not how
-// long a caller waits for ErrTimeout.
+// retransmit and back off. The call's total time budget stays maxRetries
+// x RequestTimeout — what the fixed-interval scheme spent — so backoff
+// changes how often a stalled service is hammered, not how long a caller
+// waits for ErrTimeout.
+//
+// Retransmission is view-aware: when the client's f+1-supported view
+// estimate has moved since this call was last sent — replies to sibling
+// calls revealed a view change — the call is retargeted at the new view's
+// primary, which may simply have never seen it (requests queued at the
+// deposed primary are not carried over). Only when the view estimate is
+// unchanged does the call fall back to blind broadcast, the heavyweight
+// path that makes every backup relay to the primary and arm its
+// view-change timer.
 func (call *Call) onTimeout() {
 	call.mu.Lock()
 	if call.finished {
@@ -158,8 +167,18 @@ func (call *Call) onTimeout() {
 		delay = remaining
 	}
 	call.timer.Reset(delay)
+	sentView := call.sentView
 	call.mu.Unlock()
 	call.c.maybeHello()
+	if !call.multicast {
+		if v := call.c.viewEstimate(); v != sentView {
+			call.mu.Lock()
+			call.sentView = v
+			call.mu.Unlock()
+			_ = call.c.conn.Send(call.c.primaryAddr(v), call.env.Raw())
+			return
+		}
+	}
 	_ = call.c.broadcast(call.env)
 }
 

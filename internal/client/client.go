@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,9 +62,14 @@ type Client struct {
 	window        uint64        // replica-side dedup window W (timestamp span cap)
 	slots         chan struct{} // pipeline window semaphore
 
-	mu        sync.Mutex
-	id        uint32
-	view      uint64 // view estimate from replies
+	mu sync.Mutex
+	id uint32
+	// view is the client's view estimate: the highest view that f+1
+	// distinct replicas have reported in authenticated replies. A single
+	// (possibly Byzantine) replica can therefore never steer the client
+	// toward a bogus primary; viewVotes holds the per-replica reports.
+	view      uint64
+	viewVotes []uint64
 	timestamp uint64
 	lastHello time.Time
 	joined    bool
@@ -143,6 +149,7 @@ func newClient(cfg *core.Config, kp *crypto.KeyPair, conn transport.Conn, opts [
 	}
 	c.sessionKeys = make([]crypto.SessionKey, c.n)
 	c.replicaAddrs = make([]string, c.n)
+	c.viewVotes = make([]uint64, c.n)
 	for i, ri := range cfg.Replicas {
 		c.replicaAddrs[i] = ri.Addr
 		// Pairwise key: client ephemeral x replica static.
@@ -222,9 +229,7 @@ func (c *Client) dispatch(data []byte) {
 			return
 		}
 		c.mu.Lock()
-		if rep.View > c.view {
-			c.view = rep.View
-		}
+		c.recordViewLocked(env.Sender, rep.View)
 		call := c.calls[rep.Timestamp]
 		c.mu.Unlock()
 		if call == nil || call.clientID != rep.ClientID {
@@ -251,6 +256,38 @@ func (c *Client) dispatch(data []byte) {
 			}
 		}
 	}
+}
+
+// recordViewLocked folds one replica's reported view into the estimate:
+// the estimate advances to v only when f+1 distinct replicas have
+// reported v or higher (at least one of them is then correct). Callers
+// hold c.mu.
+func (c *Client) recordViewLocked(replica uint32, view uint64) {
+	if int(replica) >= len(c.viewVotes) || view <= c.viewVotes[replica] {
+		return
+	}
+	c.viewVotes[replica] = view
+	if view <= c.view {
+		return
+	}
+	// The (f+1)-th highest vote is the highest view with f+1 supporters.
+	votes := append([]uint64(nil), c.viewVotes...)
+	sort.Slice(votes, func(i, j int) bool { return votes[i] > votes[j] })
+	if supported := votes[c.f]; supported > c.view {
+		c.view = supported
+	}
+}
+
+// viewEstimate returns the f+1-supported view estimate.
+func (c *Client) viewEstimate() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// primaryAddr returns the address of the primary of a view.
+func (c *Client) primaryAddr(view uint64) string {
+	return c.replicaAddrs[c.cfg.Primary(view)]
 }
 
 // verifyFromReplica authenticates a reply envelope from its sender.
@@ -424,12 +461,13 @@ func (c *Client) Submit(ctx context.Context, op []byte, opts ...CallOption) *Cal
 	// the primary (§2.1); others go to the primary alone.
 	call := c.register(ctx, id, ts, env, big || co.readOnly, true)
 	call.windowed = true
+	call.sentView = view
 	c.mu.Unlock()
 
 	if helloEnv != nil {
 		c.broadcast(helloEnv)
 	}
-	c.launch(call, c.replicaAddrs[c.cfg.Primary(view)])
+	c.launch(call, c.primaryAddr(view))
 	return call
 }
 

@@ -188,12 +188,21 @@ func TestDispatchAuthentication(t *testing.T) {
 func TestDispatchUpdatesViewEstimate(t *testing.T) {
 	cfg, cl, rkeys := testSetup(t, false)
 	pendingCall(cl, 1)
+	// A single replica reporting a high view must not move the estimate:
+	// one Byzantine replica could otherwise steer retransmissions at a
+	// primary of its choosing.
 	cl.dispatch(sealReply(t, cfg, cl, rkeys, 1, &wire.Reply{View: 5, Timestamp: 1, ClientID: 4, Replica: 1, Result: []byte("x")}, false))
+	if cl.view != 0 {
+		t.Fatalf("view estimate = %d after one vote, want 0 (needs f+1 support)", cl.view)
+	}
+	// A second distinct replica reporting >= 5 gives view 5 its f+1
+	// support (f=1): the estimate is the highest view f+1 replicas back.
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, &wire.Reply{View: 6, Timestamp: 1, ClientID: 4, Replica: 2, Result: []byte("x")}, false))
 	if cl.view != 5 {
-		t.Fatalf("view estimate = %d, want 5", cl.view)
+		t.Fatalf("view estimate = %d, want 5 (f+1-supported)", cl.view)
 	}
 	// Older view does not regress the estimate.
-	cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, &wire.Reply{View: 3, Timestamp: 1, ClientID: 4, Replica: 2, Result: []byte("x")}, false))
+	cl.dispatch(sealReply(t, cfg, cl, rkeys, 3, &wire.Reply{View: 3, Timestamp: 1, ClientID: 4, Replica: 3, Result: []byte("x")}, false))
 	if cl.view != 5 {
 		t.Fatalf("view estimate regressed to %d", cl.view)
 	}

@@ -269,6 +269,9 @@ func (r *Replica) tryCommitted(e *entry) {
 		return
 	}
 	e.committed = true
+	if r.tracer != nil {
+		r.tracer.OnCommit(CommitEvent{Replica: r.id, View: e.view, Seq: e.seq})
+	}
 	// A commit upgrades tentatively executed replies to stable.
 	if e.executed {
 		for _, rep := range e.replies {

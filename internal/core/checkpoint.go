@@ -36,6 +36,9 @@ func (r *Replica) recordLocalCheckpoint(seq uint64) *ckptRecord {
 func (r *Replica) takeCheckpoint(seq uint64) {
 	ck := r.recordLocalCheckpoint(seq)
 	r.stats.Checkpoints++
+	if r.tracer != nil {
+		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: seq, Digest: ck.digest})
+	}
 	msg := wire.Checkpoint{
 		Seq:         seq,
 		StateDigest: ck.digest,
@@ -174,6 +177,9 @@ func (r *Replica) makeStable(ck *ckptRecord) {
 	}
 	r.lastStable = ck.seq
 	r.stats.StableCkpts++
+	if r.tracer != nil {
+		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: ck.seq, Digest: ck.digest, Stable: true})
+	}
 	proof := make([][]byte, 0, len(ck.votes))
 	for _, v := range ck.votes {
 		proof = append(proof, v)

@@ -125,6 +125,14 @@ type Options struct {
 	// the replicated-state contract and must match across the group.
 	// 0 means DefaultClientWindow.
 	ClientWindow uint64
+
+	// Tracer receives typed protocol events (view changes, checkpoints,
+	// state transfer, batches, commits, client sessions) from the
+	// replica's protocol loop. Nil (the default) disables tracing at
+	// zero hot-loop cost. Tracing is a purely local observer: it never
+	// influences protocol behaviour and is excluded from deployment
+	// files. See Tracer for the blocking rules hooks must obey.
+	Tracer Tracer `json:"-"`
 }
 
 // DefaultClientWindow is the per-client pipeline window replicas track
@@ -163,6 +171,14 @@ func DefaultOptions() Options {
 // sized to n shards (chainable, like Robust).
 func (o Options) WithExecShards(n int) Options {
 	o.ExecShards = n
+	return o
+}
+
+// WithTracer returns a copy of the options with the given event tracer
+// installed (chainable, like WithExecShards). A nil tracer disables
+// tracing.
+func (o Options) WithTracer(t Tracer) Options {
+	o.Tracer = t
 	return o
 }
 

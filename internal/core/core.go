@@ -33,4 +33,15 @@
 // membership or session mutation; a message instance is owned by one
 // goroutine at a time (worker, then loop); sealed envelopes and their
 // memoized wire forms are immutable once broadcast.
+//
+// # Lifecycle and observability
+//
+// A replica runs a one-shot, context-driven lifecycle — Run(ctx) blocks
+// while serving, Shutdown(ctx) drains gracefully (ingress backlog,
+// execution engine, pending replies) before closing, and both are
+// idempotent and safe in every state (ErrStopped / ErrRunning). Typed
+// protocol events (view changes, checkpoints, state transfer, batches,
+// commits, client sessions) flow to an optional Options.Tracer fired
+// from the protocol loop; a nil tracer costs one nil check per event
+// site. See tracer.go for the event taxonomy and blocking rules.
 package core

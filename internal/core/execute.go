@@ -188,6 +188,12 @@ func (r *Replica) submitEntry(e *entry) {
 	}
 	e.executed = true
 	r.stats.Batches++
+	if r.tracer != nil {
+		r.tracer.OnBatch(BatchEvent{
+			Replica: r.id, View: e.view, Seq: e.seq,
+			Requests: len(e.pp.Entries), Tentative: tentative,
+		})
+	}
 }
 
 // submitRequest performs one request's loop-side work and hands the

@@ -198,11 +198,12 @@ type ingress struct {
 	clients     *clientAuthTable
 	workers     int
 
-	work chan *inMsg // dispatcher -> workers
-	seq  chan *inMsg // dispatcher -> forwarder, in arrival order
-	out  chan *inMsg // forwarder -> protocol loop
-	quit chan struct{}
-	wg   sync.WaitGroup
+	work  chan *inMsg   // dispatcher -> workers
+	seq   chan *inMsg   // dispatcher -> forwarder, in arrival order
+	out   chan *inMsg   // forwarder -> protocol loop
+	pause chan struct{} // closed by beginSettle: stop intake, finish in-flight
+	quit  chan struct{}
+	wg    sync.WaitGroup
 
 	droppedBadAuth atomic.Uint64
 }
@@ -229,6 +230,7 @@ func newIngress(id uint32, n int, kp *crypto.KeyPair, replicaKeys []crypto.Sessi
 // arrival order, skipping the per-packet completion bookkeeping.
 func (in *ingress) start(recv <-chan transport.Packet) {
 	in.out = make(chan *inMsg, ingressDepth)
+	in.pause = make(chan struct{})
 	in.quit = make(chan struct{})
 	if in.workers == 1 {
 		in.wg.Add(1)
@@ -251,7 +253,17 @@ func (in *ingress) start(recv <-chan transport.Packet) {
 func (in *ingress) runSerial(recv <-chan transport.Packet) {
 	defer in.wg.Done()
 	defer close(in.out)
-	for pkt := range recv {
+	for {
+		var pkt transport.Packet
+		var ok bool
+		select {
+		case pkt, ok = <-recv:
+			if !ok {
+				return
+			}
+		case <-in.pause:
+			return
+		}
 		m := &inMsg{raw: pkt.Data}
 		in.process(m)
 		switch m.verdict {
@@ -267,11 +279,35 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 	}
 }
 
+// beginSettle stops the intake (as if the transport had closed) without
+// touching the packets already admitted: workers finish verifying them,
+// the forwarder delivers them, and out is closed behind the last one.
+// The caller must keep consuming out until it closes — the pipeline may
+// be blocked mid-delivery on a full channel. Graceful shutdown uses this
+// to turn "whatever is inside the pipeline" into a finite, fully
+// delivered backlog. Safe to call once, before stop.
+func (in *ingress) beginSettle() {
+	close(in.pause)
+}
+
 // stop terminates the pipeline and waits for its goroutines. Safe to call
 // only once, after start.
 func (in *ingress) stop() {
 	close(in.quit)
 	in.wg.Wait()
+}
+
+// backlog estimates how many packets are inside the pipeline: verified
+// and awaiting the protocol loop, or (with a worker pool) dispatched and
+// awaiting verification. It is a monitoring gauge — channel occupancy is
+// inherently racy — and is cheap enough for the protocol loop to read on
+// every Info snapshot.
+func (in *ingress) backlog() int {
+	n := len(in.out)
+	if in.seq != nil {
+		n += len(in.seq)
+	}
+	return n
 }
 
 // dispatch assigns every received packet a slot in the reorder queue and
@@ -281,7 +317,17 @@ func (in *ingress) dispatch(recv <-chan transport.Packet) {
 	defer in.wg.Done()
 	defer close(in.seq)
 	defer close(in.work)
-	for pkt := range recv {
+	for {
+		var pkt transport.Packet
+		var ok bool
+		select {
+		case pkt, ok = <-recv:
+			if !ok {
+				return
+			}
+		case <-in.pause:
+			return
+		}
 		m := &inMsg{raw: pkt.Data, done: make(chan struct{})}
 		select {
 		case in.work <- m:

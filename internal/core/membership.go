@@ -181,6 +181,7 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 				delete(r.clientWins, old.ID)
 				delete(r.primaryQueued, old.ID)
 				r.stats.SessionsEvicted++
+				r.traceClientSession(old.ID, SessionEvict)
 			}
 		}
 		if r.nodes.full() {
@@ -196,6 +197,7 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 				delete(r.clientWins, old.ID)
 				delete(r.primaryQueued, old.ID)
 				r.stats.SessionsEvicted++
+				r.traceClientSession(old.ID, SessionEvict)
 			}
 		}
 		if r.nodes.full() {
@@ -216,6 +218,7 @@ func (r *Replica) execJoinResponse(req *wire.Request, op *wire.JoinOp, nd NonDet
 		result.ClientID = id
 		result.Accepted = true
 		r.stats.JoinsExecuted++
+		r.traceClientSession(id, SessionJoin)
 	}
 	delete(r.pendingJoins, key)
 
@@ -277,6 +280,7 @@ func (r *Replica) execLeave(req *wire.Request, tentative bool) *wire.Reply {
 	delete(r.clientWins, req.ClientID)
 	delete(r.primaryQueued, req.ClientID)
 	r.stats.LeavesExecuted++
+	r.traceClientSession(req.ClientID, SessionLeave)
 	return rep
 }
 
@@ -352,4 +356,5 @@ func (r *Replica) onSessionHello(m *inMsg) {
 		client.Addr = h.Addr
 	}
 	r.publishClientAuth(client)
+	r.traceClientSession(client.ID, SessionHello)
 }

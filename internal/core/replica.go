@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/crypto"
@@ -9,6 +12,22 @@ import (
 	"repro/internal/state"
 	"repro/internal/transport"
 	"repro/internal/wire"
+)
+
+// ErrStopped is returned by Run after the replica has been shut down:
+// a replica's lifecycle is one-shot (New -> Running -> Stopped) and a
+// stopped replica cannot be restarted — build a fresh one.
+var ErrStopped = errors.New("core: replica stopped")
+
+// ErrRunning is returned by Run when the replica is already running.
+var ErrRunning = errors.New("core: replica already running")
+
+// lifecycle states. Transitions: lcNew -> lcRunning -> lcStopped, or
+// lcNew -> lcStopped (Shutdown before Run).
+const (
+	lcNew = iota
+	lcRunning
+	lcStopped
 )
 
 // Replica is one member of the PBFT group. All protocol state is confined
@@ -78,6 +97,17 @@ type Replica struct {
 	ctl    chan func()
 	stopCh chan struct{}
 	doneCh chan struct{}
+
+	// Lifecycle state (see Run/Shutdown). lcMu guards lcState; stopOnce
+	// makes the stop signal idempotent across Shutdown, context
+	// cancellation and the deprecated Stop.
+	lcMu     sync.Mutex
+	lcState  int
+	stopOnce sync.Once
+
+	// tracer receives typed protocol events; nil disables tracing (the
+	// hot loop pays one nil check per event site).
+	tracer Tracer
 
 	stats Stats
 }
@@ -181,6 +211,7 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		ctl:           make(chan func()),
 		stopCh:        make(chan struct{}),
 		doneCh:        make(chan struct{}),
+		tracer:        cfg.Opts.Tracer,
 	}
 	r.ndProvider = r.defaultNonDetProvider
 	r.ndValidator = r.defaultNonDetValidator
@@ -234,25 +265,132 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 	return r, nil
 }
 
-// Start launches the ingress pipeline and the event loop.
-func (r *Replica) Start() {
-	r.ingress.start(r.conn.Recv())
-	go r.run()
+// Run starts the replica — ingress pipeline plus event loop — and blocks
+// until it stops: Shutdown is called, the context is cancelled, or the
+// connection closes underneath it. It returns nil after a Shutdown-
+// or connection-driven stop and ctx.Err() after a context-driven one.
+//
+// The lifecycle is one-shot: Run on a running replica returns ErrRunning,
+// Run after Shutdown (or after a previous Run finished) returns
+// ErrStopped. To run in the background, `go r.Run(ctx)` — or use the
+// deprecated Start wrapper.
+func (r *Replica) Run(ctx context.Context) error {
+	if err := r.beginRun(); err != nil {
+		return err
+	}
+	return r.runLifecycle(ctx)
 }
 
-// Stop terminates the event loop and closes the connection.
-func (r *Replica) Stop() {
-	select {
-	case <-r.stopCh:
-		// already stopped
-	default:
-		close(r.stopCh)
+// beginRun performs the New -> Running transition.
+func (r *Replica) beginRun() error {
+	r.lcMu.Lock()
+	defer r.lcMu.Unlock()
+	switch r.lcState {
+	case lcRunning:
+		return ErrRunning
+	case lcStopped:
+		return ErrStopped
 	}
-	<-r.doneCh
+	r.lcState = lcRunning
+	return nil
+}
+
+// runLifecycle owns a running replica from ingress start to teardown.
+// The Running -> Stopped transition happens inside run(), before doneCh
+// releases Shutdown waiters, so a caller returning from Shutdown always
+// observes the stopped state (Run -> ErrStopped, Running() -> false).
+func (r *Replica) runLifecycle(ctx context.Context) error {
+	r.ingress.start(r.conn.Recv())
+	if ctx != nil && ctx.Done() != nil {
+		defer context.AfterFunc(ctx, r.signalStop)()
+	}
+	r.run()
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// signalStop requests the event loop to wind down (idempotent).
+func (r *Replica) signalStop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+}
+
+// Shutdown stops the replica gracefully: the event loop finishes its
+// current transition, drains the already-verified ingress backlog
+// (committed requests that reached the replica still execute and their
+// replies are flushed), reaps the execution engine — detached reads
+// included — and only then closes the connection. The context bounds how
+// long Shutdown waits for that to complete; on expiry the teardown keeps
+// running in the background and ctx.Err() is returned.
+//
+// Shutdown is idempotent and safe in every lifecycle state: calling it
+// twice, concurrently, or before Run all work; after the first completed
+// Shutdown the replica is permanently stopped (Run returns ErrStopped).
+func (r *Replica) Shutdown(ctx context.Context) error {
+	r.lcMu.Lock()
+	if r.lcState == lcNew {
+		// Never ran: there is no loop to wind down, but NewReplica
+		// already spawned the execution engine and owns the connection —
+		// release both so a replica that is built and discarded leaks
+		// nothing.
+		r.lcState = lcStopped
+		r.signalStop()
+		r.exec.Stop()
+		_ = r.conn.Close()
+		close(r.doneCh)
+		r.lcMu.Unlock()
+		return nil
+	}
+	r.lcMu.Unlock()
+	r.signalStop()
+	select {
+	case <-r.doneCh:
+		return nil
+	case <-ctxDone(ctx):
+		return ctx.Err()
+	}
+}
+
+// ctxDone tolerates nil contexts (Shutdown(nil) waits indefinitely,
+// like Shutdown(context.Background())).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Start launches the replica in the background.
+//
+// Deprecated: use Run, which reports lifecycle errors and supports
+// context cancellation. Start is a thin wrapper that discards both.
+func (r *Replica) Start() {
+	if err := r.beginRun(); err != nil {
+		return
+	}
+	go r.runLifecycle(context.Background())
+}
+
+// Stop terminates the replica and closes the connection.
+//
+// Deprecated: use Shutdown, which bounds the wait with a context. Stop
+// waits for the full graceful teardown.
+func (r *Replica) Stop() {
+	_ = r.Shutdown(context.Background())
 }
 
 // ID returns the replica identifier.
 func (r *Replica) ID() uint32 { return r.id }
+
+// Running reports whether the event loop is live (between Run and the
+// completion of Shutdown). Health endpoints use it: a stopped replica
+// still answers Info from its quiescent state, but is not serving.
+func (r *Replica) Running() bool {
+	r.lcMu.Lock()
+	defer r.lcMu.Unlock()
+	return r.lcState == lcRunning
+}
 
 // Info is a point-in-time snapshot of replica progress for tests and the
 // harness.
@@ -266,7 +404,15 @@ type Info struct {
 	// at the same LastStable must report the same value — the
 	// determinism suite's cross-replica assertion.
 	StableDigest [32]byte
-	Stats        Stats
+	// ExecQueueDepth is the number of operations submitted to the
+	// execution engine and not yet finished (ordered applies plus
+	// detached reads) — the backlog behind the commit point.
+	ExecQueueDepth int
+	// IngressBacklog is the number of packets verified (or being
+	// verified) by the ingress pipeline and not yet consumed by the
+	// protocol loop — the backlog in front of it.
+	IngressBacklog int
+	Stats          Stats
 }
 
 // Inspect runs fn inside the event loop, giving it safe access to the
@@ -300,11 +446,13 @@ func (r *Replica) info() Info {
 	st.WedgedNow = r.wedged()
 	st.SyncingNow = r.sync != nil
 	info := Info{
-		View:         r.view,
-		LastExec:     r.lastExec,
-		LastStable:   r.lastStable,
-		InViewChange: r.inViewChange,
-		Stats:        st,
+		View:           r.view,
+		LastExec:       r.lastExec,
+		LastStable:     r.lastStable,
+		InViewChange:   r.inViewChange,
+		ExecQueueDepth: r.exec.QueueDepth(),
+		IngressBacklog: r.ingress.backlog(),
+		Stats:          st,
 	}
 	if ck := r.ckpts[r.lastStable]; ck != nil {
 		info.StableDigest = ck.digest
@@ -333,8 +481,18 @@ func (r *Replica) SetNonDet(provider func() wire.NonDet, validator func(wire.Non
 
 // run is the event loop: one goroutine owns every piece of protocol state.
 // It consumes pre-verified, typed messages from the ingress pipeline.
+// Teardown order (the deferred calls run in reverse registration order):
+// the execution engine stops first — draining in-flight applies and
+// detached reads, whose replies are still sent over the open connection —
+// then the connection closes, the ingress pipeline winds down, and doneCh
+// releases Shutdown waiters.
 func (r *Replica) run() {
 	defer close(r.doneCh)
+	defer func() { // before doneCh: Shutdown returnees see Stopped
+		r.lcMu.Lock()
+		r.lcState = lcStopped
+		r.lcMu.Unlock()
+	}()
 	defer r.ingress.stop()
 	defer r.conn.Close()
 	defer r.exec.Stop() // first: drain in-flight applies and detached reads
@@ -343,6 +501,7 @@ func (r *Replica) run() {
 	for {
 		select {
 		case <-r.stopCh:
+			r.drainForShutdown()
 			return
 		case fn := <-r.ctl:
 			fn()
@@ -355,6 +514,26 @@ func (r *Replica) run() {
 			r.onTick()
 		}
 	}
+}
+
+// drainForShutdown is the graceful half of Shutdown: before the
+// connection closes, process every message the ingress pipeline already
+// admitted, so requests the group committed while this replica's loop
+// was busy still execute and their replies are flushed. beginSettle
+// stops the intake first — the drain handles a finite backlog (what was
+// inside the pipeline at the stop signal), not a live flood — and the
+// reply path stays open (handleVerified sends replies through
+// tryExecute/reapApplies on the still-open connection). Consuming out
+// until it closes is what lets the settling pipeline finish: a worker or
+// forwarder may be parked mid-delivery on a full channel.
+func (r *Replica) drainForShutdown() {
+	r.ingress.beginSettle()
+	for m := range r.ingress.out {
+		r.handleVerified(m)
+	}
+	// Flush any replies still parked in the engine before the deferred
+	// teardown closes the connection.
+	r.reapApplies()
 }
 
 // handleVerified dispatches one authenticated message from the ingress

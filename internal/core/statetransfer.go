@@ -40,6 +40,13 @@ func (r *Replica) startSync(seq uint64, digest, root, metaDigest crypto.Digest, 
 	// seal a torn reply.
 	r.exec.Drain()
 	r.stats.StateTransfers++
+	if r.tracer != nil {
+		// A retarget of a running transfer fires another Start: the
+		// trace shows every checkpoint the replica chased.
+		r.tracer.OnStateTransfer(StateTransferEvent{
+			Replica: r.id, Phase: StateTransferStart, Seq: seq, Pages: r.stats.PagesFetched,
+		})
+	}
 	r.sync = &syncState{
 		seq:        seq,
 		digest:     digest,
@@ -198,6 +205,11 @@ func (r *Replica) maybeFinishSync() {
 		// The meta blob matched its digest but failed to parse: the
 		// agreed checkpoint would have to be corrupt. Abandon the sync.
 		r.sync = nil
+		if r.tracer != nil {
+			r.tracer.OnStateTransfer(StateTransferEvent{
+				Replica: r.id, Phase: StateTransferAbort, Seq: s.seq, Pages: r.stats.PagesFetched,
+			})
+		}
 		return
 	}
 	r.sync = nil
@@ -230,6 +242,14 @@ func (r *Replica) maybeFinishSync() {
 	r.ckpts[s.seq] = ck
 	r.lastStable = s.seq
 	r.stableProof = s.proof
+	if r.tracer != nil {
+		r.tracer.OnStateTransfer(StateTransferEvent{
+			Replica: r.id, Phase: StateTransferFinish, Seq: s.seq, Pages: r.stats.PagesFetched,
+		})
+		// The installed checkpoint is stable by proof: surface it on the
+		// checkpoint stream too, like a makeStable promotion.
+		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: s.seq, Digest: s.digest, Stable: true})
+	}
 	r.gcLog()
 	// Entries above the checkpoint may already be agreed in the log;
 	// resume execution.

@@ -20,6 +20,11 @@ func (r *Replica) startViewChange(target uint64) {
 	r.inViewChange = true
 	r.vcTarget = target
 	r.vcDeadline = r.now().Add(r.cfg.Opts.ViewChangeTimeout)
+	if r.tracer != nil {
+		r.tracer.OnViewChange(ViewChangeEvent{
+			Replica: r.id, Phase: ViewChangeStart, View: r.view, Target: target,
+		})
+	}
 	r.pendingQueue = nil
 	r.rollbackTentative()
 
@@ -253,6 +258,13 @@ func (r *Replica) installNewView(nv *wire.NewView, raw []byte) {
 	r.vcTarget = 0
 	r.vcDeadline = time.Time{} // disarmed until the next view change
 	r.newViewRaw = raw
+	if r.tracer != nil {
+		// Fires before the re-proposed batches replay, so a trace reads
+		// install -> (re)agreement -> execution in order.
+		r.tracer.OnViewChange(ViewChangeEvent{
+			Replica: r.id, Phase: ViewChangeInstall, View: nv.View, Target: nv.View,
+		})
+	}
 	r.primaryQueued = make(map[uint32]map[uint64]bool)
 	r.primaryJoinSeen = nil
 	r.pendingQueue = nil

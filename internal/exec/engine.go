@@ -136,6 +136,11 @@ func (e *Engine) Shards() int { return len(e.queues) }
 // execution, no concurrency).
 func (e *Engine) Serial() bool { return len(e.queues) == 1 }
 
+// QueueDepth returns the number of submitted-but-unfinished tasks
+// (ordered applies plus detached reads). Readable from any goroutine;
+// the metrics surface exposes it as the execution backlog gauge.
+func (e *Engine) QueueDepth() int { return int(e.queued.Load()) }
+
 // Submit schedules an ordered operation with the given conflict keyset
 // and returns its task. A nil/empty keyset, or one whose keys hash onto
 // more than one shard, makes the operation a barrier: it runs

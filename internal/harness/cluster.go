@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -29,6 +30,11 @@ type ClusterOptions struct {
 	// (0 = infinite). The experiments use the paper's measured
 	// 938 Mbit/s.
 	Bandwidth float64
+	// Tracer, when set, builds one event tracer per replica (a factory
+	// may return the same aggregating instance for every id — the
+	// tracer hooks must then be safe for concurrent use). Restarted
+	// replicas get a fresh factory call.
+	Tracer func(replica uint32) core.Tracer
 }
 
 // Cluster is an in-process PBFT deployment: N replicas and a set of
@@ -41,7 +47,9 @@ type Cluster struct {
 
 	replicaKeys []*crypto.KeyPair
 	clientKeys  []*crypto.KeyPair
+	conns       []transport.Conn // per-replica endpoint, for crash simulation
 	appFactory  AppFactory
+	tracerFor   func(replica uint32) core.Tracer
 	rng         *rand.Rand
 }
 
@@ -60,6 +68,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 	c := &Cluster{
 		Net:        transport.NewNetwork(o.Seed),
 		appFactory: o.App,
+		tracerFor:  o.Tracer,
 		rng:        rand.New(rand.NewSource(o.Seed + 1)),
 	}
 	if o.Bandwidth > 0 {
@@ -96,6 +105,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 
 	c.Replicas = make([]*core.Replica, n)
 	c.Apps = make([]core.Application, n)
+	c.conns = make([]transport.Conn, n)
 	for i := 0; i < n; i++ {
 		if err := c.startReplica(uint32(i)); err != nil {
 			c.Stop()
@@ -105,30 +115,44 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 	return c, nil
 }
 
-// startReplica creates, wires and starts replica id.
+// startReplica creates, wires and starts replica id through the
+// context-driven lifecycle (Run in a background goroutine).
 func (c *Cluster) startReplica(id uint32) error {
 	conn, err := c.Net.Listen(ReplicaAddr(id))
 	if err != nil {
 		return err
 	}
 	app := c.appFactory(id)
-	rep, err := core.NewReplica(c.Cfg, id, c.replicaKeys[id], conn, app)
+	cfg := c.Cfg
+	if c.tracerFor != nil {
+		// Per-replica tracer: shallow-copy the shared config (the slices
+		// inside are read-only) and install this replica's instance.
+		clone := *c.Cfg
+		clone.Opts.Tracer = c.tracerFor(id)
+		cfg = &clone
+	}
+	rep, err := core.NewReplica(cfg, id, c.replicaKeys[id], conn, app)
 	if err != nil {
 		_ = conn.Close()
 		return err
 	}
 	c.Replicas[id] = rep
 	c.Apps[id] = app
-	rep.Start()
+	c.conns[id] = conn
+	go func() { _ = rep.Run(context.Background()) }()
 	return nil
 }
 
-// StopReplica halts one replica (simulated crash: its volatile state is
-// gone; the region content is gone too, like a machine whose memory is
-// not battery-backed).
+// StopReplica halts one replica as a simulated CRASH: its volatile state
+// is gone and — crucially for the fault-injection suite — nothing leaves
+// the machine after the crash point. The connection is severed first, so
+// the replica's teardown cannot drain, reply, or gossip on the way down
+// (a graceful drain would weaken the fault model to fail-stop-after-
+// flush). For a graceful stop, call Shutdown on the replica directly.
 func (c *Cluster) StopReplica(id uint32) {
 	if c.Replicas[id] != nil {
-		c.Replicas[id].Stop()
+		_ = c.conns[id].Close()
+		_ = c.Replicas[id].Shutdown(context.Background())
 		c.Replicas[id] = nil
 		c.Apps[id] = nil
 	}
@@ -211,7 +235,7 @@ func (c *Cluster) SealAsReplica(id uint32, env *wire.Envelope) []byte {
 func (c *Cluster) Stop() {
 	for i := range c.Replicas {
 		if c.Replicas[i] != nil {
-			c.Replicas[i].Stop()
+			_ = c.Replicas[i].Shutdown(context.Background())
 			c.Replicas[i] = nil
 		}
 	}

@@ -65,6 +65,11 @@ type ExperimentOptions struct {
 	Seed int64
 	// Out receives the report (defaults to stdout).
 	Out io.Writer
+	// Tracer, when set, is installed on every replica of every cluster
+	// an experiment builds (one shared aggregating instance; its hooks
+	// must be safe for concurrent use). pbft-bench -metrics uses it to
+	// print a protocol-event summary per experiment.
+	Tracer core.Tracer
 }
 
 // DefaultExperimentOptions mirrors the paper's setup scaled to a quick
@@ -77,6 +82,15 @@ func DefaultExperimentOptions() ExperimentOptions {
 		RequestSize: 1024,
 		Seed:        42,
 	}
+}
+
+// tracerFactory adapts the shared experiment tracer to the cluster's
+// per-replica factory shape.
+func (o *ExperimentOptions) tracerFactory() func(uint32) core.Tracer {
+	if o.Tracer == nil {
+		return nil
+	}
+	return func(uint32) core.Tracer { return o.Tracer }
 }
 
 func (o *ExperimentOptions) out() io.Writer {
@@ -118,6 +132,7 @@ func MeasureConfig(lc LibConfig, opts ExperimentOptions, app AppFactory, w Workl
 		App:        app,
 		// The paper's testbed: 1 GbE measured at 938 Mbit/s by iperf.
 		Bandwidth: 938e6 / 8,
+		Tracer:    opts.tracerFactory(),
 	})
 	if err != nil {
 		return RunResult{}, err
@@ -371,6 +386,7 @@ func RunExecShardComparison(opts ExperimentOptions, shards []int) error {
 			Seed:       opts.Seed,
 			App:        NewCounterFactory(),
 			Bandwidth:  938e6 / 8,
+			Tracer:     opts.tracerFactory(),
 		})
 		if err != nil {
 			return err
@@ -417,6 +433,7 @@ func RunWANScaling(opts ExperimentOptions, fs []int) error {
 			NumClients: 2,
 			Seed:       opts.Seed,
 			App:        NewEchoFactory(64),
+			Tracer:     opts.tracerFactory(),
 		})
 		if err != nil {
 			return err
@@ -451,6 +468,7 @@ func RunLossExperiment(opts ExperimentOptions) error {
 			NumClients: 2,
 			Seed:       opts.Seed,
 			App:        NewEchoFactory(64),
+			Tracer:     opts.tracerFactory(),
 		})
 		if err != nil {
 			return err
@@ -492,6 +510,7 @@ func RunRecoveryExperiment(opts ExperimentOptions, helloIntervals []time.Duratio
 			NumClients: 2,
 			Seed:       opts.Seed,
 			App:        NewEchoFactory(64),
+			Tracer:     opts.tracerFactory(),
 		})
 		if err != nil {
 			return err

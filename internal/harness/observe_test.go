@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/pbft/metrics"
+)
+
+// recordingTracer captures view-change and state-transfer events for
+// exact-sequence assertions. Hooks fire on the replica's protocol loop;
+// the mutex makes the recorded slices readable from the test goroutine.
+type recordingTracer struct {
+	core.NopTracer
+	mu sync.Mutex
+	vc []core.ViewChangeEvent
+	st []core.StateTransferEvent
+}
+
+func (r *recordingTracer) OnViewChange(e core.ViewChangeEvent) {
+	r.mu.Lock()
+	r.vc = append(r.vc, e)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) OnStateTransfer(e core.StateTransferEvent) {
+	r.mu.Lock()
+	r.st = append(r.st, e)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) viewChanges() []core.ViewChangeEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]core.ViewChangeEvent(nil), r.vc...)
+}
+
+func (r *recordingTracer) stateTransfers() []core.StateTransferEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]core.StateTransferEvent(nil), r.st...)
+}
+
+// TestTracerViewChangeSequence injects a primary failure and asserts the
+// exact view-change event sequence on every surviving replica: one Start
+// voting for view 1, then one Install entering it. It then restarts the
+// failed replica and asserts its state-transfer event sequence as it
+// recovers through a checkpoint fetch.
+func TestTracerViewChangeSequence(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 600 * time.Millisecond
+	tracers := make(map[uint32]*recordingTracer)
+	var mu sync.Mutex
+	c, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: 1,
+		Seed:       91,
+		App:        NewCounterFactory(),
+		Tracer: func(id uint32) core.Tracer {
+			tr := &recordingTracer{}
+			mu.Lock()
+			tracers[id] = tr // a restart replaces the entry: fresh lifetime, fresh trace
+			mu.Unlock()
+			return tr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	invokeMust(t, cl, "inc")
+	c.StopReplica(0) // primary of view 0
+	for i := 0; i < 3; i++ {
+		invokeMust(t, cl, "inc") // timeouts drive the view change to view 1
+	}
+
+	mu.Lock()
+	survivors := []*recordingTracer{tracers[1], tracers[2], tracers[3]}
+	mu.Unlock()
+	for id, tr := range survivors {
+		events := tr.viewChanges()
+		if len(events) != 2 {
+			t.Fatalf("replica %d: view-change events = %+v, want exactly [start, install]", id+1, events)
+		}
+		if events[0].Phase != core.ViewChangeStart || events[0].Target != 1 || events[0].View != 0 {
+			t.Fatalf("replica %d: first event %+v, want start 0->1", id+1, events[0])
+		}
+		if events[1].Phase != core.ViewChangeInstall || events[1].View != 1 {
+			t.Fatalf("replica %d: second event %+v, want install of view 1", id+1, events[1])
+		}
+		if st := tr.stateTransfers(); len(st) != 0 {
+			t.Fatalf("replica %d: unexpected state transfers %+v", id+1, st)
+		}
+	}
+
+	// Restart the deposed primary and push the group past a checkpoint:
+	// the fresh process recovers via state transfer, and its (fresh)
+	// tracer must show the start -> finish sequence.
+	if err := c.RestartReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < o.CheckpointInterval+4; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	mu.Lock()
+	tr0 := tracers[0]
+	mu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := tr0.stateTransfers()
+		if len(st) > 0 && st[len(st)-1].Phase == core.StateTransferFinish {
+			if st[0].Phase != core.StateTransferStart {
+				t.Fatalf("restarted replica: first transfer event %+v, want start", st[0])
+			}
+			for _, e := range st {
+				if e.Phase == core.StateTransferAbort {
+					t.Fatalf("restarted replica: transfer aborted: %+v", st)
+				}
+			}
+			fin := st[len(st)-1]
+			if fin.Seq%o.CheckpointInterval != 0 || fin.Seq == 0 {
+				t.Fatalf("transfer finished at non-checkpoint seq %d", fin.Seq)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never completed a state transfer; events: %+v", tr0.stateTransfers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMetricsAssertExactlyOneViewChange is the metrics surface doing the
+// harness's assertion work: per-replica registries count protocol events,
+// and after a primary failure each survivor must report exactly one
+// completed view change — no cascades, no spurious recoveries.
+func TestMetricsAssertExactlyOneViewChange(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 600 * time.Millisecond
+	regs := make(map[uint32]*metrics.Metrics)
+	var mu sync.Mutex
+	c, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: 1,
+		Seed:       93,
+		App:        NewCounterFactory(),
+		Tracer: func(id uint32) core.Tracer {
+			reg := metrics.New()
+			mu.Lock()
+			regs[id] = reg
+			mu.Unlock()
+			return reg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	invokeMust(t, cl, "inc")
+	c.StopReplica(0)
+	for i := 0; i < 3; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range []uint32{1, 2, 3} {
+		s := regs[id].Snapshot()
+		if s.ViewChangesInstalled != 1 || s.ViewChangesStarted != 1 {
+			t.Fatalf("replica %d: view changes started/installed = %d/%d, want 1/1", id, s.ViewChangesStarted, s.ViewChangesInstalled)
+		}
+		if s.ViewChangeDuration.Count != 1 {
+			t.Fatalf("replica %d: view-change duration samples = %d, want 1", id, s.ViewChangeDuration.Count)
+		}
+		if s.Commits == 0 || s.Batches == 0 {
+			t.Fatalf("replica %d: no commits/batches recorded: %+v", id, s)
+		}
+	}
+}
+
+// gateApp is a CounterApp-free minimal application whose Execute parks on
+// a channel for one designated operation — the instrument for freezing
+// one replica's protocol loop mid-execution.
+type gateApp struct {
+	gate chan struct{} // nil: never parks
+}
+
+func (a *gateApp) Execute(op []byte, nd core.NonDetValues, readOnly bool) []byte {
+	if a.gate != nil && string(op) == "block" {
+		<-a.gate
+	}
+	return []byte("ok")
+}
+
+// TestGracefulShutdownFlushesCommitted: requests the group committed
+// while one replica's loop was busy are sitting, fully verified, in that
+// replica's ingress queue. A graceful Shutdown must drain them — execute
+// and reply — before closing the connection, instead of dropping them on
+// the floor like the old hard stop.
+func TestGracefulShutdownFlushesCommitted(t *testing.T) {
+	const extra = 6 // committed requests queued behind the blocked one
+	o := fastOpts()
+	o.ViewChangeTimeout = time.Hour // isolate from liveness timers
+	gate := make(chan struct{})
+	c, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: 1,
+		Seed:       92,
+		App: func(id uint32) core.Application {
+			if id == 3 {
+				return &gateApp{gate: gate}
+			}
+			return &gateApp{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Replica 3 parks inside Execute("block"); replicas 0-2 answer the
+	// f+1 quorum so the client proceeds.
+	invokeMust(t, cl, "block")
+	for i := 0; i < extra; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	// The agreement traffic for the extra requests has been verified by
+	// replica 3's ingress pipeline and queued for its parked loop; give
+	// the pipeline a beat to finish delivering.
+	time.Sleep(200 * time.Millisecond)
+
+	// Graceful shutdown: signal first (the loop will observe stop once
+	// unblocked), then release the gate. The drain must process the
+	// queued commits, execute them, and flush the replies before the
+	// connection closes.
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- c.Replicas[3].Shutdown(context.Background()) }()
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned")
+	}
+
+	info := c.Replicas[3].Info() // quiescent read of the stopped replica
+	if got, want := info.Stats.Executed, uint64(1+extra); got != want {
+		t.Fatalf("replica 3 executed %d requests, want %d (graceful drain must flush committed work)", got, want)
+	}
+	if info.LastExec != uint64(1+extra) {
+		t.Fatalf("replica 3 LastExec = %d, want %d", info.LastExec, 1+extra)
+	}
+	c.Replicas[3] = nil // stopped by hand; keep Stop() from re-shutting it down
+}

@@ -1,0 +1,557 @@
+// Package metrics is the aggregating observability surface of the PBFT
+// node runtime: a pbft.Tracer implementation that folds the typed event
+// stream into counters and latency histograms, polls replica gauges
+// (execution-engine queue depth, ingress verify backlog), and exposes
+// everything over HTTP in the Prometheus text format.
+//
+// One Metrics registry may serve one replica (cmd/pbft-server) or
+// aggregate several (the bench harness registers every replica of a
+// cluster); events carry the reporting replica's id and the hooks are
+// safe for concurrent use. Typical wiring:
+//
+//	m := metrics.New()
+//	rep, _ := pbft.NewReplica(cfg, id, kp, conn, app) // opts.WithTracer(m)
+//	m.AddReplica(id, rep.Info)
+//	go http.ListenAndServe(addr, metrics.Mux(m, rep.Running))
+//	go rep.Run(ctx)
+//
+// The tracer hooks run on the replica's protocol loop, so they do only
+// constant work under a mutex: counter bumps and bounded histogram
+// inserts. Everything else (gauge polling, text rendering) happens on the
+// scraper's goroutine.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pbft"
+)
+
+// batchKey identifies one agreed batch across a shared registry.
+type batchKey struct {
+	replica uint32
+	seq     uint64
+}
+
+// Metrics implements pbft.Tracer by aggregation. The zero value is not
+// usable; construct with New.
+type Metrics struct {
+	mu sync.Mutex
+
+	commits            uint64
+	batches            uint64
+	requests           uint64
+	tentativeBatches   uint64
+	vcStarted          uint64
+	vcInstalled        uint64
+	checkpoints        uint64
+	stableCheckpoints  uint64
+	transfersStarted   uint64
+	transfersCompleted uint64
+	transfersAborted   uint64
+	sessionHellos      uint64
+	joins              uint64
+	leaves             uint64
+	evictions          uint64
+
+	batchSize     *histogram
+	commitLatency *histogram // seconds, tentative-execution path
+	vcDuration    *histogram // seconds, start -> install per replica
+
+	// pendingBatch maps tentatively executed batches to their OnBatch
+	// time until the commit closes the latency sample; entries are
+	// consumed by OnCommit, voided by view-change/state-transfer events
+	// (the rollback makes them meaningless), and capped defensively.
+	// vcStart maps a replica's view-change start time until the install
+	// closes it (bounded by the replica count).
+	pendingBatch map[batchKey]time.Time
+	vcStart      map[uint32]time.Time
+
+	now func() time.Time
+
+	infoMu sync.Mutex
+	infos  []*replicaInfoSource
+}
+
+// replicaInfoSource wraps one replica's Info func with single-flight,
+// timeout-bounded polling: Replica.Info round-trips through the protocol
+// loop, so a busy (or application-blocked) loop must not hang a scrape
+// or pile up handler goroutines — a slow poll is abandoned to the single
+// outstanding goroutine and the scrape serves the last known values.
+type replicaInfoSource struct {
+	id   uint32
+	info func() pbft.ReplicaInfo
+
+	mu       sync.Mutex
+	last     pbft.ReplicaInfo
+	pollDone chan struct{} // non-nil while a poll is in flight
+}
+
+// gaugePollTimeout bounds how long one scrape waits for fresh gauges.
+const gaugePollTimeout = 200 * time.Millisecond
+
+// poll returns fresh info when the loop answers within the timeout, and
+// the previous snapshot otherwise. At most one poll goroutine exists per
+// source regardless of scrape frequency.
+func (s *replicaInfoSource) poll(timeout time.Duration) pbft.ReplicaInfo {
+	s.mu.Lock()
+	done := s.pollDone
+	if done == nil {
+		done = make(chan struct{})
+		s.pollDone = done
+		go func() {
+			info := s.info()
+			s.mu.Lock()
+			s.last = info
+			s.pollDone = nil
+			s.mu.Unlock()
+			close(done)
+		}()
+	}
+	s.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// New builds an empty registry.
+func New() *Metrics {
+	return &Metrics{
+		batchSize:     newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		commitLatency: newHistogram([]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+		vcDuration:    newHistogram([]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		pendingBatch:  make(map[batchKey]time.Time),
+		vcStart:       make(map[uint32]time.Time),
+		now:           time.Now,
+	}
+}
+
+// AddReplica registers a gauge source: the replica's Info func is polled
+// at scrape time for queue-depth and backlog gauges. Safe to call while
+// serving.
+func (m *Metrics) AddReplica(id uint32, info func() pbft.ReplicaInfo) {
+	m.infoMu.Lock()
+	m.infos = append(m.infos, &replicaInfoSource{id: id, info: info})
+	m.infoMu.Unlock()
+}
+
+// --- pbft.Tracer ---------------------------------------------------------
+
+// OnViewChange implements pbft.Tracer.
+func (m *Metrics) OnViewChange(e pbft.ViewChangeEvent) {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Phase {
+	case pbft.ViewChangeStart:
+		m.vcStarted++
+		if _, running := m.vcStart[e.Replica]; !running {
+			// A cascade (start for v+1 after a stalled start for v) keeps
+			// the first start time: the sample measures how long the
+			// replica was without an operating view.
+			m.vcStart[e.Replica] = t
+		}
+		// Entering a view change rolls tentative executions back: their
+		// pending commit-latency stamps are void. If a seq re-executes
+		// and commits in the new view, a stale stamp would record the
+		// whole view change as "commit latency".
+		m.dropPendingBatches(e.Replica)
+	case pbft.ViewChangeInstall:
+		m.vcInstalled++
+		if s, ok := m.vcStart[e.Replica]; ok {
+			m.vcDuration.observe(t.Sub(s).Seconds())
+			delete(m.vcStart, e.Replica)
+		}
+	}
+}
+
+// OnCheckpoint implements pbft.Tracer.
+func (m *Metrics) OnCheckpoint(e pbft.CheckpointEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Stable {
+		m.stableCheckpoints++
+	} else {
+		m.checkpoints++
+	}
+}
+
+// OnStateTransfer implements pbft.Tracer.
+func (m *Metrics) OnStateTransfer(e pbft.StateTransferEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Phase {
+	case pbft.StateTransferStart:
+		m.transfersStarted++
+		// A transfer skips past sequence numbers wholesale: whatever was
+		// tentatively stamped will never see its own commit.
+		m.dropPendingBatches(e.Replica)
+	case pbft.StateTransferFinish:
+		m.transfersCompleted++
+	case pbft.StateTransferAbort:
+		m.transfersAborted++
+	}
+}
+
+// dropPendingBatches voids one replica's open commit-latency stamps.
+// Callers hold m.mu.
+func (m *Metrics) dropPendingBatches(replica uint32) {
+	for k := range m.pendingBatch {
+		if k.replica == replica {
+			delete(m.pendingBatch, k)
+		}
+	}
+}
+
+// OnBatch implements pbft.Tracer.
+func (m *Metrics) OnBatch(e pbft.BatchEvent) {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.requests += uint64(e.Requests)
+	m.batchSize.observe(float64(e.Requests))
+	if e.Tentative {
+		m.tentativeBatches++
+		if len(m.pendingBatch) >= maxPendingBatches {
+			// Defensive bound: stamps are normally consumed by OnCommit
+			// or voided by view-change/transfer events; if a pathological
+			// event stream leaks them anyway, restart the window rather
+			// than grow without bound.
+			clear(m.pendingBatch)
+		}
+		m.pendingBatch[batchKey{e.Replica, e.Seq}] = t
+	}
+}
+
+// maxPendingBatches bounds the open commit-latency stamps (well above
+// any real log window; a safety valve, not a tuning knob).
+const maxPendingBatches = 1 << 14
+
+// OnCommit implements pbft.Tracer.
+func (m *Metrics) OnCommit(e pbft.CommitEvent) {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commits++
+	k := batchKey{e.Replica, e.Seq}
+	if s, ok := m.pendingBatch[k]; ok {
+		// Tentative-execution path: the latency from speculative
+		// execution to the commit certificate (§2.1's window of risk).
+		m.commitLatency.observe(t.Sub(s).Seconds())
+		delete(m.pendingBatch, k)
+	}
+}
+
+// OnClientSession implements pbft.Tracer.
+func (m *Metrics) OnClientSession(e pbft.ClientSessionEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Kind {
+	case pbft.SessionHello:
+		m.sessionHellos++
+	case pbft.SessionJoin:
+		m.joins++
+	case pbft.SessionLeave:
+		m.leaves++
+	case pbft.SessionEvict:
+		m.evictions++
+	}
+}
+
+// --- Snapshots -----------------------------------------------------------
+
+// Snapshot is a point-in-time copy of every aggregate. Snapshots support
+// Sub for per-window deltas (the bench prints one per experiment).
+type Snapshot struct {
+	Commits            uint64
+	Batches            uint64
+	Requests           uint64
+	TentativeBatches   uint64
+	ViewChangesStarted uint64
+	// ViewChangesInstalled counts completed view changes (new view
+	// entered); the harness asserts on it ("exactly one view change").
+	ViewChangesInstalled    uint64
+	Checkpoints             uint64
+	StableCheckpoints       uint64
+	StateTransfersStarted   uint64
+	StateTransfersCompleted uint64
+	StateTransfersAborted   uint64
+	SessionHellos           uint64
+	Joins                   uint64
+	Leaves                  uint64
+	Evictions               uint64
+
+	BatchSize          HistogramSnapshot
+	CommitLatency      HistogramSnapshot // seconds
+	ViewChangeDuration HistogramSnapshot // seconds
+}
+
+// Snapshot returns a consistent copy of the aggregates.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		Commits:                 m.commits,
+		Batches:                 m.batches,
+		Requests:                m.requests,
+		TentativeBatches:        m.tentativeBatches,
+		ViewChangesStarted:      m.vcStarted,
+		ViewChangesInstalled:    m.vcInstalled,
+		Checkpoints:             m.checkpoints,
+		StableCheckpoints:       m.stableCheckpoints,
+		StateTransfersStarted:   m.transfersStarted,
+		StateTransfersCompleted: m.transfersCompleted,
+		StateTransfersAborted:   m.transfersAborted,
+		SessionHellos:           m.sessionHellos,
+		Joins:                   m.joins,
+		Leaves:                  m.leaves,
+		Evictions:               m.evictions,
+		BatchSize:               m.batchSize.snapshot(),
+		CommitLatency:           m.commitLatency.snapshot(),
+		ViewChangeDuration:      m.vcDuration.snapshot(),
+	}
+}
+
+// Sub returns the delta s - prev (counters and histogram buckets are
+// monotone, so the difference is a valid window measurement).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := s
+	out.Commits -= prev.Commits
+	out.Batches -= prev.Batches
+	out.Requests -= prev.Requests
+	out.TentativeBatches -= prev.TentativeBatches
+	out.ViewChangesStarted -= prev.ViewChangesStarted
+	out.ViewChangesInstalled -= prev.ViewChangesInstalled
+	out.Checkpoints -= prev.Checkpoints
+	out.StableCheckpoints -= prev.StableCheckpoints
+	out.StateTransfersStarted -= prev.StateTransfersStarted
+	out.StateTransfersCompleted -= prev.StateTransfersCompleted
+	out.StateTransfersAborted -= prev.StateTransfersAborted
+	out.SessionHellos -= prev.SessionHellos
+	out.Joins -= prev.Joins
+	out.Leaves -= prev.Leaves
+	out.Evictions -= prev.Evictions
+	out.BatchSize = s.BatchSize.sub(prev.BatchSize)
+	out.CommitLatency = s.CommitLatency.sub(prev.CommitLatency)
+	out.ViewChangeDuration = s.ViewChangeDuration.sub(prev.ViewChangeDuration)
+	return out
+}
+
+// Summary renders a one-line digest (the bench prints it per experiment).
+func (s Snapshot) Summary() string {
+	return fmt.Sprintf(
+		"commits=%d batches=%d reqs=%d batch-avg=%.1f view-changes=%d checkpoints=%d stable=%d state-transfers=%d sessions(hello/join/leave/evict)=%d/%d/%d/%d",
+		s.Commits, s.Batches, s.Requests, s.BatchSize.Mean(),
+		s.ViewChangesInstalled, s.Checkpoints, s.StableCheckpoints,
+		s.StateTransfersCompleted, s.SessionHellos, s.Joins, s.Leaves, s.Evictions)
+}
+
+// --- Histograms ----------------------------------------------------------
+
+// histogram is a fixed-bound bucket histogram (Prometheus shape:
+// cumulative buckets at scrape time, plain counts internally).
+type histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	sort.Float64s(bounds)
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe inserts one sample. Callers hold the registry mutex.
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// HistogramSnapshot is a copied histogram state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the overflow (+Inf) bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the bucket the rank falls into — the usual Prometheus
+// histogram_quantile estimate. Values beyond the last finite bound clamp
+// to it; an empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		prev := cum
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if h.Counts[i] == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-float64(prev))/float64(h.Counts[i])
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: h.Bounds, Sum: h.Sum - prev.Sum, Count: h.Count - prev.Count}
+	out.Counts = make([]uint64, len(h.Counts))
+	for i := range h.Counts {
+		c := h.Counts[i]
+		if i < len(prev.Counts) {
+			c -= prev.Counts[i]
+		}
+		out.Counts[i] = c
+	}
+	return out
+}
+
+// --- HTTP exposition -----------------------------------------------------
+
+// WritePrometheus renders every aggregate — and one gauge set per
+// registered replica — in the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	s := m.Snapshot()
+	writeCounter(w, "pbft_commits_total", "Sequence numbers committed (2f+1 certificates).", s.Commits)
+	writeCounter(w, "pbft_batches_total", "Agreed batches handed to the execution engine.", s.Batches)
+	writeCounter(w, "pbft_requests_total", "Requests inside agreed batches.", s.Requests)
+	writeCounter(w, "pbft_tentative_batches_total", "Batches executed tentatively (after prepare, before commit).", s.TentativeBatches)
+	writeCounter(w, "pbft_view_changes_started_total", "View changes started (vote broadcast).", s.ViewChangesStarted)
+	writeCounter(w, "pbft_view_changes_total", "View changes completed (new view installed).", s.ViewChangesInstalled)
+	writeCounter(w, "pbft_checkpoints_total", "Local checkpoints produced.", s.Checkpoints)
+	writeCounter(w, "pbft_stable_checkpoints_total", "Checkpoints stabilized by 2f+1 proof.", s.StableCheckpoints)
+	writeCounter(w, "pbft_state_transfers_started_total", "State transfers started.", s.StateTransfersStarted)
+	writeCounter(w, "pbft_state_transfers_total", "State transfers completed.", s.StateTransfersCompleted)
+	writeCounter(w, "pbft_state_transfers_aborted_total", "State transfers aborted.", s.StateTransfersAborted)
+	writeCounter(w, "pbft_session_hellos_total", "Client MAC sessions (re-)established.", s.SessionHellos)
+	writeCounter(w, "pbft_joins_total", "Dynamic clients admitted.", s.Joins)
+	writeCounter(w, "pbft_leaves_total", "Dynamic clients departed.", s.Leaves)
+	writeCounter(w, "pbft_evictions_total", "Client sessions evicted.", s.Evictions)
+	writeHistogram(w, "pbft_batch_size", "Requests per agreed batch.", s.BatchSize)
+	writeHistogram(w, "pbft_commit_latency_seconds", "Tentative execution to commit certificate.", s.CommitLatency)
+	writeHistogram(w, "pbft_view_change_duration_seconds", "View-change start to new-view install.", s.ViewChangeDuration)
+
+	m.infoMu.Lock()
+	infos := append([]*replicaInfoSource(nil), m.infos...)
+	m.infoMu.Unlock()
+	if len(infos) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP pbft_exec_queue_depth Operations inside the execution engine (applies + detached reads).\n# TYPE pbft_exec_queue_depth gauge\n")
+	type gaugeRow struct {
+		id   uint32
+		info pbft.ReplicaInfo
+	}
+	rows := make([]gaugeRow, 0, len(infos))
+	for _, src := range infos {
+		rows = append(rows, gaugeRow{id: src.id, info: src.poll(gaugePollTimeout)})
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_exec_queue_depth{replica=\"%d\"} %d\n", r.id, r.info.ExecQueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP pbft_ingress_backlog Packets verified (or being verified) and not yet consumed by the protocol loop.\n# TYPE pbft_ingress_backlog gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_ingress_backlog{replica=\"%d\"} %d\n", r.id, r.info.IngressBacklog)
+	}
+	fmt.Fprintf(w, "# HELP pbft_last_exec Last executed sequence number.\n# TYPE pbft_last_exec gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_last_exec{replica=\"%d\"} %d\n", r.id, r.info.LastExec)
+	}
+	fmt.Fprintf(w, "# HELP pbft_last_stable Last stable checkpoint sequence number.\n# TYPE pbft_last_stable gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_last_stable{replica=\"%d\"} %d\n", r.id, r.info.LastStable)
+	}
+	fmt.Fprintf(w, "# HELP pbft_view Current view.\n# TYPE pbft_view gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_view{replica=\"%d\"} %d\n", r.id, r.info.View)
+	}
+}
+
+func writeCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeHistogram(w io.Writer, name, help string, h HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+}
+
+// Handler serves the /metrics content.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.WritePrometheus(w)
+	})
+}
+
+// Mux builds the node's observability endpoint: /metrics serving the
+// registry and /healthz answering 200 while healthy() is true (503
+// otherwise; a nil healthy is always healthy). cmd/pbft-server mounts it
+// with the replica's Running method.
+func Mux(m *Metrics, healthy func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

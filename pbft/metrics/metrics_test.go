@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pbft"
+)
+
+func TestCountersAndSnapshotDelta(t *testing.T) {
+	m := New()
+	m.OnBatch(pbft.BatchEvent{Replica: 0, Seq: 1, Requests: 3, Tentative: true})
+	m.OnCommit(pbft.CommitEvent{Replica: 0, Seq: 1})
+	m.OnViewChange(pbft.ViewChangeEvent{Replica: 1, Phase: pbft.ViewChangeStart, Target: 1})
+	m.OnViewChange(pbft.ViewChangeEvent{Replica: 1, Phase: pbft.ViewChangeInstall, View: 1})
+	m.OnCheckpoint(pbft.CheckpointEvent{Replica: 0, Seq: 8})
+	m.OnCheckpoint(pbft.CheckpointEvent{Replica: 0, Seq: 8, Stable: true})
+	m.OnStateTransfer(pbft.StateTransferEvent{Replica: 2, Phase: pbft.StateTransferStart, Seq: 8})
+	m.OnStateTransfer(pbft.StateTransferEvent{Replica: 2, Phase: pbft.StateTransferFinish, Seq: 8})
+	m.OnClientSession(pbft.ClientSessionEvent{Replica: 0, ClientID: 9, Kind: pbft.SessionHello})
+
+	s := m.Snapshot()
+	if s.Commits != 1 || s.Batches != 1 || s.Requests != 3 || s.TentativeBatches != 1 {
+		t.Fatalf("batch/commit counters wrong: %+v", s)
+	}
+	if s.ViewChangesStarted != 1 || s.ViewChangesInstalled != 1 {
+		t.Fatalf("view-change counters wrong: %+v", s)
+	}
+	if s.Checkpoints != 1 || s.StableCheckpoints != 1 {
+		t.Fatalf("checkpoint counters wrong: %+v", s)
+	}
+	if s.StateTransfersStarted != 1 || s.StateTransfersCompleted != 1 || s.StateTransfersAborted != 0 {
+		t.Fatalf("transfer counters wrong: %+v", s)
+	}
+	if s.SessionHellos != 1 {
+		t.Fatalf("session counters wrong: %+v", s)
+	}
+	if s.CommitLatency.Count != 1 {
+		t.Fatalf("commit latency samples = %d, want 1 (tentative batch closed by commit)", s.CommitLatency.Count)
+	}
+	if s.ViewChangeDuration.Count != 1 {
+		t.Fatalf("view-change duration samples = %d, want 1", s.ViewChangeDuration.Count)
+	}
+	if got := s.BatchSize.Mean(); got != 3 {
+		t.Fatalf("batch size mean = %v, want 3", got)
+	}
+
+	// Windowed delta: only what happened after `before`.
+	before := m.Snapshot()
+	m.OnCommit(pbft.CommitEvent{Replica: 0, Seq: 2})
+	delta := m.Snapshot().Sub(before)
+	if delta.Commits != 1 || delta.Batches != 0 {
+		t.Fatalf("delta = %+v, want exactly one new commit", delta)
+	}
+	if delta.BatchSize.Count != 0 {
+		t.Fatalf("delta histogram count = %d, want 0", delta.BatchSize.Count)
+	}
+}
+
+func TestPrometheusExpositionAndHealthz(t *testing.T) {
+	m := New()
+	m.OnBatch(pbft.BatchEvent{Replica: 0, Seq: 1, Requests: 2})
+	m.AddReplica(0, func() pbft.ReplicaInfo {
+		return pbft.ReplicaInfo{View: 3, LastExec: 17, LastStable: 16, ExecQueueDepth: 5, IngressBacklog: 7}
+	})
+	healthy := true
+	srv := httptest.NewServer(Mux(m, func() bool { return healthy }))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics", 200)
+	for _, want := range []string{
+		"pbft_batches_total 1",
+		"pbft_requests_total 2",
+		"pbft_batch_size_bucket{le=\"2\"} 1",
+		"pbft_batch_size_count 1",
+		"pbft_exec_queue_depth{replica=\"0\"} 5",
+		"pbft_ingress_backlog{replica=\"0\"} 7",
+		"pbft_view{replica=\"0\"} 3",
+		"pbft_last_exec{replica=\"0\"} 17",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	if got := httpGet(t, srv.URL+"/healthz", 200); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz = %q", got)
+	}
+	healthy = false
+	httpGet(t, srv.URL+"/healthz", 503)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 7, 7, 20} {
+		h.observe(v)
+	}
+	s := h.snapshot()
+	if q := s.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(0.5); q < 2 || q > 4 {
+		t.Fatalf("median = %v, want within (2,4]", q)
+	}
+	if q := s.Quantile(1); q != 8 {
+		t.Fatalf("q1 = %v, want clamp to last bound 8", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	c := NewClient()
+	c.Observe(2*time.Millisecond, nil)
+	c.Observe(3*time.Millisecond, errors.New("boom"))
+	s := c.Snapshot()
+	if s.Requests != 2 || s.Failures != 1 || s.Latency.Count != 2 {
+		t.Fatalf("client snapshot wrong: %+v", s)
+	}
+	var sb strings.Builder
+	c.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "pbft_client_requests_total 2") {
+		t.Fatalf("client exposition missing counter:\n%s", sb.String())
+	}
+}
+
+func httpGet(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, r.StatusCode, wantStatus)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -11,6 +11,32 @@
 // (§3.1 of the paper). See package sqlstate for the SQL/ACID state
 // abstraction of §3.2 and the examples directory for complete programs.
 //
+// # Replica lifecycle and observability
+//
+// A replica is an observable node runtime with a one-shot, context-aware
+// lifecycle: Run(ctx) blocks while the replica serves, and Shutdown(ctx)
+// stops it gracefully — the ingress backlog is drained, the execution
+// engine is reaped, and pending replies are flushed before the
+// connection closes, so requests the group committed still get answers.
+// Shutdown is idempotent and safe in every state; Run after Shutdown
+// returns ErrStopped. (Start/Stop remain as deprecated wrappers.)
+//
+//	rep, _ := pbft.NewReplica(cfg, id, kp, conn, app)
+//	go rep.Run(ctx)
+//	...
+//	_ = rep.Shutdown(shutdownCtx)
+//
+// Protocol progress is observable two ways: Replica.Info returns a
+// polled snapshot (now including the execution-engine queue depth and
+// the ingress verify backlog), and Options.WithTracer installs a typed
+// event Tracer — OnViewChange, OnCheckpoint, OnStateTransfer, OnBatch,
+// OnCommit, OnClientSession — fired from the protocol loop with zero
+// hot-loop cost when no tracer is installed. Package pbft/metrics is the
+// batteries-included Tracer: an aggregating registry with counters and
+// latency histograms served over HTTP (/metrics, /healthz). See
+// ARCHITECTURE.md ("Observability") for the event taxonomy and the
+// blocking rules tracer hooks must obey.
+//
 // # Clients, concurrency and pipelining
 //
 // A Client is safe for concurrent use and pipelines requests: Submit
@@ -72,6 +98,30 @@ type (
 	Replica = core.Replica
 	// ReplicaInfo is a progress snapshot of a replica.
 	ReplicaInfo = core.Info
+	// Tracer receives typed protocol events from a replica (install via
+	// Options.WithTracer). See the core.Tracer blocking rules: hooks run
+	// on the protocol loop and must not block or call back in.
+	Tracer = core.Tracer
+	// NopTracer is an all-empty Tracer to embed in partial tracers.
+	NopTracer = core.NopTracer
+	// ViewChangeEvent reports view-change progress (start/install).
+	ViewChangeEvent = core.ViewChangeEvent
+	// CheckpointEvent reports checkpoint production and stabilization.
+	CheckpointEvent = core.CheckpointEvent
+	// StateTransferEvent reports state-transfer progress.
+	StateTransferEvent = core.StateTransferEvent
+	// BatchEvent reports one agreed batch handed to execution.
+	BatchEvent = core.BatchEvent
+	// CommitEvent reports a sequence number reaching its commit quorum.
+	CommitEvent = core.CommitEvent
+	// ClientSessionEvent reports client session lifecycle.
+	ClientSessionEvent = core.ClientSessionEvent
+	// ViewChangePhase tags ViewChangeEvents (start/install).
+	ViewChangePhase = core.ViewChangePhase
+	// StateTransferPhase tags StateTransferEvents (start/finish/abort).
+	StateTransferPhase = core.StateTransferPhase
+	// ClientSessionKind tags ClientSessionEvents (hello/join/leave/evict).
+	ClientSessionKind = core.ClientSessionKind
 	// Client invokes operations against the replicated service. It is
 	// safe for concurrent use and pipelines up to WithPipelineDepth
 	// requests.
@@ -114,6 +164,19 @@ type (
 	Faults = transport.Faults
 )
 
+// Tracer event phase and kind values, re-exported for switch statements.
+const (
+	ViewChangeStart     = core.ViewChangeStart
+	ViewChangeInstall   = core.ViewChangeInstall
+	StateTransferStart  = core.StateTransferStart
+	StateTransferFinish = core.StateTransferFinish
+	StateTransferAbort  = core.StateTransferAbort
+	SessionHello        = core.SessionHello
+	SessionJoin         = core.SessionJoin
+	SessionLeave        = core.SessionLeave
+	SessionEvict        = core.SessionEvict
+)
+
 // ErrJoinDenied is returned by Client.Join when the service refuses.
 type ErrJoinDenied = client.ErrJoinDenied
 
@@ -126,6 +189,15 @@ var (
 	ErrTimeout = client.ErrTimeout
 	// ErrNotJoined is returned when a dynamic client invokes before Join.
 	ErrNotJoined = client.ErrNotJoined
+)
+
+// Replica lifecycle sentinel errors, re-exported for errors.Is checks.
+var (
+	// ErrStopped is returned by Replica.Run after Shutdown: the replica
+	// lifecycle is one-shot; build a new replica to restart.
+	ErrStopped = core.ErrStopped
+	// ErrRunning is returned by Replica.Run while the replica runs.
+	ErrRunning = core.ErrRunning
 )
 
 // WithPipelineDepth bounds how many requests a client keeps in flight at
@@ -155,7 +227,8 @@ func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
 	return crypto.GenerateKeyPair(rng)
 }
 
-// NewReplica builds a replica over the connection; call Start on it.
+// NewReplica builds a replica over the connection; drive it with
+// Run(ctx) and stop it with Shutdown(ctx).
 func NewReplica(cfg *Config, id uint32, kp *KeyPair, conn Conn, app Application) (*Replica, error) {
 	return core.NewReplica(cfg, id, kp, conn, app)
 }
