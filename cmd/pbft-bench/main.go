@@ -20,13 +20,18 @@
 // flight (request pipelining over the concurrent client API); the default
 // 1 is the paper's closed-loop model. The -shards flag sets the largest
 // execution shard count the exec experiment sweeps to (compared against
-// the serial configuration).
+// the serial configuration). The -json flag additionally writes a
+// machine-readable summary (one row per measured configuration plus run
+// metadata) to a file — the repository's BENCH_PR*.json perf-trajectory
+// artifacts are produced this way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/harness"
@@ -50,6 +55,7 @@ func run() error {
 	shards := flag.Int("shards", 4, "max execution shards for the exec experiment")
 	seed := flag.Int64("seed", 42, "simulated network seed")
 	withMetrics := flag.Bool("metrics", false, "print a protocol-event metrics summary per experiment")
+	jsonOut := flag.String("json", "", "write a machine-readable experiment summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	opts := harness.DefaultExperimentOptions()
@@ -67,6 +73,14 @@ func run() error {
 	if *withMetrics {
 		reg = metrics.New()
 		opts.Tracer = reg
+	}
+
+	// Machine-readable summary (-json): every measured configuration row,
+	// plus enough run metadata to compare files across PRs — the perf
+	// trajectory artifacts (BENCH_PR5.json, ...).
+	var rows []harness.ExperimentResult
+	if *jsonOut != "" {
+		opts.Record = func(r harness.ExperimentResult) { rows = append(rows, r) }
 	}
 
 	runOne := func(name string) error {
@@ -114,14 +128,61 @@ func run() error {
 		}
 	}
 
-	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery", "pipeline", "exec"} {
-			if err := runOne(name); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+	run := func() error {
+		if *experiment == "all" {
+			for _, name := range []string{"table1", "fig4", "fig5", "acid", "dynamic", "wan", "loss", "lossy", "recovery", "pipeline", "exec"} {
+				if err := runOne(name); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+			return nil
 		}
-		return nil
+		return runOne(*experiment)
 	}
-	return runOne(*experiment)
+	if err := run(); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		return writeJSONSummary(*jsonOut, *experiment, opts, rows)
+	}
+	return nil
+}
+
+// jsonSummary is the -json output shape: run metadata plus one row per
+// measured configuration.
+type jsonSummary struct {
+	Experiment  string                     `json:"experiment"`
+	DurationSec float64                    `json:"duration_sec"`
+	Clients     int                        `json:"clients"`
+	RequestSize int                        `json:"request_size"`
+	Pipeline    int                        `json:"pipeline"`
+	Seed        int64                      `json:"seed"`
+	GoMaxProcs  int                        `json:"gomaxprocs"`
+	GoVersion   string                     `json:"go_version"`
+	Results     []harness.ExperimentResult `json:"results"`
+}
+
+func writeJSONSummary(path, experiment string, opts harness.ExperimentOptions, rows []harness.ExperimentResult) error {
+	s := jsonSummary{
+		Experiment:  experiment,
+		DurationSec: opts.Duration.Seconds(),
+		Clients:     opts.NumClients,
+		RequestSize: opts.RequestSize,
+		Pipeline:    opts.PipelineDepth,
+		Seed:        opts.Seed,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Results:     rows,
+	}
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -238,8 +238,7 @@ func (c *Client) dispatch(data []byte) {
 		call.deliver(rep)
 	case wire.MTJoinChall:
 		// Join challenges are always signed (no session exists yet).
-		if env.Kind != wire.AuthSig ||
-			!crypto.Verify(c.cfg.Replicas[env.Sender].PubKey, env.SignedBytes(), env.Sig) {
+		if env.Kind != wire.AuthSig || !env.VerifySig(c.cfg.Replicas[env.Sender].PubKey) {
 			return
 		}
 		ch, err := wire.UnmarshalJoinChallenge(env.Payload)
@@ -294,9 +293,9 @@ func (c *Client) primaryAddr(view uint64) string {
 func (c *Client) verifyFromReplica(env *wire.Envelope) bool {
 	switch env.Kind {
 	case wire.AuthMAC:
-		return env.Auth.VerifyEntry(0, c.sessionKeys[env.Sender], env.SignedBytes())
+		return env.VerifyMACEntry(0, c.sessionKeys[env.Sender])
 	case wire.AuthSig:
-		return crypto.Verify(c.cfg.Replicas[env.Sender].PubKey, env.SignedBytes(), env.Sig)
+		return env.VerifySig(c.cfg.Replicas[env.Sender].PubKey)
 	default:
 		return false
 	}
@@ -308,11 +307,9 @@ func (c *Client) verifyFromReplica(env *wire.Envelope) bool {
 func (c *Client) seal(sender uint32, t wire.MsgType, payload []byte, forceSig bool) *wire.Envelope {
 	env := &wire.Envelope{Type: t, Sender: sender, Payload: payload}
 	if c.cfg.Opts.UseMACs && !forceSig {
-		env.Kind = wire.AuthMAC
-		env.Auth = crypto.ComputeAuthenticator(c.sessionKeys, env.SignedBytes())
+		env.SealMAC(c.sessionKeys)
 	} else {
-		env.Kind = wire.AuthSig
-		env.Sig = c.kp.Sign(env.SignedBytes())
+		env.SealSig(c.kp)
 	}
 	return env
 }

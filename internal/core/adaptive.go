@@ -1,0 +1,140 @@
+package core
+
+import "time"
+
+// batchController is the primary's adaptive batch-sizing control loop
+// (Options.AdaptiveBatching): an AIMD window over the number of requests
+// one pre-prepare may carry, driven by the two signals the tracer surface
+// also exposes as histograms — batch occupancy (how full proposed batches
+// run against the window) and commit latency (propose → 2f+1 commit
+// certificate).
+//
+// Policy:
+//
+//   - Additive increase: a proposed batch that fills the current window
+//     while commit latency is flat (EMA within inflationFactor of the best
+//     observed baseline) grows the window by one. Full batches mean the
+//     offered load is clipped by the window; flat latency means the larger
+//     pre-prepares are not hurting agreement.
+//   - Multiplicative decrease: commit-latency inflation (EMA beyond
+//     inflationFactor × baseline) halves the window and starts a hold-off
+//     so one congestion event is not charged twice.
+//   - Bounds: the window never leaves [1, MaxBatch] — the static knob is
+//     the ceiling, a single request the floor — and MaxBatchBytes still
+//     caps the pre-prepare's wire size independently.
+//
+// The controller lives on the protocol loop (no locking) and is purely
+// primary-local tuning: replicas never need to agree on it, exactly like
+// the execution shard count.
+type batchController struct {
+	window  int // current batch-size window
+	ceiling int // static MaxBatch
+	// latEMA is the exponential moving average of commit latency;
+	// baseline is the smallest EMA observed since the last decrease —
+	// "flat" means within inflationFactor of it. baseline relaxes
+	// additively toward the EMA so a permanent shift in service time
+	// (bigger ops, slower disk) becomes the new normal instead of a
+	// perpetual congestion signal.
+	latEMA   float64 // seconds; 0 = no sample yet
+	baseline float64 // seconds; 0 = no sample yet
+	holdoff  int     // commit samples to ignore after a decrease
+}
+
+// Controller tuning constants. Deliberately few: everything else derives
+// from the observed signals.
+const (
+	// batchEMAWeight is the weight of a new commit-latency sample.
+	batchEMAWeight = 0.2
+	// batchInflationFactor is how far the latency EMA may rise above the
+	// baseline before the window is cut.
+	batchInflationFactor = 2.0
+	// batchBaselineRelax drifts the baseline toward the current EMA by
+	// this fraction of the gap per sample, so regime changes re-anchor.
+	batchBaselineRelax = 0.05
+	// batchDecreaseHoldoff is how many commit samples after a decrease
+	// are observed but not acted on (the in-flight batches were sized by
+	// the old window).
+	batchDecreaseHoldoff = 8
+)
+
+// unboundedBatchCeiling stands in for "no static cap" (MaxBatch <= 0,
+// which the static path treats as unbounded): latency feedback, not the
+// ceiling, becomes the effective bound.
+const unboundedBatchCeiling = 1 << 16
+
+// newBatchController starts at the floor and grows, TCP-slow-start style:
+// an idle primary proposes immediately (window 1 ≈ no batching), and a
+// loaded one earns its window from evidence.
+func newBatchController(ceiling int) *batchController {
+	if ceiling < 1 {
+		ceiling = unboundedBatchCeiling
+	}
+	return &batchController{window: 1, ceiling: ceiling}
+}
+
+// size returns the current batch-size bound.
+func (bc *batchController) size() int { return bc.window }
+
+// observeBatch feeds one proposed batch's occupancy: n requests proposed
+// against the window in force. Growth happens here — a full window with
+// flat latency is the signal that load is being clipped.
+func (bc *batchController) observeBatch(n int) {
+	if n < bc.window || bc.window >= bc.ceiling {
+		return
+	}
+	if bc.latEMA > bc.inflationBound() {
+		return // latency already elevated: do not grow into congestion
+	}
+	bc.window++
+}
+
+// observeCommit feeds one commit-latency sample (propose → commit
+// certificate at the primary). Decrease happens here.
+func (bc *batchController) observeCommit(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		return
+	}
+	if bc.latEMA == 0 {
+		bc.latEMA = s
+	} else {
+		bc.latEMA = (1-batchEMAWeight)*bc.latEMA + batchEMAWeight*s
+	}
+	if bc.baseline == 0 || bc.latEMA < bc.baseline {
+		bc.baseline = bc.latEMA
+	} else {
+		// Relax toward the EMA so a durable latency shift becomes the
+		// new baseline instead of triggering decreases forever.
+		bc.baseline += batchBaselineRelax * (bc.latEMA - bc.baseline)
+	}
+	if bc.holdoff > 0 {
+		bc.holdoff--
+		return
+	}
+	if bc.latEMA > bc.inflationBound() && bc.window > 1 {
+		bc.window /= 2
+		if bc.window < 1 {
+			bc.window = 1
+		}
+		bc.holdoff = batchDecreaseHoldoff
+		// The congestion evidence is consumed; measure the halved
+		// window against a fresh anchor.
+		bc.baseline = bc.latEMA
+	}
+}
+
+// inflationBound is the latency above which the window stops growing and
+// (past the holdoff) shrinks.
+func (bc *batchController) inflationBound() float64 {
+	return bc.baseline * batchInflationFactor
+}
+
+// batchWindow resolves the batch-size bound in force for the next
+// pre-prepare: the adaptive window when the controller runs, the static
+// MaxBatch otherwise.
+func (r *Replica) batchWindow() int {
+	if r.batchCtl != nil {
+		return r.batchCtl.size()
+	}
+	return r.cfg.Opts.MaxBatch
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBatchControllerGrowsWhenFullAndFlat: full batches with flat commit
+// latency walk the window up to the ceiling and never past it.
+func TestBatchControllerGrowsWhenFullAndFlat(t *testing.T) {
+	bc := newBatchController(16)
+	if bc.size() != 1 {
+		t.Fatalf("initial window = %d, want 1 (slow start)", bc.size())
+	}
+	for i := 0; i < 100; i++ {
+		bc.observeBatch(bc.size()) // always full
+		bc.observeCommit(2 * time.Millisecond)
+		if w := bc.size(); w < 1 || w > 16 {
+			t.Fatalf("window %d escaped [1,16] at step %d", w, i)
+		}
+	}
+	if bc.size() != 16 {
+		t.Fatalf("window = %d after sustained full batches, want ceiling 16", bc.size())
+	}
+}
+
+// TestBatchControllerHoldsOnPartialBatches: batches below the window leave
+// it alone — occupancy, not time, drives growth.
+func TestBatchControllerHoldsOnPartialBatches(t *testing.T) {
+	bc := newBatchController(64)
+	for i := 0; i < 8; i++ { // grow a little first
+		bc.observeBatch(bc.size())
+		bc.observeCommit(time.Millisecond)
+	}
+	w := bc.size()
+	if w <= 1 {
+		t.Fatalf("window did not grow during warmup: %d", w)
+	}
+	for i := 0; i < 50; i++ {
+		bc.observeBatch(w - 1) // never full
+		bc.observeCommit(time.Millisecond)
+	}
+	if bc.size() != w {
+		t.Fatalf("window moved from %d to %d on partial batches", w, bc.size())
+	}
+}
+
+// TestBatchControllerShrinksOnLatencyInflation: a sustained latency blowup
+// halves the window (multiplicative decrease) and the floor holds at 1.
+func TestBatchControllerShrinksOnLatencyInflation(t *testing.T) {
+	bc := newBatchController(64)
+	for i := 0; i < 200; i++ { // earn the full window at 1ms commits
+		bc.observeBatch(bc.size())
+		bc.observeCommit(time.Millisecond)
+	}
+	if bc.size() != 64 {
+		t.Fatalf("warmup window = %d, want 64", bc.size())
+	}
+	// Latency inflates 20x: the EMA crosses the inflation bound and the
+	// window halves (repeatedly, past each holdoff, until the floor).
+	for i := 0; i < 500; i++ {
+		bc.observeCommit(20 * time.Millisecond)
+		if w := bc.size(); w < 1 || w > 64 {
+			t.Fatalf("window %d escaped [1,64] at step %d", w, i)
+		}
+	}
+	if bc.size() >= 64 {
+		t.Fatalf("window = %d after sustained inflation, want a decrease", bc.size())
+	}
+	if bc.size() < 1 {
+		t.Fatalf("window fell under the floor: %d", bc.size())
+	}
+}
+
+// TestBatchControllerBoundsUnderBurstyWorkload: a randomized burst/idle/
+// spike mix never drives the window outside [1, ceiling]. This is the
+// satellite's safety property: whatever the signals do, the static knobs
+// bound the controller.
+func TestBatchControllerBoundsUnderBurstyWorkload(t *testing.T) {
+	const ceiling = 32
+	rng := rand.New(rand.NewSource(7))
+	bc := newBatchController(ceiling)
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(3) {
+		case 0: // burst: full batches
+			bc.observeBatch(bc.size())
+		case 1: // trickle: tiny batches
+			bc.observeBatch(1 + rng.Intn(bc.size()))
+		case 2: // nothing proposed this tick
+		}
+		if rng.Intn(2) == 0 {
+			lat := time.Duration(rng.Intn(int(50 * time.Millisecond)))
+			bc.observeCommit(lat)
+		}
+		if w := bc.size(); w < 1 || w > ceiling {
+			t.Fatalf("window %d escaped [1,%d] at step %d", w, ceiling, i)
+		}
+	}
+}
+
+// TestBatchControllerRebaselines: after a durable latency regime change
+// (e.g. a slower disk), the baseline relaxes toward the new normal and
+// the window can grow again instead of shrinking forever.
+func TestBatchControllerRebaselines(t *testing.T) {
+	bc := newBatchController(64)
+	for i := 0; i < 100; i++ {
+		bc.observeBatch(bc.size())
+		bc.observeCommit(time.Millisecond)
+	}
+	// New regime: 10ms commits, permanently. Give the baseline time to
+	// re-anchor, then check growth resumes on full batches.
+	for i := 0; i < 2000; i++ {
+		bc.observeCommit(10 * time.Millisecond)
+	}
+	w := bc.size()
+	for i := 0; i < 200; i++ {
+		bc.observeBatch(bc.size())
+		bc.observeCommit(10 * time.Millisecond)
+	}
+	if bc.size() <= w {
+		t.Fatalf("window stuck at %d after regime change, want growth above %d", bc.size(), w)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/wire"
 )
 
@@ -77,7 +79,9 @@ func (r *Replica) tryPropose() {
 				return
 			}
 			batch = len(r.pendingQueue)
-			if max := r.cfg.Opts.MaxBatch; max > 0 && batch > max {
+			// The batch-size bound: the adaptive controller's live
+			// window (Options.AdaptiveBatching), or the static MaxBatch.
+			if max := r.batchWindow(); max > 0 && batch > max {
 				batch = max
 			}
 			// Datagram bound: inline bodies count in full, digest
@@ -109,6 +113,11 @@ func (r *Replica) tryPropose() {
 // propose builds, logs and broadcasts one pre-prepare.
 func (r *Replica) propose(reqs []*wire.Request) {
 	r.seq++
+	if r.batchCtl != nil {
+		// Feed the controller its occupancy signal and stamp the entry
+		// so the commit certificate closes the latency sample.
+		r.batchCtl.observeBatch(len(reqs))
+	}
 	pp := &wire.PrePrepare{
 		View:   r.view,
 		Seq:    r.seq,
@@ -132,6 +141,9 @@ func (r *Replica) propose(reqs []*wire.Request) {
 	e.pp = pp
 	e.ppRaw = env.Raw()
 	e.digest = pp.BatchDigest()
+	if r.batchCtl != nil {
+		e.proposedAt = r.now()
+	}
 	r.broadcast(env)
 	r.tryPrepared(e)
 	r.tryExecute()
@@ -208,7 +220,9 @@ func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, from
 		e.sentPrepare = true
 		prep := wire.Prepare{View: pp.View, Seq: pp.Seq, Digest: digest, Replica: r.id}
 		e.prepares[r.id] = digest
-		r.broadcast(r.sealToReplicas(wire.MTPrepare, prep.Marshal()))
+		pw := wire.GetWriter(64)
+		prep.Encode(pw)
+		r.broadcastTransient(wire.MTPrepare, pw)
 	}
 	r.tryPrepared(e)
 	r.tryExecute()
@@ -242,7 +256,9 @@ func (r *Replica) tryPrepared(e *entry) {
 		e.sentCommit = true
 		c := wire.Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.id}
 		e.commits[r.id] = e.digest
-		r.broadcast(r.sealToReplicas(wire.MTCommit, c.Marshal()))
+		cw := wire.GetWriter(64)
+		c.Encode(cw)
+		r.broadcastTransient(wire.MTCommit, cw)
 	}
 	r.tryCommitted(e)
 }
@@ -269,6 +285,12 @@ func (r *Replica) tryCommitted(e *entry) {
 		return
 	}
 	e.committed = true
+	if r.batchCtl != nil && !e.proposedAt.IsZero() {
+		// Close the controller's commit-latency sample for a batch this
+		// replica proposed.
+		r.batchCtl.observeCommit(r.now().Sub(e.proposedAt))
+		e.proposedAt = time.Time{}
+	}
 	if r.tracer != nil {
 		r.tracer.OnCommit(CommitEvent{Replica: r.id, View: e.view, Seq: e.seq})
 	}

@@ -18,11 +18,9 @@ const JoinSender = ^uint32(0)
 func (r *Replica) sealToReplicas(t wire.MsgType, payload []byte) *wire.Envelope {
 	env := &wire.Envelope{Type: t, Sender: r.id, Payload: payload}
 	if r.cfg.Opts.UseMACs {
-		env.Kind = wire.AuthMAC
-		env.Auth = crypto.ComputeAuthenticator(r.replicaKeys, env.SignedBytes())
+		env.SealMAC(r.replicaKeys)
 	} else {
-		env.Kind = wire.AuthSig
-		env.Sig = r.kp.Sign(env.SignedBytes())
+		env.SealSig(r.kp)
 	}
 	return env
 }
@@ -32,8 +30,8 @@ func (r *Replica) sealToReplicas(t wire.MsgType, payload []byte) *wire.Envelope 
 // session hellos are always signed: they outlive the session keys of the
 // moment (they are replayed to recovering replicas as proofs).
 func (r *Replica) sealSigned(t wire.MsgType, payload []byte) *wire.Envelope {
-	env := &wire.Envelope{Type: t, Sender: r.id, Payload: payload, Kind: wire.AuthSig}
-	env.Sig = r.kp.Sign(env.SignedBytes())
+	env := &wire.Envelope{Type: t, Sender: r.id, Payload: payload}
+	env.SealSig(r.kp)
 	return env
 }
 
@@ -49,11 +47,9 @@ func (r *Replica) sealToClient(t wire.MsgType, payload []byte, client *nodeEntry
 func (r *Replica) sealWithSession(t wire.MsgType, payload []byte, session crypto.SessionKey, useMAC bool) *wire.Envelope {
 	env := &wire.Envelope{Type: t, Sender: r.id, Payload: payload}
 	if useMAC {
-		env.Kind = wire.AuthMAC
-		env.Auth = crypto.ComputeAuthenticator([]crypto.SessionKey{session}, env.SignedBytes())
+		env.SealMAC1(session)
 	} else {
-		env.Kind = wire.AuthSig
-		env.Sig = r.kp.Sign(env.SignedBytes())
+		env.SealSig(r.kp)
 	}
 	return env
 }

@@ -40,8 +40,21 @@ type Options struct {
 	// (only meaningful with Batching).
 	CongestionWindow int
 
-	// MaxBatch bounds how many requests one pre-prepare carries.
+	// MaxBatch bounds how many requests one pre-prepare carries. With
+	// AdaptiveBatching it is the controller's ceiling.
 	MaxBatch int
+
+	// AdaptiveBatching replaces the static MaxBatch bound with a
+	// self-tuning congestion window: the primary sizes the next
+	// pre-prepare from the observed batch occupancy and commit latency
+	// (AIMD — grow additively while batches run full and commit latency
+	// stays flat, halve on latency inflation). The static knobs stay as
+	// hard bounds: MaxBatch is the ceiling, 1 the floor, and
+	// MaxBatchBytes still caps the datagram. Only meaningful with
+	// Batching; purely primary-local (never part of the replicated
+	// contract). The live window is observable as ReplicaInfo.BatchWindow
+	// and the pbft_batch_window gauge.
+	AdaptiveBatching bool
 
 	// MaxBatchBytes bounds a pre-prepare's payload size so it fits in
 	// one datagram. Inline (non-big) request bodies count in full;
@@ -107,6 +120,18 @@ type Options struct {
 	// they reach the protocol loop. 0 means GOMAXPROCS.
 	VerifyWorkers int
 
+	// AsyncReap overlaps agreement with application execution: instead of
+	// draining the execution engine before returning to the protocol
+	// loop, completed applies are reaped — and their replies sealed and
+	// sent, still strictly in sequence order — by a dedicated reaper
+	// goroutine, so agreement on sequence n+1 runs while the application
+	// is still working on n. Barrier points (checkpoints, membership
+	// operations, view-change rollback, state transfer, shutdown) force a
+	// full drain exactly as before, which is what keeps checkpoint
+	// digests byte-identical to synchronous reaping at any shard count.
+	// Purely local (never part of the replicated contract).
+	AsyncReap bool
+
 	// ExecShards sizes the sharded execution engine: the workers that
 	// apply committed operations behind the ordered commit stream. An
 	// application implementing Sharder gets non-conflicting operations
@@ -147,6 +172,7 @@ func DefaultOptions() Options {
 		UseMACs:            true,
 		AllBig:             true,
 		Batching:           true,
+		AdaptiveBatching:   true,
 		CongestionWindow:   1,
 		MaxBatch:           64,
 		MaxBatchBytes:      8000,
@@ -163,8 +189,23 @@ func DefaultOptions() Options {
 		MaxTimeDrift:       time.Minute,
 		ValidateNonDet:     true,
 		ExecShards:         1,
+		AsyncReap:          true,
 		ClientWindow:       DefaultClientWindow,
 	}
+}
+
+// WithAdaptiveBatching returns a copy of the options with the adaptive
+// batch-sizing controller enabled or disabled (chainable).
+func (o Options) WithAdaptiveBatching(on bool) Options {
+	o.AdaptiveBatching = on
+	return o
+}
+
+// WithAsyncReap returns a copy of the options with asynchronous reaping of
+// the execution engine enabled or disabled (chainable).
+func (o Options) WithAsyncReap(on bool) Options {
+	o.AsyncReap = on
+	return o
 }
 
 // WithExecShards returns a copy of the options with the execution engine

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/exec"
 	"repro/internal/wire"
 )
 
@@ -67,17 +68,30 @@ func (r *Replica) execReadOnly(req *wire.Request, client *nodeEntry) {
 	addr := client.Addr
 	r.exec.SubmitDetached(r.shardKeys(op), func() {
 		rep.Result = r.app.Execute(op, nd, true)
-		r.sendToAddr(addr, r.sealWithSession(wire.MTReply, rep.Marshal(), session, useMAC))
+		r.sendSealedReply(addr, rep, session, useMAC)
 	})
 }
 
-// sendReply transmits a reply to its client.
+// sendSealedReply is the one reply egress path: encode into a pooled
+// writer, seal with the given session material, ship, return both
+// buffers to the arena. Safe off the protocol loop (it touches only its
+// arguments, immutable replica material and the thread-safe connection).
+func (r *Replica) sendSealedReply(addr string, rep *wire.Reply, session crypto.SessionKey, useMAC bool) {
+	pw := wire.GetWriter(48 + len(rep.Result))
+	rep.Encode(pw)
+	env := r.sealWithSession(wire.MTReply, pw.Bytes(), session, useMAC)
+	r.sendToAddr(addr, env)
+	env.ReleaseRaw()
+	pw.Free()
+}
+
+// sendReply transmits a reply to its client (the cached-retransmission
+// path; freshly executed replies ship via sealAndSendReply).
 func (r *Replica) sendReply(rep *wire.Reply, client *nodeEntry) {
 	if client == nil {
 		return
 	}
-	env := r.sealToClient(wire.MTReply, rep.Marshal(), client)
-	r.sendToAddr(client.Addr, env)
+	r.sendSealedReply(client.Addr, rep, client.Session, r.cfg.Opts.UseMACs && client.HasSession)
 }
 
 // tryExecute schedules every executable entry in sequence order on the
@@ -86,12 +100,15 @@ func (r *Replica) sendReply(rep *wire.Reply, client *nodeEntry) {
 // (§2.1). Execution wedges on a missing big-request body (§2.4) until
 // state transfer overtakes the gap.
 //
-// All executable entries are submitted before the first blocking reap, so
+// All executable entries are submitted before anything blocks on them, so
 // non-conflicting operations across consecutive batches churn on every
-// shard at once; the loop then blocks only as long as the slowest chain.
-// Checkpoint boundaries drain the engine first, so the snapshot observes
-// exactly the operations up to the boundary — the property that keeps
-// checkpoint digests identical across replicas and shard counts.
+// shard at once. With Options.AsyncReap the pass ends by handing the
+// span to the reaper goroutine and returning to the protocol loop —
+// agreement on the next sequence numbers overlaps the application work —
+// while checkpoint boundaries (and the other barriers) still drain
+// everything first, so the snapshot observes exactly the operations up to
+// the boundary: the property that keeps checkpoint digests identical
+// across replicas, shard counts and reap modes.
 func (r *Replica) tryExecute() {
 	if r.sync != nil || r.executing {
 		return
@@ -129,7 +146,7 @@ func (r *Replica) tryExecute() {
 			r.tryPropose() // the congestion window may have room again
 		}
 	}
-	r.reapApplies()
+	r.finishSpan()
 }
 
 // resolveBodies checks that every request body of the batch is available.
@@ -147,15 +164,30 @@ func (r *Replica) resolveBodies(e *entry) bool {
 }
 
 // pendingApply is one request handed to the execution engine and not yet
-// reaped. The shard worker writes result; the loop reads it only after
-// exec.WaitIdle returned, whose ordered-completion counter chain is the
-// happens-before edge publishing the write.
+// reaped. The shard worker writes result; readers observe it only through
+// a happens-before edge — the task's done channel (async reaper) or
+// exec.WaitIdle's ordered-completion counter chain (synchronous reap).
+//
+// Everything the reply needs outside the loop is snapshotted here at
+// submission time (client address and session material, the view), so the
+// reaper goroutine can seal and send without touching loop-owned state.
 type pendingApply struct {
 	req       *wire.Request
 	e         *entry
 	tentative bool
 	ndTime    time.Time
 	result    []byte
+	task      *exec.Task
+	// rep is built in place (one object per request; the reply cache
+	// retains &rep, and pa with it, for the client window's lifetime).
+	rep wire.Reply
+	// Client snapshot for off-loop reply sealing; hasClient is false when
+	// the client was unknown at submission (no reply is sent, but the
+	// apply still integrates into the reply cache).
+	hasClient bool
+	addr      string
+	session   crypto.SessionKey
+	useMAC    bool
 }
 
 // shardKeys asks the application for an operation's conflict keyset. The
@@ -227,46 +259,140 @@ func (r *Replica) submitRequest(req *wire.Request, nd NonDetValues, tentative bo
 	// and attach the cached reply when the result is reaped.
 	cw.record(req.Timestamp, nil, w)
 	pa := &pendingApply{req: req, e: e, tentative: tentative, ndTime: nd.Time}
+	pa.rep = wire.Reply{
+		View:      r.view,
+		Timestamp: req.Timestamp,
+		ClientID:  req.ClientID,
+		Replica:   r.id,
+	}
+	if tentative {
+		pa.rep.Flags |= wire.FlagTentative
+	}
+	if client := r.nodes.get(req.ClientID); client != nil {
+		pa.hasClient = true
+		pa.addr = client.Addr
+		pa.session = client.Session
+		pa.useMAC = r.cfg.Opts.UseMACs && client.HasSession
+	}
 	op := req.Op
-	r.exec.Submit(r.shardKeys(op), func() {
+	pa.task = r.exec.Submit(r.shardKeys(op), func() {
 		pa.result = r.app.Execute(op, nd, false)
 	})
 	r.applyQueue = append(r.applyQueue, pa)
 }
 
-// reapApplies waits for every scheduled mutation (one park for the whole
-// span, however many shards ran it), then builds, records and sends the
-// replies in submission order — replies leave the replica strictly in
-// sequence order no matter which shard ran each operation. Nothing else
-// runs on the loop between submit and reap, so the loop state a reply
-// depends on (view, node table) is exactly what serial execution would
-// have seen.
-func (r *Replica) reapApplies() {
+// sealAndSendReply finishes one apply's reply — fill in the result, seal,
+// ship — in submission order relative to its span. Safe off the protocol
+// loop: it touches only the submission-time snapshot in pa, immutable
+// replica material (id, key pair) and the thread-safe connection. The
+// sealed form and payload scratch go back to the arena immediately (the
+// cached reply for retransmission is the *wire.Reply, not its wire form).
+func (r *Replica) sealAndSendReply(pa *pendingApply) {
+	pa.rep.Result = pa.result
+	if !pa.hasClient {
+		return
+	}
+	r.sendSealedReply(pa.addr, &pa.rep, pa.session, pa.useMAC)
+}
+
+// integrateSpan performs the loop-side half of reaping a completed span:
+// attach the cached replies to the client windows (they are replicated
+// state), record liveness, count executions. Replies were already sent by
+// sealAndSendReply; a commit certificate that arrived while the span was
+// in flight upgrades the cached copy here (the client's copy is upgraded
+// by the usual retransmission path).
+func (r *Replica) integrateSpan(span []*pendingApply) {
+	for _, pa := range span {
+		rep := &pa.rep
+		if pa.tentative && pa.e.committed {
+			rep.Flags &^= wire.FlagTentative
+		}
+		r.clientWin(pa.req.ClientID).attach(pa.req.Timestamp, rep)
+		pa.e.replies = append(pa.e.replies, rep)
+		if client := r.nodes.get(pa.req.ClientID); client != nil {
+			client.LastActive = uint64(pa.ndTime.UnixNano())
+		}
+		r.stats.Executed++
+		// The reply cache retains rep — and therefore pa — for as long as
+		// the client window does. Drop pa's references to the request
+		// body, the engine task and the log entry so an idle client's
+		// cached reply does not pin a whole batch past checkpoint GC.
+		pa.req = nil
+		pa.task = nil
+		pa.e = nil
+	}
+}
+
+// finishSpan closes one tryExecute pass over the current applyQueue.
+// Synchronous mode reaps it in place. Async mode prefers the inline fast
+// path — when nothing is queued behind the reaper and every task already
+// finished (the serial engine's inline execution), reaping here costs no
+// handoff and keeps the seed schedule — and otherwise hands the span to
+// the reaper goroutine so agreement overlaps the remaining execution.
+func (r *Replica) finishSpan() {
+	if r.reaper != nil {
+		r.collectReaped()
+	}
+	if len(r.applyQueue) == 0 {
+		return
+	}
+	if r.reaper == nil || (r.reaper.idle() && r.spanDone()) {
+		r.reapSpanInPlace()
+		return
+	}
+	span := r.applyQueue
+	r.applyQueue = nil
+	r.reaper.submit(span)
+}
+
+// spanDone reports whether every task in the current applyQueue has
+// already executed (non-blocking).
+func (r *Replica) spanDone() bool {
+	for _, pa := range r.applyQueue {
+		select {
+		case <-pa.task.Done():
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// reapSpanInPlace is the synchronous reap: wait for the engine, then send
+// and integrate the span on the loop — the pre-async behaviour, still
+// used with AsyncReap off and by the inline fast path.
+func (r *Replica) reapSpanInPlace() {
 	// Every task in applyQueue was submitted before this point, so one
 	// WaitIdle covers them all — results are written and visible.
 	r.exec.WaitIdle()
 	for _, pa := range r.applyQueue {
-		rep := &wire.Reply{
-			View:      r.view,
-			Timestamp: pa.req.Timestamp,
-			ClientID:  pa.req.ClientID,
-			Replica:   r.id,
-			Result:    pa.result,
-		}
-		if pa.tentative {
-			rep.Flags |= wire.FlagTentative
-		}
-		r.clientWin(pa.req.ClientID).attach(pa.req.Timestamp, rep)
-		pa.e.replies = append(pa.e.replies, rep)
-		client := r.nodes.get(pa.req.ClientID)
-		if client != nil {
-			client.LastActive = uint64(pa.ndTime.UnixNano())
-		}
-		r.stats.Executed++
-		r.sendReply(rep, client)
+		r.sealAndSendReply(pa)
 	}
+	r.integrateSpan(r.applyQueue)
 	clear(r.applyQueue) // release the reaped span's requests and tasks
 	r.applyQueue = r.applyQueue[:0]
+}
+
+// collectReaped integrates any spans the reaper has finished with,
+// without blocking. The protocol loop calls it opportunistically (reaper
+// notify) and before starting a new span.
+func (r *Replica) collectReaped() {
+	for _, span := range r.reaper.collect() {
+		r.integrateSpan(span)
+	}
+}
+
+// reapApplies is the full barrier: every scheduled mutation executed,
+// every reply sent, every span integrated. Checkpoints, membership
+// operations, view-change rollback, state transfer and shutdown all pass
+// through here — which is why a snapshot can never observe a half-reaped
+// span, in either reap mode.
+func (r *Replica) reapApplies() {
+	r.finishSpan()
+	if r.reaper != nil {
+		r.reaper.drain(r.integrateSpan)
+	}
+	r.exec.WaitIdle()
 }
 
 // checkLiveness fires the view-change timer: a pending request that sat
@@ -462,7 +588,10 @@ func (r *Replica) rollbackTentative() {
 	if ck == nil || ck.snap == nil {
 		return // cannot roll back without the anchor; state transfer will fix us
 	}
-	// Quiesce detached reads before rewinding the region under them.
+	// Integrate every in-flight span before the client windows are
+	// restored underneath it, then quiesce detached reads before
+	// rewinding the region under them.
+	r.reapApplies()
 	r.exec.Drain()
 	r.region.Restore(ck.snap)
 	if err := r.unmarshalMeta(ck.meta); err != nil {

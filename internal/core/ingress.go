@@ -55,6 +55,9 @@ const (
 // keeps their raw forms anyway.
 type inMsg struct {
 	raw []byte
+	// pkt is the transport packet raw came from; releaseRaw hands its
+	// (possibly pooled) buffer back once the message is finished with.
+	pkt transport.Packet
 	env *wire.Envelope
 
 	req    *wire.Request
@@ -91,6 +94,17 @@ type inMsg struct {
 
 	verdict verdict
 	done    chan struct{}
+}
+
+// releaseRaw returns the message's receive buffer to the transport's
+// pool. Only call sites that know the raw bytes are not retained — drops,
+// and the protocol loop after handling message types whose decoded forms
+// are full copies (requests, prepares, commits, status) — may call it;
+// everything else leaves the buffer to the garbage collector.
+func (m *inMsg) releaseRaw() {
+	m.raw = nil
+	m.env = nil
+	m.pkt.Release()
 }
 
 // clientAuth is an immutable value snapshot of one client's key material.
@@ -264,7 +278,7 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 		case <-in.pause:
 			return
 		}
-		m := &inMsg{raw: pkt.Data}
+		m := &inMsg{raw: pkt.Data, pkt: pkt}
 		in.process(m)
 		switch m.verdict {
 		case vDeliver:
@@ -275,6 +289,9 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 			}
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
+			m.releaseRaw()
+		case vIgnore:
+			m.releaseRaw()
 		}
 	}
 }
@@ -328,7 +345,7 @@ func (in *ingress) dispatch(recv <-chan transport.Packet) {
 		case <-in.pause:
 			return
 		}
-		m := &inMsg{raw: pkt.Data, done: make(chan struct{})}
+		m := &inMsg{raw: pkt.Data, pkt: pkt, done: make(chan struct{})}
 		select {
 		case in.work <- m:
 		case <-in.quit:
@@ -370,6 +387,9 @@ func (in *ingress) forward() {
 			}
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
+			m.releaseRaw()
+		case vIgnore:
+			m.releaseRaw()
 		}
 	}
 }
@@ -507,9 +527,9 @@ func verifyClientEnvelope(env *wire.Envelope, replicaID uint32, ca clientAuth) b
 		// No session key material (e.g. this replica restarted and the
 		// client's hello has not been retransmitted yet — the §2.3
 		// stall): the envelope cannot be authenticated.
-		return ca.hasSession && env.Auth.VerifyEntry(int(replicaID), ca.session, env.SignedBytes())
+		return ca.hasSession && env.VerifyMACEntry(int(replicaID), ca.session)
 	case wire.AuthSig:
-		return crypto.Verify(ca.pub, env.SignedBytes(), env.Sig)
+		return env.VerifySig(ca.pub)
 	default:
 		return false
 	}
@@ -532,7 +552,7 @@ func (in *ingress) processHello(m *inMsg, env *wire.Envelope) {
 		m.authGen = gen
 		return
 	}
-	if env.Kind != wire.AuthSig || !crypto.Verify(ca.pub, env.SignedBytes(), env.Sig) {
+	if env.Kind != wire.AuthSig || !env.VerifySig(ca.pub) {
 		// Same stale-view possibility as requests (the id may have been
 		// reassigned by ops the loop has not applied): gen-guarded
 		// deferral, not a final drop.
@@ -562,9 +582,9 @@ func (in *ingress) verifyFromReplica(env *wire.Envelope) bool {
 	}
 	switch env.Kind {
 	case wire.AuthMAC:
-		return env.Auth.VerifyEntry(int(in.id), in.replicaKeys[env.Sender], env.SignedBytes())
+		return env.VerifyMACEntry(int(in.id), in.replicaKeys[env.Sender])
 	case wire.AuthSig:
-		return crypto.Verify(in.replicaPubs[env.Sender], env.SignedBytes(), env.Sig)
+		return env.VerifySig(in.replicaPubs[env.Sender])
 	default:
 		return false
 	}
@@ -580,5 +600,5 @@ func (in *ingress) verifySignedReplica(env *wire.Envelope) bool {
 	if env.Kind != wire.AuthSig {
 		return false
 	}
-	return crypto.Verify(in.replicaPubs[env.Sender], env.SignedBytes(), env.Sig)
+	return env.VerifySig(in.replicaPubs[env.Sender])
 }

@@ -50,9 +50,16 @@ type Replica struct {
 
 	// Sharded execution engine (exec.Engine): applies committed
 	// operations behind the commit stream, concurrently when the
-	// application's Sharder declares them non-conflicting.
+	// application's Sharder declares them non-conflicting. reaper (nil
+	// with Options.AsyncReap off) overlaps agreement with execution by
+	// reaping completed applies off the loop.
 	exec    *exec.Engine
 	sharder Sharder
+	reaper  *reaper
+
+	// batchCtl is the adaptive batch-sizing controller (nil with
+	// Options.AdaptiveBatching off).
+	batchCtl *batchController
 
 	// Protocol state owned by the run goroutine.
 	view            uint64
@@ -215,6 +222,12 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 	}
 	r.ndProvider = r.defaultNonDetProvider
 	r.ndValidator = r.defaultNonDetValidator
+	if cfg.Opts.AdaptiveBatching && cfg.Opts.Batching {
+		r.batchCtl = newBatchController(cfg.Opts.MaxBatch)
+	}
+	if cfg.Opts.AsyncReap {
+		r.reaper = newReaper(r)
+	}
 
 	// Pairwise replica MAC keys are derived from the static identities.
 	r.replicaKeys = make([]crypto.SessionKey, r.n)
@@ -225,6 +238,10 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 			r.peerAddrs = append(r.peerAddrs, ri.Addr)
 		}
 		if uint32(i) == id {
+			// The self entry of an authenticator is never verified, but
+			// it is computed on every seal: give it real (pooled) key
+			// material so it amortizes like the others.
+			r.replicaKeys[i] = crypto.NewSessionKey(crypto.MarshalPublicKey(ri.PubKey))
 			continue
 		}
 		k, err := kp.SharedKey(ri.PubKey)
@@ -412,7 +429,11 @@ type Info struct {
 	// verified) by the ingress pipeline and not yet consumed by the
 	// protocol loop — the backlog in front of it.
 	IngressBacklog int
-	Stats          Stats
+	// BatchWindow is the batch-size bound in force for the next
+	// pre-prepare: the adaptive controller's live window with
+	// Options.AdaptiveBatching, the static MaxBatch otherwise.
+	BatchWindow int
+	Stats       Stats
 }
 
 // Inspect runs fn inside the event loop, giving it safe access to the
@@ -452,6 +473,7 @@ func (r *Replica) info() Info {
 		InViewChange:   r.inViewChange,
 		ExecQueueDepth: r.exec.QueueDepth(),
 		IngressBacklog: r.ingress.backlog(),
+		BatchWindow:    r.batchWindow(),
 		Stats:          st,
 	}
 	if ck := r.ckpts[r.lastStable]; ck != nil {
@@ -495,7 +517,16 @@ func (r *Replica) run() {
 	}()
 	defer r.ingress.stop()
 	defer r.conn.Close()
-	defer r.exec.Stop() // first: drain in-flight applies and detached reads
+	defer r.exec.Stop() // drain in-flight applies and detached reads
+	// The reaper stops first (LIFO): the engine keeps executing its
+	// queued tasks until exec.Stop, so every span the reaper still holds
+	// completes and is sent before the connection closes.
+	var reapNotify chan struct{}
+	if r.reaper != nil {
+		r.reaper.start()
+		defer r.reaper.stop()
+		reapNotify = r.reaper.notify
+	}
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -510,6 +541,10 @@ func (r *Replica) run() {
 				return
 			}
 			r.handleVerified(m)
+		case <-reapNotify:
+			// Spans the reaper finished between protocol events:
+			// integrate them (reply cache, stats) on the loop.
+			r.collectReaped()
 		case <-tick.C:
 			r.onTick()
 		}
@@ -540,6 +575,13 @@ func (r *Replica) drainForShutdown() {
 // pipeline to its protocol handler. All cryptography already happened in
 // the verifier pool; what remains is stateful validation and the protocol
 // transitions themselves.
+//
+// High-volume message types whose decoded forms are full copies —
+// requests (relayed synchronously, the decoded Op is a copy), prepares,
+// commits, status gossip — hand their receive buffer back to the
+// transport pool after the handler returns. Types whose raw form is
+// retained (pre-prepares in the log, checkpoint and view-change votes as
+// proofs, session/join state) keep theirs for the garbage collector.
 func (r *Replica) handleVerified(m *inMsg) {
 	env := m.env
 	switch env.Type {
@@ -556,6 +598,7 @@ func (r *Replica) handleVerified(m *inMsg) {
 			// Authenticated against a session the protocol loop has
 			// since evicted; treat like any other failed auth.
 			r.stats.DroppedBadAuth++
+			m.releaseRaw()
 			return
 		}
 		if m.authPending {
@@ -567,6 +610,7 @@ func (r *Replica) handleVerified(m *inMsg) {
 			// been applied by now.
 			if r.ingress.clients.generation() == m.authGen || !r.reverifyClient(env, client) {
 				r.stats.DroppedBadAuth++
+				m.releaseRaw()
 				return
 			}
 		} else if !pubKeyEqual(client.Pub, m.verifiedPub) && !r.reverifyClient(env, client) {
@@ -574,15 +618,19 @@ func (r *Replica) handleVerified(m *inMsg) {
 			// the pipeline: the worker's verification vouched for a
 			// different principal.
 			r.stats.DroppedBadAuth++
+			m.releaseRaw()
 			return
 		}
 		r.onRequest(m.req, client, m.raw)
+		m.releaseRaw()
 	case wire.MTPrePrepare:
 		r.acceptPrePrepare(m.pp, env, false)
 	case wire.MTPrepare:
 		r.onPrepare(m.prep)
+		m.releaseRaw()
 	case wire.MTCommit:
 		r.onCommit(m.cmt)
+		m.releaseRaw()
 	case wire.MTCheckpoint:
 		r.onCheckpoint(m.ckpt, m.raw)
 	case wire.MTViewChange:
@@ -593,6 +641,7 @@ func (r *Replica) handleVerified(m *inMsg) {
 		r.onSessionHello(m)
 	case wire.MTStatus:
 		r.onStatus(m.status)
+		m.releaseRaw()
 	case wire.MTFetch:
 		r.onFetch(env)
 	case wire.MTStateNode:
@@ -629,6 +678,18 @@ func (r *Replica) broadcast(env *wire.Envelope) {
 	_ = transport.Broadcast(r.conn, r.peerAddrs, env.Raw())
 }
 
+// broadcastTransient seals and broadcasts a message whose bytes nothing
+// retains (agreement votes, status gossip), then returns both the payload
+// writer and the sealed wire form to the buffer arena: the transports
+// consume the bytes before Broadcast returns, so the buffers are free the
+// moment it does.
+func (r *Replica) broadcastTransient(t wire.MsgType, pw *wire.Writer) {
+	env := r.sealToReplicas(t, pw.Bytes())
+	r.broadcast(env)
+	env.ReleaseRaw()
+	pw.Free()
+}
+
 // sendToReplica sends an envelope to one replica.
 func (r *Replica) sendToReplica(id uint32, env *wire.Envelope) {
 	if int(id) >= r.n || id == r.id {
@@ -650,5 +711,7 @@ func (r *Replica) broadcastStatus() {
 		LastStable: r.lastStable,
 		Replica:    r.id,
 	}
-	r.broadcast(r.sealToReplicas(wire.MTStatus, st.Marshal()))
+	sw := wire.GetWriter(64)
+	st.Encode(sw)
+	r.broadcastTransient(wire.MTStatus, sw)
 }

@@ -34,10 +34,12 @@ func (r *Replica) startSync(seq uint64, digest, root, metaDigest crypto.Digest, 
 	if seq <= r.lastStable && seq <= r.lastExec {
 		return
 	}
-	// Quiesce the execution engine, detached reads included: new reads
-	// are refused while syncing (execReadOnly's r.sync guard), and a
-	// read queued earlier must not observe the region mid-install and
-	// seal a torn reply.
+	// Reap and integrate every in-flight span (the install will replace
+	// the client windows wholesale), then quiesce the execution engine,
+	// detached reads included: new reads are refused while syncing
+	// (execReadOnly's r.sync guard), and a read queued earlier must not
+	// observe the region mid-install and seal a torn reply.
+	r.reapApplies()
 	r.exec.Drain()
 	r.stats.StateTransfers++
 	if r.tracer != nil {

@@ -111,10 +111,7 @@ func (k *KeyPair) SharedKey(peer PublicKey) (SessionKey, error) {
 	}
 	// Bind the derived key to both identities so that A->B and B->A use
 	// the same key regardless of which side derives it.
-	d := DigestOf([]byte("pbft-session-key"), secret)
-	var sk SessionKey
-	copy(sk.key[:], d[:])
-	return sk, nil
+	return newSessionKeyFromDigest(DigestOf([]byte("pbft-session-key"), secret)), nil
 }
 
 // Verify reports whether sig is a valid signature over msg by pub.

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/binary"
+	"hash"
+	"sync"
 )
 
 // MACSize is the size in bytes of a truncated MAC tag, matching the 8-byte
@@ -16,34 +18,70 @@ type MAC [MACSize]byte
 
 // SessionKey is a pairwise symmetric key used to compute MACs between two
 // specific nodes.
+//
+// Keys built by the constructors (NewSessionKey, KeyPair.SharedKey) carry
+// a pool of reusable keyed HMAC states: value copies of the key share the
+// pool, so the per-message cost is a Reset instead of a fresh key schedule
+// and two hash-state allocations. The zero value still works (MAC falls
+// back to hmac.New per call); it just doesn't amortize.
 type SessionKey struct {
 	key [32]byte
+	// states pools keyed HMAC states for this key. The pointer is shared
+	// by every value copy of the key; nil on zero-value keys.
+	states *sync.Pool
+}
+
+// macState is one pooled keyed HMAC state plus its sum scratch (kept
+// alongside so the Sum destination never escapes to a fresh allocation).
+type macState struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+}
+
+// newSessionKeyFromDigest builds a key (with its HMAC state pool) from a
+// 32-byte digest.
+func newSessionKeyFromDigest(d Digest) SessionKey {
+	var sk SessionKey
+	copy(sk.key[:], d[:])
+	key := sk.key
+	sk.states = &sync.Pool{New: func() any {
+		return &macState{h: hmac.New(sha256.New, key[:])}
+	}}
+	return sk
 }
 
 // NewSessionKey builds a session key from raw bytes; it is primarily useful
 // in tests. Production keys come from KeyPair.SharedKey.
 func NewSessionKey(b []byte) SessionKey {
-	var sk SessionKey
-	d := DigestOf(b)
-	copy(sk.key[:], d[:])
-	return sk
+	return newSessionKeyFromDigest(DigestOf(b))
+}
+
+// mac computes the truncated tag using a pooled HMAC state when available.
+func (sk SessionKey) mac(msg []byte) MAC {
+	var st *macState
+	if sk.states != nil {
+		st = sk.states.Get().(*macState)
+		st.h.Reset()
+	} else {
+		st = &macState{h: hmac.New(sha256.New, sk.key[:])}
+	}
+	st.h.Write(msg)
+	st.h.Sum(st.sum[:0])
+	var m MAC
+	copy(m[:], st.sum[:MACSize])
+	if sk.states != nil {
+		sk.states.Put(st)
+	}
+	return m
 }
 
 // MAC computes the truncated tag over msg.
-func (sk SessionKey) MAC(msg []byte) MAC {
-	h := hmac.New(sha256.New, sk.key[:])
-	h.Write(msg)
-	var full [sha256.Size]byte
-	h.Sum(full[:0])
-	var m MAC
-	copy(m[:], full[:MACSize])
-	return m
-}
+func (sk SessionKey) MAC(msg []byte) MAC { return sk.mac(msg) }
 
 // VerifyMAC reports whether tag authenticates msg under the session key,
 // in constant time.
 func (sk SessionKey) VerifyMAC(msg []byte, tag MAC) bool {
-	want := sk.MAC(msg)
+	want := sk.mac(msg)
 	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
 }
 
@@ -59,7 +97,7 @@ type Authenticator struct {
 func ComputeAuthenticator(keys []SessionKey, msg []byte) Authenticator {
 	tags := make([]MAC, len(keys))
 	for i, k := range keys {
-		tags[i] = k.MAC(msg)
+		tags[i] = k.mac(msg)
 	}
 	return Authenticator{Tags: tags}
 }
@@ -73,14 +111,22 @@ func (a Authenticator) VerifyEntry(id int, key SessionKey, msg []byte) bool {
 	return key.VerifyMAC(msg, a.Tags[id])
 }
 
+// MarshaledSize returns the length of the authenticator's wire form.
+func (a Authenticator) MarshaledSize() int { return 2 + len(a.Tags)*MACSize }
+
+// AppendMarshal appends the authenticator's wire form (a 2-byte count
+// followed by the tags) to dst and returns the extended slice.
+func (a Authenticator) AppendMarshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Tags)))
+	for _, t := range a.Tags {
+		dst = append(dst, t[:]...)
+	}
+	return dst
+}
+
 // Marshal flattens the authenticator: a 2-byte count followed by the tags.
 func (a Authenticator) Marshal() []byte {
-	out := make([]byte, 2+len(a.Tags)*MACSize)
-	binary.BigEndian.PutUint16(out, uint16(len(a.Tags)))
-	for i, t := range a.Tags {
-		copy(out[2+i*MACSize:], t[:])
-	}
-	return out
+	return a.AppendMarshal(make([]byte, 0, a.MarshaledSize()))
 }
 
 // UnmarshalAuthenticator parses the output of Marshal. It returns the

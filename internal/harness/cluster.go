@@ -242,7 +242,10 @@ func (c *Cluster) Stop() {
 	_ = c.Net.Close()
 }
 
-// WaitConverged polls until every live replica executed at least seq, or
+// WaitConverged polls until every live replica executed at least seq —
+// scheduled by the protocol loop AND applied by the execution engine
+// (with asynchronous reaping, LastExec advances at scheduling time, so a
+// quiesced engine is what makes direct region reads race-free), or
 // the timeout expires; it returns the highest LastExec seen per replica.
 func (c *Cluster) WaitConverged(seq uint64, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
@@ -252,7 +255,8 @@ func (c *Cluster) WaitConverged(seq uint64, timeout time.Duration) bool {
 			if r == nil {
 				continue
 			}
-			if r.Info().LastExec < seq {
+			info := r.Info()
+			if info.LastExec < seq || info.ExecQueueDepth > 0 {
 				ok = false
 				break
 			}

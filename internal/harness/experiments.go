@@ -70,6 +70,39 @@ type ExperimentOptions struct {
 	// must be safe for concurrent use). pbft-bench -metrics uses it to
 	// print a protocol-event summary per experiment.
 	Tracer core.Tracer
+	// Record, when set, receives one machine-readable row per measured
+	// configuration, in addition to the human-readable report on Out.
+	// pbft-bench -json aggregates the rows into an experiment summary
+	// file (the perf-trajectory artifacts like BENCH_PR5.json).
+	Record func(ExperimentResult)
+}
+
+// ExperimentResult is one machine-readable measurement row: an experiment
+// family, the configuration name within it, and the core numbers. Extra
+// carries experiment-specific series (packets per request, sharded-op
+// counts, ...).
+type ExperimentResult struct {
+	Experiment string             `json:"experiment"`
+	Name       string             `json:"name"`
+	TPS        float64            `json:"tps"`
+	Ops        uint64             `json:"ops"`
+	Errors     uint64             `json:"errors"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// record emits one row to the Record hook, if installed.
+func (o *ExperimentOptions) record(experiment, name string, res RunResult, extra map[string]float64) {
+	if o.Record == nil {
+		return
+	}
+	o.Record(ExperimentResult{
+		Experiment: experiment,
+		Name:       name,
+		TPS:        res.TPS(),
+		Ops:        res.Ops,
+		Errors:     res.Errors,
+		Extra:      extra,
+	})
 }
 
 // DefaultExperimentOptions mirrors the paper's setup scaled to a quick
@@ -162,6 +195,7 @@ func RunTable1(opts ExperimentOptions) error {
 		if err != nil {
 			return fmt.Errorf("config %s: %w", lc.Name, err)
 		}
+		opts.record("table1", lc.Name, res, nil)
 		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", lc.Name, res.TPS(), res.Ops, res.Errors)
 	}
 	return nil
@@ -184,6 +218,7 @@ func RunFigure4(opts ExperimentOptions) error {
 		if err != nil {
 			return fmt.Errorf("config %s: %w", lc.Name, err)
 		}
+		opts.record("fig4", lc.Name, res, nil)
 		bars = append(bars, bar{lc.Name, res.TPS()})
 		if res.TPS() > max {
 			max = res.TPS()
@@ -223,6 +258,7 @@ func RunFigure5(opts ExperimentOptions, diskRoot string) error {
 		if err != nil {
 			return fmt.Errorf("config %s: %w", lc.Name, err)
 		}
+		opts.record("fig5", lc.Name, res, nil)
 		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", lc.Name, res.TPS(), res.Ops, res.Errors)
 	}
 	return nil
@@ -258,6 +294,7 @@ func RunACIDComparison(opts ExperimentOptions, diskRoot string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		opts.record("acid", name, res, nil)
 		fmt.Fprintf(w, "%-30s %8.0f %10d %8d\n", name, res.TPS(), res.Ops, res.Errors)
 	}
 	return nil
@@ -293,6 +330,8 @@ func RunLossyBatchAblation(opts ExperimentOptions, lossRates []float64) error {
 			if err != nil {
 				return err
 			}
+			name := fmt.Sprintf("loss=%.3f_batch=%v", loss, batch)
+			opts.record("lossy", name, res, map[string]float64{"loss": loss})
 			tps[batch] = res.TPS()
 		}
 		ratio := 0.0
@@ -318,6 +357,7 @@ func RunDynamicOverhead(opts ExperimentOptions) error {
 		if err != nil {
 			return fmt.Errorf("config %s: %w", lc.Name, err)
 		}
+		opts.record("dynamic", lc.Name, res, nil)
 		fmt.Fprintf(w, "%-30s %8.0f\n", lc.Name, res.TPS())
 	}
 	return nil
@@ -359,6 +399,8 @@ func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
 		if err != nil {
 			return err
 		}
+		opts.record("pipeline", fmt.Sprintf("%dclients_x_depth1", depth), wide, nil)
+		opts.record("pipeline", fmt.Sprintf("1client_x_depth%d", depth), deep, nil)
 		fmt.Fprintf(w, "%8d %18.0f %18.0f %8d\n", depth, wide.TPS(), deep.TPS(), wide.Errors+deep.Errors)
 	}
 	return nil
@@ -404,6 +446,10 @@ func RunExecShardComparison(opts ExperimentOptions, shards []int) error {
 		if err != nil {
 			return err
 		}
+		opts.record("exec", fmt.Sprintf("shards=%d", s), res, map[string]float64{
+			"sharded_ops": float64(info.Stats.ExecSharded),
+			"barriers":    float64(info.Stats.ExecBarriers),
+		})
 		sharded, barriers := fmt.Sprint(info.Stats.ExecSharded), fmt.Sprint(info.Stats.ExecBarriers)
 		if s <= 1 {
 			sharded, barriers = "-", "-" // serial: nothing is routed by keyset
@@ -449,6 +495,10 @@ func RunWANScaling(opts ExperimentOptions, fs []int) error {
 		if res.Ops > 0 {
 			perReq = float64(stats.Packets) / float64(res.Ops)
 		}
+		opts.record("wan", fmt.Sprintf("f=%d_n=%d", f, 3*f+1), res, map[string]float64{
+			"packets":      float64(stats.Packets),
+			"pkts_per_req": perReq,
+		})
 		fmt.Fprintf(w, "%4d %4d %12d %14d %12.1f\n", f, 3*f+1, res.Ops, stats.Packets, perReq)
 	}
 	return nil

@@ -183,7 +183,10 @@ func (n *Network) Close() error {
 }
 
 // delivery is one routed datagram awaiting execution: where it goes, when
-// it leaves, and how many copies arrive.
+// it leaves, and how many copies arrive. data is the send's single shared
+// snapshot of the payload: every destination of a broadcast (and every
+// duplicated copy) receives the same read-only buffer by reference, so a
+// fan-out costs one allocation instead of one per recipient.
 type delivery struct {
 	dst    *MemConn
 	from   string
@@ -238,12 +241,11 @@ func (n *Network) routeLocked(from, to string, data []byte) *delivery {
 	return d
 }
 
-// execute performs a routed delivery. Caller must NOT hold n.mu.
+// execute performs a routed delivery. Caller must NOT hold n.mu. The
+// payload was snapshotted once at send time; deliveries reference it.
 func (n *Network) execute(d *delivery) {
 	for i := 0; i < d.copies; i++ {
-		payload := make([]byte, len(d.data))
-		copy(payload, d.data)
-		pkt := Packet{From: d.from, Data: payload}
+		pkt := Packet{From: d.from, Data: d.data}
 		// Sub-timer-resolution delays are delivered inline: the OS
 		// timer wheel cannot express them, and the egress accounting
 		// above still charges the sender's link, so saturation (the
@@ -260,6 +262,15 @@ func (n *Network) execute(d *delivery) {
 	}
 }
 
+// clone snapshots a payload at send time: the Send contract lets the
+// caller reuse its buffer immediately, so the network keeps exactly one
+// private copy per send and shares it across every delivery.
+func clone(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
 // send routes one datagram. Called by MemConn.Send.
 func (n *Network) send(from, to string, data []byte) error {
 	n.mu.Lock()
@@ -270,13 +281,15 @@ func (n *Network) send(from, to string, data []byte) error {
 	d := n.routeLocked(from, to, data)
 	n.mu.Unlock()
 	if d != nil {
+		d.data = clone(data)
 		n.execute(d)
 	}
 	return nil
 }
 
 // sendMany routes one datagram to several destinations under a single
-// lock acquisition — the fan-out path behind MemConn.Broadcast.
+// lock acquisition — the fan-out path behind MemConn.Broadcast. All
+// destinations share one payload snapshot by reference.
 func (n *Network) sendMany(from string, addrs []string, data []byte) error {
 	n.mu.Lock()
 	if n.closed {
@@ -290,7 +303,12 @@ func (n *Network) sendMany(from string, addrs []string, data []byte) error {
 		}
 	}
 	n.mu.Unlock()
+	if len(deliveries) == 0 {
+		return nil
+	}
+	shared := clone(data)
 	for _, d := range deliveries {
+		d.data = shared
 		n.execute(d)
 	}
 	return nil

@@ -6,14 +6,33 @@
 // semantics: the protocol layer must tolerate loss and duplication.
 package transport
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
 
 // Packet is one received datagram.
 type Packet struct {
 	// From is the sender's address as observed by the transport.
 	From string
-	// Data is the datagram payload. The slice is owned by the receiver.
+	// Data is the datagram payload. The receiver must treat it as
+	// read-only: the in-memory transport delivers one shared buffer to
+	// every broadcast destination, and the UDP transport delivers pooled
+	// receive-ring buffers.
 	Data []byte
+	// pooled marks Data as a buffer-arena receive buffer (UDP ring).
+	pooled bool
+}
+
+// Release returns the packet's buffer to the receive ring when it came
+// from one (UDP), and is a no-op otherwise. Only the consumer that has
+// finished with Data — and retained no alias of it — may call it; calling
+// it is optional (an unreleased buffer is garbage collected).
+func (p Packet) Release() {
+	if p.pooled {
+		wire.PutBuf(p.Data)
+	}
 }
 
 // Conn is a node's endpoint on the network. Implementations are safe for
@@ -22,7 +41,9 @@ type Conn interface {
 	// Addr returns the endpoint's own address.
 	Addr() string
 	// Send transmits data to the endpoint at address to. Delivery is
-	// best-effort: a nil error does not mean the packet arrived.
+	// best-effort: a nil error does not mean the packet arrived. Send
+	// fully consumes data before returning — the caller may reuse (or
+	// release to the buffer arena) the slice immediately afterwards.
 	Send(to string, data []byte) error
 	// Recv returns the channel of inbound packets. The channel is closed
 	// when the connection closes.

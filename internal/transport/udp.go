@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/wire"
 )
 
 // maxDatagram is the largest datagram the UDP transport sends or receives.
@@ -16,16 +18,19 @@ const maxDatagram = 64 << 10
 // UDPConn is a Conn over a UDP socket, mirroring the deployment
 // environment of the original PBFT implementation.
 type UDPConn struct {
-	sock *net.UDPConn
-	addr string
-	ch   chan Packet
+	sock    *net.UDPConn
+	addr    string
+	ch      chan Packet
+	recvBuf int // receive-ring buffer size (maxDatagram; tests shrink it)
 
 	oversized atomic.Uint64
+	truncated atomic.Uint64
 
-	mu     sync.Mutex
-	peers  map[string]*net.UDPAddr
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	peers   map[string]*net.UDPAddr
+	truncBy map[string]uint64 // per-peer truncated-receive counts
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 var (
@@ -36,6 +41,12 @@ var (
 // ListenUDP opens a UDP endpoint at addr (e.g. "127.0.0.1:7001"; a port of
 // 0 picks a free port).
 func ListenUDP(addr string) (*UDPConn, error) {
+	return listenUDPBuf(addr, maxDatagram)
+}
+
+// listenUDPBuf is ListenUDP with a configurable receive buffer size, so
+// tests can force datagram truncation without crafting >64 KiB datagrams.
+func listenUDPBuf(addr string, recvBuf int) (*UDPConn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("resolve %q: %w", addr, err)
@@ -45,10 +56,12 @@ func ListenUDP(addr string) (*UDPConn, error) {
 		return nil, fmt.Errorf("listen %q: %w", addr, err)
 	}
 	c := &UDPConn{
-		sock:  sock,
-		addr:  sock.LocalAddr().String(),
-		ch:    make(chan Packet, recvBuffer),
-		peers: make(map[string]*net.UDPAddr),
+		sock:    sock,
+		addr:    sock.LocalAddr().String(),
+		ch:      make(chan Packet, recvBuffer),
+		recvBuf: recvBuf,
+		peers:   make(map[string]*net.UDPAddr),
+		truncBy: make(map[string]uint64),
 	}
 	c.wg.Add(1)
 	go c.readLoop()
@@ -58,7 +71,9 @@ func ListenUDP(addr string) (*UDPConn, error) {
 // Addr returns the bound local address.
 func (c *UDPConn) Addr() string { return c.addr }
 
-// Recv returns the inbound packet channel.
+// Recv returns the inbound packet channel. Packet buffers come from the
+// pooled receive ring; consumers that are done with a packet (and retain
+// no alias of its Data) may hand the buffer back with Packet.Release.
 func (c *UDPConn) Recv() <-chan Packet { return c.ch }
 
 // Send transmits one datagram to the UDP address to. Payloads over the
@@ -114,6 +129,33 @@ func (c *UDPConn) Broadcast(addrs []string, data []byte) error {
 // datagram size limit.
 func (c *UDPConn) OversizedSends() uint64 { return c.oversized.Load() }
 
+// TruncatedRecvs returns how many inbound datagrams were dropped because
+// they exceeded the receive buffer. Before this counter existed such
+// datagrams were silently truncated to the buffer size and handed to the
+// protocol layer as garbage; now they are counted (see TruncatedRecvsFrom
+// for the per-peer breakdown) and dropped whole, like any lost datagram.
+func (c *UDPConn) TruncatedRecvs() uint64 { return c.truncated.Load() }
+
+// TruncatedRecvsFrom returns the per-peer truncated-receive counts, keyed
+// by the sender address the transport observed. The map is a copy.
+func (c *UDPConn) TruncatedRecvsFrom() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.truncBy))
+	for k, v := range c.truncBy {
+		out[k] = v
+	}
+	return out
+}
+
+// noteTruncated records one truncated receive from peer.
+func (c *UDPConn) noteTruncated(peer string) {
+	c.truncated.Add(1)
+	c.mu.Lock()
+	c.truncBy[peer]++
+	c.mu.Unlock()
+}
+
 func (c *UDPConn) resolve(to string) (*net.UDPAddr, error) {
 	c.mu.Lock()
 	ua, ok := c.peers[to]
@@ -131,23 +173,34 @@ func (c *UDPConn) resolve(to string) (*net.UDPAddr, error) {
 	return ua, nil
 }
 
+// readLoop pulls datagrams into pooled ring buffers: each receive borrows
+// a buffer from the arena and delivers it by reference; the consumer
+// returns it with Packet.Release (or lets the garbage collector have it —
+// retained packets, like logged pre-prepares, simply keep theirs).
 func (c *UDPConn) readLoop() {
 	defer c.wg.Done()
-	buf := make([]byte, maxDatagram)
 	for {
-		n, from, err := c.sock.ReadFromUDP(buf)
+		buf := wire.GetBuf(c.recvBuf)[:c.recvBuf]
+		n, _, flags, from, err := c.sock.ReadMsgUDP(buf, nil)
 		if err != nil {
 			// Socket closed (or fatal error): end the loop.
+			wire.PutBuf(buf)
 			close(c.ch)
 			return
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
+		if flags&msgTrunc != 0 {
+			// The datagram exceeded the receive buffer: dropping it whole
+			// (with a counter) beats handing truncated garbage upstream.
+			c.noteTruncated(from.String())
+			wire.PutBuf(buf)
+			continue
+		}
 		select {
-		case c.ch <- Packet{From: from.String(), Data: data}:
+		case c.ch <- Packet{From: from.String(), Data: buf[:n], pooled: true}:
 		default:
 			// Receiver too slow: drop, exactly like a kernel socket
 			// buffer overflow.
+			wire.PutBuf(buf)
 		}
 	}
 }

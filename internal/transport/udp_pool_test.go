@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestUDPTruncatedRecvs: a datagram larger than the receive buffer is
+// dropped whole and counted — globally and per peer — instead of being
+// silently truncated and handed upstream as garbage.
+func TestUDPTruncatedRecvs(t *testing.T) {
+	recv, err := listenUDPBuf("127.0.0.1:0", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	big := bytes.Repeat([]byte{7}, 1024) // over the 512-byte ring buffer
+	if err := send.Send(recv.Addr(), big); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for recv.TruncatedRecvs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := recv.TruncatedRecvs(); got != 1 {
+		t.Fatalf("TruncatedRecvs = %d, want 1", got)
+	}
+	byPeer := recv.TruncatedRecvsFrom()
+	if got := byPeer[send.Addr()]; got != 1 {
+		t.Fatalf("TruncatedRecvsFrom[%q] = %d, want 1 (map: %v)", send.Addr(), got, byPeer)
+	}
+
+	// A fitting datagram still arrives, intact.
+	small := bytes.Repeat([]byte{9}, 256)
+	if err := send.Send(recv.Addr(), small); err != nil {
+		t.Fatal(err)
+	}
+	pkt := recvOne(t, recv)
+	if !bytes.Equal(pkt.Data, small) {
+		t.Fatal("small datagram corrupted")
+	}
+	if got := recv.TruncatedRecvs(); got != 1 {
+		t.Fatalf("TruncatedRecvs moved to %d on a fitting datagram", got)
+	}
+}
+
+// TestUDPPooledRecvRing: receive buffers cycle through the arena — a
+// released packet's buffer is reused by later receives, and with debug
+// scribbling enabled a (correctly) released buffer never corrupts a
+// packet still being consumed.
+func TestUDPPooledRecvRing(t *testing.T) {
+	wire.SetPoolDebug(true)
+	defer wire.SetPoolDebug(false)
+
+	recv, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	for round := 0; round < 32; round++ {
+		msg := bytes.Repeat([]byte{byte(round + 1)}, 700)
+		if err := send.Send(recv.Addr(), msg); err != nil {
+			t.Fatal(err)
+		}
+		pkt := recvOne(t, recv)
+		if !bytes.Equal(pkt.Data, msg) {
+			t.Fatalf("round %d: payload corrupted (scribbled ring buffer reused while owned?)", round)
+		}
+		pkt.Release() // done with it: hand the ring buffer back
+	}
+}

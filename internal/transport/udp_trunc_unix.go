@@ -1,0 +1,9 @@
+//go:build !windows
+
+package transport
+
+import "syscall"
+
+// msgTrunc is the recvmsg flag set by the kernel when a datagram did not
+// fit the receive buffer.
+const msgTrunc = syscall.MSG_TRUNC

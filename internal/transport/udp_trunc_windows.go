@@ -1,0 +1,7 @@
+//go:build windows
+
+package transport
+
+// Windows reports truncation through WSAEMSGSIZE errors rather than a
+// recvmsg flag; the flag check is compiled out.
+const msgTrunc = 0

@@ -31,10 +31,17 @@ const (
 // authenticates an envelope before handing it to the protocol loop, and
 // egress paths seal an envelope completely before broadcasting its Raw
 // form.
+//
+// Memory discipline: a decoded Envelope's Payload aliases the raw input
+// buffer (no copy), so the envelope and its payload live exactly as long
+// as the buffer. A marshaled envelope's Raw form comes from the buffer
+// arena; egress paths that do not retain it (agreement votes, status
+// gossip, replies) release it after the send with ReleaseRaw.
 type Envelope struct {
 	Type   MsgType
 	Sender uint32
-	// Payload is the marshaled message body.
+	// Payload is the marshaled message body. On decoded envelopes it is a
+	// sub-slice of the raw wire form, not a copy.
 	Payload []byte
 	// Kind selects which trailer field is meaningful.
 	Kind AuthKind
@@ -43,33 +50,120 @@ type Envelope struct {
 	// Auth is the authenticator over SignedBytes when Kind == AuthMAC.
 	Auth crypto.Authenticator
 
-	raw []byte // memoized Marshal (via Raw)
+	raw       []byte // memoized Marshal (via Raw)
+	rawPooled bool   // raw came from the buffer arena (ReleaseRaw eligible)
+}
+
+// signedSize is the length of the byte string covered by the signature or
+// authenticator.
+func (e *Envelope) signedSize() int { return 5 + len(e.Payload) }
+
+// appendSigned appends the covered byte string: type, sender, payload.
+func (e *Envelope) appendSigned(dst []byte) []byte {
+	dst = append(dst, uint8(e.Type))
+	dst = append(dst, byte(e.Sender>>24), byte(e.Sender>>16), byte(e.Sender>>8), byte(e.Sender))
+	return append(dst, e.Payload...)
 }
 
 // SignedBytes returns the byte string covered by the signature or
-// authenticator: type, sender, and payload.
+// authenticator: type, sender, and payload. The slice is freshly
+// allocated; the pooled Seal*/Verify* methods below avoid that on the hot
+// path.
 func (e *Envelope) SignedBytes() []byte {
-	w := NewWriter(5 + len(e.Payload))
-	w.U8(uint8(e.Type))
-	w.U32(e.Sender)
-	w.Raw(e.Payload)
-	return w.Bytes()
+	return e.appendSigned(make([]byte, 0, e.signedSize()))
+}
+
+// withSignedBytes runs f over the covered byte string built in a pooled
+// scratch buffer. f must not retain the slice.
+func (e *Envelope) withSignedBytes(f func(msg []byte) bool) bool {
+	w := GetWriter(e.signedSize())
+	w.AppendWith(e.appendSigned)
+	ok := f(w.Bytes())
+	w.Free()
+	return ok
+}
+
+// SealMAC authenticates the envelope with one MAC per session key
+// (Kind = AuthMAC), building the covered bytes in pooled scratch.
+func (e *Envelope) SealMAC(keys []crypto.SessionKey) {
+	e.Kind = AuthMAC
+	e.withSignedBytes(func(msg []byte) bool {
+		e.Auth = crypto.ComputeAuthenticator(keys, msg)
+		return true
+	})
+}
+
+// SealMAC1 is SealMAC for the single-receiver case (replies to one
+// client): one tag, no key-slice detour.
+func (e *Envelope) SealMAC1(key crypto.SessionKey) {
+	e.Kind = AuthMAC
+	e.withSignedBytes(func(msg []byte) bool {
+		e.Auth = crypto.Authenticator{Tags: []crypto.MAC{key.MAC(msg)}}
+		return true
+	})
+}
+
+// SealSig authenticates the envelope with a signature by kp
+// (Kind = AuthSig), building the covered bytes in pooled scratch.
+func (e *Envelope) SealSig(kp *crypto.KeyPair) {
+	e.Kind = AuthSig
+	e.withSignedBytes(func(msg []byte) bool {
+		e.Sig = kp.Sign(msg)
+		return true
+	})
+}
+
+// VerifyMACEntry checks the authenticator entry for receiver id under key,
+// building the covered bytes in pooled scratch.
+func (e *Envelope) VerifyMACEntry(id int, key crypto.SessionKey) bool {
+	return e.withSignedBytes(func(msg []byte) bool {
+		return e.Auth.VerifyEntry(id, key, msg)
+	})
+}
+
+// VerifySig checks the envelope signature under pub, building the covered
+// bytes in pooled scratch.
+func (e *Envelope) VerifySig(pub crypto.PublicKey) bool {
+	return e.withSignedBytes(func(msg []byte) bool {
+		return crypto.Verify(pub, msg, e.Sig)
+	})
 }
 
 // Raw returns the memoized wire form of a fully sealed envelope. Egress
 // paths use it to marshal-and-authenticate once and fan the same byte
 // slice out to every destination; callers must not mutate the envelope
-// (or the returned slice) afterwards.
+// (or the returned slice) afterwards. The buffer comes from the arena;
+// egress paths that do not retain it call ReleaseRaw after the send.
 func (e *Envelope) Raw() []byte {
 	if e.raw == nil {
-		e.raw = e.Marshal()
+		w := GetWriter(e.marshaledSize())
+		e.encode(w)
+		e.raw = w.Detach()
+		e.rawPooled = true
 	}
 	return e.raw
 }
 
-// Marshal flattens the envelope for transmission.
-func (e *Envelope) Marshal() []byte {
-	w := NewWriter(16 + len(e.Payload) + len(e.Sig) + len(e.Auth.Tags)*crypto.MACSize)
+// ReleaseRaw returns the memoized wire form to the buffer arena. Only
+// valid when the envelope and every alias of Raw's result are dead to the
+// caller: transports consume the bytes before Send/Broadcast return, so
+// the idiomatic sequence is seal → send → ReleaseRaw. Decoded envelopes
+// (whose raw is the receive buffer, owned by the transport) are a no-op.
+func (e *Envelope) ReleaseRaw() {
+	if e.rawPooled {
+		PutBuf(e.raw)
+		e.raw = nil
+		e.rawPooled = false
+	}
+}
+
+// marshaledSize bounds the envelope's wire form.
+func (e *Envelope) marshaledSize() int {
+	return 16 + len(e.Payload) + len(e.Sig) + e.Auth.MarshaledSize()
+}
+
+// encode writes the wire form into w.
+func (e *Envelope) encode(w *Writer) {
 	w.U8(uint8(e.Type))
 	w.U32(e.Sender)
 	w.Bytes32(e.Payload)
@@ -78,24 +172,33 @@ func (e *Envelope) Marshal() []byte {
 	case AuthSig:
 		w.Bytes32(e.Sig)
 	case AuthMAC:
-		w.Raw(e.Auth.Marshal())
+		w.AppendWith(e.Auth.AppendMarshal)
 	}
+}
+
+// Marshal flattens the envelope for transmission.
+func (e *Envelope) Marshal() []byte {
+	w := NewWriter(e.marshaledSize())
+	e.encode(w)
 	return w.Bytes()
 }
 
-// UnmarshalEnvelope parses a transmitted envelope.
+// UnmarshalEnvelope parses a transmitted envelope. The envelope's Payload
+// (and memoized raw form) alias b: the caller must keep b alive and
+// unmodified for as long as the envelope or anything decoded by reference
+// from it is in use.
 func UnmarshalEnvelope(b []byte) (*Envelope, error) {
 	r := NewReader(b)
 	e := &Envelope{
 		Type:   MsgType(r.U8()),
 		Sender: r.U32(),
 	}
-	e.Payload = r.Bytes32()
+	e.Payload = r.Bytes32Ref()
 	e.Kind = AuthKind(r.U8())
 	switch e.Kind {
 	case AuthNone:
 	case AuthSig:
-		e.Sig = r.Bytes32()
+		e.Sig = r.Bytes32Ref()
 	case AuthMAC:
 		if r.Err() == nil {
 			auth, n, ok := crypto.UnmarshalAuthenticator(b[r.Offset():])
@@ -103,7 +206,7 @@ func UnmarshalEnvelope(b []byte) (*Envelope, error) {
 				return nil, ErrTruncated
 			}
 			e.Auth = auth
-			r.Fixed(make([]byte, n))
+			r.Skip(n)
 		}
 	default:
 		return nil, fmt.Errorf("wire: unknown auth kind %d", e.Kind)

@@ -48,12 +48,13 @@ func (m *Request) Big() bool { return m.Flags&FlagBig != 0 }
 // concurrency note.
 func (m *Request) Digest() crypto.Digest {
 	if !m.hasDigest {
-		w := NewWriter(16 + len(m.Op))
+		w := GetWriter(16 + len(m.Op))
 		w.U32(m.ClientID)
 		w.U64(m.Timestamp)
 		w.U8(m.Flags)
 		w.Raw(m.Op)
 		m.digest = crypto.DigestOf(w.Bytes())
+		w.Free()
 		m.hasDigest = true
 	}
 	return m.digest
@@ -225,13 +226,14 @@ type PrePrepare struct {
 // payload. The result is memoized; see the PrePrepare concurrency note.
 func (m *PrePrepare) BatchDigest() crypto.Digest {
 	if !m.hasBatchDigest {
-		w := NewWriter(len(m.Entries)*crypto.DigestSize + len(m.NonDet) + 8)
+		w := GetWriter(len(m.Entries)*crypto.DigestSize + len(m.NonDet) + 8)
 		w.Bytes32(m.NonDet)
 		for i := range m.Entries {
 			d := m.Entries[i].RequestDigest()
 			w.Raw(d[:])
 		}
 		m.batchDigest = crypto.DigestOf(w.Bytes())
+		w.Free()
 		m.hasBatchDigest = true
 	}
 	return m.batchDigest

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the hot path's buffer arena: size-classed sync.Pool-backed
+// byte buffers and pooled Writers, shared by the wire encoders, the seal
+// paths in internal/core and the transports.
+//
+// Ownership rules (see also ARCHITECTURE.md, "Hot path & memory
+// discipline"):
+//
+//   - GetBuf / GetWriter transfer exclusive ownership to the caller.
+//   - PutBuf / Writer.Free transfer it back; the caller must not touch the
+//     buffer afterwards. Releasing is always OPTIONAL: a buffer that is
+//     retained (a logged pre-prepare, a stored checkpoint vote) is simply
+//     left to the garbage collector — only a release while someone still
+//     holds a reference is a bug.
+//   - Released buffers may be scribbled over at any time. SetPoolDebug
+//     makes that eager: every PutBuf overwrites the buffer with a junk
+//     pattern, so an ownership violation corrupts data deterministically
+//     (and trips the race detector when the violator reads concurrently)
+//     instead of lurking until the pool recycles the memory.
+
+// bufClasses are the pooled capacity classes. The smallest covers
+// agreement votes and status gossip, the middle ones cover sealed requests
+// and replies, the largest covers full datagrams (the UDP receive ring).
+var bufClasses = [...]int{256, 1024, 4096, 16384, 65536}
+
+// bufPools holds *pooledBuf wrappers per class; the wrappers themselves
+// recycle through bufWrappers, so neither Get nor Put allocates in steady
+// state (a bare []byte in a sync.Pool would box a fresh header per Put).
+var bufPools [len(bufClasses)]sync.Pool
+
+type pooledBuf struct{ b []byte }
+
+var bufWrappers = sync.Pool{New: func() any { return new(pooledBuf) }}
+
+// poolDebug enables eager scribbling of released buffers.
+var poolDebug atomic.Bool
+
+// SetPoolDebug toggles debug scribbling: when enabled, every buffer
+// returned to the arena is immediately overwritten with a junk pattern.
+// Tests enable it (together with -race) to catch release-after-send
+// ownership violations.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
+
+// scribble fills a released buffer with a recognizable junk pattern.
+func scribble(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0xDB
+	}
+}
+
+// classFor returns the index of the smallest class that can hold n, or -1
+// when n exceeds every class.
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a zero-length buffer with capacity at least n. The caller
+// owns it exclusively until PutBuf.
+func GetBuf(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	if w, _ := bufPools[ci].Get().(*pooledBuf); w != nil {
+		b := w.b
+		w.b = nil
+		bufWrappers.Put(w)
+		return b[:0]
+	}
+	return make([]byte, 0, bufClasses[ci])
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or grown from one) to the
+// arena. Buffers whose capacity matches no class — or that were never
+// pooled to begin with — are dropped for the garbage collector; passing
+// them is harmless. PutBuf(nil) is a no-op.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	// Find the largest class the capacity can serve; a grown buffer files
+	// into the class it still satisfies.
+	ci := -1
+	for i, c := range bufClasses {
+		if cap(b) >= c {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	if poolDebug.Load() {
+		scribble(b)
+	}
+	w := bufWrappers.Get().(*pooledBuf)
+	w.b = b[:0]
+	bufPools[ci].Put(w)
+}
+
+// writerPool recycles Writer headers; their buffers cycle through the
+// byte-buffer arena independently.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns a pooled Writer with at least the given capacity.
+// Release it with Free (buffer included) or keep the encoded bytes with
+// Detach.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = GetBuf(capacity)
+	return w
+}
+
+// Free returns the Writer and its buffer to the arena. The caller must not
+// use the Writer, nor any slice obtained from Bytes, afterwards.
+func (w *Writer) Free() {
+	PutBuf(w.buf)
+	w.buf = nil
+	writerPool.Put(w)
+}
+
+// Detach takes ownership of the encoded buffer away from the Writer (the
+// buffer can later be released with PutBuf) and recycles the Writer
+// header.
+func (w *Writer) Detach() []byte {
+	b := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return b
+}

@@ -127,6 +127,12 @@ func (w *Writer) String32(s string) { w.Bytes32([]byte(s)) }
 // Raw appends b with no prefix.
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
 
+// AppendWith hands the accumulated buffer to f, which appends to it and
+// returns the result (the append-style idiom). It lets encoders outside
+// this package (crypto.Authenticator) write into the Writer without an
+// intermediate allocation.
+func (w *Writer) AppendWith(f func([]byte) []byte) { w.buf = f(w.buf) }
+
 // Reader is a sticky-error decoder over a byte slice.
 type Reader struct {
 	buf []byte
@@ -233,6 +239,45 @@ func (r *Reader) Bytes32() []byte {
 
 // String32 reads a length-prefixed string.
 func (r *Reader) String32() string { return string(r.Bytes32()) }
+
+// Bytes32Ref reads a 4-byte length prefix and returns the following bytes
+// as a sub-slice of the underlying buffer — no copy. The result is only
+// valid while the underlying buffer is; callers that retain it must own
+// the buffer for at least as long (the envelope decoder does: an Envelope
+// retains its raw wire form anyway).
+func (r *Reader) Bytes32Ref() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > maxFieldLen {
+		r.err = ErrOversized
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	out := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
+// Skip advances the reader past n bytes without reading them.
+func (r *Reader) Skip(n int) {
+	if n < 0 {
+		if r.err == nil {
+			r.err = ErrTruncated
+		}
+		return
+	}
+	if !r.need(n) {
+		return
+	}
+	r.off += n
+}
 
 // Fixed reads exactly n bytes into dst.
 func (r *Reader) Fixed(dst []byte) {

@@ -502,6 +502,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "pbft_ingress_backlog{replica=\"%d\"} %d\n", r.id, r.info.IngressBacklog)
 	}
+	fmt.Fprintf(w, "# HELP pbft_batch_window Batch-size bound for the next pre-prepare (adaptive controller's live window, or the static MaxBatch).\n# TYPE pbft_batch_window gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_batch_window{replica=\"%d\"} %d\n", r.id, r.info.BatchWindow)
+	}
 	fmt.Fprintf(w, "# HELP pbft_last_exec Last executed sequence number.\n# TYPE pbft_last_exec gauge\n")
 	for _, r := range rows {
 		fmt.Fprintf(w, "pbft_last_exec{replica=\"%d\"} %d\n", r.id, r.info.LastExec)
