@@ -14,6 +14,7 @@
 //	pbft-bench -experiment recovery          # §2.3 restart recovery
 //	pbft-bench -experiment pipeline          # pipelined client vs client fleet
 //	pbft-bench -experiment exec -shards 4    # sharded execution engine
+//	pbft-bench -experiment swarm             # massive-connection ingress
 //	pbft-bench -experiment all
 //
 // The -pipeline flag sets how many requests each load client keeps in
@@ -46,7 +47,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
@@ -55,6 +56,11 @@ func run() error {
 	shards := flag.Int("shards", 4, "max execution shards for the exec experiment")
 	seed := flag.Int64("seed", 42, "simulated network seed")
 	withMetrics := flag.Bool("metrics", false, "print a protocol-event metrics summary per experiment")
+	swarmDefaults := harness.DefaultSwarmOptions()
+	swarmClients := flag.Int("swarm-clients", swarmDefaults.Clients, "churning clients for the swarm experiment")
+	swarmSessions := flag.Int("swarm-sessions", swarmDefaults.MaxSessions, "session-table cap for the swarm experiment")
+	swarmChurn := flag.Int("swarm-churn", swarmDefaults.ChurnEvery, "ops per client between close+recreate in the swarm (0 = no churn)")
+	swarmUDP := flag.Int("swarm-udp-clients", swarmDefaults.UDPClients, "loopback-UDP clients for the swarm syscall phase (0 = skip)")
 	jsonOut := flag.String("json", "", "write a machine-readable experiment summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
@@ -123,6 +129,14 @@ func run() error {
 			return harness.RunRecoveryExperiment(opts, []time.Duration{
 				200 * time.Millisecond, 500 * time.Millisecond, time.Second,
 			})
+		case "swarm":
+			sw := swarmDefaults
+			sw.Clients = *swarmClients
+			sw.MaxSessions = *swarmSessions
+			sw.ChurnEvery = *swarmChurn
+			sw.Depth = *pipeline
+			sw.UDPClients = *swarmUDP
+			return harness.RunSwarm(opts, sw)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -103,6 +103,11 @@ func run() error {
 		return err
 	}
 	reg.AddReplica(uint32(*id), rep.Info)
+	if uc, ok := conn.(*pbft.UDPConn); ok {
+		// Syscall batching counters: recv/send totals and the
+		// datagrams-per-syscall occupancy histograms.
+		reg.AddTransport(uint32(*id), uc.BatchStats)
+	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {

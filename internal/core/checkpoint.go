@@ -8,6 +8,11 @@ import (
 // recordLocalCheckpoint snapshots the region and metadata as checkpoint
 // seq, without broadcasting (used for genesis).
 func (r *Replica) recordLocalCheckpoint(seq uint64) *ckptRecord {
+	// Deterministic dedup-window compaction happens exactly here, before
+	// the metadata is serialized: every replica reaches this point with
+	// the same windows at the same seq, so the compacted set — and the
+	// digest over it — agree.
+	r.compactClientWins()
 	snap := r.region.Snapshot(seq)
 	meta := r.marshalMeta()
 	metaDigest := crypto.DigestOf(meta)

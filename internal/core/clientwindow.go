@@ -23,6 +23,13 @@ import (
 type clientWindow struct {
 	maxTS uint64                 // highest executed timestamp
 	done  map[uint64]*wire.Reply // executed timestamps in (maxTS-W, maxTS]
+	// base is the compaction floor: timestamps at or below it count as
+	// executed even when the sliding floor (maxTS - W) sits lower. The
+	// deterministic checkpoint compaction (compactClientWins) raises it
+	// to maxTS when it drops a window's cached replies, so an evicted
+	// client that is readmitted later cannot replay its old requests.
+	// Replicated state, like the rest of the window.
+	base uint64
 }
 
 func newClientWindow() *clientWindow {
@@ -32,10 +39,14 @@ func newClientWindow() *clientWindow {
 // floor returns the exclusive lower bound of the window: timestamps at or
 // below it are treated as executed long ago.
 func (cw *clientWindow) floor(w uint64) uint64 {
-	if cw.maxTS <= w {
-		return 0
+	f := uint64(0)
+	if cw.maxTS > w {
+		f = cw.maxTS - w
 	}
-	return cw.maxTS - w
+	if cw.base > f {
+		f = cw.base
+	}
+	return f
 }
 
 // executed reports whether ts was already executed (or slid below the
@@ -100,4 +111,59 @@ func (r *Replica) clientWin(id uint32) *clientWindow {
 		r.clientWins[id] = cw
 	}
 	return cw
+}
+
+// live reports whether the window still holds cached state (a compacted
+// window is a tombstone: replay floor only).
+func (cw *clientWindow) live() bool { return len(cw.done) > 0 }
+
+// compact drops the cached replies and raises the replay floor to cover
+// everything the window ever admitted.
+func (cw *clientWindow) compact() {
+	if cw.base < cw.maxTS {
+		cw.base = cw.maxTS
+	}
+	clear(cw.done)
+}
+
+// compactClientWins bounds the dedup-window population to
+// MaxClientSessions by compacting the windows with the lowest (maxTS, id)
+// — the clients that have been quiet longest by replicated time — down to
+// tombstones. Runs at checkpoints, on identical input at every replica
+// with an identical cap (MaxClientSessions is part of the replicated
+// contract), so the surviving set and thus the checkpoint digest agree.
+func (r *Replica) compactClientWins() {
+	cap := r.cfg.MaxClientSessions()
+	if cap <= 0 {
+		return
+	}
+	live := 0
+	for _, cw := range r.clientWins {
+		if cw.live() {
+			live++
+		}
+	}
+	excess := live - cap
+	if excess <= 0 {
+		return
+	}
+	type victim struct {
+		id uint32
+		cw *clientWindow
+	}
+	victims := make([]victim, 0, live)
+	for id, cw := range r.clientWins {
+		if cw.live() {
+			victims = append(victims, victim{id, cw})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].cw.maxTS != victims[j].cw.maxTS {
+			return victims[i].cw.maxTS < victims[j].cw.maxTS
+		}
+		return victims[i].id < victims[j].id
+	})
+	for _, v := range victims[:excess] {
+		v.cw.compact()
+	}
 }

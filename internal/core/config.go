@@ -151,6 +151,24 @@ type Options struct {
 	// 0 means DefaultClientWindow.
 	ClientWindow uint64
 
+	// MaxClientSessions bounds the per-client state a replica carries for
+	// a massive client population. It caps two structures:
+	//
+	//   - the MAC session table (local): at most this many clients hold
+	//     live session keys at once; establishing one more evicts the
+	//     least-recently-active session. An evicted client's identity
+	//     survives — its next periodic hello re-establishes the session.
+	//   - the deduplication windows (replicated): at each checkpoint,
+	//     windows beyond the cap are compacted — oldest first by highest
+	//     executed timestamp — down to a tombstone that keeps exact
+	//     replay protection but drops the cached replies.
+	//
+	// The compaction half runs deterministically at checkpoints and feeds
+	// the checkpoint digest, so like ClientWindow this value is part of
+	// the replicated-state contract and must match across the group.
+	// 0 means DefaultMaxClientSessions; negative disables both bounds.
+	MaxClientSessions int
+
 	// Tracer receives typed protocol events (view changes, checkpoints,
 	// state transfer, batches, commits, client sessions) from the
 	// replica's protocol loop. Nil (the default) disables tracing at
@@ -163,6 +181,10 @@ type Options struct {
 // DefaultClientWindow is the per-client pipeline window replicas track
 // when Options.ClientWindow is zero.
 const DefaultClientWindow = 16
+
+// DefaultMaxClientSessions is the session-table and dedup-window bound in
+// force when Options.MaxClientSessions is zero.
+const DefaultMaxClientSessions = 4096
 
 // DefaultOptions returns the configuration the original library shipped
 // with: every optimization enabled (first row of Table 1), f = 1.
@@ -212,6 +234,14 @@ func (o Options) WithAsyncReap(on bool) Options {
 // sized to n shards (chainable, like Robust).
 func (o Options) WithExecShards(n int) Options {
 	o.ExecShards = n
+	return o
+}
+
+// WithMaxClientSessions returns a copy of the options with the session and
+// dedup-window bound set (chainable). Part of the replicated contract:
+// pass the same value to every replica.
+func (o Options) WithMaxClientSessions(n int) Options {
+	o.MaxClientSessions = n
 	return o
 }
 
@@ -330,6 +360,19 @@ func (c *Config) ClientWindow() uint64 {
 		return c.Opts.ClientWindow
 	}
 	return DefaultClientWindow
+}
+
+// MaxClientSessions resolves the session/dedup-window bound: the default
+// when unset, unlimited (0) when negative.
+func (c *Config) MaxClientSessions() int {
+	switch {
+	case c.Opts.MaxClientSessions > 0:
+		return c.Opts.MaxClientSessions
+	case c.Opts.MaxClientSessions < 0:
+		return 0
+	default:
+		return DefaultMaxClientSessions
+	}
 }
 
 // IsBig reports whether a request body of the given size takes the

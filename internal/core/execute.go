@@ -311,6 +311,9 @@ func (r *Replica) integrateSpan(span []*pendingApply) {
 		pa.e.replies = append(pa.e.replies, rep)
 		if client := r.nodes.get(pa.req.ClientID); client != nil {
 			client.LastActive = uint64(pa.ndTime.UnixNano())
+			if client.HasSession {
+				r.nodes.touchSession(client)
+			}
 		}
 		r.stats.Executed++
 		// The reply cache retains rep — and therefore pa — for as long as
@@ -437,6 +440,7 @@ func (r *Replica) marshalMeta() []byte {
 		cw := r.clientWins[c]
 		w.U32(c)
 		w.U64(cw.maxTS)
+		w.U64(cw.base)
 		tss := cw.sortedTS()
 		w.U32(uint32(len(tss)))
 		for _, ts := range tss {
@@ -488,6 +492,7 @@ func (r *Replica) unmarshalMeta(b []byte) error {
 		c := rd.U32()
 		cw := newClientWindow()
 		cw.maxTS = rd.U64()
+		cw.base = rd.U64()
 		nTS := int(rd.U32())
 		for j := 0; j < nTS; j++ {
 			ts := rd.U64()

@@ -53,19 +53,40 @@ const (
 // typed payload field matching the envelope type; cold-path messages
 // (view changes, state transfer) are decoded by the protocol loop, which
 // keeps their raw forms anyway.
+//
+// Instances recycle through inMsgPool: the envelope and the fixed-size
+// message types decode into inline storage, so the steady-state per-packet
+// allocation count on the ingress side is zero for replica traffic. The
+// protocol loop returns every delivered message with putInMsg after
+// handling — nothing a handler retains (heap-decoded requests and
+// pre-prepares, raw buffers) points back into the inMsg.
 type inMsg struct {
 	raw []byte
 	// pkt is the transport packet raw came from; releaseRaw hands its
 	// (possibly pooled) buffer back once the message is finished with.
 	pkt transport.Packet
-	env *wire.Envelope
+	// env is decoded in place (no per-packet Envelope allocation); its
+	// Payload and Sig alias raw.
+	env wire.Envelope
 
-	req    *wire.Request
-	pp     *wire.PrePrepare
+	// req and pp stay heap-allocated: the protocol loop retains them
+	// (pending queues, big-request bodies, the agreement log) beyond the
+	// message's lifetime.
+	req *wire.Request
+	pp  *wire.PrePrepare
+
+	// The fixed-size types decode into the inline *Store fields; the
+	// pointers are nil or point at those stores.
 	prep   *wire.Prepare
 	cmt    *wire.Commit
 	ckpt   *wire.Checkpoint
 	status *wire.Status
+
+	prepStore   wire.Prepare
+	cmtStore    wire.Commit
+	ckptStore   wire.Checkpoint
+	statusStore wire.Status
+	helloStore  wire.SessionHello
 
 	// Session establishment: the worker verifies the hello and derives
 	// the shared key (the ECDH is the expensive part); the loop installs
@@ -99,12 +120,63 @@ type inMsg struct {
 // releaseRaw returns the message's receive buffer to the transport's
 // pool. Only call sites that know the raw bytes are not retained — drops,
 // and the protocol loop after handling message types whose decoded forms
-// are full copies (requests, prepares, commits, status) — may call it;
-// everything else leaves the buffer to the garbage collector.
+// are full copies (requests, prepares, commits, status, hellos, state
+// transfer) — may call it; everything else leaves the buffer to the
+// garbage collector. The inline envelope still aliases the returned
+// buffer until reset; nothing reads it after release.
 func (m *inMsg) releaseRaw() {
 	m.raw = nil
-	m.env = nil
 	m.pkt.Release()
+}
+
+// inMsgPool recycles message slots across packets. A slot's inline
+// envelope keeps its Auth.Tags backing array and its done channel across
+// uses, so the steady-state pipeline overhead per packet is zero
+// allocations on the ingress side.
+var inMsgPool = sync.Pool{New: func() any { return new(inMsg) }}
+
+// getInMsg takes a recycled message slot and binds it to one packet.
+func getInMsg(pkt transport.Packet) *inMsg {
+	m := inMsgPool.Get().(*inMsg)
+	m.raw = pkt.Data
+	m.pkt = pkt
+	return m
+}
+
+// putInMsg resets a message slot and returns it to the pool. The caller
+// must be the slot's sole owner and must not touch it afterwards; anything
+// a handler retained (heap-decoded requests / pre-prepares, raw buffers)
+// is unaffected — only the slot itself is reused.
+func putInMsg(m *inMsg) {
+	m.raw = nil
+	m.pkt = transport.Packet{}
+	m.env.Reset()
+	m.req = nil
+	m.pp = nil
+	m.prep = nil
+	m.cmt = nil
+	m.ckpt = nil
+	m.status = nil
+	m.hello = nil
+	// The fixed-size stores hold no pointers except the hello's Addr and
+	// PubKey; drop those so a parked slot doesn't pin them.
+	m.helloStore = wire.SessionHello{}
+	m.sessionKey = crypto.SessionKey{}
+	m.verifiedPub = crypto.PublicKey{}
+	m.authPending = false
+	m.authGen = 0
+	m.verdict = vDeliver
+	// m.done is kept: the forwarder consumed its completion token, so the
+	// channel is empty and ready for the slot's next trip through the
+	// worker pool.
+	inMsgPool.Put(m)
+}
+
+// release drops a message entirely: receive buffer back to the transport,
+// slot back to the pool.
+func (in *ingress) release(m *inMsg) {
+	m.releaseRaw()
+	putInMsg(m)
 }
 
 // clientAuth is an immutable value snapshot of one client's key material.
@@ -164,10 +236,24 @@ func (t *clientAuthTable) remove(id uint32) {
 	t.mu.Unlock()
 }
 
-// replace swaps the whole view (membership changes, state transfer).
-func (t *clientAuthTable) replace(m map[uint32]clientAuth) {
+// reconcile updates the view in place to match the node table's client
+// rows: refresh or insert every current client, delete vanished ids, one
+// generation bump. Unlike a wholesale map swap it reuses the existing
+// map's storage, so periodic bulk republishes (state transfer install,
+// rollback) don't reallocate a table sized to the client population.
+func (t *clientAuthTable) reconcile(nodes map[uint32]*nodeEntry, firstClient int) {
 	t.mu.Lock()
-	t.m = m
+	for id := range t.m {
+		if _, ok := nodes[id]; !ok || int(id) < firstClient {
+			delete(t.m, id)
+		}
+	}
+	for id, e := range nodes {
+		if int(id) < firstClient {
+			continue // replicas authenticate via the static pairwise keys
+		}
+		t.m[id] = clientAuthOf(e)
+	}
 	t.gen++
 	t.mu.Unlock()
 }
@@ -177,14 +263,7 @@ func (t *clientAuthTable) replace(m map[uint32]clientAuth) {
 // after bulk replacement (state transfer install, rollback); single-row
 // changes use publishClientAuth / unpublishClientAuth instead.
 func (r *Replica) syncClientAuth() {
-	m := make(map[uint32]clientAuth, len(r.nodes.byID))
-	for id, e := range r.nodes.byID {
-		if int(id) < r.n {
-			continue // replicas authenticate via the static pairwise keys
-		}
-		m[id] = clientAuthOf(e)
-	}
-	r.ingress.clients.replace(m)
+	r.ingress.clients.reconcile(r.nodes.byID, r.n)
 }
 
 // publishClientAuth republishes one client row (hello, join admission:
@@ -278,7 +357,7 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 		case <-in.pause:
 			return
 		}
-		m := &inMsg{raw: pkt.Data, pkt: pkt}
+		m := getInMsg(pkt)
 		in.process(m)
 		switch m.verdict {
 		case vDeliver:
@@ -289,9 +368,9 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 			}
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
-			m.releaseRaw()
+			in.release(m)
 		case vIgnore:
-			m.releaseRaw()
+			in.release(m)
 		}
 	}
 }
@@ -345,7 +424,13 @@ func (in *ingress) dispatch(recv <-chan transport.Packet) {
 		case <-in.pause:
 			return
 		}
-		m := &inMsg{raw: pkt.Data, pkt: pkt, done: make(chan struct{})}
+		m := getInMsg(pkt)
+		if m.done == nil {
+			// Buffered so the worker's completion send never blocks; the
+			// channel survives recycling (drained by the forwarder each
+			// trip), so only a slot's first pool-path use allocates it.
+			m.done = make(chan struct{}, 1)
+		}
 		select {
 		case in.work <- m:
 		case <-in.quit:
@@ -366,7 +451,7 @@ func (in *ingress) worker() {
 	defer in.wg.Done()
 	for m := range in.work {
 		in.process(m)
-		close(m.done)
+		m.done <- struct{}{}
 	}
 }
 
@@ -387,9 +472,9 @@ func (in *ingress) forward() {
 			}
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
-			m.releaseRaw()
+			in.release(m)
 		case vIgnore:
-			m.releaseRaw()
+			in.release(m)
 		}
 	}
 }
@@ -397,12 +482,11 @@ func (in *ingress) forward() {
 // process runs the full stateless path for one packet: envelope decode,
 // authentication, typed payload decode, digest warm-up.
 func (in *ingress) process(m *inMsg) {
-	env, err := wire.UnmarshalEnvelope(m.raw)
-	if err != nil {
+	if err := wire.UnmarshalEnvelopeInto(&m.env, m.raw); err != nil {
 		m.verdict = vDropBadAuth
 		return
 	}
-	m.env = env
+	env := &m.env
 	switch env.Type {
 	case wire.MTRequest:
 		in.processRequest(m, env)
@@ -423,34 +507,31 @@ func (in *ingress) process(m *inMsg) {
 			m.verdict = vDropBadAuth
 			return
 		}
-		p, err := wire.UnmarshalPrepare(env.Payload)
-		if err != nil || p.Replica != env.Sender {
+		if err := wire.UnmarshalPrepareInto(&m.prepStore, env.Payload); err != nil || m.prepStore.Replica != env.Sender {
 			m.verdict = vIgnore
 			return
 		}
-		m.prep = p
+		m.prep = &m.prepStore
 	case wire.MTCommit:
 		if !in.verifyFromReplica(env) {
 			m.verdict = vDropBadAuth
 			return
 		}
-		c, err := wire.UnmarshalCommit(env.Payload)
-		if err != nil || c.Replica != env.Sender {
+		if err := wire.UnmarshalCommitInto(&m.cmtStore, env.Payload); err != nil || m.cmtStore.Replica != env.Sender {
 			m.verdict = vIgnore
 			return
 		}
-		m.cmt = c
+		m.cmt = &m.cmtStore
 	case wire.MTCheckpoint:
 		if !in.verifySignedReplica(env) {
 			m.verdict = vDropBadAuth
 			return
 		}
-		ck, err := wire.UnmarshalCheckpoint(env.Payload)
-		if err != nil || ck.Replica != env.Sender || !ck.Consistent() {
+		if err := wire.UnmarshalCheckpointInto(&m.ckptStore, env.Payload); err != nil || m.ckptStore.Replica != env.Sender || !m.ckptStore.Consistent() {
 			m.verdict = vIgnore
 			return
 		}
-		m.ckpt = ck
+		m.ckpt = &m.ckptStore
 	case wire.MTViewChange, wire.MTNewView:
 		// Signature checked here; payloads are decoded by the protocol
 		// loop (cold path — it retains and re-verifies raw vote
@@ -466,12 +547,11 @@ func (in *ingress) process(m *inMsg) {
 			m.verdict = vIgnore
 			return
 		}
-		st, err := wire.UnmarshalStatus(env.Payload)
-		if err != nil || st.Replica != env.Sender {
+		if err := wire.UnmarshalStatusInto(&m.statusStore, env.Payload); err != nil || m.statusStore.Replica != env.Sender {
 			m.verdict = vIgnore
 			return
 		}
-		m.status = st
+		m.status = &m.statusStore
 	case wire.MTFetch, wire.MTStateNode, wire.MTStatePage:
 		// Unauthenticated recovery traffic, verified against agreed
 		// digests inside the protocol loop.
@@ -538,8 +618,12 @@ func verifyClientEnvelope(env *wire.Envelope, replicaID uint32, ca clientAuth) b
 // processHello verifies a session hello and derives the shared key, so
 // the protocol loop only installs the result.
 func (in *ingress) processHello(m *inMsg, env *wire.Envelope) {
-	h, err := wire.UnmarshalSessionHello(env.Payload)
-	if err != nil || h.ClientID != env.Sender || int(h.ClientID) < in.n {
+	if err := wire.UnmarshalSessionHelloInto(&m.helloStore, env.Payload); err != nil {
+		m.verdict = vIgnore
+		return
+	}
+	h := &m.helloStore
+	if h.ClientID != env.Sender || int(h.ClientID) < in.n {
 		m.verdict = vIgnore
 		return
 	}

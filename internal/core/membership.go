@@ -331,7 +331,7 @@ func (r *Replica) onSessionHello(m *inMsg) {
 		}
 		// The view moved: verify and derive here, against the loop's
 		// current table.
-		env := m.env
+		env := &m.env
 		if env.Kind != wire.AuthSig || !crypto.Verify(client.Pub, env.SignedBytes(), env.Sig) {
 			r.stats.DroppedBadAuth++
 			return
@@ -355,6 +355,35 @@ func (r *Replica) onSessionHello(m *inMsg) {
 	if h.Addr != "" {
 		client.Addr = h.Addr
 	}
+	r.nodes.touchSession(client)
+	r.enforceSessionCap()
 	r.publishClientAuth(client)
 	r.traceClientSession(client.ID, SessionHello)
+}
+
+// enforceSessionCap evicts least-recently-active MAC sessions until the
+// table fits MaxClientSessions. Eviction drops only the (local, transient)
+// key material: the entry — and with it the client's identity and dedup
+// window — survives, so the client's next periodic hello re-establishes
+// the session exactly like post-restart recovery (§2.3).
+func (r *Replica) enforceSessionCap() {
+	cap := r.cfg.MaxClientSessions()
+	if cap <= 0 {
+		return
+	}
+	for r.nodes.sessionCount() > cap {
+		old := r.nodes.oldestSession()
+		if old == nil {
+			return
+		}
+		r.nodes.unlinkSession(old)
+		old.HasSession = false
+		old.Session = crypto.SessionKey{}
+		// Republish without session key material: requests signed under
+		// the long-term key still verify; MAC'd ones fail until the next
+		// hello, as after a restart.
+		r.publishClientAuth(old)
+		r.stats.SessionsEvicted++
+		r.traceClientSession(old.ID, SessionEvict)
+	}
 }

@@ -26,6 +26,12 @@ type nodeEntry struct {
 	LastActive uint64
 	// Dynamic marks entries created by Join (evictable).
 	Dynamic bool
+
+	// sessPrev/sessNext link entries with live sessions into the table's
+	// recency list (head = least recently active). Local bookkeeping for
+	// the MaxClientSessions bound — never replicated.
+	sessPrev, sessNext *nodeEntry
+	sessLinked         bool
 }
 
 // nodeTable is the redirection table of §3.1: it maps arbitrary node
@@ -35,6 +41,12 @@ type nodeEntry struct {
 type nodeTable struct {
 	byID     map[uint32]*nodeEntry
 	capacity int
+
+	// Session recency list (intrusive, via nodeEntry.sessPrev/sessNext):
+	// every entry with a live MAC session, least recently active first.
+	// Backs the MaxClientSessions eviction policy.
+	sessHead, sessTail *nodeEntry
+	sessCount          int
 }
 
 func newNodeTable(capacity int) *nodeTable {
@@ -61,8 +73,67 @@ func (t *nodeTable) add(e *nodeEntry) {
 
 // remove deletes the entry for id.
 func (t *nodeTable) remove(id uint32) {
+	if e := t.byID[id]; e != nil {
+		t.unlinkSession(e)
+	}
 	delete(t.byID, id)
 }
+
+// touchSession marks e most recently active in the session list, linking
+// it on first touch. Call whenever a session is installed or used.
+func (t *nodeTable) touchSession(e *nodeEntry) {
+	if e.sessLinked {
+		if t.sessTail == e {
+			return
+		}
+		t.detachSession(e)
+	} else {
+		e.sessLinked = true
+		t.sessCount++
+	}
+	e.sessPrev = t.sessTail
+	e.sessNext = nil
+	if t.sessTail != nil {
+		t.sessTail.sessNext = e
+	}
+	t.sessTail = e
+	if t.sessHead == nil {
+		t.sessHead = e
+	}
+}
+
+// unlinkSession removes e from the session list (session dropped, entry
+// evicted or removed).
+func (t *nodeTable) unlinkSession(e *nodeEntry) {
+	if !e.sessLinked {
+		return
+	}
+	t.detachSession(e)
+	e.sessLinked = false
+	t.sessCount--
+}
+
+// detachSession splices e out of the list without touching sessLinked.
+func (t *nodeTable) detachSession(e *nodeEntry) {
+	if e.sessPrev != nil {
+		e.sessPrev.sessNext = e.sessNext
+	} else {
+		t.sessHead = e.sessNext
+	}
+	if e.sessNext != nil {
+		e.sessNext.sessPrev = e.sessPrev
+	} else {
+		t.sessTail = e.sessPrev
+	}
+	e.sessPrev, e.sessNext = nil, nil
+}
+
+// oldestSession returns the least recently active entry with a live
+// session, or nil.
+func (t *nodeTable) oldestSession() *nodeEntry { return t.sessHead }
+
+// sessionCount returns the number of live sessions.
+func (t *nodeTable) sessionCount() int { return t.sessCount }
 
 // byPrincipal returns the dynamic entries bound to the principal.
 func (t *nodeTable) byPrincipal(principal string) []*nodeEntry {
@@ -153,6 +224,7 @@ func (t *nodeTable) unmarshalDynamic(b []byte) error {
 	}
 	for id, e := range t.byID {
 		if e.Dynamic {
+			t.unlinkSession(e)
 			delete(t.byID, id)
 		}
 	}

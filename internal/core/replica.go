@@ -433,7 +433,10 @@ type Info struct {
 	// pre-prepare: the adaptive controller's live window with
 	// Options.AdaptiveBatching, the static MaxBatch otherwise.
 	BatchWindow int
-	Stats       Stats
+	// ClientSessions is the number of clients currently holding live MAC
+	// session keys, bounded by Options.MaxClientSessions.
+	ClientSessions int
+	Stats          Stats
 }
 
 // Inspect runs fn inside the event loop, giving it safe access to the
@@ -474,6 +477,7 @@ func (r *Replica) info() Info {
 		ExecQueueDepth: r.exec.QueueDepth(),
 		IngressBacklog: r.ingress.backlog(),
 		BatchWindow:    r.batchWindow(),
+		ClientSessions: r.nodes.sessionCount(),
 		Stats:          st,
 	}
 	if ck := r.ckpts[r.lastStable]; ck != nil {
@@ -541,6 +545,7 @@ func (r *Replica) run() {
 				return
 			}
 			r.handleVerified(m)
+			putInMsg(m)
 		case <-reapNotify:
 			// Spans the reaper finished between protocol events:
 			// integrate them (reply cache, stats) on the loop.
@@ -565,6 +570,7 @@ func (r *Replica) drainForShutdown() {
 	r.ingress.beginSettle()
 	for m := range r.ingress.out {
 		r.handleVerified(m)
+		putInMsg(m)
 	}
 	// Flush any replies still parked in the engine before the deferred
 	// teardown closes the connection.
@@ -576,14 +582,17 @@ func (r *Replica) drainForShutdown() {
 // the verifier pool; what remains is stateful validation and the protocol
 // transitions themselves.
 //
-// High-volume message types whose decoded forms are full copies —
-// requests (relayed synchronously, the decoded Op is a copy), prepares,
-// commits, status gossip — hand their receive buffer back to the
-// transport pool after the handler returns. Types whose raw form is
-// retained (pre-prepares in the log, checkpoint and view-change votes as
-// proofs, session/join state) keep theirs for the garbage collector.
+// Message types whose decoded forms are full copies — requests (relayed
+// synchronously, the decoded Op is a copy), prepares, commits, status
+// gossip, session hellos, and state-transfer traffic (fetches answer
+// immediately; node children and page data are decoded copies) — hand
+// their receive buffer back to the transport pool after the handler
+// returns. Types whose raw form is retained (pre-prepares in the log,
+// checkpoint and view-change votes as proofs, join state) keep theirs
+// for the garbage collector. The caller recycles the message slot itself
+// (putInMsg) after this returns; no handler retains any part of it.
 func (r *Replica) handleVerified(m *inMsg) {
-	env := m.env
+	env := &m.env
 	switch env.Type {
 	case wire.MTRequest:
 		if m.req.System() && env.Sender == JoinSender {
@@ -639,15 +648,19 @@ func (r *Replica) handleVerified(m *inMsg) {
 		r.onNewView(env, m.raw)
 	case wire.MTSessionHello:
 		r.onSessionHello(m)
+		m.releaseRaw()
 	case wire.MTStatus:
 		r.onStatus(m.status)
 		m.releaseRaw()
 	case wire.MTFetch:
 		r.onFetch(env)
+		m.releaseRaw()
 	case wire.MTStateNode:
 		r.onStateNode(env)
+		m.releaseRaw()
 	case wire.MTStatePage:
 		r.onStatePage(env)
+		m.releaseRaw()
 	}
 }
 

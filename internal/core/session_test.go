@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestSessionLRUOrder exercises the intrusive session recency list:
+// insertion order, move-to-tail on touch, and unlink from every position.
+func TestSessionLRUOrder(t *testing.T) {
+	tbl := newNodeTable(0)
+	a := &nodeEntry{ID: 1}
+	b := &nodeEntry{ID: 2}
+	c := &nodeEntry{ID: 3}
+	for _, e := range []*nodeEntry{a, b, c} {
+		tbl.add(e)
+		tbl.touchSession(e)
+	}
+	if got := tbl.sessionCount(); got != 3 {
+		t.Fatalf("sessionCount = %d, want 3", got)
+	}
+	if tbl.oldestSession() != a {
+		t.Fatalf("oldest = %v, want a", tbl.oldestSession().ID)
+	}
+
+	// Touching the oldest moves it behind the others.
+	tbl.touchSession(a)
+	if tbl.oldestSession() != b {
+		t.Fatalf("after touch(a): oldest = %v, want b", tbl.oldestSession().ID)
+	}
+	// Touching the tail is a no-op.
+	tbl.touchSession(a)
+	if tbl.sessTail != a || tbl.sessionCount() != 3 {
+		t.Fatal("touching the tail must not change the list")
+	}
+
+	// Unlink from the middle (c sits between b and a now).
+	tbl.unlinkSession(c)
+	if tbl.sessionCount() != 2 || c.sessLinked {
+		t.Fatal("unlink must drop the count and clear the link flag")
+	}
+	if tbl.oldestSession() != b || tbl.sessTail != a {
+		t.Fatal("unlink(middle) must preserve head and tail")
+	}
+	// Double unlink is a no-op.
+	tbl.unlinkSession(c)
+	if tbl.sessionCount() != 2 {
+		t.Fatal("double unlink must not double-decrement")
+	}
+
+	// remove() unlinks implicitly.
+	tbl.remove(b.ID)
+	if tbl.sessionCount() != 1 || tbl.oldestSession() != a || tbl.sessTail != a {
+		t.Fatal("remove must unlink the entry from the session list")
+	}
+	tbl.unlinkSession(a)
+	if tbl.sessionCount() != 0 || tbl.sessHead != nil || tbl.sessTail != nil {
+		t.Fatal("empty list must have nil head and tail")
+	}
+}
+
+// TestClientWindowCompaction checks the compaction floor: a compacted
+// window keeps deduplicating everything it ever admitted while holding no
+// cached replies, and resumes normal operation when the client returns
+// with higher timestamps.
+func TestClientWindowCompaction(t *testing.T) {
+	const w = 4
+	cw := newClientWindow()
+	cw.record(5, &wire.Reply{Timestamp: 5}, w)
+	cw.record(6, &wire.Reply{Timestamp: 6}, w)
+	if !cw.live() {
+		t.Fatal("window with cached replies must be live")
+	}
+
+	cw.compact()
+	if cw.live() {
+		t.Fatal("compacted window must not be live")
+	}
+	if cw.cachedReply(6) != nil {
+		t.Fatal("compaction must drop cached replies")
+	}
+	// Everything at or below the old maxTS is a replay now.
+	for _, ts := range []uint64{1, 5, 6} {
+		if !cw.executed(ts, w) {
+			t.Fatalf("ts %d must count as executed after compaction", ts)
+		}
+	}
+	if cw.executed(7, w) {
+		t.Fatal("ts above the compaction floor must stay executable")
+	}
+
+	// Readmission: the client returns with a fresh (higher) timestamp.
+	cw.record(9, &wire.Reply{Timestamp: 9}, w)
+	if !cw.live() || !cw.executed(9, w) {
+		t.Fatal("window must resume normal operation after readmission")
+	}
+	// The base floor persists even when the sliding floor (maxTS-W) is
+	// lower: floor = max(9-4, 6) = 6, so 6 replays but 7 is still fresh.
+	if !cw.executed(6, w) {
+		t.Fatal("base floor must dominate the sliding floor")
+	}
+	if cw.executed(7, w) {
+		t.Fatal("timestamps above both floors must stay executable")
+	}
+
+	// Compacting an already-compacted window is a no-op.
+	base := cw.base
+	cw.compact()
+	if cw.base < base {
+		t.Fatal("compact must never lower the base")
+	}
+}
+
+// TestCompactClientWinsDeterministic checks the checkpoint-time dedup
+// compaction: only live windows past the cap are compacted, victims are
+// picked by lowest (maxTS, id) — replicated time, deterministic across
+// replicas — and tombstones do not count against the cap.
+func TestCompactClientWinsDeterministic(t *testing.T) {
+	mk := func(cap int, wins map[uint32]*clientWindow) *Replica {
+		return &Replica{
+			cfg:        &Config{Opts: Options{MaxClientSessions: cap}},
+			clientWins: wins,
+		}
+	}
+	liveWin := func(maxTS uint64) *clientWindow {
+		cw := newClientWindow()
+		cw.record(maxTS, &wire.Reply{Timestamp: maxTS}, 16)
+		return cw
+	}
+
+	wins := map[uint32]*clientWindow{
+		10: liveWin(40),
+		11: liveWin(10),
+		12: liveWin(30),
+		13: liveWin(20),
+	}
+	r := mk(2, wins)
+	r.compactClientWins()
+	for id, wantLive := range map[uint32]bool{10: true, 11: false, 12: true, 13: false} {
+		if wins[id].live() != wantLive {
+			t.Fatalf("client %d live = %v, want %v", id, wins[id].live(), wantLive)
+		}
+	}
+
+	// Second run: tombstones don't count, nothing further to compact.
+	r.compactClientWins()
+	if !wins[10].live() || !wins[12].live() {
+		t.Fatal("survivors must not be compacted on a quiescent re-run")
+	}
+
+	// Tie on maxTS: the lower id goes first.
+	wins = map[uint32]*clientWindow{
+		20: liveWin(50),
+		21: liveWin(50),
+		22: liveWin(50),
+	}
+	mk(2, wins).compactClientWins()
+	if wins[20].live() {
+		t.Fatal("tie on maxTS must compact the lowest id")
+	}
+	if !wins[21].live() || !wins[22].live() {
+		t.Fatal("tie on maxTS must spare the higher ids")
+	}
+
+	// Cap <= 0 disables compaction entirely.
+	wins = map[uint32]*clientWindow{30: liveWin(1), 31: liveWin(2)}
+	mk(-1, wins).compactClientWins()
+	if !wins[30].live() || !wins[31].live() {
+		t.Fatal("negative cap must disable compaction")
+	}
+}

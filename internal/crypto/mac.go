@@ -132,17 +132,31 @@ func (a Authenticator) Marshal() []byte {
 // UnmarshalAuthenticator parses the output of Marshal. It returns the
 // number of bytes consumed.
 func UnmarshalAuthenticator(b []byte) (Authenticator, int, bool) {
+	var a Authenticator
+	n, ok := UnmarshalAuthenticatorInto(&a, b)
+	return a, n, ok
+}
+
+// UnmarshalAuthenticatorInto parses the output of Marshal into a, reusing
+// the Tags backing array when its capacity suffices — the pooled ingress
+// path decodes one authenticator per packet without allocating. It
+// returns the number of bytes consumed.
+func UnmarshalAuthenticatorInto(a *Authenticator, b []byte) (int, bool) {
 	if len(b) < 2 {
-		return Authenticator{}, 0, false
+		return 0, false
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	need := 2 + n*MACSize
 	if len(b) < need {
-		return Authenticator{}, 0, false
+		return 0, false
 	}
-	a := Authenticator{Tags: make([]MAC, n)}
+	if cap(a.Tags) >= n {
+		a.Tags = a.Tags[:n]
+	} else {
+		a.Tags = make([]MAC, n)
+	}
 	for i := 0; i < n; i++ {
 		copy(a.Tags[i][:], b[2+i*MACSize:])
 	}
-	return a, need, true
+	return need, true
 }

@@ -35,6 +35,11 @@ type ClusterOptions struct {
 	// tracer hooks must then be safe for concurrent use). Restarted
 	// replicas get a fresh factory call.
 	Tracer func(replica uint32) core.Tracer
+	// ClientRecvBuffer sizes each client endpoint's inbound queue
+	// (0 = the transport default). The swarm experiment runs thousands
+	// of client endpoints; the default full-size queue per endpoint
+	// would cost gigabytes of eagerly allocated channel buffers.
+	ClientRecvBuffer int
 }
 
 // Cluster is an in-process PBFT deployment: N replicas and a set of
@@ -51,6 +56,7 @@ type Cluster struct {
 	appFactory  AppFactory
 	tracerFor   func(replica uint32) core.Tracer
 	rng         *rand.Rand
+	clientRecv  int // client endpoint inbound queue depth (0 = default)
 }
 
 // ReplicaAddr returns the network address of replica id.
@@ -70,6 +76,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		appFactory: o.App,
 		tracerFor:  o.Tracer,
 		rng:        rand.New(rand.NewSource(o.Seed + 1)),
+		clientRecv: o.ClientRecvBuffer,
 	}
 	if o.Bandwidth > 0 {
 		c.Net.SetBandwidth(o.Bandwidth)
@@ -170,7 +177,7 @@ func (c *Cluster) RestartReplica(id uint32) error {
 // Client builds the i-th pre-provisioned client. The caller owns it (and
 // must Close it).
 func (c *Cluster) Client(i int, opts ...client.Option) (*client.Client, error) {
-	conn, err := c.Net.Listen(ClientAddr(i))
+	conn, err := c.Net.ListenBuffered(ClientAddr(i), c.clientRecv)
 	if err != nil {
 		return nil, err
 	}

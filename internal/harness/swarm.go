@@ -1,0 +1,451 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/transport"
+)
+
+// SwarmOptions sizes the massive-connection ingress experiment: a client
+// population well past the session-table cap, churning hard enough that
+// the replicas evict, readmit, and deduplicate continuously.
+type SwarmOptions struct {
+	// Clients is the mem-transport churn population (phase A).
+	Clients int
+	// MaxSessions is Options.MaxClientSessions: sized below Clients so
+	// the session table runs at its cap and every late hello evicts.
+	MaxSessions int
+	// ChurnEvery closes and recreates a client after this many completed
+	// operations (fresh ephemeral keys, fresh hello; 0 disables churn).
+	ChurnEvery int
+	// Depth is the pipeline depth per client.
+	Depth int
+	// RampEvery staggers client start-up: one batch of rampBatch clients
+	// per interval, so the initial hello storm does not overwhelm the
+	// shared CPU before steady state (0 = no ramp).
+	RampEvery time.Duration
+	// HelloInterval overrides the blind hello retransmission cadence
+	// (0 = the swarm default of 15s; the smoke tests shorten it so
+	// eviction recovery happens within their budget).
+	HelloInterval time.Duration
+	// UDPClients is the loopback-UDP population (phase B, the syscall
+	// batching measurement; 0 skips the phase).
+	UDPClients int
+}
+
+// DefaultSwarmOptions is the committed BENCH_PR6 shape: 6000 clients over
+// a 5500-session cap (the acceptance floor is sustaining 5000).
+func DefaultSwarmOptions() SwarmOptions {
+	return SwarmOptions{
+		Clients:     6000,
+		MaxSessions: 5500,
+		ChurnEvery:  128,
+		Depth:       1,
+		RampEvery:   25 * time.Millisecond,
+		UDPClients:  64,
+	}
+}
+
+// rampBatch is how many clients one ramp interval starts.
+const rampBatch = 100
+
+// swarmCoreOptions maps the swarm shape onto library options. The hello
+// retransmission interval is stretched well past the default 500ms:
+// hellos are signed and blindly retransmitted (§2.3), and thousands of
+// clients re-signing twice a second would measure ed25519 throughput, not
+// ingress capacity. Request timeouts stretch accordingly — an evicted
+// client's requests fail MAC verification until its next hello readmits
+// it, so recovery latency is bounded by HelloInterval, not RequestTimeout.
+func swarmCoreOptions(sw SwarmOptions, n int) core.Options {
+	co := buildOptions(LibConfig{Name: "swarm", Static: true, MACs: true, Batch: true})
+	co.MaxNodes = n + sw.Clients + 64
+	co.MaxClientSessions = sw.MaxSessions
+	co.HelloInterval = 15 * time.Second
+	if sw.HelloInterval > 0 {
+		co.HelloInterval = sw.HelloInterval
+	}
+	co.RequestTimeout = 3 * time.Second
+	return co
+}
+
+// swarmSample is one periodic probe of replica 0's session table.
+type swarmSample struct {
+	sessions  int
+	evictions uint64
+}
+
+// RunSwarm runs the massive-connection experiment: phase A floods an
+// in-process cluster with a churning client swarm past the session cap,
+// phase B re-measures a small cluster over real loopback UDP sockets to
+// observe the syscall batching the in-memory transport cannot.
+func RunSwarm(opts ExperimentOptions, sw SwarmOptions) error {
+	w := opts.out()
+	if sw.Clients > 0 {
+		if err := runSwarmChurn(opts, sw, w); err != nil {
+			return fmt.Errorf("swarm churn: %w", err)
+		}
+	}
+	if sw.UDPClients > 0 {
+		if err := runSwarmUDP(opts, sw, w); err != nil {
+			return fmt.Errorf("swarm udp: %w", err)
+		}
+	}
+	return nil
+}
+
+// runSwarmChurn is phase A: Clients churning pipelined clients against a
+// MaxSessions-capped cluster, measuring sustained sessions, eviction
+// throughput, latency quantiles, and the allocation rate of the pooled
+// decode path under session churn.
+func runSwarmChurn(opts ExperimentOptions, sw SwarmOptions, w io.Writer) error {
+	depth := sw.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	co := swarmCoreOptions(sw, 4)
+	cluster, err := NewCluster(ClusterOptions{
+		Opts:       co,
+		NumClients: sw.Clients,
+		Seed:       opts.Seed,
+		App:        NewEchoFactory(opts.RequestSize),
+		Tracer:     opts.tracerFactory(),
+		// Thousands of endpoints: the default full-size inbound queue per
+		// endpoint would eagerly allocate gigabytes of channel buffers.
+		// Each client sees at most 4 replies per in-flight request plus
+		// stray retransmissions.
+		ClientRecvBuffer: 64 + 4*depth,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	fmt.Fprintf(w, "Swarm — %d churning clients, session cap %d, depth %d, churn every %d ops\n",
+		sw.Clients, co.MaxClientSessions, depth, sw.ChurnEvery)
+
+	var (
+		ops      atomic.Uint64
+		errs     atomic.Uint64
+		latMu    sync.Mutex
+		lats     []time.Duration
+		memStart runtime.MemStats
+		memEnd   runtime.MemStats
+	)
+	workload := &NullWorkload{Size: opts.RequestSize}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	runtime.GC()
+	runtime.ReadMemStats(&memStart)
+	start := time.Now()
+
+	// Session sampler: peak sustained sessions and the eviction counter,
+	// probed through the protocol loop.
+	var peakSessions atomic.Int64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s := swarmProbe(cluster)
+				if int64(s.sessions) > peakSessions.Load() {
+					peakSessions.Store(int64(s.sessions))
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < sw.Clients; i++ {
+		if sw.RampEvery > 0 && i > 0 && i%rampBatch == 0 {
+			select {
+			case <-time.After(sw.RampEvery):
+			case <-ctx.Done():
+			}
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			swarmClientLoop(ctx, cluster, i, depth, sw.ChurnEvery, workload, &ops, &errs, func(d time.Duration) {
+				latMu.Lock()
+				lats = append(lats, d)
+				latMu.Unlock()
+			})
+		}(i)
+	}
+
+	select {
+	case <-time.After(opts.Duration):
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
+	<-samplerDone
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memEnd)
+
+	final := swarmProbe(cluster)
+	res := RunResult{Ops: ops.Load(), Duration: elapsed, Errors: errs.Load()}
+	allocsPerOp := 0.0
+	if res.Ops > 0 {
+		allocsPerOp = float64(memEnd.Mallocs-memStart.Mallocs) / float64(res.Ops)
+	}
+	p50, p99 := latencyQuantiles(lats)
+	heapMB := float64(memEnd.HeapAlloc) / (1 << 20)
+
+	extra := map[string]float64{
+		"sessions_peak":  float64(peakSessions.Load()),
+		"sessions_final": float64(final.sessions),
+		"evictions":      float64(final.evictions),
+		"p50_ms":         p50.Seconds() * 1e3,
+		"p99_ms":         p99.Seconds() * 1e3,
+		"allocs_per_op":  allocsPerOp,
+		"heap_mb":        heapMB,
+	}
+	opts.record("swarm", fmt.Sprintf("mem_churn_%dc", sw.Clients), res, extra)
+	fmt.Fprintf(w, "%-24s %8s %10s %8s %10s %10s %10s %10s %10s %9s\n",
+		"Name", "TPS", "ops", "errors", "sess-peak", "sess-end", "evicted", "p50-ms", "p99-ms", "allocs/op")
+	fmt.Fprintf(w, "%-24s %8.0f %10d %8d %10d %10d %10d %10.1f %10.1f %9.1f\n",
+		fmt.Sprintf("mem_churn_%dc", sw.Clients), res.TPS(), res.Ops, res.Errors,
+		peakSessions.Load(), final.sessions, final.evictions,
+		p50.Seconds()*1e3, p99.Seconds()*1e3, allocsPerOp)
+	fmt.Fprintf(w, "heap after run: %.0f MB (whole process: swarm clients + 4 replicas)\n", heapMB)
+	return nil
+}
+
+// swarmClientLoop drives one client identity: invoke through a pipelined
+// client, and every churnEvery completed operations tear the client down
+// and recreate it — fresh ephemeral session keys, fresh hello, a dedup
+// window that must survive the transition.
+func swarmClientLoop(ctx context.Context, cluster *Cluster, i, depth, churnEvery int, w Workload,
+	ops, errs *atomic.Uint64, observe func(time.Duration)) {
+	for ctx.Err() == nil {
+		cl, err := cluster.Client(i,
+			client.WithPipelineDepth(depth),
+			// Calls must survive eviction stalls (up to HelloInterval)
+			// without burning their retry budget.
+			client.WithMaxRetries(1000))
+		if err != nil {
+			// Address still draining from the previous incarnation.
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		var epochOps atomic.Int64
+		for d := 0; d < depth; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					if churnEvery > 0 && epochOps.Load() >= int64(churnEvery) {
+						return
+					}
+					t0 := time.Now()
+					_, err := cl.Invoke(ctx, w.Op(i, int(ops.Load())))
+					if err != nil {
+						if ctx.Err() == nil {
+							errs.Add(1)
+						}
+						continue
+					}
+					observe(time.Since(t0))
+					ops.Add(1)
+					epochOps.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		_ = cl.Close()
+		if churnEvery <= 0 {
+			return
+		}
+	}
+}
+
+// swarmProbe reads the live session count and eviction counter off the
+// cluster (sessions from replica 0; evictions summed across replicas).
+func swarmProbe(c *Cluster) swarmSample {
+	var s swarmSample
+	for i, r := range c.Replicas {
+		if r == nil {
+			continue
+		}
+		info := r.Info()
+		if i == 0 {
+			s.sessions = info.ClientSessions
+		}
+		s.evictions += info.Stats.SessionsEvicted
+	}
+	return s
+}
+
+// latencyQuantiles returns the p50 and p99 of the collected samples.
+func latencyQuantiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(f float64) time.Duration {
+		i := int(f * float64(len(lats)-1))
+		return lats[i]
+	}
+	return q(0.50), q(0.99)
+}
+
+// runSwarmUDP is phase B: the same protocol over real loopback UDP
+// sockets, where recvmmsg/sendmmsg batching is observable. It reports
+// syscalls per operation and the datagrams-per-syscall occupancy that the
+// in-memory transport has no notion of.
+func runSwarmUDP(opts ExperimentOptions, sw SwarmOptions, w io.Writer) error {
+	const n = 4
+	depth := sw.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	co := buildOptions(LibConfig{Name: "swarm-udp", Static: true, MACs: true, Batch: true})
+	co.MaxNodes = n + sw.UDPClients + 16
+
+	// Sockets first: real ports are only known after binding, and the
+	// config must carry the bound addresses.
+	replicaConns := make([]*transport.UDPConn, n)
+	clientConns := make([]*transport.UDPConn, sw.UDPClients)
+	closeAll := func() {
+		for _, c := range replicaConns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+		for _, c := range clientConns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}
+	defer closeAll()
+	cfg := &core.Config{Opts: co}
+	replicaKeys := make([]*crypto.KeyPair, n)
+	for i := 0; i < n; i++ {
+		conn, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		replicaConns[i] = conn
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		replicaKeys[i] = kp
+		cfg.Replicas = append(cfg.Replicas, core.NodeInfo{ID: uint32(i), Addr: conn.Addr(), PubKey: kp.Public()})
+	}
+	clientKeys := make([]*crypto.KeyPair, sw.UDPClients)
+	for i := range clientConns {
+		conn, err := transport.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		clientConns[i] = conn
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			return err
+		}
+		clientKeys[i] = kp
+		cfg.Clients = append(cfg.Clients, core.NodeInfo{ID: uint32(n + i), Addr: conn.Addr(), PubKey: kp.Public()})
+	}
+
+	replicas := make([]*core.Replica, n)
+	for i := 0; i < n; i++ {
+		rep, err := core.NewReplica(cfg, uint32(i), replicaKeys[i], replicaConns[i], NewEchoFactory(opts.RequestSize)(uint32(i)))
+		if err != nil {
+			return err
+		}
+		replicas[i] = rep
+		go func() { _ = rep.Run(context.Background()) }()
+	}
+	defer func() {
+		for _, rep := range replicas {
+			_ = rep.Shutdown(context.Background())
+		}
+	}()
+
+	workload := &NullWorkload{Size: opts.RequestSize}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ops, errs atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clientConns {
+		cl, err := client.New(cfg, uint32(n+i), clientKeys[i], clientConns[i],
+			client.WithPipelineDepth(depth), client.WithMaxRetries(1000))
+		if err != nil {
+			return err
+		}
+		clientConns[i] = nil // the client owns (and closes) the conn now
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for ctx.Err() == nil {
+				if _, err := cl.Invoke(ctx, workload.Op(i, int(ops.Load()))); err != nil {
+					if ctx.Err() == nil {
+						errs.Add(1)
+					}
+					continue
+				}
+				ops.Add(1)
+			}
+		}(i, cl)
+	}
+	<-time.After(opts.Duration)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var agg transport.BatchStats
+	for _, c := range replicaConns {
+		s := c.BatchStats()
+		agg.RecvCalls += s.RecvCalls
+		agg.RecvMsgs += s.RecvMsgs
+		agg.SendCalls += s.SendCalls
+		agg.SendMsgs += s.SendMsgs
+		for i := range agg.RecvOccupancy {
+			agg.RecvOccupancy[i] += s.RecvOccupancy[i]
+			agg.SendOccupancy[i] += s.SendOccupancy[i]
+		}
+	}
+	res := RunResult{Ops: ops.Load(), Duration: elapsed, Errors: errs.Load()}
+	sysPerOp := 0.0
+	if res.Ops > 0 {
+		sysPerOp = float64(agg.Syscalls()) / float64(res.Ops)
+	}
+	extra := map[string]float64{
+		"syscalls_per_op":      sysPerOp,
+		"recv_batch_occupancy": agg.RecvPerCall(),
+		"send_batch_occupancy": agg.SendPerCall(),
+	}
+	opts.record("swarm", fmt.Sprintf("udp_loopback_%dc", sw.UDPClients), res, extra)
+	fmt.Fprintf(w, "\nSwarm UDP — %d pipelined clients over loopback sockets (replica-side syscall counters)\n", sw.UDPClients)
+	fmt.Fprintf(w, "%-24s %8s %10s %8s %13s %10s %10s\n",
+		"Name", "TPS", "ops", "errors", "syscalls/op", "recv-occ", "send-occ")
+	fmt.Fprintf(w, "%-24s %8.0f %10d %8d %13.2f %10.2f %10.2f\n",
+		fmt.Sprintf("udp_loopback_%dc", sw.UDPClients), res.TPS(), res.Ops, res.Errors,
+		sysPerOp, agg.RecvPerCall(), agg.SendPerCall())
+	return nil
+}

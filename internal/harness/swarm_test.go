@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// swarmTestOpts is fastOpts with a session cap small enough that a modest
+// client population overflows it, and a hello cadence fast enough that an
+// evicted client readmits itself within the test budget.
+func swarmTestOpts(cap int) core.Options {
+	o := fastOpts()
+	o.MaxClientSessions = cap
+	o.HelloInterval = 50 * time.Millisecond
+	o.CheckpointInterval = 16
+	return o
+}
+
+// TestSessionEvictionChurn overflows a capped session table with more
+// clients than it can hold and proves the eviction contract: the table
+// never exceeds its cap, evictions actually happen, every operation
+// completes (evicted clients readmit via hello and retransmit), and the
+// dedup windows survive eviction — each increment lands exactly once.
+func TestSessionEvictionChurn(t *testing.T) {
+	const (
+		cap        = 8
+		numClients = 24
+		incs       = 20
+	)
+	c, err := NewCluster(ClusterOptions{
+		Opts:       swarmTestOpts(cap),
+		NumClients: numClients,
+		Seed:       11,
+		App:        NewCounterFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Every client performs one keyed bump. With 24 identities over an
+	// 8-session cap, admission of the later clients must evict the
+	// earlier ones.
+	for i := 0; i < numClients; i++ {
+		cl, err := c.Client(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invokeMust(t, cl, "bump key-"+string(rune('a'+i%16)))
+		cl.Close()
+	}
+
+	s := swarmProbe(c)
+	if s.sessions > cap {
+		t.Fatalf("session table holds %d sessions, cap is %d", s.sessions, cap)
+	}
+	if s.evictions == 0 {
+		t.Fatalf("%d clients over a cap of %d must evict, counter is 0", numClients, cap)
+	}
+
+	// Client 0 was evicted long ago. Its increments must still complete
+	// (readmission via hello + retransmission) and land exactly once
+	// despite the retransmissions eviction forces.
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < incs; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	resp := invokeMust(t, cl, "get")
+	if got := binary.BigEndian.Uint64(resp); got != incs {
+		t.Fatalf("counter = %d, want %d: increments were dropped or replayed", got, incs)
+	}
+}
+
+// TestSwarmSmoke runs the full swarm experiment at toy scale — both the
+// mem-transport churn phase and the loopback-UDP phase — and checks the
+// recorded rows: zero errors, sessions bounded by the cap, evictions
+// observed, and the syscall counters populated.
+func TestSwarmSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	var rows []ExperimentResult
+	opts := ExperimentOptions{
+		Duration:    2 * time.Second,
+		RequestSize: 64,
+		Seed:        7,
+		Out:         io.Discard,
+		Record:      func(r ExperimentResult) { rows = append(rows, r) },
+	}
+	sw := SwarmOptions{
+		Clients:       60,
+		MaxSessions:   40,
+		ChurnEvery:    8,
+		Depth:         1,
+		HelloInterval: 200 * time.Millisecond,
+		UDPClients:    8,
+	}
+	if err := RunSwarm(opts, sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("recorded %d rows, want 2 (mem churn + udp loopback)", len(rows))
+	}
+
+	churn := rows[0]
+	if churn.Name != "mem_churn_60c" {
+		t.Fatalf("row 0 = %q, want mem_churn_60c", churn.Name)
+	}
+	if churn.Errors != 0 {
+		t.Fatalf("churn phase: %d client errors (eviction must stall, never fail, an op)", churn.Errors)
+	}
+	if churn.Ops == 0 {
+		t.Fatal("churn phase completed no operations")
+	}
+	if peak := churn.Extra["sessions_peak"]; peak <= 0 || peak > float64(sw.MaxSessions) {
+		t.Fatalf("sessions_peak = %v, want in (0, %d]", peak, sw.MaxSessions)
+	}
+	if churn.Extra["evictions"] == 0 {
+		t.Fatal("60 churning clients over a 40-session cap produced no evictions")
+	}
+
+	udp := rows[1]
+	if udp.Name != "udp_loopback_8c" {
+		t.Fatalf("row 1 = %q, want udp_loopback_8c", udp.Name)
+	}
+	if udp.Errors != 0 {
+		t.Fatalf("udp phase: %d client errors", udp.Errors)
+	}
+	if udp.Ops == 0 {
+		t.Fatal("udp phase completed no operations")
+	}
+	if udp.Extra["syscalls_per_op"] <= 0 {
+		t.Fatal("udp phase recorded no syscalls: batch counters are not wired")
+	}
+	if udp.Extra["recv_batch_occupancy"] < 1 {
+		t.Fatalf("recv occupancy = %v, want >= 1", udp.Extra["recv_batch_occupancy"])
+	}
+}

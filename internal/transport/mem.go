@@ -84,6 +84,19 @@ const recvBuffer = 8192
 
 // Listen attaches a new endpoint at addr.
 func (n *Network) Listen(addr string) (*MemConn, error) {
+	return n.ListenBuffered(addr, recvBuffer)
+}
+
+// ListenBuffered attaches a new endpoint with an explicit inbound queue
+// length (depth <= 0 means the default recvBuffer). Channel buffers
+// allocate eagerly, so a swarm of thousands of client endpoints would pay
+// recvBuffer slots each; clients expect at most a few replies per in-flight
+// request and get by with a tiny queue, while replicas keep the full
+// socket-buffer-sized one.
+func (n *Network) ListenBuffered(addr string, depth int) (*MemConn, error) {
+	if depth <= 0 {
+		depth = recvBuffer
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -95,7 +108,7 @@ func (n *Network) Listen(addr string) (*MemConn, error) {
 	c := &MemConn{
 		net:  n,
 		addr: addr,
-		ch:   make(chan Packet, recvBuffer),
+		ch:   make(chan Packet, depth),
 	}
 	n.endpoints[addr] = c
 	return c, nil

@@ -1,0 +1,356 @@
+//go:build linux
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/wire"
+)
+
+// Linux syscall batching: recvmmsg drains up to udpBatch datagrams per
+// syscall into pooled ring buffers, sendmmsg pushes a Broadcast fan-out
+// out in one call. Both integrate with the Go netpoller through
+// syscall.RawConn — the raw calls use MSG_DONTWAIT and return "not ready"
+// on EAGAIN so the runtime parks the goroutine instead of spinning.
+//
+// Everything here sticks to the stdlib syscall package (no external
+// deps): struct mmsghdr is declared locally and the calls go through
+// Syscall6 with SYS_RECVMMSG / SYS_SENDMMSG.
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// per-message byte count filled in by the kernel. Go pads the trailing
+// uint32 to the struct's 8-byte alignment, matching the kernel layout.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)),
+		uintptr(flags), 0, 0)
+	return int(n), e
+}
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)),
+		uintptr(flags), 0, 0)
+	return int(n), e
+}
+
+// rawSockaddr is a destination address in the kernel's wire form,
+// precomputed at resolve time. len == 0 means the address could not be
+// encoded (the send path then falls back to WriteToUDP).
+type rawSockaddr struct {
+	data syscall.RawSockaddrInet6 // large enough for Inet4 too
+	len  uint32
+}
+
+// fillRawSockaddr precomputes the sockaddr bytes for a resolved peer.
+func fillRawSockaddr(pa *peerAddr) {
+	ip := pa.ua.IP
+	if ip4 := ip.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&pa.raw.data))
+		sa.Family = syscall.AF_INET
+		putBEPort(&sa.Port, pa.ua.Port)
+		copy(sa.Addr[:], ip4)
+		pa.raw.len = syscall.SizeofSockaddrInet4
+		return
+	}
+	if ip16 := ip.To16(); ip16 != nil {
+		sa := &pa.raw.data
+		sa.Family = syscall.AF_INET6
+		putBEPort(&sa.Port, pa.ua.Port)
+		copy(sa.Addr[:], ip16)
+		// Zone/scope ids are not encoded; such addresses fall back to
+		// WriteToUDP below by leaving len at 0.
+		if pa.ua.Zone == "" {
+			pa.raw.len = syscall.SizeofSockaddrInet6
+		}
+	}
+}
+
+// putBEPort stores a port in network byte order regardless of host
+// endianness (the raw sockaddr Port field is a native uint16 holding
+// big-endian bytes).
+func putBEPort(dst *uint16, port int) {
+	p := (*[2]byte)(unsafe.Pointer(dst))
+	p[0] = byte(port >> 8)
+	p[1] = byte(port)
+}
+
+// bePort reads a network-byte-order port from a raw sockaddr field.
+func bePort(src *uint16) int {
+	p := (*[2]byte)(unsafe.Pointer(src))
+	return int(p[0])<<8 | int(p[1])
+}
+
+// recvBatcher is the receive side: one recvmmsg call fills up to udpBatch
+// pooled ring buffers. It is used by the single readLoop goroutine only.
+type recvBatcher struct {
+	c    *UDPConn
+	rc   syscall.RawConn
+	msgs []recvMsg
+
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	bufs  [][]byte
+
+	// fromCache interns sender address strings keyed by raw sockaddr
+	// bytes, so a swarm of stable peers costs no per-packet allocation
+	// for the From field.
+	fromCache map[string]string
+}
+
+func newRecvBatcher(c *UDPConn) *recvBatcher {
+	b := &recvBatcher{c: c, msgs: make([]recvMsg, udpBatch)}
+	rc, err := c.sock.SyscallConn()
+	if err != nil {
+		// No raw access: degrade to the portable single-datagram path.
+		b.msgs = b.msgs[:1]
+		return b
+	}
+	b.rc = rc
+	b.hdrs = make([]mmsghdr, udpBatch)
+	b.iovs = make([]syscall.Iovec, udpBatch)
+	b.names = make([]syscall.RawSockaddrInet6, udpBatch)
+	b.bufs = make([][]byte, udpBatch)
+	b.fromCache = make(map[string]string)
+	for i := range b.hdrs {
+		b.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&b.names[i]))
+		b.hdrs[i].hdr.Iov = &b.iovs[i]
+		b.hdrs[i].hdr.Iovlen = 1
+	}
+	return b
+}
+
+// fill blocks until at least one datagram arrives and returns how many of
+// b.msgs are populated. The caller takes ownership of each msg's buffer.
+func (b *recvBatcher) fill() (int, error) {
+	if b.rc == nil {
+		return b.fillSingle()
+	}
+	// Re-arm: every slot needs a fresh pooled buffer (delivered buffers
+	// belong to the consumer now) and reset name/flags fields (the kernel
+	// overwrites them per call).
+	for i := range b.hdrs {
+		if b.bufs[i] == nil {
+			buf := wire.GetBuf(b.c.recvBuf)[:b.c.recvBuf]
+			b.bufs[i] = buf
+			b.iovs[i].Base = &buf[0]
+			b.iovs[i].SetLen(len(buf))
+		}
+		b.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+		b.hdrs[i].hdr.Flags = 0
+		b.hdrs[i].msgLen = 0
+	}
+	var n int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		n, errno = recvmmsg(fd, b.hdrs, syscall.MSG_DONTWAIT)
+		return !(errno == syscall.EAGAIN || errno == syscall.EINTR)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < n; i++ {
+		ln := int(b.hdrs[i].msgLen)
+		if ln > len(b.bufs[i]) {
+			ln = len(b.bufs[i])
+		}
+		b.msgs[i] = recvMsg{
+			buf:       b.bufs[i][:ln],
+			from:      b.fromString(i),
+			truncated: b.hdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0,
+		}
+		b.bufs[i] = nil
+	}
+	b.c.noteRecvBatch(n)
+	return n, nil
+}
+
+// fillSingle is the degraded one-datagram-per-call path (no RawConn).
+func (b *recvBatcher) fillSingle() (int, error) {
+	buf := wire.GetBuf(b.c.recvBuf)[:b.c.recvBuf]
+	n, _, flags, from, err := b.c.sock.ReadMsgUDP(buf, nil)
+	if err != nil {
+		wire.PutBuf(buf)
+		return 0, err
+	}
+	b.msgs[0] = recvMsg{buf: buf[:n], from: from.String(), truncated: flags&msgTrunc != 0}
+	b.c.noteRecvBatch(1)
+	return 1, nil
+}
+
+// fromString interns the sender address of message i.
+func (b *recvBatcher) fromString(i int) string {
+	sa := &b.names[i]
+	nl := int(b.hdrs[i].hdr.Namelen)
+	if nl > syscall.SizeofSockaddrInet6 {
+		nl = syscall.SizeofSockaddrInet6
+	}
+	key := (*[syscall.SizeofSockaddrInet6]byte)(unsafe.Pointer(sa))[:nl]
+	if s, ok := b.fromCache[string(key)]; ok {
+		return s
+	}
+	var ua net.UDPAddr
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		ua.IP = net.IPv4(sa4.Addr[0], sa4.Addr[1], sa4.Addr[2], sa4.Addr[3])
+		ua.Port = bePort(&sa4.Port)
+	case syscall.AF_INET6:
+		ua.IP = append(net.IP(nil), sa.Addr[:]...)
+		ua.Port = bePort(&sa.Port)
+	default:
+		return "?"
+	}
+	s := ua.String()
+	if len(b.fromCache) > 1<<16 {
+		// A hostile sender space cannot grow the intern table without
+		// bound; stable swarms re-intern after a reset.
+		clear(b.fromCache)
+	}
+	b.fromCache[string(key)] = s
+	return s
+}
+
+// release returns any armed-but-undelivered buffers to the arena.
+func (b *recvBatcher) release() {
+	for i := range b.bufs {
+		if b.bufs[i] != nil {
+			wire.PutBuf(b.bufs[i])
+			b.bufs[i] = nil
+		}
+	}
+}
+
+// sendBatcher is the send side: one sendmmsg call pushes a fan-out chunk.
+// Guarded by UDPConn.sendMu.
+type sendBatcher struct {
+	c    *UDPConn
+	rc   syscall.RawConn
+	hdrs []mmsghdr
+	iov  syscall.Iovec
+}
+
+func newSendBatcher(c *UDPConn) *sendBatcher {
+	b := &sendBatcher{c: c}
+	if sysSENDMMSG == 0 {
+		return b // architecture without a sendmmsg number: fall back
+	}
+	rc, err := c.sock.SyscallConn()
+	if err != nil {
+		return b // rc == nil: fall back to WriteToUDP per destination
+	}
+	b.rc = rc
+	b.hdrs = make([]mmsghdr, udpBatch)
+	return b
+}
+
+// sendBatch fans data out to every address, coalescing destinations into
+// sendmmsg calls of up to udpBatch messages.
+func (c *UDPConn) sendBatch(addrs []string, data []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.sender == nil {
+		c.sender = newSendBatcher(c)
+	}
+	return c.sender.send(addrs, data)
+}
+
+func (b *sendBatcher) send(addrs []string, data []byte) error {
+	var first error
+	if b.rc == nil || len(data) == 0 {
+		for _, to := range addrs {
+			if err := b.sendOne(to, data); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	b.iov.Base = &data[0]
+	b.iov.SetLen(len(data))
+	i := 0
+	for i < len(addrs) {
+		cnt := 0
+		for cnt < len(b.hdrs) && i < len(addrs) {
+			pa, err := b.c.resolve(addrs[i])
+			i++
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			if pa.raw.len == 0 {
+				// Address with no raw encoding (e.g. zoned IPv6): plain
+				// sendto.
+				if _, err := b.c.sock.WriteToUDP(data, pa.ua); err != nil && first == nil {
+					first = err
+				}
+				b.c.noteSendBatch(1)
+				continue
+			}
+			h := &b.hdrs[cnt]
+			h.hdr.Name = (*byte)(unsafe.Pointer(&pa.raw.data))
+			h.hdr.Namelen = pa.raw.len
+			h.hdr.Iov = &b.iov
+			h.hdr.Iovlen = 1
+			h.hdr.Flags = 0
+			h.msgLen = 0
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		if err := b.flush(cnt); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flush pushes hdrs[0:cnt] through sendmmsg, retrying partial sends.
+func (b *sendBatcher) flush(cnt int) error {
+	off := 0
+	for off < cnt {
+		var n int
+		var errno syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			n, errno = sendmmsg(fd, b.hdrs[off:cnt], syscall.MSG_DONTWAIT)
+			return !(errno == syscall.EAGAIN || errno == syscall.EINTR)
+		})
+		if err != nil {
+			return err
+		}
+		if errno != 0 {
+			return errno
+		}
+		if n <= 0 {
+			return syscall.EIO
+		}
+		b.c.noteSendBatch(n)
+		off += n
+	}
+	return nil
+}
+
+// sendOne is the per-destination fallback.
+func (b *sendBatcher) sendOne(to string, data []byte) error {
+	pa, err := b.c.resolve(to)
+	if err != nil {
+		return err
+	}
+	_, err = b.c.sock.WriteToUDP(data, pa.ua)
+	b.c.noteSendBatch(1)
+	return err
+}

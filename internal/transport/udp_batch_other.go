@@ -1,0 +1,58 @@
+//go:build !linux
+
+package transport
+
+import "repro/internal/wire"
+
+// Portable fallback: no recvmmsg/sendmmsg, so every syscall moves exactly
+// one datagram. The batching counters still run (occupancy is always 1),
+// keeping the observability surface identical across platforms.
+
+// rawSockaddr has no content off Linux; peer resolution keeps only the
+// net-layer address.
+type rawSockaddr struct{}
+
+func fillRawSockaddr(*peerAddr) {}
+
+// recvBatcher receives one datagram per fill call.
+type recvBatcher struct {
+	c    *UDPConn
+	msgs []recvMsg
+}
+
+func newRecvBatcher(c *UDPConn) *recvBatcher {
+	return &recvBatcher{c: c, msgs: make([]recvMsg, 1)}
+}
+
+func (b *recvBatcher) fill() (int, error) {
+	buf := wire.GetBuf(b.c.recvBuf)[:b.c.recvBuf]
+	n, _, flags, from, err := b.c.sock.ReadMsgUDP(buf, nil)
+	if err != nil {
+		wire.PutBuf(buf)
+		return 0, err
+	}
+	b.msgs[0] = recvMsg{buf: buf[:n], from: from.String(), truncated: flags&msgTrunc != 0}
+	b.c.noteRecvBatch(1)
+	return 1, nil
+}
+
+func (b *recvBatcher) release() {}
+
+// sendBatcher exists only to satisfy the UDPConn field; sends go one
+// WriteToUDP at a time.
+type sendBatcher struct{}
+
+func (c *UDPConn) sendBatch(addrs []string, data []byte) error {
+	var first error
+	for _, to := range addrs {
+		pa, err := c.resolve(to)
+		if err == nil {
+			_, err = c.sock.WriteToUDP(data, pa.ua)
+			c.noteSendBatch(1)
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package transport
+
+// sendmmsg(2) on linux/amd64 (the stdlib syscall table stops before it).
+const sysSENDMMSG = 307

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package transport
+
+// sendmmsg(2) on linux/arm64 (the stdlib syscall table stops before it).
+const sysSENDMMSG = 269

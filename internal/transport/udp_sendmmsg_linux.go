@@ -1,0 +1,8 @@
+//go:build linux && !amd64 && !arm64
+
+package transport
+
+// The stdlib syscall package predates sendmmsg, so its number is declared
+// locally per architecture. 0 disables the batched send path (the send
+// side falls back to one sendto per destination; recvmmsg still batches).
+const sysSENDMMSG = 0

@@ -188,11 +188,32 @@ func (e *Envelope) Marshal() []byte {
 // unmodified for as long as the envelope or anything decoded by reference
 // from it is in use.
 func UnmarshalEnvelope(b []byte) (*Envelope, error) {
-	r := NewReader(b)
-	e := &Envelope{
-		Type:   MsgType(r.U8()),
-		Sender: r.U32(),
+	e := new(Envelope)
+	if err := UnmarshalEnvelopeInto(e, b); err != nil {
+		return nil, err
 	}
+	return e, nil
+}
+
+// Reset clears the envelope for reuse, keeping the Auth.Tags backing
+// array so a following UnmarshalEnvelopeInto decodes without allocating.
+// The caller must own the envelope exclusively (nothing may still alias
+// its previous contents).
+func (e *Envelope) Reset() {
+	tags := e.Auth.Tags[:0]
+	*e = Envelope{}
+	e.Auth.Tags = tags
+}
+
+// UnmarshalEnvelopeInto is UnmarshalEnvelope decoding into a caller-owned
+// (typically pooled) envelope: no Envelope and no Auth.Tags allocation in
+// steady state. On error the envelope is left reset. The same aliasing
+// contract applies: Payload, Sig and the memoized raw form alias b.
+func UnmarshalEnvelopeInto(e *Envelope, b []byte) error {
+	e.Reset()
+	r := NewReader(b)
+	e.Type = MsgType(r.U8())
+	e.Sender = r.U32()
 	e.Payload = r.Bytes32Ref()
 	e.Kind = AuthKind(r.U8())
 	switch e.Kind {
@@ -201,24 +222,29 @@ func UnmarshalEnvelope(b []byte) (*Envelope, error) {
 		e.Sig = r.Bytes32Ref()
 	case AuthMAC:
 		if r.Err() == nil {
-			auth, n, ok := crypto.UnmarshalAuthenticator(b[r.Offset():])
+			n, ok := crypto.UnmarshalAuthenticatorInto(&e.Auth, b[r.Offset():])
 			if !ok {
-				return nil, ErrTruncated
+				e.Reset()
+				return ErrTruncated
 			}
-			e.Auth = auth
 			r.Skip(n)
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown auth kind %d", e.Kind)
+		kind := e.Kind
+		e.Reset()
+		return fmt.Errorf("wire: unknown auth kind %d", kind)
 	}
 	if err := r.Done(); err != nil {
-		return nil, err
+		e.Reset()
+		return err
 	}
 	if e.Type == MTInvalid || e.Type > MTStatus {
-		return nil, fmt.Errorf("wire: unknown message type %d", e.Type)
+		t := e.Type
+		e.Reset()
+		return fmt.Errorf("wire: unknown message type %d", t)
 	}
 	// The input buffer IS the wire form; callers that relay or store the
 	// envelope (Raw) reuse it instead of re-marshaling.
 	e.raw = b
-	return e, nil
+	return nil
 }

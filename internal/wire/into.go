@@ -1,0 +1,45 @@
+package wire
+
+// Decode-into variants of the standalone unmarshal functions, for the
+// pooled ingress path: the destination struct is caller-owned (an inline
+// field of a recycled message slot), so a steady-state decode performs no
+// allocation. Each function is a typed wrapper (rather than one generic
+// helper over a Decode interface) so the Reader stays on the caller's
+// stack.
+
+// UnmarshalPrepareInto parses a standalone Prepare into m.
+func UnmarshalPrepareInto(m *Prepare, b []byte) error {
+	r := NewReader(b)
+	m.Decode(r)
+	return r.Done()
+}
+
+// UnmarshalCommitInto parses a standalone Commit into m.
+func UnmarshalCommitInto(m *Commit, b []byte) error {
+	r := NewReader(b)
+	m.Decode(r)
+	return r.Done()
+}
+
+// UnmarshalCheckpointInto parses a standalone Checkpoint into m.
+func UnmarshalCheckpointInto(m *Checkpoint, b []byte) error {
+	r := NewReader(b)
+	m.Decode(r)
+	return r.Done()
+}
+
+// UnmarshalStatusInto parses a standalone Status into m.
+func UnmarshalStatusInto(m *Status, b []byte) error {
+	r := NewReader(b)
+	m.Decode(r)
+	return r.Done()
+}
+
+// UnmarshalSessionHelloInto parses a standalone SessionHello into m. The
+// Addr and PubKey fields are copies (Decode copies them), so the hello
+// outlives the input buffer.
+func UnmarshalSessionHelloInto(m *SessionHello, b []byte) error {
+	r := NewReader(b)
+	m.Decode(r)
+	return r.Done()
+}

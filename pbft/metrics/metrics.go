@@ -74,8 +74,17 @@ type Metrics struct {
 
 	now func() time.Time
 
-	infoMu sync.Mutex
-	infos  []*replicaInfoSource
+	infoMu     sync.Mutex
+	infos      []*replicaInfoSource
+	transports []transportSource
+}
+
+// transportSource is one registered UDP endpoint's syscall-batching
+// counter snapshot function. BatchStats reads are plain atomic loads, so
+// unlike replica gauges they need no timeout machinery.
+type transportSource struct {
+	id    uint32
+	stats func() pbft.BatchStats
 }
 
 // replicaInfoSource wraps one replica's Info func with single-flight,
@@ -143,6 +152,16 @@ func New() *Metrics {
 func (m *Metrics) AddReplica(id uint32, info func() pbft.ReplicaInfo) {
 	m.infoMu.Lock()
 	m.infos = append(m.infos, &replicaInfoSource{id: id, info: info})
+	m.infoMu.Unlock()
+}
+
+// AddTransport registers a UDP endpoint's syscall-batching counters
+// (UDPConn.BatchStats), exposed as the pbft_udp_* series: syscall and
+// datagram totals plus datagrams-per-syscall occupancy histograms.
+// Safe to call while serving.
+func (m *Metrics) AddTransport(id uint32, stats func() pbft.BatchStats) {
+	m.infoMu.Lock()
+	m.transports = append(m.transports, transportSource{id: id, stats: stats})
 	m.infoMu.Unlock()
 }
 
@@ -482,7 +501,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 
 	m.infoMu.Lock()
 	infos := append([]*replicaInfoSource(nil), m.infos...)
+	transports := append([]transportSource(nil), m.transports...)
 	m.infoMu.Unlock()
+	writeTransports(w, transports)
 	if len(infos) == 0 {
 		return
 	}
@@ -517,6 +538,67 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP pbft_view Current view.\n# TYPE pbft_view gauge\n")
 	for _, r := range rows {
 		fmt.Fprintf(w, "pbft_view{replica=\"%d\"} %d\n", r.id, r.info.View)
+	}
+	fmt.Fprintf(w, "# HELP pbft_client_sessions Clients currently holding live MAC session keys (bounded by Options.MaxClientSessions).\n# TYPE pbft_client_sessions gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_client_sessions{replica=\"%d\"} %d\n", r.id, r.info.ClientSessions)
+	}
+}
+
+// writeTransports renders the registered UDP endpoints' syscall-batching
+// counters: totals plus occupancy histograms over the fixed BatchStats
+// buckets (1, 2-3, 4-7, 8-15, 16+ datagrams per syscall).
+func writeTransports(w io.Writer, transports []transportSource) {
+	if len(transports) == 0 {
+		return
+	}
+	rows := make([]transportRow, 0, len(transports))
+	for _, src := range transports {
+		rows = append(rows, transportRow{id: src.id, s: src.stats()})
+	}
+	fmt.Fprintf(w, "# HELP pbft_udp_recv_syscalls_total Receive syscalls that returned at least one datagram.\n# TYPE pbft_udp_recv_syscalls_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_udp_recv_syscalls_total{replica=\"%d\"} %d\n", r.id, r.s.RecvCalls)
+	}
+	fmt.Fprintf(w, "# HELP pbft_udp_recv_datagrams_total Datagrams returned by receive syscalls.\n# TYPE pbft_udp_recv_datagrams_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_udp_recv_datagrams_total{replica=\"%d\"} %d\n", r.id, r.s.RecvMsgs)
+	}
+	fmt.Fprintf(w, "# HELP pbft_udp_send_syscalls_total Send syscalls issued.\n# TYPE pbft_udp_send_syscalls_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_udp_send_syscalls_total{replica=\"%d\"} %d\n", r.id, r.s.SendCalls)
+	}
+	fmt.Fprintf(w, "# HELP pbft_udp_send_datagrams_total Datagrams moved by send syscalls.\n# TYPE pbft_udp_send_datagrams_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pbft_udp_send_datagrams_total{replica=\"%d\"} %d\n", r.id, r.s.SendMsgs)
+	}
+	writeOccupancy(w, "pbft_udp_recv_batch_occupancy", "Datagrams per receive syscall.", rows,
+		func(s pbft.BatchStats) ([5]uint64, uint64, uint64) { return s.RecvOccupancy, s.RecvCalls, s.RecvMsgs })
+	writeOccupancy(w, "pbft_udp_send_batch_occupancy", "Datagrams per send syscall.", rows,
+		func(s pbft.BatchStats) ([5]uint64, uint64, uint64) { return s.SendOccupancy, s.SendCalls, s.SendMsgs })
+}
+
+// transportRow is one endpoint's counter snapshot at scrape time.
+type transportRow struct {
+	id uint32
+	s  pbft.BatchStats
+}
+
+// writeOccupancy renders one occupancy histogram per endpoint. The bucket
+// counts are syscalls, the sum is datagrams — so sum/count is the mean
+// batch occupancy, exactly like a latency histogram's mean.
+func writeOccupancy(w io.Writer, name, help string, rows []transportRow, pick func(pbft.BatchStats) ([5]uint64, uint64, uint64)) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, r := range rows {
+		occ, calls, msgs := pick(r.s)
+		cum := uint64(0)
+		for i, b := range pbft.BatchOccupancyBounds {
+			cum += occ[i]
+			fmt.Fprintf(w, "%s_bucket{replica=\"%d\",le=\"%d\"} %d\n", name, r.id, b, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{replica=\"%d\",le=\"+Inf\"} %d\n", name, r.id, calls)
+		fmt.Fprintf(w, "%s_sum{replica=\"%d\"} %d\n", name, r.id, msgs)
+		fmt.Fprintf(w, "%s_count{replica=\"%d\"} %d\n", name, r.id, calls)
 	}
 }
 

@@ -176,11 +176,23 @@ type (
 	PublicKey = crypto.PublicKey
 	// Conn is a datagram endpoint (UDP or in-memory).
 	Conn = transport.Conn
+	// UDPConn is the real-socket endpoint behind ListenUDP. Beyond Conn
+	// it exposes the syscall batching counters (BatchStats) that the
+	// observability surface and the swarm benchmark report.
+	UDPConn = transport.UDPConn
+	// BatchStats is a snapshot of a UDP endpoint's syscall batching
+	// counters: syscalls issued, datagrams moved, and the
+	// datagrams-per-syscall occupancy histograms.
+	BatchStats = transport.BatchStats
 	// Network is the in-memory fault-injecting network.
 	Network = transport.Network
 	// Faults configures link behaviour on the in-memory network.
 	Faults = transport.Faults
 )
+
+// BatchOccupancyBounds are the inclusive upper bounds of the first four
+// BatchStats occupancy buckets (the fifth is unbounded).
+var BatchOccupancyBounds = transport.BatchOccupancyBounds
 
 // Tracer event phase and kind values, re-exported for switch statements.
 const (
