@@ -15,6 +15,7 @@
 //	pbft-bench -experiment pipeline          # pipelined client vs client fleet
 //	pbft-bench -experiment exec -shards 4    # sharded execution engine
 //	pbft-bench -experiment swarm             # massive-connection ingress
+//	pbft-bench -experiment chaos             # Byzantine adversary suite under load
 //	pbft-bench -experiment all
 //
 // The -pipeline flag sets how many requests each load client keeps in
@@ -47,7 +48,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|chaos|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
@@ -137,6 +138,8 @@ func run() error {
 			sw.Depth = *pipeline
 			sw.UDPClients = *swarmUDP
 			return harness.RunSwarm(opts, sw)
+		case "chaos":
+			return harness.RunChaos(opts)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

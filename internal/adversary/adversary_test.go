@@ -1,0 +1,314 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fixture is a 4-replica key universe with replica 0 as the adversary.
+type fixture struct {
+	kps   []*crypto.KeyPair
+	pubs  []crypto.PublicKey
+	ident *Identity
+}
+
+func newFixture(t *testing.T, useMACs bool) *fixture {
+	t.Helper()
+	const n = 4
+	f := &fixture{kps: make([]*crypto.KeyPair, n), pubs: make([]crypto.PublicKey, n)}
+	for i := range f.kps {
+		kp, err := crypto.GenerateKeyPair(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.kps[i] = kp
+		f.pubs[i] = kp.Public()
+	}
+	ident, err := NewIdentity(0, f.kps[0], f.pubs, useMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ident = ident
+	return f
+}
+
+// verifyAs checks an envelope the way receiver id would.
+func (f *fixture) verifyAs(t *testing.T, id int, env *wire.Envelope) bool {
+	t.Helper()
+	switch env.Kind {
+	case wire.AuthMAC:
+		k, err := f.kps[id].SharedKey(f.pubs[env.Sender])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env.VerifyMACEntry(id, k)
+	case wire.AuthSig:
+		return env.VerifySig(f.pubs[env.Sender])
+	default:
+		return false
+	}
+}
+
+func (f *fixture) sealPrePrepare(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	pp := wire.PrePrepare{
+		View:   0,
+		Seq:    seq,
+		NonDet: (&wire.NonDet{Time: 42}).Marshal(),
+		Entries: []wire.BatchEntry{
+			{Full: true, Req: wire.Request{ClientID: 4, Timestamp: 1, Op: []byte("op")}},
+		},
+	}
+	return f.ident.Seal(&wire.Envelope{Type: wire.MTPrePrepare, Payload: pp.Marshal()})
+}
+
+func digestOf(t *testing.T, raw []byte) crypto.Digest {
+	t.Helper()
+	env, err := wire.UnmarshalEnvelope(raw)
+	if err != nil {
+		t.Fatalf("variant does not decode as an envelope: %v", err)
+	}
+	pp, err := wire.UnmarshalPrePrepare(env.Payload)
+	if err != nil {
+		t.Fatalf("variant does not decode as a pre-prepare: %v", err)
+	}
+	return pp.BatchDigest()
+}
+
+func TestEquivocatorDivergesPerDestination(t *testing.T) {
+	for _, useMACs := range []bool{true, false} {
+		f := newFixture(t, useMACs)
+		eq := NewEquivocator(f.ident)
+		orig := f.sealPrePrepare(t, 7)
+		origDigest := digestOf(t, orig)
+
+		toA := eq.Outgoing("a", orig)
+		toB := eq.Outgoing("b", orig)
+		if len(toA) != 2 || len(toB) != 2 {
+			t.Fatalf("want 2 variants per destination, got %d and %d", len(toA), len(toB))
+		}
+		seen := map[crypto.Digest]bool{origDigest: true}
+		for _, raw := range append(append([][]byte{}, toA...), toB...) {
+			d := digestOf(t, raw)
+			if seen[d] {
+				t.Fatalf("digest %x repeated — variants must pairwise disagree", d[:4])
+			}
+			seen[d] = true
+
+			env, err := wire.UnmarshalEnvelope(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if env.Sender != 0 {
+				t.Fatalf("variant sender = %d, want the adversary's identity 0", env.Sender)
+			}
+			for id := 1; id <= 3; id++ {
+				if !f.verifyAs(t, id, env) {
+					t.Fatalf("receiver %d rejected an equivocated variant (useMACs=%v) — the attack must authenticate", id, useMACs)
+				}
+			}
+			pp, err := wire.UnmarshalPrePrepare(env.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd, err := wire.UnmarshalNonDet(pp.NonDet)
+			if err != nil {
+				t.Fatalf("perturbed NonDet must stay decodable: %v", err)
+			}
+			if nd.Time != 42 {
+				t.Fatalf("NonDet.Time = %d, want 42 preserved (validators check it)", nd.Time)
+			}
+			if pp.View != 0 || pp.Seq != 7 {
+				t.Fatalf("slot moved: view=%d seq=%d", pp.View, pp.Seq)
+			}
+		}
+		// Determinism: the same destination yields the same variants.
+		again := eq.Outgoing("a", orig)
+		if !bytes.Equal(again[0], toA[0]) || !bytes.Equal(again[1], toA[1]) {
+			t.Fatal("equivocation schedule must be deterministic per destination")
+		}
+	}
+}
+
+func TestEquivocatorPassesThroughOtherTypes(t *testing.T) {
+	f := newFixture(t, true)
+	eq := NewEquivocator(f.ident)
+	p := wire.Prepare{View: 0, Seq: 1, Digest: crypto.DigestOf([]byte("d")), Replica: 0}
+	raw := f.ident.Seal(&wire.Envelope{Type: wire.MTPrepare, Payload: p.Marshal()})
+	out := eq.Outgoing("a", raw)
+	if len(out) != 1 || !bytes.Equal(out[0], raw) {
+		t.Fatal("non-pre-prepare traffic must pass through untouched")
+	}
+}
+
+func TestCorruptorBreaksAuthNotFraming(t *testing.T) {
+	f := newFixture(t, true)
+	c := NewCorruptor(1, 1, wire.MTPrepare)
+	p := wire.Prepare{View: 0, Seq: 3, Digest: crypto.DigestOf([]byte("d")), Replica: 0}
+	raw := f.ident.Seal(&wire.Envelope{Type: wire.MTPrepare, Payload: p.Marshal()})
+	pristine := append([]byte(nil), raw...)
+
+	out := c.Outgoing("a", raw)
+	if len(out) != 1 {
+		t.Fatalf("corruptor must emit exactly one frame, got %d", len(out))
+	}
+	if !bytes.Equal(raw, pristine) {
+		t.Fatal("corruptor mutated the caller's buffer")
+	}
+	if bytes.Equal(out[0], raw) {
+		t.Fatal("rate-1 corruptor left the frame intact")
+	}
+	env, err := wire.UnmarshalEnvelope(out[0])
+	if err != nil {
+		t.Fatalf("corrupt frame must keep valid framing, got %v", err)
+	}
+	if f.verifyAs(t, 1, env) {
+		t.Fatal("corrupt frame still authenticates")
+	}
+
+	// Unselected types pass through untouched.
+	ck := f.ident.Seal(&wire.Envelope{Type: wire.MTCommit, Payload: (&wire.Commit{View: 0, Seq: 3, Digest: crypto.DigestOf([]byte("d")), Replica: 0}).Marshal()})
+	if out := c.Outgoing("a", ck); len(out) != 1 || !bytes.Equal(out[0], ck) {
+		t.Fatal("commit should pass an MTPrepare-only corruptor untouched")
+	}
+}
+
+func TestWithholderAndGateOnConn(t *testing.T) {
+	f := newFixture(t, true)
+	n := transport.NewNetwork(1)
+	defer n.Close()
+	raw0, err := n.Listen("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := n.Listen("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(NewWithholder(wire.MTPrepare))
+	conn := Wrap(raw0, gate)
+
+	prep := f.ident.Seal(&wire.Envelope{Type: wire.MTPrepare, Payload: (&wire.Prepare{View: 0, Seq: 1, Digest: crypto.DigestOf([]byte("d")), Replica: 0}).Marshal()})
+	cmt := f.ident.Seal(&wire.Envelope{Type: wire.MTCommit, Payload: (&wire.Commit{View: 0, Seq: 1, Digest: crypto.DigestOf([]byte("d")), Replica: 0}).Marshal()})
+
+	// Disarmed: everything flows.
+	if err := conn.Send("r1", prep); err != nil {
+		t.Fatal(err)
+	}
+	recvPacket(t, r1)
+
+	// Armed: prepares vanish, commits flow.
+	gate.Arm()
+	if err := conn.Send("r1", prep); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send("r1", cmt); err != nil {
+		t.Fatal(err)
+	}
+	got := recvPacket(t, r1)
+	env, err := wire.UnmarshalEnvelope(got.Data)
+	if err != nil || env.Type != wire.MTCommit {
+		t.Fatalf("expected the commit to arrive (prepare withheld), got type %v err %v", env.Type, err)
+	}
+}
+
+func TestChainComposes(t *testing.T) {
+	double := BehaviorFunc(func(_ string, data []byte) [][]byte { return [][]byte{data, data} })
+	var dropped int
+	dropSecond := BehaviorFunc(func(_ string, data []byte) [][]byte {
+		dropped++
+		if dropped%2 == 0 {
+			return nil
+		}
+		return [][]byte{data}
+	})
+	out := Chain(double, dropSecond).Outgoing("a", []byte("x"))
+	if len(out) != 1 || string(out[0]) != "x" {
+		t.Fatalf("chain output = %v, want one surviving frame", out)
+	}
+	suppress := BehaviorFunc(func(string, []byte) [][]byte { return nil })
+	if out := Chain(double, suppress).Outgoing("a", []byte("y")); out != nil {
+		t.Fatal("a suppressing stage must empty the chain")
+	}
+}
+
+func TestReplayerCaptures(t *testing.T) {
+	f := newFixture(t, false)
+	r := NewReplayer(wire.MTViewChange)
+	vc := f.ident.Seal(&wire.Envelope{Type: wire.MTViewChange, Payload: []byte("body")})
+	other := f.ident.Seal(&wire.Envelope{Type: wire.MTCommit, Payload: (&wire.Commit{Replica: 0}).Marshal()})
+
+	if out := r.Outgoing("a", vc); len(out) != 1 || !bytes.Equal(out[0], vc) {
+		t.Fatal("replayer must pass traffic through")
+	}
+	r.Outgoing("b", other)
+	caps := r.Captured()
+	if len(caps) != 1 || !bytes.Equal(caps[0], vc) {
+		t.Fatalf("captured %d frames, want just the view change", len(caps))
+	}
+	caps[0][0] ^= 0xFF
+	if got := r.Captured(); !bytes.Equal(got[0], vc) {
+		t.Fatal("Captured must return copies")
+	}
+}
+
+func TestSlowlorisHelloThenGarbage(t *testing.T) {
+	n := transport.NewNetwork(1)
+	defer n.Close()
+	atk, err := n.Listen("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := n.Listen("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := NewSlowloris(atk, 4, kp, []string{"r0"}, time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl.Start()
+	defer sl.Stop()
+
+	first := recvPacket(t, victim)
+	env, err := wire.UnmarshalEnvelope(first.Data)
+	if err != nil || env.Type != wire.MTSessionHello {
+		t.Fatalf("first packet must be a session hello, got err %v", err)
+	}
+	if !env.VerifySig(kp.Public()) {
+		t.Fatal("hello must carry a genuine signature")
+	}
+	var sawGarbage bool
+	for i := 0; i < 8 && !sawGarbage; i++ {
+		p := recvPacket(t, victim)
+		if _, err := wire.UnmarshalEnvelope(p.Data); err != nil {
+			sawGarbage = true
+		}
+	}
+	if !sawGarbage {
+		t.Fatal("trickle never produced undecodable bytes")
+	}
+}
+
+func recvPacket(t *testing.T, c *transport.MemConn) transport.Packet {
+	t.Helper()
+	select {
+	case p, ok := <-c.Recv():
+		if !ok {
+			t.Fatal("conn closed")
+		}
+		return p
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a packet")
+	}
+	panic("unreachable")
+}

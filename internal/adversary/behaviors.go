@@ -1,0 +1,178 @@
+package adversary
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// typeSet builds the message-type filter shared by the selective
+// behaviors. An empty set matches every type.
+func typeSet(types []wire.MsgType) map[wire.MsgType]bool {
+	if len(types) == 0 {
+		return nil
+	}
+	s := make(map[wire.MsgType]bool, len(types))
+	for _, t := range types {
+		s[t] = true
+	}
+	return s
+}
+
+func matches(s map[wire.MsgType]bool, t wire.MsgType) bool {
+	return s == nil || s[t]
+}
+
+// Equivocator turns a primary Byzantine in the classic sense: every
+// outgoing pre-prepare is replaced by per-destination variants with
+// perturbed non-deterministic payloads, so each backup is told a
+// different batch digest for the same (view, sequence) slot. Two
+// variants go to each destination, so every backup also *observes* the
+// equivocation directly (its second variant conflicts with its first,
+// incrementing ConflictingPrePrepares) rather than only discovering it
+// through a failed prepare quorum.
+//
+// The perturbation touches only NonDet.Rand — the timestamp survives,
+// so every variant passes the receiver's non-determinism validation and
+// the attack targets agreement, not input sanitation. Variants are
+// re-sealed under the adversary's real identity: equivocation is an
+// attack on consistency, not on the authenticator.
+type Equivocator struct {
+	ident *Identity
+}
+
+// NewEquivocator builds an equivocator sealing as ident.
+func NewEquivocator(ident *Identity) *Equivocator { return &Equivocator{ident: ident} }
+
+// Outgoing implements Behavior.
+func (e *Equivocator) Outgoing(to string, data []byte) [][]byte {
+	env, err := wire.UnmarshalEnvelope(data)
+	if err != nil || env.Type != wire.MTPrePrepare {
+		return [][]byte{data}
+	}
+	pp, err := wire.UnmarshalPrePrepare(env.Payload)
+	if err != nil || len(pp.Entries) == 0 {
+		return [][]byte{data}
+	}
+	nd, err := wire.UnmarshalNonDet(pp.NonDet)
+	if err != nil {
+		return [][]byte{data}
+	}
+	// Derive the per-destination perturbation from the address so the
+	// schedule is deterministic for a fixed cluster layout.
+	mask := crypto.DigestOf([]byte(to))
+	out := make([][]byte, 0, 2)
+	for variant := byte(1); variant <= 2; variant++ {
+		ndv := *nd
+		for i := 0; i < 8; i++ {
+			ndv.Rand[i] ^= mask[i]
+		}
+		ndv.Rand[len(ndv.Rand)-1] ^= variant
+		ppv := wire.PrePrepare{View: pp.View, Seq: pp.Seq, NonDet: ndv.Marshal(), Entries: pp.Entries}
+		out = append(out, e.ident.Seal(&wire.Envelope{Type: wire.MTPrePrepare, Payload: ppv.Marshal()}))
+	}
+	return out
+}
+
+// Corruptor flips a bit inside the authenticated payload of matching
+// messages, leaving the envelope framing intact: receivers decode the
+// envelope, fail MAC/signature verification, and count the packet in
+// DroppedBadAuth — the paper's "corrupt authenticator" fault, visible
+// as pbft_drops_total{reason="auth"}.
+type Corruptor struct {
+	types map[wire.MsgType]bool
+	rate  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewCorruptor corrupts the given message types (all types when empty)
+// with the given probability, drawing from a deterministic seeded
+// stream.
+func NewCorruptor(seed int64, rate float64, types ...wire.MsgType) *Corruptor {
+	return &Corruptor{types: typeSet(types), rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Outgoing implements Behavior.
+func (c *Corruptor) Outgoing(to string, data []byte) [][]byte {
+	cp := append([]byte(nil), data...)
+	var env wire.Envelope
+	if err := wire.UnmarshalEnvelopeInto(&env, cp); err != nil || !matches(c.types, env.Type) || len(env.Payload) == 0 {
+		return [][]byte{data}
+	}
+	c.mu.Lock()
+	hit := c.rate >= 1 || c.rng.Float64() < c.rate
+	c.mu.Unlock()
+	if !hit {
+		return [][]byte{data}
+	}
+	env.Payload[0] ^= 0x80 // Payload aliases cp: the copy is now corrupt
+	return [][]byte{cp}
+}
+
+// Withholder silently drops matching outgoing messages — a replica that
+// participates in agreement but never votes (silent on prepare/commit),
+// or one that ghosts checkpoints. With at most f withholders the
+// protocol must mask the silence entirely.
+type Withholder struct {
+	types map[wire.MsgType]bool
+}
+
+// NewWithholder suppresses the given message types (all when empty).
+func NewWithholder(types ...wire.MsgType) *Withholder {
+	return &Withholder{types: typeSet(types)}
+}
+
+// Outgoing implements Behavior.
+func (w *Withholder) Outgoing(_ string, data []byte) [][]byte {
+	var env wire.Envelope
+	if err := wire.UnmarshalEnvelopeInto(&env, data); err == nil && matches(w.types, env.Type) {
+		return nil
+	}
+	return [][]byte{data}
+}
+
+// Replayer taps matching outgoing messages, recording their raw wire
+// form while passing them through unmodified. The captures are
+// genuinely signed envelopes, so a scenario can later re-inject them
+// from any endpoint — the stale view-change-proof replay the paper's
+// recovery discussion worries about. Receivers authenticate the replay
+// successfully (the signature is real) and must reject it on protocol
+// state alone.
+type Replayer struct {
+	types map[wire.MsgType]bool
+
+	mu       sync.Mutex
+	captured [][]byte
+}
+
+// NewReplayer captures the given message types (all when empty).
+func NewReplayer(types ...wire.MsgType) *Replayer {
+	return &Replayer{types: typeSet(types)}
+}
+
+// Outgoing implements Behavior.
+func (r *Replayer) Outgoing(_ string, data []byte) [][]byte {
+	var env wire.Envelope
+	if err := wire.UnmarshalEnvelopeInto(&env, data); err == nil && matches(r.types, env.Type) {
+		cp := append([]byte(nil), data...)
+		r.mu.Lock()
+		r.captured = append(r.captured, cp)
+		r.mu.Unlock()
+	}
+	return [][]byte{data}
+}
+
+// Captured returns copies of every datagram recorded so far.
+func (r *Replayer) Captured() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, len(r.captured))
+	for i, d := range r.captured {
+		out[i] = append([]byte(nil), d...)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// Identity holds the key material an adversarial replica needs to
+// re-authenticate envelopes it has tampered with. Equivocation only
+// works when every variant verifies: the attack is on consistency, not
+// on the authenticator.
+type Identity struct {
+	// ID is the replica identity envelopes are sealed as.
+	ID uint32
+
+	useMACs bool
+	kp      *crypto.KeyPair
+	macKeys []crypto.SessionKey // pairwise keys indexed by peer id; zero at ID
+}
+
+// NewIdentity derives the pairwise MAC keys (when useMACs) for replica
+// id against the group's public keys, mirroring how an honest replica
+// seals group traffic.
+func NewIdentity(id uint32, kp *crypto.KeyPair, peers []crypto.PublicKey, useMACs bool) (*Identity, error) {
+	ident := &Identity{ID: id, useMACs: useMACs, kp: kp}
+	if useMACs {
+		ident.macKeys = make([]crypto.SessionKey, len(peers))
+		for i, pub := range peers {
+			if uint32(i) == id {
+				continue
+			}
+			k, err := kp.SharedKey(pub)
+			if err != nil {
+				return nil, fmt.Errorf("adversary: pairwise key with replica %d: %w", i, err)
+			}
+			ident.macKeys[i] = k
+		}
+	}
+	return ident, nil
+}
+
+// Seal authenticates env as this identity and returns the wire form:
+// a full MAC authenticator in MAC mode, a signature otherwise.
+func (id *Identity) Seal(env *wire.Envelope) []byte {
+	env.Sender = id.ID
+	if id.useMACs {
+		env.Kind = wire.AuthMAC
+		env.Auth = crypto.ComputeAuthenticator(id.macKeys, env.SignedBytes())
+	} else {
+		env.Kind = wire.AuthSig
+		env.Sig = id.kp.Sign(env.SignedBytes())
+	}
+	return env.Marshal()
+}

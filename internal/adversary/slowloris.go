@@ -1,0 +1,101 @@
+package adversary
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Slowloris is a resource-exhaustion client: it establishes a genuine
+// MAC session with every replica (a validly signed hello from a real
+// provisioned identity, consuming a MaxClientSessions slot) and then
+// never issues a request — it just trickles undecodable bytes to keep
+// the connection warm. Replicas count the trickle in DroppedMalformed
+// and must evict the idle session by staleness; correct clients must
+// keep completing calls while the slot is occupied.
+type Slowloris struct {
+	conn     transport.Conn
+	targets  []string
+	hello    []byte
+	interval time.Duration
+	rng      *rand.Rand
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// helloTicks is how many trickle intervals pass between hello
+// retransmissions (the attacker re-pins its session slot the same way
+// an honest client refreshes authenticators).
+const helloTicks = 16
+
+// NewSlowloris builds the attacker for a provisioned client identity.
+// kp must be the client's real long-term key — the hello is honestly
+// signed; only what follows is garbage. seed fixes the trickle bytes.
+func NewSlowloris(conn transport.Conn, id uint32, kp *crypto.KeyPair, targets []string, interval time.Duration, seed int64) (*Slowloris, error) {
+	eph, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		return nil, err
+	}
+	h := wire.SessionHello{
+		ClientID: id,
+		Addr:     conn.Addr(),
+		PubKey:   crypto.MarshalPublicKey(crypto.PublicKey{Sign: kp.Public().Sign, DH: eph.Public().DH}),
+	}
+	env := &wire.Envelope{Type: wire.MTSessionHello, Sender: id, Payload: h.Marshal()}
+	env.SealSig(kp)
+	return &Slowloris{
+		conn:     conn,
+		targets:  append([]string(nil), targets...),
+		hello:    env.Marshal(),
+		interval: interval,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Start opens the session and begins the trickle in a background
+// goroutine. Call Stop to end it.
+func (s *Slowloris) Start() {
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run()
+}
+
+// Stop halts the trickle and waits for the goroutine to exit. The
+// session slot stays pinned replica-side until staleness eviction.
+func (s *Slowloris) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Slowloris) run() {
+	defer close(s.done)
+	s.sendAll(s.hello)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for tick := 1; ; tick++ {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if tick%helloTicks == 0 {
+			s.sendAll(s.hello)
+			continue
+		}
+		// A short undecodable dribble: too small to be an envelope, so
+		// ingress drops it as malformed at near-zero cost.
+		junk := make([]byte, 1+s.rng.Intn(7))
+		s.rng.Read(junk)
+		s.sendAll(junk)
+	}
+}
+
+func (s *Slowloris) sendAll(data []byte) {
+	for _, to := range s.targets {
+		_ = s.conn.Send(to, data)
+	}
+}

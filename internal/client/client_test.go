@@ -185,6 +185,63 @@ func TestDispatchAuthentication(t *testing.T) {
 	}
 }
 
+// TestDispatchDropsCorruptReplies: replies whose authenticator or
+// signature fails verification are dropped wholesale — they must not
+// count toward a reply quorum, complete a call early, or contribute view
+// votes — and a lying replica's divergent result must not reach the f+1
+// acceptance bar.
+func TestDispatchDropsCorruptReplies(t *testing.T) {
+	for _, mac := range []bool{true, false} {
+		name := "signatures"
+		if mac {
+			name = "macs"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, cl, rkeys := testSetup(t, mac)
+			call := pendingCall(cl, 5)
+
+			// f+1 matching replies with broken auth, all claiming a
+			// far-future view: every one must be dropped before the view
+			// votes or the reply quorum are touched.
+			for _, id := range []uint32{0, 1} {
+				rep := &wire.Reply{View: 9, Timestamp: 5, ClientID: 4, Replica: id, Result: []byte("ok")}
+				raw := sealReply(t, cfg, cl, rkeys, id, rep, mac)
+				raw[len(raw)-1] ^= 0xFF // break the auth tail, keep the framing
+				cl.dispatch(raw)
+			}
+			select {
+			case <-call.Done():
+				t.Fatal("corrupt replies completed the call")
+			default:
+			}
+			if v := cl.viewEstimate(); v != 0 {
+				t.Fatalf("corrupt replies moved the view estimate to %d, want 0", v)
+			}
+			if len(call.byDigest) != 0 {
+				t.Fatal("corrupt replies must not enter the reply quorum")
+			}
+
+			// One honest reply plus one lying (authentic but divergent
+			// result) reply: two votes, no matching pair, no completion.
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 0, mkReply(5, 0, "ok", false), mac))
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 2, mkReply(5, 2, "evil", false), mac))
+			select {
+			case <-call.Done():
+				t.Fatal("a lying replica's divergent result completed the call")
+			default:
+			}
+
+			// The second honest reply forms the f+1 matching quorum; the
+			// lie is outvoted.
+			cl.dispatch(sealReply(t, cfg, cl, rkeys, 1, mkReply(5, 1, "ok", false), mac))
+			result, err := call.Result()
+			if err != nil || string(result) != "ok" {
+				t.Fatalf("honest quorum must win, got %q/%v", result, err)
+			}
+		})
+	}
+}
+
 func TestDispatchUpdatesViewEstimate(t *testing.T) {
 	cfg, cl, rkeys := testSetup(t, false)
 	pendingCall(cl, 1)

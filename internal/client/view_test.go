@@ -84,7 +84,6 @@ func recvCount(conn transport.Conn, window time.Duration) int {
 // alone; a further timeout in the same view falls back to broadcast.
 func TestRetransmitRetargetsNewPrimary(t *testing.T) {
 	cfg, cl, rkeys, conns := viewTestSetup(t)
-	_ = cfg
 
 	call := cl.Submit(context.Background(), []byte("op"))
 	t.Cleanup(func() { call.finish(nil, ErrClosed) })
@@ -94,6 +93,25 @@ func TestRetransmitRetargetsNewPrimary(t *testing.T) {
 	}
 	if got := recvCount(conns[1], 50*time.Millisecond); got != 0 {
 		t.Fatalf("backup received %d requests before any timeout", got)
+	}
+
+	// Forged replies (broken signatures) claiming a far-future view must
+	// not steer targeting: a timeout now still broadcasts blindly instead
+	// of retargeting at a primary of the forger's choosing.
+	for _, id := range []uint32{1, 3} {
+		rep := &wire.Reply{View: 7, Timestamp: 999, ClientID: 4, Replica: id, Result: []byte("x")}
+		raw := sealReply(t, cfg, cl, rkeys, id, rep, false)
+		raw[len(raw)-1] ^= 0xFF // break the signature, keep the framing
+		cl.dispatch(raw)
+	}
+	if v := cl.viewEstimate(); v != 0 {
+		t.Fatalf("forged replies moved the view estimate to %d, want 0", v)
+	}
+	call.onTimeout()
+	for i := 0; i < 4; i++ {
+		if got := recvCount(conns[i], 100*time.Millisecond); got != 1 {
+			t.Fatalf("replica %d received %d requests in the post-forgery round, want 1 (blind broadcast)", i, got)
+		}
 	}
 
 	// Replies from two distinct replicas reveal view 2 (f+1 support).

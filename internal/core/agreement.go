@@ -183,6 +183,7 @@ func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, env *wire.Envelope, from
 			// Conflicting assignment from the primary: Byzantine
 			// behaviour; refuse (the liveness timer will eventually
 			// force a view change).
+			r.stats.ConflictingPrePrepares++
 			return
 		}
 		return // duplicate

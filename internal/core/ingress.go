@@ -43,9 +43,14 @@ const (
 	vDeliver verdict = iota
 	// vDropBadAuth drops the packet and counts it in DroppedBadAuth.
 	vDropBadAuth
+	// vDropMalformed drops a packet that failed structural decoding
+	// before (or instead of) authentication — garbage framing, truncated
+	// envelopes, undecodable request bodies. Counted in DroppedMalformed
+	// so chaos assertions can tell forged MACs from noise.
+	vDropMalformed
 	// vIgnore drops the packet silently (stale, malformed-but-
 	// authenticated, or not replica-bound) — mirroring the silent
-	// returns of the pre-pipeline handlers.
+	// returns of the pre-pipeline handlers. Counted in DroppedIgnored.
 	vIgnore
 )
 
@@ -298,7 +303,9 @@ type ingress struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
-	droppedBadAuth atomic.Uint64
+	droppedBadAuth   atomic.Uint64
+	droppedMalformed atomic.Uint64
+	droppedIgnored   atomic.Uint64
 }
 
 func newIngress(id uint32, n int, kp *crypto.KeyPair, replicaKeys []crypto.SessionKey, replicaPubs []crypto.PublicKey, workers int) *ingress {
@@ -369,7 +376,11 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
 			in.release(m)
+		case vDropMalformed:
+			in.droppedMalformed.Add(1)
+			in.release(m)
 		case vIgnore:
+			in.droppedIgnored.Add(1)
 			in.release(m)
 		}
 	}
@@ -473,7 +484,11 @@ func (in *ingress) forward() {
 		case vDropBadAuth:
 			in.droppedBadAuth.Add(1)
 			in.release(m)
+		case vDropMalformed:
+			in.droppedMalformed.Add(1)
+			in.release(m)
 		case vIgnore:
+			in.droppedIgnored.Add(1)
 			in.release(m)
 		}
 	}
@@ -483,7 +498,7 @@ func (in *ingress) forward() {
 // authentication, typed payload decode, digest warm-up.
 func (in *ingress) process(m *inMsg) {
 	if err := wire.UnmarshalEnvelopeInto(&m.env, m.raw); err != nil {
-		m.verdict = vDropBadAuth
+		m.verdict = vDropMalformed
 		return
 	}
 	env := &m.env
@@ -568,7 +583,7 @@ func (in *ingress) process(m *inMsg) {
 func (in *ingress) processRequest(m *inMsg, env *wire.Envelope) {
 	req, err := wire.UnmarshalRequest(env.Payload)
 	if err != nil {
-		m.verdict = vDropBadAuth
+		m.verdict = vDropMalformed
 		return
 	}
 	m.req = req

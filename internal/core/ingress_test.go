@@ -128,8 +128,8 @@ func TestIngressPerSenderFIFO(t *testing.T) {
 			t.Fatalf("delivery out of order at %d: got seq %d, want %d", i, seq, i+1)
 		}
 	}
-	if dropped := f.in.droppedBadAuth.Load(); dropped != total/5 {
-		t.Fatalf("dropped %d, want %d garbage packets", dropped, total/5)
+	if dropped := f.in.droppedMalformed.Load(); dropped != total/5 {
+		t.Fatalf("dropped %d malformed, want %d garbage packets", dropped, total/5)
 	}
 }
 
@@ -177,8 +177,9 @@ func TestIngressConcurrentBadAuthCounted(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	d.waitFor(func(i Info) bool { return i.Stats.DroppedBadAuth >= senders*perSender },
-		"all forged and garbage packets counted")
+	d.waitFor(func(i Info) bool {
+		return i.Stats.DroppedBadAuth+i.Stats.DroppedMalformed >= senders*perSender
+	}, "all forged and garbage packets counted")
 
 	// The replica still works: a legitimate pre-prepare + prepare pair
 	// drives agreement as usual.

@@ -138,13 +138,24 @@ type Stats struct {
 	ExecBarriers uint64
 	// DroppedBadAuth counts packets rejected for failed authentication,
 	// whether by the ingress verifier pool or by the protocol loop.
-	DroppedBadAuth  uint64
-	RejectedNonDet  uint64
-	WedgedNow       bool
-	SyncingNow      bool
-	JoinsExecuted   uint64
-	LeavesExecuted  uint64
-	SessionsEvicted uint64
+	DroppedBadAuth uint64
+	// DroppedMalformed counts packets rejected for failed structural
+	// decoding (garbage framing, truncated envelopes) before any
+	// authentication verdict applied.
+	DroppedMalformed uint64
+	// DroppedIgnored counts packets silently discarded by ingress as
+	// stale, misdirected, or malformed-but-authenticated.
+	DroppedIgnored uint64
+	// ConflictingPrePrepares counts pre-prepares rejected because a
+	// different digest was already accepted for the same view and
+	// sequence — the signature of an equivocating primary.
+	ConflictingPrePrepares uint64
+	RejectedNonDet         uint64
+	WedgedNow              bool
+	SyncingNow             bool
+	JoinsExecuted          uint64
+	LeavesExecuted         uint64
+	SessionsEvicted        uint64
 }
 
 // ckptRecord tracks one checkpoint: the local snapshot (if this replica
@@ -464,6 +475,8 @@ func (r *Replica) Info() Info {
 func (r *Replica) info() Info {
 	st := r.stats
 	st.DroppedBadAuth += r.ingress.droppedBadAuth.Load()
+	st.DroppedMalformed += r.ingress.droppedMalformed.Load()
+	st.DroppedIgnored += r.ingress.droppedIgnored.Load()
 	est := r.exec.Stats()
 	st.ExecSharded = est.Sharded
 	st.ExecBarriers = est.Barriers

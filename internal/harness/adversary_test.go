@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// adversaryCluster builds an f=1 cluster with a recording tracer per
+// replica. Restarted (or adversary-replaced) replicas get a fresh
+// tracer, replacing the map entry.
+func adversaryCluster(t *testing.T, o core.Options, seed int64) (*Cluster, func(id uint32) *recordingTracer) {
+	t.Helper()
+	tracers := make(map[uint32]*recordingTracer)
+	var mu sync.Mutex
+	c, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: 2,
+		Seed:       seed,
+		App:        NewCounterFactory(),
+		Tracer: func(id uint32) core.Tracer {
+			tr := &recordingTracer{}
+			mu.Lock()
+			tracers[id] = tr
+			mu.Unlock()
+			return tr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func(id uint32) *recordingTracer {
+		mu.Lock()
+		defer mu.Unlock()
+		return tracers[id]
+	}
+}
+
+// replaceWithAdversary swaps replica id for one whose outgoing traffic
+// passes through behavior.
+func replaceWithAdversary(t *testing.T, c *Cluster, id uint32, behavior adversary.Behavior) {
+	t.Helper()
+	c.StopReplica(id)
+	if err := c.StartAdversary(id, func(conn transport.Conn) transport.Conn {
+		return adversary.Wrap(conn, behavior)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitStableDigests polls until every listed replica reports the same
+// stable checkpoint at or past minStable, then returns the (asserted
+// byte-identical) digest.
+func waitStableDigests(t *testing.T, c *Cluster, ids []uint32, minStable uint64, timeout time.Duration) [32]byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		infos := make([]core.Info, len(ids))
+		for i, id := range ids {
+			infos[i] = c.Replicas[id].Info()
+		}
+		ok := infos[0].LastStable >= minStable
+		for _, info := range infos[1:] {
+			if info.LastStable != infos[0].LastStable {
+				ok = false
+			}
+		}
+		if ok {
+			for i, info := range infos[1:] {
+				if info.StableDigest != infos[0].StableDigest {
+					t.Fatalf("replica %d stable digest %x != replica %d digest %x at seq %d",
+						ids[i+1], info.StableDigest[:8], ids[0], infos[0].StableDigest[:8], infos[0].LastStable)
+				}
+			}
+			return infos[0].StableDigest
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas %v never agreed on a stable checkpoint >= %d: %+v", ids, minStable, infos)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdversaryEquivocatingPrimary is the headline scenario: the view-0
+// primary equivocates (different batch digests to different backups for
+// the same slot, two conflicting variants each). Every correct replica
+// must (a) observe the equivocation directly (ConflictingPrePrepares),
+// (b) depose the primary with EXACTLY one view change — one Install of
+// view 1, no cascade — and (c) end byte-identical on the next stable
+// checkpoint.
+func TestAdversaryEquivocatingPrimary(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 500 * time.Millisecond
+	c, tracer := adversaryCluster(t, o, 71)
+	defer c.Stop()
+
+	ident, err := c.ReplicaIdentity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := adversary.NewGate(adversary.NewEquivocator(ident))
+	replaceWithAdversary(t, c, 0, gate)
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Settle under the honest regime, then arm.
+	invokeMust(t, cl, "inc")
+	invokeMust(t, cl, "inc")
+	gate.Arm()
+
+	// The equivocated slot cannot gather a prepare quorum; the liveness
+	// timers depose replica 0 and the call completes under view 1.
+	for i := 3; i <= 12; i++ {
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d under equivocation: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d (agreement diverged)", i, got)
+		}
+	}
+
+	for _, id := range []uint32{1, 2, 3} {
+		info := c.Replicas[id].Info()
+		if info.View != 1 {
+			t.Fatalf("replica %d view = %d, want exactly 1 (one view change, no cascade)", id, info.View)
+		}
+		if info.Stats.ConflictingPrePrepares == 0 {
+			t.Fatalf("replica %d never observed conflicting pre-prepares", id)
+		}
+		var installs int
+		for _, e := range tracer(id).viewChanges() {
+			if e.Target != 1 {
+				t.Fatalf("replica %d voted/installed view %d, want only view 1: %+v", id, e.Target, e)
+			}
+			if e.Phase == core.ViewChangeInstall {
+				installs++
+				if e.View != 1 {
+					t.Fatalf("replica %d installed view %d, want 1", id, e.View)
+				}
+			}
+		}
+		if installs != 1 {
+			t.Fatalf("replica %d installed %d views, want exactly 1", id, installs)
+		}
+	}
+	waitStableDigests(t, c, []uint32{1, 2, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversaryCorruptMACs verifies the zero-protocol-effect property:
+// a backup that corrupts the authenticated payload of every vote it
+// sends is indistinguishable from a silent one. The group must stay in
+// view 0, count the rejections, and keep returning correct results.
+func TestAdversaryCorruptMACs(t *testing.T) {
+	o := fastOpts()
+	c, tracer := adversaryCluster(t, o, 72)
+	defer c.Stop()
+
+	replaceWithAdversary(t, c, 2, adversary.NewCorruptor(72, 1,
+		wire.MTPrepare, wire.MTCommit, wire.MTCheckpoint))
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 1; i <= 10; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d", i, got)
+		}
+	}
+
+	var rejections uint64
+	for _, id := range []uint32{0, 1, 3} {
+		info := c.Replicas[id].Info()
+		if info.View != 0 {
+			t.Fatalf("replica %d moved to view %d — corrupt MACs must have zero protocol effect", id, info.View)
+		}
+		if got := tracer(id).viewChanges(); len(got) != 0 {
+			t.Fatalf("replica %d recorded view-change events %+v, want none", id, got)
+		}
+		rejections += info.Stats.DroppedBadAuth
+	}
+	if rejections == 0 {
+		t.Fatal("correct replicas counted zero auth rejections despite a corrupting peer")
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversaryWithholdingBackup checks liveness under f silent voters:
+// a backup that suppresses its prepares and commits (but otherwise runs
+// the protocol) must be masked with no view change.
+func TestAdversaryWithholdingBackup(t *testing.T) {
+	o := fastOpts()
+	c, tracer := adversaryCluster(t, o, 73)
+	defer c.Stop()
+
+	replaceWithAdversary(t, c, 1, adversary.NewWithholder(wire.MTPrepare, wire.MTCommit))
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 1; i <= 10; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d", i, got)
+		}
+	}
+	for _, id := range []uint32{0, 2, 3} {
+		if info := c.Replicas[id].Info(); info.View != 0 {
+			t.Fatalf("replica %d moved to view %d — f withholders must be masked", id, info.View)
+		}
+		if got := tracer(id).viewChanges(); len(got) != 0 {
+			t.Fatalf("replica %d recorded view-change events %+v, want none", id, got)
+		}
+	}
+	waitStableDigests(t, c, []uint32{0, 2, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversaryAsymmetricPartitionHeals cuts only the inbound direction
+// of replica 3's links (it can talk, it cannot hear — the asymmetric
+// partition SetLinkFaults exists for), lets the group advance past a
+// checkpoint, heals, and asserts recovery happens via state transfer
+// (replayed pre-prepares fail §2.5 validation) ending in byte-identical
+// state. The per-link counters must attribute the drops to the three
+// severed directions.
+func TestAdversaryAsymmetricPartitionHeals(t *testing.T) {
+	o := fastOpts()
+	o.MaxTimeDrift = 300 * time.Millisecond
+	o.ViewChangeTimeout = time.Hour // isolate recovery from view changes
+	c, tracer := adversaryCluster(t, o, 74)
+	defer c.Stop()
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for _, peer := range []uint32{0, 1, 2} {
+		c.Net.SetLinkFaults(ReplicaAddr(peer), ReplicaAddr(3), transport.Faults{Partitioned: true})
+	}
+	for i := 1; i <= int(o.CheckpointInterval)+4; i++ {
+		invokeMust(t, cl, "inc")
+	}
+	time.Sleep(400 * time.Millisecond) // age the pre-prepares past MaxTimeDrift
+
+	for _, peer := range []uint32{0, 1, 2} {
+		if ls := c.Net.LinkStats(ReplicaAddr(peer), ReplicaAddr(3)); ls.Dropped == 0 {
+			t.Fatalf("link %d->3 recorded no drops while partitioned: %+v", peer, ls)
+		}
+		if ls := c.Net.LinkStats(ReplicaAddr(3), ReplicaAddr(peer)); ls.Dropped != 0 {
+			t.Fatalf("link 3->%d dropped %d packets — the partition must be asymmetric", peer, ls.Dropped)
+		}
+		c.Net.ClearLinkFaults(ReplicaAddr(peer), ReplicaAddr(3))
+	}
+
+	// Replica 3 must converge through state transfer, not replay.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var finished bool
+		for _, e := range tracer(3).stateTransfers() {
+			if e.Phase == core.StateTransferFinish {
+				finished = true
+			}
+		}
+		if finished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 3 never finished a state transfer: %+v", tracer(3).stateTransfers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if info := c.Replicas[3].Info(); info.Stats.RejectedNonDet == 0 {
+		t.Fatal("healed replica accepted replayed pre-prepares — §2.5 validation missed")
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversaryStaleViewChangeReplay records a genuine view-change vote
+// during a real view change, then re-injects it from a foreign endpoint
+// after the group has settled in the new view. The replay authenticates
+// (the signature is real) and must be rejected on protocol state alone:
+// no further view change, no extra installs.
+func TestAdversaryStaleViewChangeReplay(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 400 * time.Millisecond
+	c, tracer := adversaryCluster(t, o, 75)
+	defer c.Stop()
+
+	tap := adversary.NewReplayer(wire.MTViewChange)
+	replaceWithAdversary(t, c, 2, tap)
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	invokeMust(t, cl, "inc")
+	c.StopReplica(0) // depose the view-0 primary for real
+	for i := 2; i <= 5; i++ {
+		if _, err := cl.Invoke(context.Background(), []byte("inc")); err != nil {
+			t.Fatalf("inc %d across the view change: %v", i, err)
+		}
+	}
+	if got := len(tap.Captured()); got == 0 {
+		t.Fatal("replayer captured no view-change votes during a real view change")
+	}
+
+	attacker, err := c.Net.Listen("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	for round := 0; round < 3; round++ {
+		for _, raw := range tap.Captured() {
+			for _, id := range []uint32{1, 2, 3} {
+				if err := attacker.Send(ReplicaAddr(id), raw); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// The replay must change nothing: service keeps running in view 1.
+	for i := 6; i <= 9; i++ {
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d after replay: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d", i, got)
+		}
+	}
+	for _, id := range []uint32{1, 2, 3} {
+		info := c.Replicas[id].Info()
+		if info.View != 1 {
+			t.Fatalf("replica %d view = %d after replay, want 1", id, info.View)
+		}
+		var installs int
+		for _, e := range tracer(id).viewChanges() {
+			if e.Phase == core.ViewChangeInstall {
+				installs++
+			}
+		}
+		if installs != 1 {
+			t.Fatalf("replica %d installed %d views, want exactly 1 (replay must not re-trigger)", id, installs)
+		}
+	}
+	waitStableDigests(t, c, []uint32{1, 2, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversarySlowlorisClient opens a genuine session from a real
+// provisioned identity and then only trickles garbage. The replicas
+// must account the noise as malformed drops and keep serving the honest
+// client at full correctness.
+func TestAdversarySlowlorisClient(t *testing.T) {
+	o := fastOpts()
+	o.MaxClientSessions = 2
+	c, _ := adversaryCluster(t, o, 76)
+	defer c.Stop()
+
+	atkConn, err := c.Net.Listen("slowloris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]string, len(c.Cfg.Replicas))
+	for i := range targets {
+		targets[i] = ReplicaAddr(uint32(i))
+	}
+	sl, err := adversary.NewSlowloris(atkConn, uint32(len(c.Cfg.Replicas))+1, c.ClientKey(1), targets, 2*time.Millisecond, 76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl.Start()
+	defer sl.Stop()
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 1; i <= 10; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d under slowloris pressure", i, got)
+		}
+	}
+	var malformed uint64
+	for _, r := range c.Replicas {
+		malformed += r.Info().Stats.DroppedMalformed
+	}
+	if malformed == 0 {
+		t.Fatal("slowloris trickle was never counted as malformed drops")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -125,9 +126,31 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 // startReplica creates, wires and starts replica id through the
 // context-driven lifecycle (Run in a background goroutine).
 func (c *Cluster) startReplica(id uint32) error {
-	conn, err := c.Net.Listen(ReplicaAddr(id))
+	return c.startWrapped(id, nil)
+}
+
+// StartAdversary starts replica id with its transport connection passed
+// through wrap — the hook the adversary package's scripted behaviors
+// attach through. The replica runs unmodified protocol code; only its
+// view of the network is filtered. The slot must be vacant (StopReplica
+// first when repurposing a running replica).
+func (c *Cluster) StartAdversary(id uint32, wrap func(transport.Conn) transport.Conn) error {
+	if c.Replicas[id] != nil {
+		return fmt.Errorf("harness: replica %d is running; stop it before starting an adversary", id)
+	}
+	return c.startWrapped(id, wrap)
+}
+
+// startWrapped is the shared start path: listen, optionally interpose
+// on the conn, build and run the replica.
+func (c *Cluster) startWrapped(id uint32, wrap func(transport.Conn) transport.Conn) error {
+	mc, err := c.Net.Listen(ReplicaAddr(id))
 	if err != nil {
 		return err
+	}
+	var conn transport.Conn = mc
+	if wrap != nil {
+		conn = wrap(conn)
 	}
 	app := c.appFactory(id)
 	cfg := c.Cfg
@@ -211,31 +234,31 @@ func (c *Cluster) DynamicClient(addr string, opts ...client.Option) (*client.Cli
 // model Byzantine replicas that hold real keys).
 func (c *Cluster) ReplicaKey(id uint32) *crypto.KeyPair { return c.replicaKeys[id] }
 
+// ClientKey exposes pre-provisioned client i's key material (slowloris
+// attackers hold a real client identity).
+func (c *Cluster) ClientKey(i int) *crypto.KeyPair { return c.clientKeys[i] }
+
+// ReplicaIdentity builds the adversary-package sealing identity for
+// replica id: the real keys, usable to re-authenticate tampered
+// messages.
+func (c *Cluster) ReplicaIdentity(id uint32) (*adversary.Identity, error) {
+	pubs := make([]crypto.PublicKey, len(c.Cfg.Replicas))
+	for i, ri := range c.Cfg.Replicas {
+		pubs[i] = ri.PubKey
+	}
+	return adversary.NewIdentity(id, c.replicaKeys[id], pubs, c.Cfg.Opts.UseMACs)
+}
+
 // SealAsReplica authenticates an envelope exactly as replica id would
 // (authenticator in MAC mode, signature otherwise) and returns the wire
 // bytes. Byzantine-replica tests use it to re-authenticate mutated
 // messages.
 func (c *Cluster) SealAsReplica(id uint32, env *wire.Envelope) []byte {
-	kp := c.replicaKeys[id]
-	if c.Cfg.Opts.UseMACs {
-		keys := make([]crypto.SessionKey, len(c.Cfg.Replicas))
-		for i, ri := range c.Cfg.Replicas {
-			if uint32(i) == id {
-				continue
-			}
-			k, err := kp.SharedKey(ri.PubKey)
-			if err != nil {
-				return nil
-			}
-			keys[i] = k
-		}
-		env.Kind = wire.AuthMAC
-		env.Auth = crypto.ComputeAuthenticator(keys, env.SignedBytes())
-	} else {
-		env.Kind = wire.AuthSig
-		env.Sig = kp.Sign(env.SignedBytes())
+	ident, err := c.ReplicaIdentity(id)
+	if err != nil {
+		return nil
 	}
-	return env.Marshal()
+	return ident.Seal(env)
 }
 
 // Stop halts every replica and tears the network down.

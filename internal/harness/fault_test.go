@@ -8,8 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/client"
-	"repro/internal/core"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -125,36 +125,23 @@ func TestNonDetValidationDisabledReplaysFine(t *testing.T) {
 	}
 }
 
-// byzConn wraps a transport.Conn and mutates outgoing packets, modeling a
-// Byzantine replica whose every protocol message is corrupted.
-type byzConn struct {
-	transport.Conn
-	mutate func(to string, data []byte) []byte
-}
-
-func (b *byzConn) Send(to string, data []byte) error {
-	if m := b.mutate(to, data); m != nil {
-		return b.Conn.Send(to, m)
-	}
-	return nil // message suppressed
-}
-
 // startByzantineReplica replaces replica id with one whose outgoing
-// messages pass through mutate.
+// messages pass through mutate (nil return = suppress), via the
+// adversary package's transport interposition.
 func startByzantineReplica(t *testing.T, c *Cluster, id uint32, mutate func(to string, data []byte) []byte) {
 	t.Helper()
 	c.StopReplica(id)
-	conn, err := c.Net.Listen(ReplicaAddr(id))
-	if err != nil {
+	behavior := adversary.BehaviorFunc(func(to string, data []byte) [][]byte {
+		if m := mutate(to, data); m != nil {
+			return [][]byte{m}
+		}
+		return nil
+	})
+	if err := c.StartAdversary(id, func(conn transport.Conn) transport.Conn {
+		return adversary.Wrap(conn, behavior)
+	}); err != nil {
 		t.Fatal(err)
 	}
-	kp := c.ReplicaKey(id)
-	rep, err := core.NewReplica(c.Cfg, id, kp, &byzConn{Conn: conn, mutate: mutate}, NewCounterFactory()(id))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep.Start()
-	c.Replicas[id] = rep
 }
 
 func TestByzantineBackupGarblesMessages(t *testing.T) {

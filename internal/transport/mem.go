@@ -19,20 +19,49 @@ type Faults struct {
 	// DuplicateRate is the probability in [0,1] that a packet is
 	// delivered twice.
 	DuplicateRate float64
+	// ReorderRate is the probability in [0,1] that a packet is held back
+	// long enough for packets sent after it to overtake it (delivered,
+	// but out of order — the UDP reordering the dedup paths must mask).
+	ReorderRate float64
+	// ReorderDelay is how long a reordered packet is held
+	// (0 = defaultReorderDelay). It adds on top of Delay/Jitter.
+	ReorderDelay time.Duration
 	// Delay delivers packets after a fixed latency (for WAN emulation).
 	Delay time.Duration
 	// Jitter adds a uniformly random extra latency in [0,Jitter).
 	Jitter time.Duration
-	// Partitioned drops every packet on the link.
+	// Partitioned drops every packet on the link. Setting it on a single
+	// direction via SetLinkFaults models an asymmetric partition: the
+	// victim keeps transmitting but hears nothing back.
 	Partitioned bool
 }
+
+// defaultReorderDelay holds a reordered packet long enough that traffic
+// sent after it (delivered inline, sub-timer-resolution) overtakes it.
+const defaultReorderDelay = 2 * time.Millisecond
 
 // Stats counts traffic through the network; the WAN experiment (§3.3.3)
 // uses it to demonstrate PBFT's quadratic message complexity.
 type Stats struct {
 	Packets uint64
 	Bytes   uint64
-	Dropped uint64
+	// Dropped counts every lost packet regardless of cause — unknown
+	// destination, fault-injected loss, partition, or receive-buffer
+	// overflow. All paths funnel through one accounting helper
+	// (dropLocked), so the causes cannot double- or under-count.
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+}
+
+// LinkStats counts per-directed-link outcomes; the chaos scenarios assert
+// on them (a partitioned link must show drops, a reordering link must
+// show holds) without inferring link behaviour from global totals.
+type LinkStats struct {
+	Packets    uint64
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
 }
 
 type linkKey struct{ from, to string }
@@ -46,6 +75,7 @@ type Network struct {
 	def       Faults
 	rng       *rand.Rand
 	stats     Stats
+	linkStats map[linkKey]*LinkStats
 	wg        sync.WaitGroup
 	closed    bool
 
@@ -73,6 +103,7 @@ func NewNetwork(seed int64) *Network {
 	return &Network{
 		endpoints: make(map[string]*MemConn),
 		links:     make(map[linkKey]Faults),
+		linkStats: make(map[linkKey]*LinkStats),
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
@@ -167,11 +198,49 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
-// ResetStats zeroes the traffic counters.
+// LinkStats returns the counters of the directed link from → to.
+func (n *Network) LinkStats(from, to string) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ls := n.linkStats[linkKey{from, to}]; ls != nil {
+		return *ls
+	}
+	return LinkStats{}
+}
+
+// ResetStats zeroes the traffic counters, global and per-link.
 func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats = Stats{}
+	n.linkStats = make(map[linkKey]*LinkStats)
+}
+
+// linkOf returns (creating if needed) the counters of one directed link.
+// Caller holds n.mu.
+func (n *Network) linkOf(k linkKey) *LinkStats {
+	ls := n.linkStats[k]
+	if ls == nil {
+		ls = &LinkStats{}
+		n.linkStats[k] = ls
+	}
+	return ls
+}
+
+// dropLocked is the single drop-accounting path: every lost packet —
+// unknown destination, fault-injected loss, partition, receive-buffer
+// overflow — is counted here and nowhere else. Caller holds n.mu.
+func (n *Network) dropLocked(k linkKey) {
+	n.stats.Dropped++
+	n.linkOf(k).Dropped++
+}
+
+// noteDrop is dropLocked for callers not holding n.mu (the overflow path
+// in MemConn.deliver).
+func (n *Network) noteDrop(k linkKey) {
+	n.mu.Lock()
+	n.dropLocked(k)
+	n.mu.Unlock()
 }
 
 // Close shuts the network down: all endpoints close and in-flight delayed
@@ -212,27 +281,43 @@ type delivery struct {
 // bandwidth queuing). Caller holds n.mu; a nil return means the packet
 // was dropped (or the destination does not exist).
 func (n *Network) routeLocked(from, to string, data []byte) *delivery {
+	k := linkKey{from, to}
 	dst, ok := n.endpoints[to]
-	f, okLink := n.links[linkKey{from, to}]
+	f, okLink := n.links[k]
 	if !okLink {
 		f = n.def
 	}
 	n.stats.Packets++
 	n.stats.Bytes += uint64(len(data))
+	n.linkOf(k).Packets++
 	if !ok {
 		// Unknown destination: a UDP sendto succeeds; the packet vanishes.
-		n.stats.Dropped++
+		n.dropLocked(k)
 		return nil
 	}
 	drop := f.Partitioned || (f.LossRate > 0 && n.rng.Float64() < f.LossRate)
 	dup := f.DuplicateRate > 0 && n.rng.Float64() < f.DuplicateRate
+	reorder := f.ReorderRate > 0 && n.rng.Float64() < f.ReorderRate
 	delay := f.Delay
 	if f.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(f.Jitter)))
 	}
 	if drop {
-		n.stats.Dropped++
+		n.dropLocked(k)
 		return nil
+	}
+	if dup {
+		n.stats.Duplicated++
+		n.linkOf(k).Duplicated++
+	}
+	if reorder {
+		hold := f.ReorderDelay
+		if hold <= 0 {
+			hold = defaultReorderDelay
+		}
+		delay += hold
+		n.stats.Reordered++
+		n.linkOf(k).Reordered++
 	}
 	if n.bandwidth > 0 {
 		// Egress serialization: the packet leaves when the sender's
@@ -257,6 +342,7 @@ func (n *Network) routeLocked(from, to string, data []byte) *delivery {
 // execute performs a routed delivery. Caller must NOT hold n.mu. The
 // payload was snapshotted once at send time; deliveries reference it.
 func (n *Network) execute(d *delivery) {
+	k := linkKey{d.from, d.dst.addr}
 	for i := 0; i < d.copies; i++ {
 		pkt := Packet{From: d.from, Data: d.data}
 		// Sub-timer-resolution delays are delivered inline: the OS
@@ -264,13 +350,13 @@ func (n *Network) execute(d *delivery) {
 		// above still charges the sender's link, so saturation (the
 		// case that matters) produces real, schedulable delays.
 		if d.delay < 100*time.Microsecond {
-			d.dst.deliver(pkt, &n.mu, &n.stats)
+			d.dst.deliver(pkt, n, k)
 			continue
 		}
 		n.wg.Add(1)
 		time.AfterFunc(d.delay, func() {
 			defer n.wg.Done()
-			d.dst.deliver(pkt, &n.mu, &n.stats)
+			d.dst.deliver(pkt, n, k)
 		})
 	}
 }
@@ -372,8 +458,9 @@ func (c *MemConn) Broadcast(addrs []string, data []byte) error {
 }
 
 // deliver enqueues a packet, dropping it if the receiver's buffer is full
-// or the endpoint closed (UDP semantics).
-func (c *MemConn) deliver(p Packet, statsMu *sync.Mutex, stats *Stats) {
+// or the endpoint closed (UDP semantics). Overflow drops route through
+// the network's single accounting path like every other loss.
+func (c *MemConn) deliver(p Packet, n *Network, k linkKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -382,9 +469,7 @@ func (c *MemConn) deliver(p Packet, statsMu *sync.Mutex, stats *Stats) {
 	select {
 	case c.ch <- p:
 	default:
-		statsMu.Lock()
-		stats.Dropped++
-		statsMu.Unlock()
+		n.noteDrop(k)
 	}
 }
 

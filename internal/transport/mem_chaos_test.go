@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMemNetworkReorder holds back selected packets so later traffic
+// overtakes them: with ReorderRate 1 on a->b, a burst sent in order must
+// arrive with the first packet displaced behind un-reordered traffic.
+func TestMemNetworkReorder(t *testing.T) {
+	n := NewNetwork(3)
+	defer n.Close()
+	a, _ := n.Listen("a")
+	b, _ := n.Listen("b")
+	// Reorder only the first send, then clear the fault: the held packet
+	// must arrive after the fault-free ones that followed it.
+	n.SetLinkFaults("a", "b", Faults{ReorderRate: 1, ReorderDelay: 20 * time.Millisecond})
+	if err := a.Send("b", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	n.ClearLinkFaults("a", "b")
+	if err := a.Send("b", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := recvOne(t, b), recvOne(t, b)
+	if string(p1.Data) != "second" || string(p2.Data) != "first" {
+		t.Fatalf("expected overtake, got %q then %q", p1.Data, p2.Data)
+	}
+	if st := n.Stats(); st.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1", st.Reordered)
+	}
+	if ls := n.LinkStats("a", "b"); ls.Reordered != 1 || ls.Packets != 2 {
+		t.Fatalf("link stats = %+v, want 1 reordered of 2 packets", ls)
+	}
+}
+
+// TestMemNetworkPerLinkCounters checks that drops, duplicates and packet
+// totals are attributed to the directed link that suffered them, and that
+// the global totals agree with the per-link sums.
+func TestMemNetworkPerLinkCounters(t *testing.T) {
+	n := NewNetwork(4)
+	defer n.Close()
+	a, _ := n.Listen("a")
+	b, _ := n.Listen("b")
+	if _, err := n.Listen("c"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkFaults("a", "b", Faults{Partitioned: true})
+	n.SetLinkFaults("a", "c", Faults{DuplicateRate: 1})
+	for i := 0; i < 5; i++ {
+		_ = a.Send("b", []byte("x"))
+	}
+	_ = a.Send("c", []byte("y"))
+	_ = b.Send("a", []byte("z"))
+	recvOne(t, a)
+
+	if ls := n.LinkStats("a", "b"); ls.Dropped != 5 || ls.Packets != 5 {
+		t.Fatalf("a->b = %+v, want 5 dropped of 5", ls)
+	}
+	if ls := n.LinkStats("a", "c"); ls.Duplicated != 1 || ls.Dropped != 0 {
+		t.Fatalf("a->c = %+v, want 1 duplicated, 0 dropped", ls)
+	}
+	if ls := n.LinkStats("b", "a"); ls.Packets != 1 || ls.Dropped != 0 {
+		t.Fatalf("b->a = %+v, want 1 clean packet", ls)
+	}
+	st := n.Stats()
+	if st.Dropped != 5 || st.Duplicated != 1 || st.Packets != 7 {
+		t.Fatalf("global = %+v, want 5 dropped / 1 duplicated / 7 packets", st)
+	}
+}
+
+// TestMemNetworkOverflowCountedOnce fills a tiny receive buffer and checks
+// the overflow drops land in both the global and the per-link counters —
+// the single-accounting-path invariant (overflow used to be counted on a
+// separate code path from routing drops).
+func TestMemNetworkOverflowCountedOnce(t *testing.T) {
+	n := NewNetwork(5)
+	defer n.Close()
+	a, _ := n.Listen("a")
+	if _, err := n.ListenBuffered("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := a.Send("b", []byte("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	ls := n.LinkStats("a", "b")
+	if st.Dropped != 4 || ls.Dropped != 4 {
+		t.Fatalf("dropped global=%d link=%d, want 4 overflow drops in both", st.Dropped, ls.Dropped)
+	}
+	if ls.Packets != 6 {
+		t.Fatalf("link packets = %d, want 6", ls.Packets)
+	}
+}
+
+// TestMemNetworkResetStatsClearsLinks: ResetStats must zero the per-link
+// counters along with the globals.
+func TestMemNetworkResetStatsClearsLinks(t *testing.T) {
+	n := NewNetwork(6)
+	defer n.Close()
+	a, _ := n.Listen("a")
+	_ = a.Send("ghost", []byte("x"))
+	n.ResetStats()
+	if st := n.Stats(); st != (Stats{}) {
+		t.Fatalf("global stats after reset = %+v", st)
+	}
+	if ls := n.LinkStats("a", "ghost"); ls != (LinkStats{}) {
+		t.Fatalf("link stats after reset = %+v", ls)
+	}
+}

@@ -66,7 +66,12 @@ func TestPrometheusExpositionAndHealthz(t *testing.T) {
 	m := New()
 	m.OnBatch(pbft.BatchEvent{Replica: 0, Seq: 1, Requests: 2})
 	m.AddReplica(0, func() pbft.ReplicaInfo {
-		return pbft.ReplicaInfo{View: 3, LastExec: 17, LastStable: 16, ExecQueueDepth: 5, IngressBacklog: 7}
+		info := pbft.ReplicaInfo{View: 3, LastExec: 17, LastStable: 16, ExecQueueDepth: 5, IngressBacklog: 7}
+		info.Stats.DroppedBadAuth = 11
+		info.Stats.DroppedMalformed = 13
+		info.Stats.RejectedNonDet = 2
+		info.Stats.ConflictingPrePrepares = 1
+		return info
 	})
 	healthy := true
 	srv := httptest.NewServer(Mux(m, func() bool { return healthy }))
@@ -82,6 +87,12 @@ func TestPrometheusExpositionAndHealthz(t *testing.T) {
 		"pbft_ingress_backlog{replica=\"0\"} 7",
 		"pbft_view{replica=\"0\"} 3",
 		"pbft_last_exec{replica=\"0\"} 17",
+		"pbft_auth_failures_total{replica=\"0\"} 11",
+		"pbft_drops_total{replica=\"0\",reason=\"auth\"} 11",
+		"pbft_drops_total{replica=\"0\",reason=\"malformed\"} 13",
+		"pbft_drops_total{replica=\"0\",reason=\"ignored\"} 0",
+		"pbft_drops_total{replica=\"0\",reason=\"nondet\"} 2",
+		"pbft_drops_total{replica=\"0\",reason=\"conflicting_preprepare\"} 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
