@@ -6,39 +6,72 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/trace"
 	"repro/pbft/metrics"
 )
 
 // BenchmarkTracerOverhead guards the observability surface's cost claims:
 //
-//	none    — no tracer installed: the nil fast path. This must be at
-//	          parity with the pre-tracer pipeline (one predictable nil
-//	          check per event site; compare against BenchmarkPipeline).
-//	metrics — the full aggregating metrics registry installed on every
-//	          replica: the price of live counters and histograms.
+//	none             — no tracer or recorder installed: the nil fast
+//	                   path. This must be at parity with the pre-tracer
+//	                   pipeline (one predictable nil check per event and
+//	                   stamp site; compare against BenchmarkPipeline).
+//	metrics          — the full aggregating metrics registry installed on
+//	                   every replica: the price of live counters and
+//	                   histograms.
+//	recorder         — a flight recorder per replica with no sink: the
+//	                   price of per-request phase stamping and the
+//	                   lock-free completed ring.
+//	recorder+metrics — recorder sinking per-phase durations into the
+//	                   registry (pbft_phase_seconds): the full PR 8
+//	                   observability stack, the pbft-server -flight wiring.
 //
 // CI runs it with -benchtime 1x on every push as a smoke (the hooks fire,
-// nothing deadlocks under load); locally, compare ns/op between the two
-// sub-benchmarks to measure the tracer's hot-loop cost.
+// nothing deadlocks under load); locally, compare ns/op across the
+// sub-benchmarks to measure each layer's hot-loop cost.
 func BenchmarkTracerOverhead(b *testing.B) {
 	const numClients = 12
 	lc := harness.Table1Configs()[0] // sta_mac_allbig_batch, the default
 	for _, bc := range []struct {
-		name   string
-		tracer func(uint32) core.Tracer
+		name  string
+		setup func(id uint32) (core.Tracer, *trace.Recorder)
 	}{
 		{"none", nil},
-		{"metrics", func(uint32) core.Tracer { return metrics.New() }},
+		{"metrics", func(uint32) (core.Tracer, *trace.Recorder) {
+			return metrics.New(), nil
+		}},
+		{"recorder", func(id uint32) (core.Tracer, *trace.Recorder) {
+			return nil, trace.New(trace.Config{Replica: int(id)})
+		}},
+		{"recorder+metrics", func(id uint32) (core.Tracer, *trace.Recorder) {
+			reg := metrics.New()
+			return reg, trace.New(trace.Config{Replica: int(id), Sink: reg})
+		}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			c, err := harness.NewCluster(harness.ClusterOptions{
+			opts := harness.ClusterOptions{
 				Opts:       harness.BenchOptionsFor(lc),
 				NumClients: numClients,
 				Seed:       42,
 				App:        harness.NewEchoFactory(1024),
 				Bandwidth:  938e6 / 8,
-				Tracer:     bc.tracer,
-			})
+			}
+			if bc.setup != nil {
+				// One tracer+recorder pair per replica; the factories are
+				// called once per id in sequence, so pairing through a map
+				// keyed by id keeps the registry and its sink together.
+				pairs := make(map[uint32]*trace.Recorder)
+				setup := bc.setup
+				opts.Tracer = func(id uint32) core.Tracer {
+					tr, rec := setup(id)
+					pairs[id] = rec
+					return tr
+				}
+				opts.Recorder = func(id uint32) *trace.Recorder {
+					return pairs[id]
+				}
+			}
+			c, err := harness.NewCluster(opts)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -80,6 +81,10 @@ func run() error {
 	if *withMetrics {
 		reg = metrics.New()
 		opts.Tracer = reg
+		// Real UDP endpoints (the swarm's loopback phase) register their
+		// syscall-batching counters here; the pbft_udp_* section below
+		// prints them after the runs.
+		opts.AddTransport = reg.AddTransport
 	}
 
 	// Machine-readable summary (-json): every measured configuration row,
@@ -159,6 +164,13 @@ func run() error {
 	}
 	if err := run(); err != nil {
 		return err
+	}
+	if reg != nil {
+		var buf bytes.Buffer
+		reg.WriteUDPStats(&buf)
+		if buf.Len() > 0 {
+			fmt.Printf("\nUDP syscall batching (pbft_udp_*)\n%s", buf.String())
+		}
 	}
 	if *jsonOut != "" {
 		return writeJSONSummary(*jsonOut, *experiment, opts, rows)

@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,7 +54,13 @@ func run() error {
 	pipeline := flag.Int("pipeline", 1, "requests kept in flight at once (request pipelining)")
 	timeout := flag.Duration("timeout", time.Minute, "overall deadline for the run")
 	stats := flag.Bool("stats", false, "print per-call latency statistics after the run")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	flag.Parse()
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	if *stats {
 		callStats = metrics.NewClient()
 	}
@@ -88,7 +95,7 @@ func run() error {
 		if err := cl.Join(ctx, []byte(*join)); err != nil {
 			return err
 		}
-		fmt.Printf("joined as client %d\n", cl.ID())
+		logger.Info("joined service", "client", cl.ID())
 	} else {
 		kp, err := pbft.LoadKeyFile(filepath.Join(*dir, fmt.Sprintf("client-%d.key", int(*id)-cfg.N())))
 		if err != nil {
@@ -149,7 +156,7 @@ func run() error {
 		if err := cl.Leave(ctx); err != nil {
 			return err
 		}
-		fmt.Println("left the service")
+		logger.Info("left service", "client", cl.ID())
 	}
 	if callStats != nil {
 		s := callStats.Snapshot()

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -48,7 +49,13 @@ func run() error {
 	join := flag.String("join", "", "join dynamically with this identification buffer")
 	id := flag.Uint("id", 0, "static client id (when not joining)")
 	pipeline := flag.Int("pipeline", 0, "requests kept in flight at once (0 = deployment window)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	flag.Parse()
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	copts := []pbft.ClientOption{pbft.WithPipelineDepth(*pipeline)}
 
 	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
@@ -61,12 +68,13 @@ func run() error {
 	}
 
 	var cl *pbft.Client
+	var conn pbft.Conn
 	if *join != "" {
 		kp, err := pbft.GenerateKeyPair(nil)
 		if err != nil {
 			return err
 		}
-		conn, err := pbft.ListenUDP("127.0.0.1:0")
+		conn, err = pbft.ListenUDP("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -91,7 +99,7 @@ func run() error {
 		if addr == "" {
 			return fmt.Errorf("client id %d not in deployment", *id)
 		}
-		conn, err := pbft.ListenUDP(addr)
+		conn, err = pbft.ListenUDP(addr)
 		if err != nil {
 			return err
 		}
@@ -102,11 +110,23 @@ func run() error {
 	}
 	defer cl.Close()
 
+	// The gateway's UDP endpoint runs the same syscall-batched transport
+	// as the replicas; register it so /metrics carries the pbft_udp_*
+	// batching series alongside the HTTP request counters.
+	udp := metrics.New()
+	if uc, ok := conn.(*pbft.UDPConn); ok {
+		udp.AddTransport(cl.ID(), uc.BatchStats)
+	}
+
 	gw := &gateway{client: cl, metrics: metrics.NewClient()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/exec", gw.handleExec)
 	mux.HandleFunc("/query", gw.handleQuery)
-	mux.Handle("/metrics", gw.metrics.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		gw.metrics.WritePrometheus(w)
+		udp.WriteUDPStats(w)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -115,7 +135,8 @@ func run() error {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("gateway on http://%s (client id %d)\n", *listen, cl.ID())
+	logger.Info("gateway listening",
+		"addr", *listen, "client", cl.ID(), "pipeline", cl.PipelineDepth())
 	return srv.ListenAndServe()
 }
 

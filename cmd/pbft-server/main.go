@@ -13,14 +13,22 @@
 //	pbft-server -dir ./deploy -id 3 -app sql
 //
 // and talk to the service with pbft-client.
+//
+// Observability: the metrics endpoint serves /metrics (Prometheus),
+// /healthz, and /debug/flight — the flight recorder's last-N request
+// timelines with per-phase latency marks (disable the recorder with
+// -flight=false). -debug additionally mounts net/http/pprof under
+// /debug/pprof on the same mux.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +48,15 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 func run() error {
 	gen := flag.Bool("gen", false, "generate a deployment into -dir and exit")
 	dir := flag.String("dir", "./deploy", "deployment directory (config.json + key files)")
@@ -51,12 +68,20 @@ func run() error {
 	robust := flag.Bool("robust", false, "use the most robust configuration for -gen (nomac, noallbig)")
 	id := flag.Uint("id", 0, "replica id to run")
 	app := flag.String("app", "sql", "application: echo | counter | sql")
-	metricsAddr := flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics and /healthz (empty disables)")
+	metricsAddr := flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /healthz and /debug/flight (empty disables)")
+	flight := flag.Bool("flight", true, "record per-request phase timelines (served at /debug/flight)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof on the metrics mux")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+
 	if *gen {
-		return generate(*dir, *replicas, *clients, *basePort, *host, *dynamic, *robust)
+		return generate(logger, *dir, *replicas, *clients, *basePort, *host, *dynamic, *robust)
 	}
 
 	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
@@ -98,11 +123,23 @@ func run() error {
 	reg := metrics.New()
 	cfg.Opts = cfg.Opts.WithTracer(reg)
 
+	// The flight recorder stamps every request's lifecycle phases; its
+	// per-phase segments feed the registry's pbft_phase_seconds series
+	// and its timeline ring serves /debug/flight.
+	var rec *pbft.FlightRecorder
+	if *flight {
+		rec = pbft.NewFlightRecorder(pbft.FlightRecorderConfig{Replica: int(*id), Sink: reg})
+		cfg.Opts = cfg.Opts.WithRecorder(rec)
+	}
+
 	rep, err := pbft.NewReplica(cfg, uint32(*id), kp, conn, application)
 	if err != nil {
 		return err
 	}
 	reg.AddReplica(uint32(*id), rep.Info)
+	if rec != nil {
+		reg.AddFlight(uint32(*id), rec.Dump)
+	}
 	if uc, ok := conn.(*pbft.UDPConn); ok {
 		// Syscall batching counters: recv/send totals and the
 		// datagrams-per-syscall occupancy histograms.
@@ -115,18 +152,29 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
+		mux := metrics.Mux(reg, rep.Running)
+		if *debug {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		metricsSrv = &http.Server{
-			Handler:           metrics.Mux(reg, rep.Running),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() { _ = metricsSrv.Serve(ln) }()
-		fmt.Printf("metrics on http://%s/metrics (healthz on /healthz)\n", ln.Addr())
+		logger.Info("metrics listening",
+			"replica", *id, "addr", ln.Addr().String(),
+			"flight", rec != nil, "pprof", *debug)
 	}
 
 	runErr := make(chan error, 1)
 	go func() { runErr <- rep.Run(context.Background()) }()
-	fmt.Printf("replica %d listening on %s (app=%s, f=%d, n=%d)\n",
-		*id, cfg.Replicas[*id].Addr, *app, cfg.Opts.F, cfg.N())
+	logger.Info("replica listening",
+		"replica", *id, "addr", cfg.Replicas[*id].Addr, "app", *app,
+		"f", cfg.Opts.F, "n", cfg.N())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -140,18 +188,19 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := rep.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "pbft-server: graceful shutdown: %v\n", err)
+		logger.Error("graceful shutdown failed", "replica", *id, "err", err)
 	}
 	if metricsSrv != nil {
 		_ = metricsSrv.Close()
 	}
 	info := rep.Info()
-	fmt.Printf("replica %d stopped: view=%d executed=%d stable=%d\n",
-		*id, info.View, info.LastExec, info.LastStable)
+	logger.Info("replica stopped",
+		"replica", *id, "view", info.View,
+		"last_exec", info.LastExec, "last_stable", info.LastStable)
 	return nil
 }
 
-func generate(dir string, replicas, clients, basePort int, host string, dynamic, robust bool) error {
+func generate(logger *slog.Logger, dir string, replicas, clients, basePort int, host string, dynamic, robust bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -195,7 +244,8 @@ func generate(dir string, replicas, clients, basePort int, host string, dynamic,
 	if err := dep.Save(filepath.Join(dir, "config.json")); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d replicas, %d clients (f=%d)\n",
-		filepath.Join(dir, "config.json"), replicas, clients, opts.F)
+	logger.Info("deployment written",
+		"path", filepath.Join(dir, "config.json"),
+		"replicas", replicas, "clients", clients, "f", opts.F)
 	return nil
 }

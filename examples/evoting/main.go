@@ -10,7 +10,7 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -40,7 +40,8 @@ func authorize(appAuth []byte) (string, bool) {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("evoting failed", "err", err)
+		os.Exit(1)
 	}
 }
 

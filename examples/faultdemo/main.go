@@ -17,7 +17,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"repro/internal/harness"
@@ -27,7 +28,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("faultdemo failed", "err", err)
+		os.Exit(1)
 	}
 }
 

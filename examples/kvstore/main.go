@@ -19,7 +19,8 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 	"strings"
 
@@ -184,7 +185,8 @@ func (a *kvApp) Execute(op []byte, nd pbft.NonDetValues, readOnly bool) []byte {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("kvstore failed", "err", err)
+		os.Exit(1)
 	}
 }
 

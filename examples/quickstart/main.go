@@ -19,7 +19,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sync"
 	"time"
 
@@ -38,7 +39,8 @@ func (echoApp) Execute(op []byte, nd pbft.NonDetValues, readOnly bool) []byte {
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("quickstart failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -82,6 +84,13 @@ func run() error {
 	reg := metrics.New()
 	cfg.Opts = cfg.Opts.WithTracer(reg)
 
+	// A flight recorder on replica 0 stamps every request's lifecycle
+	// phases (ingress → agreement quorums → execution → reply), keeps
+	// the last N timelines, and feeds per-phase durations into the
+	// registry. pbft-server serves the same dump at /debug/flight.
+	rec := pbft.NewFlightRecorder(pbft.FlightRecorderConfig{Replica: 0, Sink: reg})
+	reg.AddFlight(0, rec.Dump)
+
 	// Start the replicas under the node runtime: Run(ctx) blocks until
 	// the context ends or Shutdown is called, so each replica gets a
 	// goroutine here.
@@ -91,14 +100,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rep, err := pbft.NewReplica(cfg, uint32(i), replicaKeys[i], conn, echoApp{})
+		rcfg := cfg
+		if i == 0 {
+			recCfg := *cfg
+			recCfg.Opts = recCfg.Opts.WithRecorder(rec)
+			rcfg = &recCfg
+		}
+		rep, err := pbft.NewReplica(rcfg, uint32(i), replicaKeys[i], conn, echoApp{})
 		if err != nil {
 			return err
 		}
 		reg.AddReplica(uint32(i), rep.Info)
 		go func() {
 			if err := rep.Run(ctx); err != nil {
-				log.Printf("replica: %v", err)
+				slog.Error("replica stopped unexpectedly", "replica", rep.ID(), "err", err)
 			}
 		}()
 		replicas[i] = rep
@@ -110,7 +125,7 @@ func run() error {
 		defer cancel()
 		for _, r := range replicas {
 			if err := r.Shutdown(sctx); err != nil {
-				log.Printf("shutdown: %v", err)
+				slog.Error("graceful shutdown failed", "replica", r.ID(), "err", err)
 			}
 		}
 	}()
@@ -174,5 +189,18 @@ func run() error {
 	}
 	// The tracer saw every batch and commit across the group.
 	fmt.Printf("metrics: %s\n", reg.Snapshot().Summary())
+
+	// The flight recorder kept the most recent request timelines; print
+	// the newest one's per-phase breakdown — the raw material for
+	// debugging a slow request (see ARCHITECTURE.md, "Observability").
+	d := rec.Dump()
+	if len(d.Completed) > 0 {
+		tl := d.Completed[len(d.Completed)-1]
+		fmt.Printf("flight: client=%d ts=%d seq=%d end-to-end=%s\n",
+			tl.Client, tl.Timestamp, tl.Seq, time.Duration(tl.EndToEnd))
+		for _, seg := range tl.Segments {
+			fmt.Printf("  %-18s %s\n", seg.Phase, time.Duration(seg.DurNs))
+		}
+	}
 	return nil
 }

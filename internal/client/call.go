@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -224,6 +225,11 @@ func (call *Call) finish(result []byte, err error) {
 			delete(c.calls, call.timestamp)
 		}
 		c.mu.Unlock()
+	}
+	if err == nil && call.c != nil && call.c.rec != nil {
+		// Quorum assembled: seal the client-side timeline. Failed calls
+		// stay unfinished in the recorder and age out by eviction.
+		call.c.rec.Finish(call.clientID, call.timestamp, trace.ClientComplete)
 	}
 	close(call.done)
 	if call.holdsSlot {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -55,6 +56,10 @@ type Client struct {
 	n, f, quorum int
 	sessionKeys  []crypto.SessionKey
 	replicaAddrs []string
+
+	// rec is the optional client-side flight recorder (WithRecorder);
+	// nil costs one nil check per stamp point.
+	rec *trace.Recorder
 
 	pipelineDepth int
 	maxRetries    int
@@ -427,6 +432,9 @@ func (c *Client) Submit(ctx context.Context, op []byte, opts ...CallOption) *Cal
 	view := c.view
 	helloDue := c.helloDueLocked()
 	c.mu.Unlock()
+	if c.rec != nil {
+		c.rec.Stamp(id, ts, trace.ClientSubmit)
+	}
 
 	// Crypto (MAC authenticator or signature) runs outside the client
 	// lock so concurrent submitters seal in parallel.
@@ -447,6 +455,9 @@ func (c *Client) Submit(ctx context.Context, op []byte, opts ...CallOption) *Cal
 		req.Flags |= wire.FlagBig
 	}
 	env := c.seal(id, wire.MTRequest, req.Marshal(), false)
+	if c.rec != nil {
+		c.rec.Stamp(id, ts, trace.ClientSealed)
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -465,6 +476,9 @@ func (c *Client) Submit(ctx context.Context, op []byte, opts ...CallOption) *Cal
 		c.broadcast(helloEnv)
 	}
 	c.launch(call, c.primaryAddr(view))
+	if c.rec != nil {
+		c.rec.Stamp(id, ts, trace.ClientFirstSend)
+	}
 	return call
 }
 

@@ -1,6 +1,10 @@
 package client
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/trace"
+)
 
 // defaultMaxRetries bounds retransmission rounds per request when
 // WithMaxRetries is not given (the original library's hard-coded 20).
@@ -36,6 +40,14 @@ func WithMaxRetries(n int) Option {
 // of 8x RequestTimeout.
 func WithBackoffCap(d time.Duration) Option {
 	return func(c *Client) { c.backoffCap = d }
+}
+
+// WithRecorder attaches a flight recorder to the client: Submit stamps
+// the client-side phases (submit, seal, first send) and quorum
+// completion onto the per-request timeline. nil (the default) keeps the
+// hot path at a single nil check per stamp point.
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(c *Client) { c.rec = rec }
 }
 
 // callOpts collects per-call options.

@@ -3,13 +3,30 @@ package core
 import (
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// stampEntries marks every request carried by a log entry's pre-prepare
+// with an agreement phase, tagging the timeline with the entry's
+// sequence number and view.
+func (r *Replica) stampEntries(e *entry, p trace.Phase) {
+	if r.rec == nil || e.pp == nil {
+		return
+	}
+	for i := range e.pp.Entries {
+		c, ts := e.pp.Entries[i].RequestID()
+		r.rec.StampSeq(c, ts, p, e.seq, e.view)
+	}
+}
 
 // onRequest processes an authenticated client request. raw is the
 // envelope's wire form, kept for relaying to the primary unchanged (so the
 // primary verifies the client's own authentication, not the relayer's).
 func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
+	if r.rec != nil {
+		r.rec.Stamp(req.ClientID, req.Timestamp, trace.LoopDispatch)
+	}
 	if req.ReadOnly() {
 		r.execReadOnly(req, client)
 		return
@@ -45,6 +62,9 @@ func (r *Replica) onRequest(req *wire.Request, client *nodeEntry, raw []byte) {
 		}
 		queued[req.Timestamp] = true
 		r.pendingQueue = append(r.pendingQueue, req)
+		if r.rec != nil {
+			r.rec.Stamp(req.ClientID, req.Timestamp, trace.BatchEnqueue)
+		}
 		r.tryPropose()
 		return
 	}
@@ -145,6 +165,7 @@ func (r *Replica) propose(reqs []*wire.Request) {
 		e.proposedAt = r.now()
 	}
 	r.broadcast(env)
+	r.stampEntries(e, trace.PrePrepareSent)
 	r.tryPrepared(e)
 	r.tryExecute()
 }
@@ -253,6 +274,7 @@ func (r *Replica) tryPrepared(e *entry) {
 		return
 	}
 	e.prepared = true
+	r.stampEntries(e, trace.PrepareQuorum)
 	if !e.sentCommit {
 		e.sentCommit = true
 		c := wire.Commit{View: e.view, Seq: e.seq, Digest: e.digest, Replica: r.id}
@@ -286,6 +308,7 @@ func (r *Replica) tryCommitted(e *entry) {
 		return
 	}
 	e.committed = true
+	r.stampEntries(e, trace.CommitQuorum)
 	if r.batchCtl != nil && !e.proposedAt.IsZero() {
 		// Close the controller's commit-latency sample for a batch this
 		// replica proposed.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/crypto"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,7 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 	if r.tracer != nil {
 		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: seq, Digest: ck.digest})
 	}
+	r.recEvent(trace.EvCheckpoint, r.view, seq)
 	msg := wire.Checkpoint{
 		Seq:         seq,
 		StateDigest: ck.digest,
@@ -185,6 +187,7 @@ func (r *Replica) makeStable(ck *ckptRecord) {
 	if r.tracer != nil {
 		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: ck.seq, Digest: ck.digest, Stable: true})
 	}
+	r.recEvent(trace.EvCheckpointStable, r.view, ck.seq)
 	proof := make([][]byte, 0, len(ck.votes))
 	for _, v := range ck.votes {
 		proof = append(proof, v)

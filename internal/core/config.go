@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/trace"
 )
 
 // Options selects the library configuration. The exported fields mirror
@@ -176,6 +177,16 @@ type Options struct {
 	// influences protocol behaviour and is excluded from deployment
 	// files. See Tracer for the blocking rules hooks must obey.
 	Tracer Tracer `json:"-"`
+
+	// Recorder is the per-request flight recorder: the replica stamps
+	// phase marks (ingress arrival, verification, loop dispatch, batch
+	// enqueue, quorums, execution, reply) keyed by (clientID, timestamp)
+	// and publishes completed timelines plus protocol events into its
+	// bounded rings (see internal/trace). One recorder serves exactly
+	// one replica. Nil (the default) disables recording: every stamp
+	// site costs one nil check and allocates nothing. Purely local,
+	// excluded from deployment files.
+	Recorder *trace.Recorder `json:"-"`
 }
 
 // DefaultClientWindow is the per-client pipeline window replicas track
@@ -250,6 +261,14 @@ func (o Options) WithMaxClientSessions(n int) Options {
 // tracing.
 func (o Options) WithTracer(t Tracer) Options {
 	o.Tracer = t
+	return o
+}
+
+// WithRecorder returns a copy of the options with the given per-request
+// flight recorder installed (chainable). A nil recorder disables
+// per-request tracing.
+func (o Options) WithRecorder(rec *trace.Recorder) Options {
+	o.Recorder = rec
 	return o
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/exec"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -275,8 +276,16 @@ func (r *Replica) submitRequest(req *wire.Request, nd NonDetValues, tentative bo
 		pa.useMAC = r.cfg.Opts.UseMACs && client.HasSession
 	}
 	op := req.Op
+	rec := r.rec
+	if rec != nil {
+		rec.StampSeq(req.ClientID, req.Timestamp, trace.ExecSchedule, e.seq, e.view)
+	}
 	pa.task = r.exec.Submit(r.shardKeys(op), func() {
 		pa.result = r.app.Execute(op, nd, false)
+		if rec != nil {
+			// Stamped by the shard worker; the recorder is thread-safe.
+			rec.Stamp(pa.rep.ClientID, pa.rep.Timestamp, trace.ExecDone)
+		}
 	})
 	r.applyQueue = append(r.applyQueue, pa)
 }
@@ -292,7 +301,15 @@ func (r *Replica) sealAndSendReply(pa *pendingApply) {
 	if !pa.hasClient {
 		return
 	}
+	if r.rec != nil {
+		// pa.req may already be nil by integrateSpan; the reply carries
+		// the request identity, so key the timeline off it.
+		r.rec.Stamp(pa.rep.ClientID, pa.rep.Timestamp, trace.ReplySealed)
+	}
 	r.sendSealedReply(pa.addr, &pa.rep, pa.session, pa.useMAC)
+	if r.rec != nil {
+		r.rec.Finish(pa.rep.ClientID, pa.rep.Timestamp, trace.ReplySent)
+	}
 }
 
 // integrateSpan performs the loop-side half of reaping a completed span:

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/crypto"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -118,6 +119,12 @@ type inMsg struct {
 	authPending bool
 	authGen     uint64
 
+	// arriveNs is the flight-recorder arrival mark, captured when the
+	// packet left the transport (recorder nanos; 0 with no recorder).
+	// The request's identity is only known after decode, so the mark
+	// rides along until processRequest stamps it.
+	arriveNs int64
+
 	verdict verdict
 	done    chan struct{}
 }
@@ -170,6 +177,7 @@ func putInMsg(m *inMsg) {
 	m.verifiedPub = crypto.PublicKey{}
 	m.authPending = false
 	m.authGen = 0
+	m.arriveNs = 0
 	m.verdict = vDeliver
 	// m.done is kept: the forwarder consumed its completion token, so the
 	// channel is empty and ready for the slot's next trip through the
@@ -306,6 +314,10 @@ type ingress struct {
 	droppedBadAuth   atomic.Uint64
 	droppedMalformed atomic.Uint64
 	droppedIgnored   atomic.Uint64
+
+	// rec is the replica's flight recorder (nil = disabled): the ingress
+	// stamps request arrival/verify marks and records drop events.
+	rec *trace.Recorder
 }
 
 func newIngress(id uint32, n int, kp *crypto.KeyPair, replicaKeys []crypto.SessionKey, replicaPubs []crypto.PublicKey, workers int) *ingress {
@@ -365,6 +377,9 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 			return
 		}
 		m := getInMsg(pkt)
+		if in.rec != nil {
+			m.arriveNs = in.rec.Now()
+		}
 		in.process(m)
 		switch m.verdict {
 		case vDeliver:
@@ -373,17 +388,34 @@ func (in *ingress) runSerial(recv <-chan transport.Packet) {
 			case <-in.quit:
 				return
 			}
-		case vDropBadAuth:
-			in.droppedBadAuth.Add(1)
-			in.release(m)
-		case vDropMalformed:
-			in.droppedMalformed.Add(1)
-			in.release(m)
-		case vIgnore:
-			in.droppedIgnored.Add(1)
-			in.release(m)
+		default:
+			in.drop(m)
 		}
 	}
+}
+
+// drop counts a non-delivery verdict, records the matching flight-
+// recorder event (adversarial storms show up as drop-event slopes in a
+// /debug/flight dump) and releases the message.
+func (in *ingress) drop(m *inMsg) {
+	switch m.verdict {
+	case vDropBadAuth:
+		in.droppedBadAuth.Add(1)
+		if in.rec != nil {
+			in.rec.RecordEvent(trace.EvDropBadAuth, 0, 0)
+		}
+	case vDropMalformed:
+		in.droppedMalformed.Add(1)
+		if in.rec != nil {
+			in.rec.RecordEvent(trace.EvDropMalformed, 0, 0)
+		}
+	case vIgnore:
+		in.droppedIgnored.Add(1)
+		if in.rec != nil {
+			in.rec.RecordEvent(trace.EvDropIgnored, 0, 0)
+		}
+	}
+	in.release(m)
 }
 
 // beginSettle stops the intake (as if the transport had closed) without
@@ -436,6 +468,9 @@ func (in *ingress) dispatch(recv <-chan transport.Packet) {
 			return
 		}
 		m := getInMsg(pkt)
+		if in.rec != nil {
+			m.arriveNs = in.rec.Now()
+		}
 		if m.done == nil {
 			// Buffered so the worker's completion send never blocks; the
 			// channel survives recycling (drained by the forwarder each
@@ -481,15 +516,8 @@ func (in *ingress) forward() {
 				// Consumer gone: keep draining seq so worker results
 				// are consumed, but deliver nothing further.
 			}
-		case vDropBadAuth:
-			in.droppedBadAuth.Add(1)
-			in.release(m)
-		case vDropMalformed:
-			in.droppedMalformed.Add(1)
-			in.release(m)
-		case vIgnore:
-			in.droppedIgnored.Add(1)
-			in.release(m)
+		default:
+			in.drop(m)
 		}
 	}
 }
@@ -608,6 +636,12 @@ func (in *ingress) processRequest(m *inMsg, env *wire.Envelope) {
 	m.verifiedPub = ca.pub
 	if req.Big() {
 		req.Digest() // warm the memo off the protocol loop
+	}
+	if in.rec != nil {
+		// The request's identity is now verified: backfill the arrival
+		// mark captured at the transport and stamp verification done.
+		in.rec.StampAt(req.ClientID, req.Timestamp, trace.IngressArrive, m.arriveNs)
+		in.rec.Stamp(req.ClientID, req.Timestamp, trace.VerifyDone)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/exec"
 	"repro/internal/state"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -115,6 +116,10 @@ type Replica struct {
 	// tracer receives typed protocol events; nil disables tracing (the
 	// hot loop pays one nil check per event site).
 	tracer Tracer
+
+	// rec is the per-request flight recorder; nil disables phase
+	// stamping (one nil check per stamp site, no allocations).
+	rec *trace.Recorder
 
 	stats Stats
 }
@@ -230,6 +235,7 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		stopCh:        make(chan struct{}),
 		doneCh:        make(chan struct{}),
 		tracer:        cfg.Opts.Tracer,
+		rec:           cfg.Opts.Recorder,
 	}
 	r.ndProvider = r.defaultNonDetProvider
 	r.ndValidator = r.defaultNonDetValidator
@@ -262,6 +268,7 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		r.replicaKeys[i] = k
 	}
 	r.ingress = newIngress(id, r.n, kp, r.replicaKeys, replicaPubs, cfg.Opts.verifyWorkers())
+	r.ingress.rec = r.rec
 	if sh, ok := app.(Sharder); ok {
 		r.sharder = sh
 	}
@@ -502,6 +509,26 @@ func (r *Replica) info() Info {
 func (r *Replica) wedged() bool {
 	e := r.log[r.lastExec+1]
 	return e != nil && e.missingBody
+}
+
+// FlightDump snapshots the replica's per-request flight recorder: the
+// last completed request timelines, retained slow requests and protocol
+// events (see internal/trace). It returns the zero Dump when no
+// recorder is installed. Safe to call from any goroutine, in any
+// lifecycle state, concurrently with the protocol loop — unlike
+// Inspect it never enters the loop.
+func (r *Replica) FlightDump() trace.Dump {
+	if r.rec == nil {
+		return trace.Dump{Replica: r.id}
+	}
+	return r.rec.Dump()
+}
+
+// recEvent records a protocol event into the flight recorder (nil-safe).
+func (r *Replica) recEvent(kind trace.EventKind, view, seq uint64) {
+	if r.rec != nil {
+		r.rec.RecordEvent(kind, view, seq)
+	}
 }
 
 // SetClock injects a clock for tests. Must be called before Start.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/state"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -49,6 +50,7 @@ func (r *Replica) startSync(seq uint64, digest, root, metaDigest crypto.Digest, 
 			Replica: r.id, Phase: StateTransferStart, Seq: seq, Pages: r.stats.PagesFetched,
 		})
 	}
+	r.recEvent(trace.EvStateTransferStart, r.view, seq)
 	r.sync = &syncState{
 		seq:        seq,
 		digest:     digest,
@@ -212,6 +214,7 @@ func (r *Replica) maybeFinishSync() {
 				Replica: r.id, Phase: StateTransferAbort, Seq: s.seq, Pages: r.stats.PagesFetched,
 			})
 		}
+		r.recEvent(trace.EvStateTransferAbort, r.view, s.seq)
 		return
 	}
 	r.sync = nil
@@ -244,6 +247,7 @@ func (r *Replica) maybeFinishSync() {
 	r.ckpts[s.seq] = ck
 	r.lastStable = s.seq
 	r.stableProof = s.proof
+	r.recEvent(trace.EvStateTransferFinish, r.view, s.seq)
 	if r.tracer != nil {
 		r.tracer.OnStateTransfer(StateTransferEvent{
 			Replica: r.id, Phase: StateTransferFinish, Seq: s.seq, Pages: r.stats.PagesFetched,

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -25,6 +26,7 @@ func (r *Replica) startViewChange(target uint64) {
 			Replica: r.id, Phase: ViewChangeStart, View: r.view, Target: target,
 		})
 	}
+	r.recEvent(trace.EvViewChangeStart, target, r.seq)
 	r.pendingQueue = nil
 	r.rollbackTentative()
 
@@ -265,6 +267,7 @@ func (r *Replica) installNewView(nv *wire.NewView, raw []byte) {
 			Replica: r.id, Phase: ViewChangeInstall, View: nv.View, Target: nv.View,
 		})
 	}
+	r.recEvent(trace.EvViewChangeInstall, nv.View, r.seq)
 	r.primaryQueued = make(map[uint32]map[uint64]bool)
 	r.primaryJoinSeen = nil
 	r.pendingQueue = nil

@@ -105,6 +105,11 @@ func RunChaos(opts ExperimentOptions) error {
 		loadClients = 4
 	}
 	tracer := &chaosTracer{fwd: opts.Tracer}
+	// Per-replica flight recorders feed one collector; each chaos phase
+	// snapshots it so its result row carries per-phase attribution for
+	// the recovery interval (where the lifecycle stalled while the
+	// adversary was active).
+	phases := &PhaseCollector{}
 	cluster, err := NewCluster(ClusterOptions{
 		Opts:       o,
 		NumClients: loadClients,
@@ -112,6 +117,7 @@ func RunChaos(opts ExperimentOptions) error {
 		App:        NewCounterFactory(),
 		Bandwidth:  938e6 / 8,
 		Tracer:     func(uint32) core.Tracer { return tracer },
+		Recorder:   phases.Factory(),
 	})
 	if err != nil {
 		return err
@@ -147,6 +153,7 @@ func RunChaos(opts ExperimentOptions) error {
 		err error
 	}
 	done := make(chan loadOut, 1)
+	phaseBase := phases.Snapshot()
 	go func() {
 		res, err := cluster.RunClosedLoop(loadClients, &NullWorkload{Size: 64}, phaseDur, false)
 		done <- loadOut{res, err}
@@ -177,9 +184,11 @@ func RunChaos(opts ExperimentOptions) error {
 			recovery = d
 		}
 	}
-	opts.record("chaos", "equivocate_primary", out.res, map[string]float64{
+	phaseWin := phases.Snapshot()
+	opts.record("chaos", "equivocate_primary", out.res, phaseWin.Sub(phaseBase).Attr(map[string]float64{
 		"recovery_ms": float64(recovery.Milliseconds()),
-	})
+	}))
+	phaseBase = phaseWin
 	fmt.Fprintf(w, "%-22s %8.0f %8d %8d %16s\n", "equivocate_primary", out.res.TPS(), out.res.Ops, out.res.Errors, recovery)
 
 	// Phase 2 — corrupt MACs from a backup: all of replica 0's votes are
@@ -207,10 +216,12 @@ func RunChaos(opts ExperimentOptions) error {
 	if nowAuth == baseAuth {
 		return fmt.Errorf("chaos: corrupt-MAC phase produced no counted rejections")
 	}
-	opts.record("chaos", "corrupt_macs", res, map[string]float64{
+	phaseWin = phases.Snapshot()
+	opts.record("chaos", "corrupt_macs", res, phaseWin.Sub(phaseBase).Attr(map[string]float64{
 		"auth_failures": float64(nowAuth - baseAuth),
 		"view_changes":  0,
-	})
+	}))
+	phaseBase = phaseWin
 	fmt.Fprintf(w, "%-22s %8.0f %8d %8d %16s\n", "corrupt_macs", res.TPS(), res.Ops, res.Errors,
 		fmt.Sprintf("%d rejected", nowAuth-baseAuth))
 
@@ -253,9 +264,9 @@ func RunChaos(opts ExperimentOptions) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	opts.record("chaos", "partition_heal", out.res, map[string]float64{
+	opts.record("chaos", "partition_heal", out.res, phases.Snapshot().Sub(phaseBase).Attr(map[string]float64{
 		"heal_convergence_ms": float64(converge.Milliseconds()),
-	})
+	}))
 	fmt.Fprintf(w, "%-22s %8.0f %8d %8d %16s\n", "partition_heal", out.res.TPS(), out.res.Ops, out.res.Errors, converge)
 	return nil
 }

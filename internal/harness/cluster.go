@@ -14,6 +14,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -36,6 +37,11 @@ type ClusterOptions struct {
 	// tracer hooks must then be safe for concurrent use). Restarted
 	// replicas get a fresh factory call.
 	Tracer func(replica uint32) core.Tracer
+	// Recorder, when set, builds one request-lifecycle flight recorder
+	// per replica (installed via Options.Recorder; nil returns leave
+	// that replica untraced). Restarted replicas get a fresh factory
+	// call, so a recorder never spans two replica incarnations.
+	Recorder func(replica uint32) *trace.Recorder
 	// ClientRecvBuffer sizes each client endpoint's inbound queue
 	// (0 = the transport default). The swarm experiment runs thousands
 	// of client endpoints; the default full-size queue per endpoint
@@ -56,6 +62,7 @@ type Cluster struct {
 	conns       []transport.Conn // per-replica endpoint, for crash simulation
 	appFactory  AppFactory
 	tracerFor   func(replica uint32) core.Tracer
+	recorderFor func(replica uint32) *trace.Recorder
 	rng         *rand.Rand
 	clientRecv  int // client endpoint inbound queue depth (0 = default)
 }
@@ -73,11 +80,12 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 	}
 	n := 3*o.Opts.F + 1
 	c := &Cluster{
-		Net:        transport.NewNetwork(o.Seed),
-		appFactory: o.App,
-		tracerFor:  o.Tracer,
-		rng:        rand.New(rand.NewSource(o.Seed + 1)),
-		clientRecv: o.ClientRecvBuffer,
+		Net:         transport.NewNetwork(o.Seed),
+		appFactory:  o.App,
+		tracerFor:   o.Tracer,
+		recorderFor: o.Recorder,
+		rng:         rand.New(rand.NewSource(o.Seed + 1)),
+		clientRecv:  o.ClientRecvBuffer,
 	}
 	if o.Bandwidth > 0 {
 		c.Net.SetBandwidth(o.Bandwidth)
@@ -154,11 +162,17 @@ func (c *Cluster) startWrapped(id uint32, wrap func(transport.Conn) transport.Co
 	}
 	app := c.appFactory(id)
 	cfg := c.Cfg
-	if c.tracerFor != nil {
-		// Per-replica tracer: shallow-copy the shared config (the slices
-		// inside are read-only) and install this replica's instance.
+	if c.tracerFor != nil || c.recorderFor != nil {
+		// Per-replica tracer/recorder: shallow-copy the shared config
+		// (the slices inside are read-only) and install this replica's
+		// instances.
 		clone := *c.Cfg
-		clone.Opts.Tracer = c.tracerFor(id)
+		if c.tracerFor != nil {
+			clone.Opts.Tracer = c.tracerFor(id)
+		}
+		if c.recorderFor != nil {
+			clone.Opts.Recorder = c.recorderFor(id)
+		}
 		cfg = &clone
 	}
 	rep, err := core.NewReplica(cfg, id, c.replicaKeys[id], conn, app)

@@ -75,6 +75,12 @@ type ExperimentOptions struct {
 	// pbft-bench -json aggregates the rows into an experiment summary
 	// file (the perf-trajectory artifacts like BENCH_PR5.json).
 	Record func(ExperimentResult)
+	// AddTransport, when set, receives every real UDP endpoint an
+	// experiment binds (currently the swarm's loopback phase), keyed by
+	// replica id. pbft-bench -metrics points it at the metrics
+	// registry's AddTransport so the pbft_udp_* syscall-batching series
+	// cover the bench the same way they cover pbft-server.
+	AddTransport func(id uint32, stats func() transport.BatchStats)
 }
 
 // ExperimentResult is one machine-readable measurement row: an experiment
@@ -376,6 +382,11 @@ func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
 	}
 	fmt.Fprintf(w, "Pipelined client — %d in-flight requests: N clients x depth 1 vs 1 client x depth N\n", depths[len(depths)-1])
 	fmt.Fprintf(w, "%8s %18s %18s %8s\n", "inflight", "N clients TPS", "pipelined TPS", "errors")
+	// Every cluster runs with a flight recorder per replica sinking into
+	// one collector: the per-phase latency breakdown below is where a
+	// pipeline depth's extra throughput comes from (and what it costs in
+	// per-request queueing).
+	phases := &PhaseCollector{}
 	for _, depth := range depths {
 		run := func(numClients, d int) (RunResult, error) {
 			cluster, err := NewCluster(ClusterOptions{
@@ -384,6 +395,7 @@ func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
 				Seed:       opts.Seed,
 				App:        NewEchoFactory(opts.RequestSize),
 				Bandwidth:  938e6 / 8,
+				Recorder:   phases.Factory(),
 			})
 			if err != nil {
 				return RunResult{}, err
@@ -402,6 +414,22 @@ func RunPipelineComparison(opts ExperimentOptions, depths []int) error {
 		opts.record("pipeline", fmt.Sprintf("%dclients_x_depth1", depth), wide, nil)
 		opts.record("pipeline", fmt.Sprintf("1client_x_depth%d", depth), deep, nil)
 		fmt.Fprintf(w, "%8d %18.0f %18.0f %8d\n", depth, wide.TPS(), deep.TPS(), wide.Errors+deep.Errors)
+	}
+	rows := phases.Snapshot().Rows()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\nPer-phase latency breakdown (replica flight recorders, all runs merged)\n")
+		fmt.Fprintf(w, "%-18s %10s %12s\n", "phase", "samples", "mean")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-18s %10d %12s\n", r.Phase.String(), r.Count, r.Mean.Round(time.Microsecond))
+			if opts.Record != nil {
+				opts.Record(ExperimentResult{
+					Experiment: "pipeline_phase",
+					Name:       r.Phase.String(),
+					Ops:        r.Count,
+					Extra:      map[string]float64{"mean_ms": r.Mean.Seconds() * 1e3},
+				})
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// PhaseCollector aggregates the per-phase latency segments emitted by
+// flight recorders (trace.Sink) across every replica of a cluster into
+// one mean/count table per phase. Experiments install it through
+// Factory and read it back as rows for the per-phase breakdown report
+// and the -json phase-attribution extras.
+type PhaseCollector struct {
+	mu   sync.Mutex
+	snap PhaseSnapshot
+}
+
+// ObservePhase implements trace.Sink. Called from whatever goroutine
+// finalizes a request timeline; it does constant work under the mutex.
+func (p *PhaseCollector) ObservePhase(_ uint32, phase trace.Phase, d time.Duration) {
+	if phase > trace.NumPhases {
+		return
+	}
+	p.mu.Lock()
+	p.snap.sum[phase] += d
+	p.snap.count[phase]++
+	p.mu.Unlock()
+}
+
+// Factory returns a ClusterOptions.Recorder factory: one flight
+// recorder per replica, all sinking into this collector.
+func (p *PhaseCollector) Factory() func(uint32) *trace.Recorder {
+	return func(id uint32) *trace.Recorder {
+		return trace.New(trace.Config{Replica: int(id), Sink: p})
+	}
+}
+
+// Snapshot returns a point-in-time copy; Sub yields window deltas.
+func (p *PhaseCollector) Snapshot() PhaseSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
+// PhaseSnapshot is a copied per-phase aggregate (value semantics; the
+// arrays are indexed by trace.Phase with the last entry holding the
+// synthetic end-to-end series).
+type PhaseSnapshot struct {
+	sum   [trace.NumPhases + 1]time.Duration
+	count [trace.NumPhases + 1]uint64
+}
+
+// Sub returns the delta s - prev (sums and counts are monotone).
+func (s PhaseSnapshot) Sub(prev PhaseSnapshot) PhaseSnapshot {
+	out := s
+	for i := range out.sum {
+		out.sum[i] -= prev.sum[i]
+		out.count[i] -= prev.count[i]
+	}
+	return out
+}
+
+// PhaseRow is one phase's aggregate over a measurement window.
+type PhaseRow struct {
+	Phase trace.Phase
+	Count uint64
+	Mean  time.Duration
+}
+
+// Rows returns the phases with at least one sample, in pipeline order
+// (end_to_end last).
+func (s PhaseSnapshot) Rows() []PhaseRow {
+	var out []PhaseRow
+	for p := trace.Phase(0); p <= trace.NumPhases; p++ {
+		if s.count[p] == 0 {
+			continue
+		}
+		out = append(out, PhaseRow{
+			Phase: p,
+			Count: s.count[p],
+			Mean:  s.sum[p] / time.Duration(s.count[p]),
+		})
+	}
+	return out
+}
+
+// Attr renders the window as -json extra keys: one
+// "phase_<name>_mean_ms" per sampled phase, merged into extra (which
+// may be nil).
+func (s PhaseSnapshot) Attr(extra map[string]float64) map[string]float64 {
+	rows := s.Rows()
+	if len(rows) == 0 {
+		return extra
+	}
+	if extra == nil {
+		extra = make(map[string]float64, len(rows))
+	}
+	for _, r := range rows {
+		extra["phase_"+r.Phase.String()+"_mean_ms"] = r.Mean.Seconds() * 1e3
+	}
+	return extra
+}

@@ -348,6 +348,13 @@ func runSwarmUDP(opts ExperimentOptions, sw SwarmOptions, w io.Writer) error {
 			return err
 		}
 		replicaConns[i] = conn
+		if opts.AddTransport != nil {
+			// BatchStats reads are plain atomic loads and stay valid
+			// after Close, so registering the endpoint with an outer
+			// metrics registry (pbft-bench -metrics) is safe even though
+			// the sockets die with this phase.
+			opts.AddTransport(uint32(i), conn.BatchStats)
+		}
 		kp, err := crypto.GenerateKeyPair(nil)
 		if err != nil {
 			return err

@@ -22,20 +22,22 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/pbft"
 )
 
-// batchKey identifies one agreed batch across a shared registry.
-type batchKey struct {
+// phaseKey identifies one replica's per-phase latency series.
+type phaseKey struct {
 	replica uint32
-	seq     uint64
+	phase   pbft.Phase
 }
 
 // Metrics implements pbft.Tracer by aggregation. The zero value is not
@@ -59,24 +61,33 @@ type Metrics struct {
 	leaves             uint64
 	evictions          uint64
 
-	batchSize     *histogram
-	commitLatency *histogram // seconds, tentative-execution path
-	vcDuration    *histogram // seconds, start -> install per replica
+	batchSize  *histogram
+	vcDuration *histogram // seconds, start -> install per replica
 
-	// pendingBatch maps tentatively executed batches to their OnBatch
-	// time until the commit closes the latency sample; entries are
-	// consumed by OnCommit, voided by view-change/state-transfer events
-	// (the rollback makes them meaningless), and capped defensively.
+	// phases holds one latency histogram per (replica, phase), fed by
+	// flight recorders through ObservePhase as request timelines
+	// complete. It replaces the old tentative->commit histogram: the
+	// prepare->commit interval is now one segment of the full
+	// per-request breakdown (pbft_phase_seconds).
+	phases map[phaseKey]*histogram
+
 	// vcStart maps a replica's view-change start time until the install
 	// closes it (bounded by the replica count).
-	pendingBatch map[batchKey]time.Time
-	vcStart      map[uint32]time.Time
+	vcStart map[uint32]time.Time
 
 	now func() time.Time
 
 	infoMu     sync.Mutex
 	infos      []*replicaInfoSource
 	transports []transportSource
+	flights    []flightSource
+}
+
+// flightSource is one registered flight recorder's dump function,
+// served by the /debug/flight endpoint.
+type flightSource struct {
+	id   uint32
+	dump func() pbft.FlightDump
 }
 
 // transportSource is one registered UDP endpoint's syscall-batching
@@ -134,16 +145,49 @@ func (s *replicaInfoSource) poll(timeout time.Duration) pbft.ReplicaInfo {
 	return s.last
 }
 
+// phaseBounds are the pbft_phase_seconds bucket bounds: phases span
+// microseconds (ingress->verify) to seconds (chaos recovery), so the
+// grid starts far below the old commit-latency floor.
+var phaseBounds = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // New builds an empty registry.
 func New() *Metrics {
 	return &Metrics{
-		batchSize:     newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
-		commitLatency: newHistogram([]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
-		vcDuration:    newHistogram([]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
-		pendingBatch:  make(map[batchKey]time.Time),
-		vcStart:       make(map[uint32]time.Time),
-		now:           time.Now,
+		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		vcDuration: newHistogram([]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		phases:     make(map[phaseKey]*histogram),
+		vcStart:    make(map[uint32]time.Time),
+		now:        time.Now,
 	}
+}
+
+// ObservePhase implements the flight recorder's sink interface
+// (pbft.PhaseSink): one adjacent-phase segment (or the synthetic
+// end-to-end value) of a completed request timeline. Called from
+// whatever goroutine finalizes the timeline, so it does only a bounded
+// histogram insert under the registry mutex.
+func (m *Metrics) ObservePhase(replica uint32, phase pbft.Phase, d time.Duration) {
+	k := phaseKey{replica, phase}
+	m.mu.Lock()
+	h, ok := m.phases[k]
+	if !ok {
+		h = newHistogram(phaseBounds)
+		m.phases[k] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// AddFlight registers a flight recorder's dump function (typically
+// Replica.FlightDump): the /debug/flight endpoint serves every
+// registered recorder's snapshot as JSON. Safe to call while serving.
+func (m *Metrics) AddFlight(id uint32, dump func() pbft.FlightDump) {
+	m.infoMu.Lock()
+	m.flights = append(m.flights, flightSource{id: id, dump: dump})
+	m.infoMu.Unlock()
 }
 
 // AddReplica registers a gauge source: the replica's Info func is polled
@@ -181,11 +225,6 @@ func (m *Metrics) OnViewChange(e pbft.ViewChangeEvent) {
 			// replica was without an operating view.
 			m.vcStart[e.Replica] = t
 		}
-		// Entering a view change rolls tentative executions back: their
-		// pending commit-latency stamps are void. If a seq re-executes
-		// and commits in the new view, a stale stamp would record the
-		// whole view change as "commit latency".
-		m.dropPendingBatches(e.Replica)
 	case pbft.ViewChangeInstall:
 		m.vcInstalled++
 		if s, ok := m.vcStart[e.Replica]; ok {
@@ -213,9 +252,6 @@ func (m *Metrics) OnStateTransfer(e pbft.StateTransferEvent) {
 	switch e.Phase {
 	case pbft.StateTransferStart:
 		m.transfersStarted++
-		// A transfer skips past sequence numbers wholesale: whatever was
-		// tentatively stamped will never see its own commit.
-		m.dropPendingBatches(e.Replica)
 	case pbft.StateTransferFinish:
 		m.transfersCompleted++
 	case pbft.StateTransferAbort:
@@ -223,19 +259,8 @@ func (m *Metrics) OnStateTransfer(e pbft.StateTransferEvent) {
 	}
 }
 
-// dropPendingBatches voids one replica's open commit-latency stamps.
-// Callers hold m.mu.
-func (m *Metrics) dropPendingBatches(replica uint32) {
-	for k := range m.pendingBatch {
-		if k.replica == replica {
-			delete(m.pendingBatch, k)
-		}
-	}
-}
-
 // OnBatch implements pbft.Tracer.
 func (m *Metrics) OnBatch(e pbft.BatchEvent) {
-	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batches++
@@ -243,34 +268,14 @@ func (m *Metrics) OnBatch(e pbft.BatchEvent) {
 	m.batchSize.observe(float64(e.Requests))
 	if e.Tentative {
 		m.tentativeBatches++
-		if len(m.pendingBatch) >= maxPendingBatches {
-			// Defensive bound: stamps are normally consumed by OnCommit
-			// or voided by view-change/transfer events; if a pathological
-			// event stream leaks them anyway, restart the window rather
-			// than grow without bound.
-			clear(m.pendingBatch)
-		}
-		m.pendingBatch[batchKey{e.Replica, e.Seq}] = t
 	}
 }
 
-// maxPendingBatches bounds the open commit-latency stamps (well above
-// any real log window; a safety valve, not a tuning knob).
-const maxPendingBatches = 1 << 14
-
 // OnCommit implements pbft.Tracer.
 func (m *Metrics) OnCommit(e pbft.CommitEvent) {
-	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.commits++
-	k := batchKey{e.Replica, e.Seq}
-	if s, ok := m.pendingBatch[k]; ok {
-		// Tentative-execution path: the latency from speculative
-		// execution to the commit certificate (§2.1's window of risk).
-		m.commitLatency.observe(t.Sub(s).Seconds())
-		delete(m.pendingBatch, k)
-	}
 }
 
 // OnClientSession implements pbft.Tracer.
@@ -313,14 +318,26 @@ type Snapshot struct {
 	Evictions               uint64
 
 	BatchSize          HistogramSnapshot
-	CommitLatency      HistogramSnapshot // seconds
 	ViewChangeDuration HistogramSnapshot // seconds
+
+	// Phases holds one latency histogram per request-lifecycle phase
+	// (seconds), keyed by the snake_case phase label and merged across
+	// replicas; phase "end_to_end" is the synthetic whole-timeline
+	// value. Populated only when flight recorders feed this registry.
+	Phases map[string]HistogramSnapshot
 }
 
 // Snapshot returns a consistent copy of the aggregates.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var phases map[string]HistogramSnapshot
+	if len(m.phases) > 0 {
+		phases = make(map[string]HistogramSnapshot, len(m.phases))
+		for k, h := range m.phases {
+			phases[k.phase.String()] = phases[k.phase.String()].merge(h.snapshot())
+		}
+	}
 	return Snapshot{
 		Commits:                 m.commits,
 		Batches:                 m.batches,
@@ -338,8 +355,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Leaves:                  m.leaves,
 		Evictions:               m.evictions,
 		BatchSize:               m.batchSize.snapshot(),
-		CommitLatency:           m.commitLatency.snapshot(),
 		ViewChangeDuration:      m.vcDuration.snapshot(),
+		Phases:                  phases,
 	}
 }
 
@@ -363,8 +380,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out.Leaves -= prev.Leaves
 	out.Evictions -= prev.Evictions
 	out.BatchSize = s.BatchSize.sub(prev.BatchSize)
-	out.CommitLatency = s.CommitLatency.sub(prev.CommitLatency)
 	out.ViewChangeDuration = s.ViewChangeDuration.sub(prev.ViewChangeDuration)
+	if len(s.Phases) > 0 {
+		out.Phases = make(map[string]HistogramSnapshot, len(s.Phases))
+		for name, h := range s.Phases {
+			out.Phases[name] = h.sub(prev.Phases[name])
+		}
+	}
 	return out
 }
 
@@ -461,6 +483,23 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 	return h.Bounds[len(h.Bounds)-1]
 }
 
+// merge folds another snapshot over the same bounds into this one (a
+// zero-value receiver adopts the other's shape) — used to aggregate
+// per-replica phase series into one per-phase snapshot.
+func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	if h.Count == 0 && len(h.Counts) == 0 {
+		return o
+	}
+	out := HistogramSnapshot{Bounds: h.Bounds, Sum: h.Sum + o.Sum, Count: h.Count + o.Count}
+	out.Counts = append([]uint64(nil), h.Counts...)
+	for i := range o.Counts {
+		if i < len(out.Counts) {
+			out.Counts[i] += o.Counts[i]
+		}
+	}
+	return out
+}
+
 func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
 	out := HistogramSnapshot{Bounds: h.Bounds, Sum: h.Sum - prev.Sum, Count: h.Count - prev.Count}
 	out.Counts = make([]uint64, len(h.Counts))
@@ -496,8 +535,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeCounter(w, "pbft_leaves_total", "Dynamic clients departed.", s.Leaves)
 	writeCounter(w, "pbft_evictions_total", "Client sessions evicted.", s.Evictions)
 	writeHistogram(w, "pbft_batch_size", "Requests per agreed batch.", s.BatchSize)
-	writeHistogram(w, "pbft_commit_latency_seconds", "Tentative execution to commit certificate.", s.CommitLatency)
 	writeHistogram(w, "pbft_view_change_duration_seconds", "View-change start to new-view install.", s.ViewChangeDuration)
+	m.writePhases(w)
 
 	m.infoMu.Lock()
 	infos := append([]*replicaInfoSource(nil), m.infos...)
@@ -560,6 +599,53 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"nondet\"} %d\n", r.id, st.RejectedNonDet)
 		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"conflicting_preprepare\"} %d\n", r.id, st.ConflictingPrePrepares)
 	}
+}
+
+// writePhases renders pbft_phase_seconds: one histogram per
+// (phase, replica) pair fed by the flight recorders, in pipeline-phase
+// then replica order so scrapes are deterministic.
+func (m *Metrics) writePhases(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]phaseKey, 0, len(m.phases))
+	snaps := make(map[phaseKey]HistogramSnapshot, len(m.phases))
+	for k, h := range m.phases {
+		keys = append(keys, k)
+		snaps[k] = h.snapshot()
+	}
+	m.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].phase != keys[j].phase {
+			return keys[i].phase < keys[j].phase
+		}
+		return keys[i].replica < keys[j].replica
+	})
+	fmt.Fprintf(w, "# HELP pbft_phase_seconds Per-request lifecycle phase latency (adjacent stamp points; end_to_end is first to last).\n# TYPE pbft_phase_seconds histogram\n")
+	for _, k := range keys {
+		h := snaps[k]
+		labels := fmt.Sprintf("phase=%q,replica=\"%d\"", k.phase.String(), k.replica)
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "pbft_phase_seconds_bucket{%s,le=\"%g\"} %d\n", labels, b, cum)
+		}
+		fmt.Fprintf(w, "pbft_phase_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, h.Count)
+		fmt.Fprintf(w, "pbft_phase_seconds_sum{%s} %g\n", labels, h.Sum)
+		fmt.Fprintf(w, "pbft_phase_seconds_count{%s} %d\n", labels, h.Count)
+	}
+}
+
+// WriteUDPStats renders only the pbft_udp_* transport series. Front-ends
+// that expose client metrics plus their own UDP endpoint counters
+// (pbft-gateway) and the bench's -metrics summary use it to surface the
+// syscall-batching numbers without the full replica exposition.
+func (m *Metrics) WriteUDPStats(w io.Writer) {
+	m.infoMu.Lock()
+	transports := append([]transportSource(nil), m.transports...)
+	m.infoMu.Unlock()
+	writeTransports(w, transports)
 }
 
 // writeTransports renders the registered UDP endpoints' syscall-batching
@@ -642,13 +728,47 @@ func (m *Metrics) Handler() http.Handler {
 	})
 }
 
+// FlightHandler serves the registered flight recorders' snapshots as a
+// JSON array (one pbft.FlightDump per recorder, in registration order).
+// ?replica=N narrows the response to one recorder's dump.
+func (m *Metrics) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.infoMu.Lock()
+		flights := append([]flightSource(nil), m.flights...)
+		m.infoMu.Unlock()
+		var only *uint32
+		if v := r.URL.Query().Get("replica"); v != "" {
+			id64, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				http.Error(w, "bad replica id", http.StatusBadRequest)
+				return
+			}
+			id := uint32(id64)
+			only = &id
+		}
+		dumps := make([]pbft.FlightDump, 0, len(flights))
+		for _, f := range flights {
+			if only != nil && f.id != *only {
+				continue
+			}
+			dumps = append(dumps, f.dump())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dumps)
+	})
+}
+
 // Mux builds the node's observability endpoint: /metrics serving the
-// registry and /healthz answering 200 while healthy() is true (503
-// otherwise; a nil healthy is always healthy). cmd/pbft-server mounts it
-// with the replica's Running method.
+// registry, /healthz answering 200 while healthy() is true (503
+// otherwise; a nil healthy is always healthy), and /debug/flight
+// serving the registered flight recorders' timelines as JSON.
+// cmd/pbft-server mounts it with the replica's Running method.
 func Mux(m *Metrics, healthy func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", m.Handler())
+	mux.Handle("/debug/flight", m.FlightHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if healthy != nil && !healthy() {
 			http.Error(w, "unhealthy", http.StatusServiceUnavailable)

@@ -1,11 +1,13 @@
 package metrics
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -40,8 +42,15 @@ func TestCountersAndSnapshotDelta(t *testing.T) {
 	if s.SessionHellos != 1 {
 		t.Fatalf("session counters wrong: %+v", s)
 	}
-	if s.CommitLatency.Count != 1 {
-		t.Fatalf("commit latency samples = %d, want 1 (tentative batch closed by commit)", s.CommitLatency.Count)
+	m.ObservePhase(0, pbft.PhaseCommitQuorum, 2*time.Millisecond)
+	m.ObservePhase(1, pbft.PhaseCommitQuorum, 4*time.Millisecond)
+	m.ObservePhase(0, pbft.PhaseEndToEnd, 10*time.Millisecond)
+	s = m.Snapshot()
+	if got := s.Phases[pbft.PhaseCommitQuorum.String()].Count; got != 2 {
+		t.Fatalf("commit_quorum phase samples = %d, want 2 (merged across replicas)", got)
+	}
+	if got := s.Phases[pbft.PhaseEndToEnd.String()].Count; got != 1 {
+		t.Fatalf("end_to_end phase samples = %d, want 1", got)
 	}
 	if s.ViewChangeDuration.Count != 1 {
 		t.Fatalf("view-change duration samples = %d, want 1", s.ViewChangeDuration.Count)
@@ -138,6 +147,88 @@ func TestClientMetrics(t *testing.T) {
 	c.WritePrometheus(&sb)
 	if !strings.Contains(sb.String(), "pbft_client_requests_total 2") {
 		t.Fatalf("client exposition missing counter:\n%s", sb.String())
+	}
+}
+
+// TestPhaseExpositionAndFlightEndpoint drives a real flight recorder
+// through one request lifecycle wired to the registry as its phase sink,
+// then asserts both exposition surfaces: pbft_phase_seconds on /metrics
+// and the timeline JSON on /debug/flight.
+func TestPhaseExpositionAndFlightEndpoint(t *testing.T) {
+	m := New()
+	rec := pbft.NewFlightRecorder(pbft.FlightRecorderConfig{Replica: 2, Sink: m})
+	rec.Stamp(7, 42, pbft.PhaseIngressArrive)
+	rec.Stamp(7, 42, pbft.PhaseVerifyDone)
+	rec.Stamp(7, 42, pbft.PhaseCommitQuorum)
+	rec.Finish(7, 42, pbft.PhaseReplySent)
+	m.AddFlight(2, rec.Dump)
+
+	srv := httptest.NewServer(Mux(m, nil))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics", 200)
+	for _, want := range []string{
+		`pbft_phase_seconds_count{phase="verify_done",replica="2"} 1`,
+		`pbft_phase_seconds_count{phase="commit_quorum",replica="2"} 1`,
+		`pbft_phase_seconds_count{phase="end_to_end",replica="2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	flight := httpGet(t, srv.URL+"/debug/flight", 200)
+	var dumps []pbft.FlightDump
+	if err := json.Unmarshal([]byte(flight), &dumps); err != nil {
+		t.Fatalf("/debug/flight not JSON: %v\n%s", err, flight)
+	}
+	if len(dumps) != 1 || dumps[0].Replica != 2 {
+		t.Fatalf("want one dump for replica 2, got %+v", dumps)
+	}
+	if len(dumps[0].Completed) != 1 || dumps[0].Completed[0].Client != 7 {
+		t.Fatalf("completed timeline missing: %+v", dumps[0])
+	}
+	if got := httpGet(t, srv.URL+"/debug/flight?replica=9", 200); !strings.Contains(got, "[]") {
+		t.Fatalf("filter by unknown replica should be empty, got %q", got)
+	}
+	httpGet(t, srv.URL+"/debug/flight?replica=bogus", 400)
+}
+
+// TestClientMetricsConcurrency pins the ClientMetrics thread-safety
+// contract under -race: concurrent Observe, Snapshot, Quantile and
+// WritePrometheus must not trip the race detector. (Observe and
+// Snapshot serialize on the registry mutex; Quantile runs on a copied
+// snapshot whose Bounds slice is shared but immutable.)
+func TestClientMetricsConcurrency(t *testing.T) {
+	c := NewClient()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				var err error
+				if i%7 == 0 {
+					err = errors.New("boom")
+				}
+				c.Observe(time.Duration(i)*time.Microsecond, err)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := c.Snapshot()
+				_ = s.Latency.Quantile(0.99)
+				c.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Snapshot(); s.Requests != 2000 {
+		t.Fatalf("requests = %d, want 2000", s.Requests)
 	}
 }
 

@@ -98,6 +98,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/state"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -188,6 +189,28 @@ type (
 	Network = transport.Network
 	// Faults configures link behaviour on the in-memory network.
 	Faults = transport.Faults
+	// FlightRecorder is the per-node request-lifecycle flight recorder:
+	// phase stamps keyed by (client, timestamp) flow into a lock-free
+	// ring of completed timelines, a protocol-event ring and a
+	// rolling-quantile slow-request log. Install on a replica with
+	// Options.WithRecorder and on a client with WithClientRecorder; dump
+	// with Replica.FlightDump or the /debug/flight endpoint
+	// (metrics.Mux + Metrics.AddFlight).
+	FlightRecorder = trace.Recorder
+	// FlightRecorderConfig sizes a FlightRecorder (zero values select
+	// the defaults documented on trace.Config).
+	FlightRecorderConfig = trace.Config
+	// FlightDump is a point-in-time recorder snapshot in JSON shape.
+	FlightDump = trace.Dump
+	// TimelineDump is one request's stamped phases in JSON shape.
+	TimelineDump = trace.TimelineDump
+	// Phase identifies one request-lifecycle stamp point (client submit
+	// through reply quorum); Phase.String is the snake_case label used by
+	// the pbft_phase_seconds metric and the flight-dump JSON.
+	Phase = trace.Phase
+	// PhaseSink receives per-phase latencies from a FlightRecorder as
+	// timelines complete (implemented by metrics.Metrics).
+	PhaseSink = trace.Sink
 )
 
 // BatchOccupancyBounds are the inclusive upper bounds of the first four
@@ -206,6 +229,44 @@ const (
 	SessionLeave        = core.SessionLeave
 	SessionEvict        = core.SessionEvict
 )
+
+// Request-lifecycle phases, re-exported for PhaseSink implementations
+// and flight-dump consumers (pipeline order).
+const (
+	PhaseClientSubmit    = trace.ClientSubmit
+	PhaseClientSealed    = trace.ClientSealed
+	PhaseClientFirstSend = trace.ClientFirstSend
+	PhaseIngressArrive   = trace.IngressArrive
+	PhaseVerifyDone      = trace.VerifyDone
+	PhaseLoopDispatch    = trace.LoopDispatch
+	PhaseBatchEnqueue    = trace.BatchEnqueue
+	PhasePrePrepareSent  = trace.PrePrepareSent
+	PhasePrepareQuorum   = trace.PrepareQuorum
+	PhaseCommitQuorum    = trace.CommitQuorum
+	PhaseExecSchedule    = trace.ExecSchedule
+	PhaseExecDone        = trace.ExecDone
+	PhaseReplySealed     = trace.ReplySealed
+	PhaseReplySent       = trace.ReplySent
+	PhaseClientComplete  = trace.ClientComplete
+	// NumPhases is the count of stampable phases; PhaseEndToEnd is the
+	// synthetic first-to-last sink phase emitted per completed timeline.
+	NumPhases     = trace.NumPhases
+	PhaseEndToEnd = trace.EndToEnd
+)
+
+// NewFlightRecorder builds a request-lifecycle flight recorder. Install
+// it with Options.WithRecorder (replica side) or WithClientRecorder
+// (client side); a nil recorder costs one nil check per stamp point.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return trace.New(cfg)
+}
+
+// WithClientRecorder attaches a flight recorder to a client: Submit
+// stamps the client-side phases and quorum completion onto the
+// per-request timeline.
+func WithClientRecorder(rec *FlightRecorder) ClientOption {
+	return client.WithRecorder(rec)
+}
 
 // ErrJoinDenied is returned by Client.Join when the service refuses.
 type ErrJoinDenied = client.ErrJoinDenied
