@@ -16,13 +16,18 @@
 //	pbft-bench -experiment exec -shards 4    # sharded execution engine
 //	pbft-bench -experiment swarm             # massive-connection ingress
 //	pbft-bench -experiment chaos             # Byzantine adversary suite under load
+//	pbft-bench -experiment partitions        # multi-group scaling (1→2→4 groups)
 //	pbft-bench -experiment all
 //
 // The -pipeline flag sets how many requests each load client keeps in
 // flight (request pipelining over the concurrent client API); the default
 // 1 is the paper's closed-loop model. The -shards flag sets the largest
 // execution shard count the exec experiment sweeps to (compared against
-// the serial configuration). The -json flag additionally writes a
+// the serial configuration). The partitions experiment sweeps the group
+// count 1→2→...→-groups and reports the aggregate-TPS-vs-groups scaling
+// curve of the partition router (ARCHITECTURE.md "Partition layer"),
+// asserting per-group digest convergence after each run. The -json flag
+// additionally writes a
 // machine-readable summary (one row per measured configuration plus run
 // metadata) to a file — the repository's BENCH_PR*.json perf-trajectory
 // artifacts are produced this way.
@@ -49,13 +54,14 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|chaos|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|chaos|partitions|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
 	size := flag.Int("size", 1024, "null request/response size in bytes (paper: 256..4096)")
 	pipeline := flag.Int("pipeline", 1, "in-flight requests per load client (1 = closed loop)")
 	shards := flag.Int("shards", 4, "max execution shards for the exec experiment")
+	groups := flag.Int("groups", 4, "max PBFT groups for the partitions experiment")
 	seed := flag.Int64("seed", 42, "simulated network seed")
 	withMetrics := flag.Bool("metrics", false, "print a protocol-event metrics summary per experiment")
 	swarmDefaults := harness.DefaultSwarmOptions()
@@ -81,6 +87,10 @@ func run() error {
 	if *withMetrics {
 		reg = metrics.New()
 		opts.Tracer = reg
+		// The partitions experiment records each group into its own
+		// labeled series (Snapshot still aggregates across groups, so
+		// the per-experiment delta below is unchanged).
+		opts.GroupTracer = func(g int) harness.Tracer { return reg.Group(g) }
 		// Real UDP endpoints (the swarm's loopback phase) register their
 		// syscall-batching counters here; the pbft_udp_* section below
 		// prints them after the runs.
@@ -145,6 +155,15 @@ func run() error {
 			return harness.RunSwarm(opts, sw)
 		case "chaos":
 			return harness.RunChaos(opts)
+		case "partitions":
+			list := []int{1}
+			for g := 2; g < *groups; g *= 2 {
+				list = append(list, g)
+			}
+			if *groups > 1 {
+				list = append(list, *groups)
+			}
+			return harness.RunPartitions(opts, list)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -13,6 +13,14 @@
 //	curl -s localhost:8080/query -d '{"sql":"SELECT voter, vote FROM votes"}'
 //	curl -s localhost:8080/exec  -d '{"sql":"INSERT INTO votes (voter, vote, ts, rnd) VALUES (?,?,now(),random())","args":["alice","yes"]}'
 //
+// With -partitions N the gateway fronts a partitioned deployment of N
+// independent PBFT groups (ARCHITECTURE.md "Partition layer"): group g's
+// deployment is loaded from <dir>/group-<g>/config.json, one client
+// session runs per group, and each statement routes to the group owning
+// the table it names (sqlstate.PartitionKeys); statements that name no
+// table go to the deterministic home group. Cross-group transactions are
+// not linearized — each table lives entirely within one group.
+//
 // The paper's caveat applies and is worth repeating: the gateway is a
 // centralized component in front of a decentralized service. Each
 // organization should run its own gateway (or embed the client library
@@ -49,76 +57,66 @@ func run() error {
 	join := flag.String("join", "", "join dynamically with this identification buffer")
 	id := flag.Uint("id", 0, "static client id (when not joining)")
 	pipeline := flag.Int("pipeline", 0, "requests kept in flight at once (0 = deployment window)")
+	partitions := flag.Int("partitions", 1, "consensus groups (>1 loads <dir>/group-<g>/config.json per group and routes by table)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	flag.Parse()
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
 		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
 	}
+	if *partitions < 1 {
+		return fmt.Errorf("bad -partitions %d: need at least one group", *partitions)
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	copts := []pbft.ClientOption{pbft.WithPipelineDepth(*pipeline)}
 
-	dep, err := pbft.LoadDeployment(filepath.Join(*dir, "config.json"))
-	if err != nil {
-		return err
-	}
-	cfg, err := dep.Config()
-	if err != nil {
-		return err
-	}
+	// The gateway's UDP endpoints run the same syscall-batched transport
+	// as the replicas; register them so /metrics carries the pbft_udp_*
+	// batching series alongside the HTTP request counters. Partitioned
+	// mode registers each group's endpoint under its group label.
+	udp := metrics.New()
 
-	var cl *pbft.Client
-	var conn pbft.Conn
-	if *join != "" {
-		kp, err := pbft.GenerateKeyPair(nil)
+	var service invoker
+	if *partitions > 1 {
+		sessions := make([]*pbft.Client, 0, *partitions)
+		closeAll := func() {
+			for _, s := range sessions {
+				s.Close()
+			}
+		}
+		for g := 0; g < *partitions; g++ {
+			cl, conn, err := dialGroup(filepath.Join(*dir, fmt.Sprintf("group-%d", g)), *join, *id, copts)
+			if err != nil {
+				closeAll()
+				return fmt.Errorf("group %d: %w", g, err)
+			}
+			if uc, ok := conn.(*pbft.UDPConn); ok {
+				udp.Group(g).AddTransport(cl.ID(), uc.BatchStats)
+			}
+			sessions = append(sessions, cl)
+		}
+		defer closeAll()
+		router, err := pbft.NewPartitionRouter(pbft.UniformPartitionMap(*partitions), sqlstate.PartitionKeys)
 		if err != nil {
 			return err
 		}
-		conn, err = pbft.ListenUDP("127.0.0.1:0")
+		service, err = pbft.NewPartitionedClient(router, sessions)
 		if err != nil {
-			return err
-		}
-		cl, err = pbft.NewDynamicClient(cfg, kp, conn, copts...)
-		if err != nil {
-			return err
-		}
-		if err := cl.Join(context.Background(), []byte(*join)); err != nil {
 			return err
 		}
 	} else {
-		kp, err := pbft.LoadKeyFile(filepath.Join(*dir, fmt.Sprintf("client-%d.key", int(*id)-cfg.N())))
+		cl, conn, err := dialGroup(*dir, *join, *id, copts)
 		if err != nil {
 			return err
 		}
-		var addr string
-		for _, c := range cfg.Clients {
-			if c.ID == uint32(*id) {
-				addr = c.Addr
-			}
+		defer cl.Close()
+		if uc, ok := conn.(*pbft.UDPConn); ok {
+			udp.AddTransport(cl.ID(), uc.BatchStats)
 		}
-		if addr == "" {
-			return fmt.Errorf("client id %d not in deployment", *id)
-		}
-		conn, err = pbft.ListenUDP(addr)
-		if err != nil {
-			return err
-		}
-		cl, err = pbft.NewClient(cfg, uint32(*id), kp, conn, copts...)
-		if err != nil {
-			return err
-		}
-	}
-	defer cl.Close()
-
-	// The gateway's UDP endpoint runs the same syscall-batched transport
-	// as the replicas; register it so /metrics carries the pbft_udp_*
-	// batching series alongside the HTTP request counters.
-	udp := metrics.New()
-	if uc, ok := conn.(*pbft.UDPConn); ok {
-		udp.AddTransport(cl.ID(), uc.BatchStats)
+		service = cl
 	}
 
-	gw := &gateway{client: cl, metrics: metrics.NewClient()}
+	gw := &gateway{client: service, metrics: metrics.NewClient()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/exec", gw.handleExec)
 	mux.HandleFunc("/query", gw.handleQuery)
@@ -136,16 +134,82 @@ func run() error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("gateway listening",
-		"addr", *listen, "client", cl.ID(), "pipeline", cl.PipelineDepth())
+		"addr", *listen, "partitions", *partitions, "pipeline", *pipeline)
 	return srv.ListenAndServe()
 }
 
-// gateway multiplexes HTTP requests over one concurrent PBFT client:
-// handlers submit directly and the client pipelines up to its window,
-// blocking the excess — one endpoint serves many simultaneous users
-// without a client identity per user.
+// dialGroup builds the client session for one deployment directory:
+// either a dynamic client joining with the -join buffer, or the static
+// identity -id from the deployment's key files.
+func dialGroup(dir, join string, id uint, copts []pbft.ClientOption) (*pbft.Client, pbft.Conn, error) {
+	dep, err := pbft.LoadDeployment(filepath.Join(dir, "config.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := dep.Config()
+	if err != nil {
+		return nil, nil, err
+	}
+	if join != "" {
+		kp, err := pbft.GenerateKeyPair(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		conn, err := pbft.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		cl, err := pbft.NewDynamicClient(cfg, kp, conn, copts...)
+		if err != nil {
+			conn.Close()
+			return nil, nil, err
+		}
+		if err := cl.Join(context.Background(), []byte(join)); err != nil {
+			cl.Close()
+			return nil, nil, err
+		}
+		return cl, conn, nil
+	}
+	kp, err := pbft.LoadKeyFile(filepath.Join(dir, fmt.Sprintf("client-%d.key", int(id)-cfg.N())))
+	if err != nil {
+		return nil, nil, err
+	}
+	var addr string
+	for _, c := range cfg.Clients {
+		if c.ID == uint32(id) {
+			addr = c.Addr
+		}
+	}
+	if addr == "" {
+		return nil, nil, fmt.Errorf("client id %d not in deployment", id)
+	}
+	conn, err := pbft.ListenUDP(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := pbft.NewClient(cfg, uint32(id), kp, conn, copts...)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return cl, conn, nil
+}
+
+// invoker is what a handler needs from the replicated service: the
+// ordered and read-only optimized call paths. Both the single-group
+// pbft.Client and the routing pbft.PartitionedClient satisfy it, so the
+// handlers are identical in either mode.
+type invoker interface {
+	Invoke(ctx context.Context, op []byte) ([]byte, error)
+	InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error)
+}
+
+// gateway multiplexes HTTP requests over one concurrent PBFT client
+// (or one per partition group): handlers submit directly and each
+// client pipelines up to its window, blocking the excess — one endpoint
+// serves many simultaneous users without a client identity per user.
 type gateway struct {
-	client *pbft.Client
+	client invoker
 	// metrics aggregates request counts and PBFT call latency, exposed
 	// at /metrics in the Prometheus text format.
 	metrics *metrics.ClientMetrics

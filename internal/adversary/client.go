@@ -1,0 +1,77 @@
+package adversary
+
+import (
+	"sync/atomic"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+// NewClientIdentity builds the sealing identity of an adversarial
+// CLIENT: clients sign with their registered key pair in signature
+// deployments, so the interposer can re-authenticate rewritten requests.
+// (In MAC deployments client traffic is sealed with private ephemeral
+// session keys an interposer does not hold — client-side equivocation
+// scenarios therefore run with signatures.)
+func NewClientIdentity(id uint32, kp *crypto.KeyPair) *Identity {
+	return &Identity{ID: id, kp: kp}
+}
+
+// TimestampEquivocator is a Byzantine client behavior: alongside every
+// outgoing request it sends each replica a second, validly signed copy
+// of the same operation bearing a DIFFERENT (stale) timestamp — and a
+// different one per destination, so no two replicas see the same lie.
+// The attack probes the per-client dedup window: a window that admitted
+// the stale copies would let replicas execute (or relay, or start
+// liveness timers for) operations the client already completed,
+// diverging state across the group. A correct window absorbs every
+// variant below its floor without protocol activity.
+type TimestampEquivocator struct {
+	ident *Identity
+	// window is the deployment's ClientWindow W: offsets are chosen
+	// beyond it so every variant lands below the dedup floor once the
+	// client has more than W+offset timestamps behind it.
+	window uint64
+	stale  atomic.Uint64
+}
+
+// NewTimestampEquivocator equivocates requests signed as ident across
+// the replicas of one group. window is the deployment's ClientWindow.
+func NewTimestampEquivocator(ident *Identity, window uint64) *TimestampEquivocator {
+	return &TimestampEquivocator{ident: ident, window: window}
+}
+
+// Stale returns how many stale request variants were injected.
+func (t *TimestampEquivocator) Stale() uint64 { return t.stale.Load() }
+
+// Outgoing implements Behavior. Only writable request traffic is
+// equivocated; read-only and system (join/leave) requests pass through
+// untouched, as does anything that fails to parse.
+func (t *TimestampEquivocator) Outgoing(to string, data []byte) [][]byte {
+	env, err := wire.UnmarshalEnvelope(data)
+	if err != nil || env.Type != wire.MTRequest {
+		return [][]byte{data}
+	}
+	req, err := wire.UnmarshalRequest(env.Payload)
+	if err != nil || req.ReadOnly() || req.System() {
+		return [][]byte{data}
+	}
+	// Per-destination offset: hash the address so each replica receives
+	// a different stale timestamp (the equivocation), all of them at
+	// least window+2 behind — below the dedup floor at any pipeline
+	// depth the scenario runs.
+	mask := crypto.DigestOf([]byte(to))
+	off := t.window + 2 + uint64(mask[0]&3)
+	if req.Timestamp <= off {
+		return [][]byte{data}
+	}
+	staleReq := &wire.Request{
+		ClientID:  req.ClientID,
+		Timestamp: req.Timestamp - off,
+		Flags:     req.Flags,
+		Op:        req.Op,
+	}
+	t.stale.Add(1)
+	variant := t.ident.Seal(&wire.Envelope{Type: wire.MTRequest, Payload: staleReq.Marshal()})
+	return [][]byte{data, variant}
+}

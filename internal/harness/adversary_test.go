@@ -410,3 +410,73 @@ func TestAdversarySlowlorisClient(t *testing.T) {
 		t.Fatal("slowloris trickle was never counted as malformed drops")
 	}
 }
+
+// TestAdversaryClientTimestampEquivocation drives a Byzantine CLIENT
+// that, alongside every real request, sends each replica a validly
+// signed copy of the same operation at a different stale timestamp —
+// a different lie per replica. The per-client dedup window must absorb
+// every variant below its floor: counters advance by exactly one per
+// real call (no re-execution), no replica starts liveness timers for
+// the replayed operations (zero view changes), and the group converges
+// on a byte-identical stable digest.
+func TestAdversaryClientTimestampEquivocation(t *testing.T) {
+	o := fastOpts()
+	// Signature mode: client requests are re-sealable by the interposer
+	// (MAC-mode clients seal with private ephemeral session keys).
+	o.UseMACs = false
+	// AllBig multicast gives the per-destination equivocation its hook.
+	o.AllBig = true
+	o.ClientWindow = 4
+	c, tracer := adversaryCluster(t, o, 97)
+	defer c.Stop()
+
+	clientID := uint32(len(c.Cfg.Replicas)) // pre-provisioned client 0
+	ident := adversary.NewClientIdentity(clientID, c.ClientKey(0))
+	eq := adversary.NewTimestampEquivocator(ident, o.ClientWindow)
+	gate := adversary.NewGate(eq)
+	cl, err := c.AdversaryClient(0, func(conn transport.Conn) transport.Conn {
+		return adversary.Wrap(conn, gate)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Settle honestly first so the replicas' dedup floors exist (the
+	// floor trails the highest EXECUTED timestamp; before any execution
+	// a below-floor replay is indistinguishable from a fresh request),
+	// then turn the equivocation on.
+	for i := 1; i <= 5; i++ {
+		resp := invokeMust(t, cl, "inc ctr")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("honest inc %d executed as %d", i, got)
+		}
+	}
+	gate.Arm()
+
+	// Every inc must bump the counter by exactly one: a dedup window
+	// that admitted any stale variant would re-execute an earlier inc
+	// and break the sequence.
+	for i := 6; i <= 40; i++ {
+		resp := invokeMust(t, cl, "inc ctr")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d executed as %d: a stale equivocated request was re-executed", i, got)
+		}
+	}
+	if eq.Stale() == 0 {
+		t.Fatal("equivocator injected no stale variants; the scenario tested nothing")
+	}
+
+	// Stale replays must be absorbed before the liveness machinery: a
+	// backup that relayed one to the primary and armed its timer would
+	// eventually depose a correct primary.
+	for id := uint32(0); id < uint32(len(c.Replicas)); id++ {
+		if vcs := tracer(id).viewChanges(); len(vcs) != 0 {
+			t.Fatalf("replica %d saw view changes under client equivocation: %+v", id, vcs)
+		}
+	}
+
+	// All four replicas settle on the same stable checkpoint digest.
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 8, 10*time.Second)
+	t.Logf("dedup absorbed %d stale variants", eq.Stale())
+}

@@ -90,7 +90,13 @@ func splitCounterOp(op []byte) (verb, name []byte) {
 
 // Keys implements core.Sharder: the conflict key of a named operation is
 // its storage slot; legacy unkeyed operations are barriers.
-func (a *CounterApp) Keys(op []byte) [][]byte {
+func (a *CounterApp) Keys(op []byte) [][]byte { return CounterKeys(op) }
+
+// CounterKeys is CounterApp's conflict keyset as a standalone function:
+// the partition router uses the same keysets for data placement that the
+// exec engine uses for conflict detection, and the router side has no
+// application instance in hand.
+func CounterKeys(op []byte) [][]byte {
 	verb, name := splitCounterOp(op)
 	if len(name) == 0 {
 		return nil

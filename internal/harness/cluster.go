@@ -226,6 +226,27 @@ func (c *Cluster) Client(i int, opts ...client.Option) (*client.Client, error) {
 	return cl, nil
 }
 
+// AdversaryClient builds the i-th pre-provisioned client with its
+// transport connection passed through wrap — the client-side mirror of
+// StartAdversary. The client runs unmodified library code; the wrapper
+// tampers with its traffic on the way out (equivocation, replay, drops).
+func (c *Cluster) AdversaryClient(i int, wrap func(transport.Conn) transport.Conn, opts ...client.Option) (*client.Client, error) {
+	mc, err := c.Net.ListenBuffered(ClientAddr(i), c.clientRecv)
+	if err != nil {
+		return nil, err
+	}
+	var conn transport.Conn = mc
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	cl, err := client.New(c.Cfg, uint32(len(c.Cfg.Replicas)+i), c.clientKeys[i], conn, opts...)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
 // DynamicClient builds an un-admitted client that must Join (§3.1).
 func (c *Cluster) DynamicClient(addr string, opts ...client.Option) (*client.Client, error) {
 	kp, err := crypto.GenerateKeyPair(nil)

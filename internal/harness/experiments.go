@@ -49,6 +49,11 @@ func Fig5Configs() []LibConfig {
 }
 
 // ExperimentOptions sizes an experiment run.
+// Tracer re-exports the protocol event tracer interface so commands
+// outside the internal tree (pbft-bench) can populate the tracer hooks
+// of ExperimentOptions without importing internal/core.
+type Tracer = core.Tracer
+
 type ExperimentOptions struct {
 	// NumClients is the closed-loop client count (the paper uses 12).
 	NumClients int
@@ -70,6 +75,11 @@ type ExperimentOptions struct {
 	// must be safe for concurrent use). pbft-bench -metrics uses it to
 	// print a protocol-event summary per experiment.
 	Tracer core.Tracer
+	// GroupTracer, when set, supersedes Tracer for partitioned
+	// experiments: it builds the tracer for one consensus group, so a
+	// group-aware registry (metrics.Metrics.Group) can label events per
+	// group instead of folding every group into one aggregate.
+	GroupTracer func(group int) Tracer
 	// Record, when set, receives one machine-readable row per measured
 	// configuration, in addition to the human-readable report on Out.
 	// pbft-bench -json aggregates the rows into an experiment summary

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+func partitionedCluster(t *testing.T, groups, clients int) *PartitionedCluster {
+	t.Helper()
+	pc, err := NewPartitionedCluster(PartitionedClusterOptions{
+		Groups:          groups,
+		Opts:            fastOpts(),
+		ClientsPerGroup: clients,
+		Seed:            411,
+		App:             NewCounterFactory(),
+		Keys:            CounterKeys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Stop)
+	return pc
+}
+
+// TestPartitionedClusterFanOut exercises the client contract end to
+// end: unkeyed writes land on the home group, keyed writes land on the
+// owning group, and an unkeyed read fans out to every group, observing
+// each group's independent history.
+func TestPartitionedClusterFanOut(t *testing.T) {
+	pc := partitionedCluster(t, 2, 1)
+	cl, err := pc.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Unkeyed inc is a barrier op: no keyset, so it routes to the home
+	// group (group 0) and bumps ITS unnamed counter.
+	for want := uint64(1); want <= 3; want++ {
+		resp, err := cl.Invoke(ctx, []byte("inc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != want {
+			t.Fatalf("home-group inc %d executed as %d", want, got)
+		}
+	}
+	// Drive group 1 directly through its session: its unnamed counter
+	// advances independently of group 0's.
+	for want := uint64(1); want <= 2; want++ {
+		resp, err := cl.Session(1).Invoke(ctx, []byte("inc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != want {
+			t.Fatalf("group-1 inc %d executed as %d", want, got)
+		}
+	}
+
+	// Unkeyed read: fans out to all groups and reports each group's own
+	// value — 3 on the home group, 2 on its sibling.
+	results, err := cl.FanOutReadOnly(ctx, []byte("get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("unkeyed fan-out hit %d groups, want 2", len(results))
+	}
+	want := []uint64{3, 2}
+	for i, r := range results {
+		if r.Group != i {
+			t.Fatalf("fan-out result %d came from group %d", i, r.Group)
+		}
+		if got := binary.BigEndian.Uint64(r.Resp); got != want[i] {
+			t.Fatalf("group %d reads %d, want %d", r.Group, got, want[i])
+		}
+	}
+
+	// Keyed ops: the router's placement and the executed state agree —
+	// the same key always increments the same group's counter.
+	op := []byte("inc part-key")
+	g, err := pc.Router().Route(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		resp, err := cl.Invoke(ctx, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != want {
+			t.Fatalf("keyed inc %d executed as %d", want, got)
+		}
+	}
+	// Reading through the owning group's session sees all three incs;
+	// the sibling group never saw the key.
+	resp, err := cl.Session(g).Invoke(ctx, []byte("get part-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != 3 {
+		t.Fatalf("owning group %d reads %d, want 3", g, got)
+	}
+	resp, err = cl.Session(1-g).Invoke(ctx, []byte("get part-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != 0 {
+		t.Fatalf("sibling group %d reads %d, want 0", 1-g, got)
+	}
+}
+
+// TestPartitionDigestIndependentOfSiblingLoad is the determinism check
+// behind the partition contract: a group's StableDigest is a function of
+// its own ordered history only. Load on a sibling group must not move
+// it.
+func TestPartitionDigestIndependentOfSiblingLoad(t *testing.T) {
+	pc := partitionedCluster(t, 2, 1)
+	cl, err := pc.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Build history on group 0 and capture its converged digest
+	// (fastOpts checkpoints every 8 seqs; 12 serial ops cross at least
+	// one boundary).
+	for i := 0; i < 12; i++ {
+		if _, err := cl.Session(0).Invoke(ctx, []byte("inc a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := pc.ConvergedDigest(0, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the sibling.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Session(1).Invoke(ctx, []byte("inc b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pc.ConvergedDigest(1, 8, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Group 0's stable digest is exactly where it was.
+	after, err := pc.ConvergedDigest(0, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("group 0 digest moved under sibling-group load: %x != %x", before[:8], after[:8])
+	}
+}

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+)
+
+// Client is the partition-aware counterpart of client.Client: it holds
+// one pipelined session per group and routes every operation through a
+// Router. Sessions are independent PBFT clients — each carries its own
+// identity inside its group, its own pipeline window, and its own retry
+// machinery — so a slow group never blocks traffic bound elsewhere.
+type Client struct {
+	router   *Router
+	sessions []*client.Client
+}
+
+// NewClient wraps one session per group behind router. sessions[g] must
+// be a client of group g's deployment; the constructor only checks the
+// count (group membership is not observable from here).
+func NewClient(router *Router, sessions []*client.Client) (*Client, error) {
+	if len(sessions) != router.Groups() {
+		return nil, fmt.Errorf("partition: %d sessions for %d groups", len(sessions), router.Groups())
+	}
+	return &Client{router: router, sessions: sessions}, nil
+}
+
+// Router returns the routing layer, e.g. to inspect placement.
+func (c *Client) Router() *Router { return c.router }
+
+// Session returns the underlying per-group session, for callers that
+// already know the group (tests, fan-in tooling).
+func (c *Client) Session(g int) *client.Client { return c.sessions[g] }
+
+// Invoke routes op to its owning group and executes it there.
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	g, err := c.router.Route(op)
+	if err != nil {
+		return nil, err
+	}
+	return c.sessions[g].Invoke(ctx, op)
+}
+
+// InvokeReadOnly routes op to its owning group and executes it on the
+// optimized read-only path. The result is linearizable only within that
+// group's history.
+func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) {
+	g, err := c.router.Route(op)
+	if err != nil {
+		return nil, err
+	}
+	return c.sessions[g].InvokeReadOnly(ctx, op)
+}
+
+// Submit routes op and submits it asynchronously on the owning group's
+// session, returning the in-flight call.
+func (c *Client) Submit(ctx context.Context, op []byte, opts ...client.CallOption) (*client.Call, error) {
+	g, err := c.router.Route(op)
+	if err != nil {
+		return nil, err
+	}
+	return c.sessions[g].Submit(ctx, op, opts...), nil
+}
+
+// FanOutReadOnly runs op as a read-only request on every group its
+// keyset touches — all groups when the operation is unkeyed — and
+// returns the per-group results indexed by position in Groups order.
+// Each group answers at an independent point in its own history; the
+// fan-out is NOT a snapshot (see the package contract).
+func (c *Client) FanOutReadOnly(ctx context.Context, op []byte) ([]GroupResult, error) {
+	groups := c.router.Spread(op)
+	if len(groups) == 0 {
+		groups = make([]int, c.router.Groups())
+		for g := range groups {
+			groups[g] = g
+		}
+	}
+	out := make([]GroupResult, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i, g int) {
+			defer wg.Done()
+			resp, err := c.sessions[g].InvokeReadOnly(ctx, op)
+			out[i] = GroupResult{Group: g, Resp: resp, Err: err}
+		}(i, g)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, r := range out {
+		if r.Err != nil {
+			firstErr = fmt.Errorf("partition: group %d: %w", r.Group, r.Err)
+			break
+		}
+	}
+	return out, firstErr
+}
+
+// GroupResult is one group's answer to a fan-out read.
+type GroupResult struct {
+	Group int
+	Resp  []byte
+	Err   error
+}
+
+// Close closes every per-group session, returning the first error.
+func (c *Client) Close() error {
+	var first error
+	for _, s := range c.sessions {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

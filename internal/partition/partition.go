@@ -1,0 +1,156 @@
+// Package partition runs N independent PBFT replica groups behind a
+// single routing layer, each group owning a static slice of a 64-bit
+// key-hash ring. It is the horizontal-scale answer to the paper's
+// single-group throughput ceiling: one ordering pipeline per group, no
+// shared state between groups, and a deterministic key→group mapping in
+// front.
+//
+// # The partition contract
+//
+// Routing reuses the Sharder conflict keysets the execution engine
+// already understands (core.Sharder.Keys): an operation whose keyset
+// hashes entirely into one group's range is ordered by that group and is
+// linearizable against every other operation routed there. Operations
+// with no keyset (barriers) and — under the default policy — operations
+// whose keyset spans several groups are ordered by a deterministic home
+// group instead; RejectCrossGroup switches the router to fail them with
+// a typed *CrossGroupError so callers can split the operation or fan
+// out.
+//
+// Linearizability therefore stops at the group boundary: there is no
+// cross-group ordering, no cross-group transaction, and a multi-group
+// read fan-out observes each group at an independent point in its
+// history. Data placement follows the keyset, so a correct deployment
+// keys every operation on state it actually touches (the sqlstate
+// adapter, for example, places whole tables: every statement naming
+// table T routes to T's owner).
+//
+// # Partition-table versioning
+//
+// The Map is a versioned value: Version names the epoch of the Bounds
+// layout, and the binary Marshal form is deterministic, so a later
+// change can carry the table itself as a replicated object (installed
+// via the existing membership machinery) without changing any caller —
+// routers compare versions, not pointer identity. This change ships
+// static tables only: every participant is provisioned with the same
+// Map at startup.
+package partition
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// Map is the versioned partition table: group g owns the hash range
+// [Bounds[g], Bounds[g+1]) on the 64-bit ring (the last group's range is
+// unbounded above). Keys are placed by exec.Hash64 — the same function
+// the execution engine uses for its slot hashing — so placement is a
+// pure function of the key bytes and the table, stable across restarts
+// and across processes.
+type Map struct {
+	// Version names the epoch of this layout. Static deployments use
+	// version 1; a future replicated table bumps it on every change.
+	Version uint64
+	// Bounds holds one inclusive lower bound per group, strictly
+	// increasing, with Bounds[0] == 0 so the table covers the whole
+	// ring.
+	Bounds []uint64
+}
+
+// Uniform builds a version-1 table splitting the ring evenly across
+// groups.
+func Uniform(groups int) *Map {
+	if groups < 1 {
+		groups = 1
+	}
+	m := &Map{Version: 1, Bounds: make([]uint64, groups)}
+	stride := ^uint64(0) / uint64(groups)
+	for g := 1; g < groups; g++ {
+		m.Bounds[g] = uint64(g) * stride
+	}
+	return m
+}
+
+// Groups returns the number of groups in the table.
+func (m *Map) Groups() int { return len(m.Bounds) }
+
+// Validate checks the table invariants.
+func (m *Map) Validate() error {
+	if len(m.Bounds) == 0 {
+		return errors.New("partition: empty map")
+	}
+	if m.Bounds[0] != 0 {
+		return fmt.Errorf("partition: map must cover the ring from 0, starts at %d", m.Bounds[0])
+	}
+	for g := 1; g < len(m.Bounds); g++ {
+		if m.Bounds[g] <= m.Bounds[g-1] {
+			return fmt.Errorf("partition: bounds not strictly increasing at group %d", g)
+		}
+	}
+	return nil
+}
+
+// mix64 is the MurmurHash3 finalizer. FNV-1a's high bits are poorly
+// distributed on short keys, and range partitioning buckets by the high
+// bits; the avalanche pass spreads short sequential keys evenly across
+// uniform ranges. Deterministic, so placement stays a pure function of
+// the key bytes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// GroupOfKey returns the group owning key's hash.
+func (m *Map) GroupOfKey(key []byte) int {
+	h := mix64(exec.Hash64(key))
+	// Binary search for the last bound at or below h.
+	lo, hi := 0, len(m.Bounds)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.Bounds[mid] <= h {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Marshal renders the table in its deterministic binary form (the shape
+// a future replicated table ships over the wire): version, group count,
+// then the bounds, all big-endian.
+func (m *Map) Marshal() []byte {
+	out := make([]byte, 12+8*len(m.Bounds))
+	binary.BigEndian.PutUint64(out, m.Version)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(m.Bounds)))
+	for i, b := range m.Bounds {
+		binary.BigEndian.PutUint64(out[12+8*i:], b)
+	}
+	return out
+}
+
+// UnmarshalMap parses and validates a Marshal-ed table.
+func UnmarshalMap(b []byte) (*Map, error) {
+	if len(b) < 12 {
+		return nil, errors.New("partition: short map")
+	}
+	n := binary.BigEndian.Uint32(b[8:])
+	if uint64(len(b)) != 12+8*uint64(n) {
+		return nil, errors.New("partition: map length mismatch")
+	}
+	m := &Map{Version: binary.BigEndian.Uint64(b), Bounds: make([]uint64, n)}
+	for i := range m.Bounds {
+		m.Bounds[i] = binary.BigEndian.Uint64(b[12+8*i:])
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// syntheticKeys treats the op as a comma-separated key list. Enough to
+// steer Spread in unit tests.
+func syntheticKeys(op []byte) [][]byte {
+	if len(op) == 0 {
+		return nil
+	}
+	return bytes.Split(op, []byte(","))
+}
+
+func TestUniformMapCoversRing(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 4, 7, 16} {
+		m := Uniform(groups)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Uniform(%d): %v", groups, err)
+		}
+		if m.Groups() != groups {
+			t.Fatalf("Uniform(%d): %d groups", groups, m.Groups())
+		}
+		counts := make([]int, groups)
+		for i := 0; i < 4096; i++ {
+			g := m.GroupOfKey([]byte(fmt.Sprintf("key-%d", i)))
+			if g < 0 || g >= groups {
+				t.Fatalf("GroupOfKey out of range: %d", g)
+			}
+			counts[g]++
+		}
+		for g, n := range counts {
+			if groups > 1 && n == 0 {
+				t.Fatalf("Uniform(%d): group %d owns no keys of 4096", groups, g)
+			}
+		}
+	}
+}
+
+// TestMappingStableAcrossRestart is the router-restart stability check:
+// a router rebuilt from the marshalled table places every key on the
+// same group as the original.
+func TestMappingStableAcrossRestart(t *testing.T) {
+	m := Uniform(4)
+	r1, err := NewRouter(m, syntheticKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalMap(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != m.Version {
+		t.Fatalf("version changed across marshal: %d != %d", m2.Version, m.Version)
+	}
+	r2, err := NewRouter(m2, syntheticKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		op := []byte{byte(i), byte(i >> 3)}
+		g1, err1 := r1.Route(op)
+		g2, err2 := r2.Route(op)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("route errors: %v / %v", err1, err2)
+		}
+		if g1 != g2 {
+			t.Fatalf("op %v moved: group %d before restart, %d after", op, g1, g2)
+		}
+	}
+}
+
+func TestSpreadAndRoutePolicies(t *testing.T) {
+	m := Uniform(4)
+	// Pick two keys owned by different groups.
+	a := []byte("k0")
+	ga := m.GroupOfKey(a)
+	var b []byte
+	for i := 1; i < 4096; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if m.GroupOfKey(k) != ga {
+			b = k
+			break
+		}
+	}
+	if b == nil {
+		t.Fatal("could not find keys in two distinct groups")
+	}
+	cross := append(append(append([]byte{}, a...), ','), b...)
+
+	r, err := NewRouter(m, syntheticKeys, WithHomeGroup(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-key op routes to its owner, not home.
+	if g, err := r.Route(a); err != nil || g != ga {
+		t.Fatalf("single-key route: g=%d err=%v", g, err)
+	}
+	// Cross-group op falls back to home under the default policy.
+	if g, err := r.Route(cross); err != nil || g != 2 {
+		t.Fatalf("cross-group route: g=%d err=%v, want home=2", g, err)
+	}
+	// Unkeyed op falls back to home.
+	if g, err := r.Route(nil); err != nil || g != 2 {
+		t.Fatalf("unkeyed route: g=%d err=%v, want home=2", g, err)
+	}
+	// Spread reports both owners, ascending and deduplicated.
+	spread := r.Spread(append(append([]byte{}, cross...), append([]byte{','}, a...)...))
+	if len(spread) != 2 || spread[0] >= spread[1] {
+		t.Fatalf("spread = %v, want two ascending groups", spread)
+	}
+
+	// Reject policy: cross-group and unkeyed ops fail typed.
+	rr, err := NewRouter(m, syntheticKeys, RejectCrossGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rr.Route(cross)
+	if !errors.Is(err, ErrCrossGroup) {
+		t.Fatalf("cross-group under reject: err=%v, want ErrCrossGroup", err)
+	}
+	var cge *CrossGroupError
+	if !errors.As(err, &cge) || len(cge.Groups) != 2 {
+		t.Fatalf("cross-group error detail: %#v", err)
+	}
+	if _, err := rr.Route(nil); !errors.Is(err, ErrCrossGroup) {
+		t.Fatalf("unkeyed under reject: err=%v, want ErrCrossGroup", err)
+	}
+	// Spread still works under reject (read fan-out stays available).
+	if got := rr.Spread(cross); len(got) != 2 {
+		t.Fatalf("spread under reject = %v", got)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Map
+	}{
+		{"empty", &Map{Version: 1}},
+		{"hole-at-zero", &Map{Version: 1, Bounds: []uint64{10, 20}}},
+		{"non-increasing", &Map{Version: 1, Bounds: []uint64{0, 20, 20}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid map", tc.name)
+		}
+	}
+	if _, err := UnmarshalMap([]byte{1, 2, 3}); err == nil {
+		t.Error("UnmarshalMap accepted short input")
+	}
+	bad := (&Map{Version: 1, Bounds: []uint64{5, 9}}).Marshal()
+	if _, err := UnmarshalMap(bad); err == nil {
+		t.Error("UnmarshalMap accepted invalid bounds")
+	}
+	if _, err := NewRouter(Uniform(2), nil, WithHomeGroup(7)); err == nil {
+		t.Error("NewRouter accepted out-of-range home group")
+	}
+}

@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// KeysFunc extracts the placement keyset of an operation. It is the same
+// shape as core.Sharder.Keys: nil means "no keys" (the operation is a
+// barrier at the execution layer and routes to the home group here).
+type KeysFunc func(op []byte) [][]byte
+
+// ErrCrossGroup is the sentinel matched by errors.Is for operations a
+// RejectCrossGroup router refuses to place.
+var ErrCrossGroup = errors.New("partition: operation spans groups")
+
+// CrossGroupError reports an operation whose keyset does not resolve to
+// exactly one group under the reject policy. Groups lists the distinct
+// owning groups (empty for unkeyed operations).
+type CrossGroupError struct {
+	// Groups owning the operation's keys, ascending; empty when the
+	// operation carried no keys at all.
+	Groups []int
+}
+
+func (e *CrossGroupError) Error() string {
+	if len(e.Groups) == 0 {
+		return "partition: unkeyed operation has no owning group"
+	}
+	return fmt.Sprintf("partition: operation spans groups %v", e.Groups)
+}
+
+func (e *CrossGroupError) Is(target error) bool { return target == ErrCrossGroup }
+
+// Router maps operations onto groups through a Map and a KeysFunc. It is
+// immutable after construction: rebuilding a router from the same
+// (marshalled) Map and the same KeysFunc yields identical placement,
+// which is what makes restarts and multi-process deployments agree.
+type Router struct {
+	m           *Map
+	keys        KeysFunc
+	home        int
+	rejectCross bool
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithHomeGroup sets the group that receives unkeyed and (under the
+// default policy) cross-group operations. Default 0.
+func WithHomeGroup(g int) RouterOption {
+	return func(r *Router) { r.home = g }
+}
+
+// RejectCrossGroup makes Route fail unkeyed and multi-group operations
+// with a *CrossGroupError instead of falling back to the home group.
+// Spread is unaffected: read fan-out remains available under either
+// policy.
+func RejectCrossGroup() RouterOption {
+	return func(r *Router) { r.rejectCross = true }
+}
+
+// NewRouter builds a router over m. keys may be nil, in which case every
+// operation is unkeyed and routes to the home group (or is rejected).
+func NewRouter(m *Map, keys KeysFunc, opts ...RouterOption) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{m: m, keys: keys}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.home < 0 || r.home >= m.Groups() {
+		return nil, fmt.Errorf("partition: home group %d out of range [0,%d)", r.home, m.Groups())
+	}
+	return r, nil
+}
+
+// Map returns the router's partition table.
+func (r *Router) Map() *Map { return r.m }
+
+// Groups returns the number of groups routed over.
+func (r *Router) Groups() int { return r.m.Groups() }
+
+// Route returns the single group that must order op. Single-group
+// keysets route directly; unkeyed and cross-group operations go to the
+// home group, or fail with *CrossGroupError under RejectCrossGroup.
+func (r *Router) Route(op []byte) (int, error) {
+	groups := r.Spread(op)
+	switch len(groups) {
+	case 1:
+		return groups[0], nil
+	case 0:
+		if r.rejectCross {
+			return 0, &CrossGroupError{}
+		}
+		return r.home, nil
+	default:
+		if r.rejectCross {
+			return 0, &CrossGroupError{Groups: groups}
+		}
+		return r.home, nil
+	}
+}
+
+// Spread returns the distinct groups owning op's keys, ascending. An
+// unkeyed operation returns nil: the caller decides whether that means
+// "home group" (Route's default) or "every group" (read fan-out).
+func (r *Router) Spread(op []byte) []int {
+	if r.keys == nil {
+		return nil
+	}
+	ks := r.keys(op)
+	if len(ks) == 0 {
+		return nil
+	}
+	seen := make(map[int]struct{}, len(ks))
+	groups := make([]int, 0, len(ks))
+	for _, k := range ks {
+		g := r.m.GroupOfKey(k)
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	return groups
+}

@@ -40,11 +40,30 @@ type phaseKey struct {
 	phase   pbft.Phase
 }
 
-// Metrics implements pbft.Tracer by aggregation. The zero value is not
-// usable; construct with New.
+// Metrics implements pbft.Tracer by aggregation, with an optional GROUP
+// dimension for partitioned multi-group deployments: events recorded
+// through the registry itself land in group 0 (the single-group case),
+// while Group(g) returns a view that records into group g. A registry
+// holding only group 0 renders exactly the classic exposition; as soon
+// as a second group exists every per-group series gains a group label.
+// The zero value is not usable; construct with New.
 type Metrics struct {
 	mu sync.Mutex
 
+	// groups holds one counter set per consensus group. Group 0 always
+	// exists (it is the whole deployment when partitioning is off).
+	groups map[int]*groupState
+
+	now func() time.Time
+
+	infoMu     sync.Mutex
+	infos      []*replicaInfoSource
+	transports []transportSource
+	flights    []flightSource
+}
+
+// groupState is one group's aggregate counters and histograms.
+type groupState struct {
 	commits            uint64
 	batches            uint64
 	requests           uint64
@@ -74,13 +93,36 @@ type Metrics struct {
 	// vcStart maps a replica's view-change start time until the install
 	// closes it (bounded by the replica count).
 	vcStart map[uint32]time.Time
+}
 
-	now func() time.Time
+func newGroupState() *groupState {
+	return &groupState{
+		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		vcDuration: newHistogram([]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		phases:     make(map[phaseKey]*histogram),
+		vcStart:    make(map[uint32]time.Time),
+	}
+}
 
-	infoMu     sync.Mutex
-	infos      []*replicaInfoSource
-	transports []transportSource
-	flights    []flightSource
+// group returns (creating if needed) group g's state. Callers hold m.mu.
+func (m *Metrics) group(g int) *groupState {
+	gs, ok := m.groups[g]
+	if !ok {
+		gs = newGroupState()
+		m.groups[g] = gs
+	}
+	return gs
+}
+
+// groupIDs returns the registered group ids, ascending. Callers hold
+// m.mu.
+func (m *Metrics) groupIDs() []int {
+	ids := make([]int, 0, len(m.groups))
+	for g := range m.groups {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // flightSource is one registered flight recorder's dump function,
@@ -95,6 +137,7 @@ type flightSource struct {
 // unlike replica gauges they need no timeout machinery.
 type transportSource struct {
 	id    uint32
+	group int
 	stats func() pbft.BatchStats
 }
 
@@ -104,8 +147,9 @@ type transportSource struct {
 // or pile up handler goroutines — a slow poll is abandoned to the single
 // outstanding goroutine and the scrape serves the last known values.
 type replicaInfoSource struct {
-	id   uint32
-	info func() pbft.ReplicaInfo
+	id    uint32
+	group int
+	info  func() pbft.ReplicaInfo
 
 	mu       sync.Mutex
 	last     pbft.ReplicaInfo
@@ -156,12 +200,22 @@ var phaseBounds = []float64{
 // New builds an empty registry.
 func New() *Metrics {
 	return &Metrics{
-		batchSize:  newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
-		vcDuration: newHistogram([]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
-		phases:     make(map[phaseKey]*histogram),
-		vcStart:    make(map[uint32]time.Time),
-		now:        time.Now,
+		groups: map[int]*groupState{0: newGroupState()},
+		now:    time.Now,
 	}
+}
+
+// Group returns a view of the registry that records into group g: its
+// tracer hooks, ObservePhase, and Add* registrations are the per-group
+// analogues of the registry's own. Partitioned deployments hand group
+// g's replicas Group(g); everything else keeps using the registry
+// directly (group 0). Registering any group other than 0 switches the
+// exposition to group-labeled series.
+func (m *Metrics) Group(g int) *GroupView {
+	m.mu.Lock()
+	m.group(g)
+	m.mu.Unlock()
+	return &GroupView{m: m, g: g}
 }
 
 // ObservePhase implements the flight recorder's sink interface
@@ -170,12 +224,17 @@ func New() *Metrics {
 // whatever goroutine finalizes the timeline, so it does only a bounded
 // histogram insert under the registry mutex.
 func (m *Metrics) ObservePhase(replica uint32, phase pbft.Phase, d time.Duration) {
+	m.observePhase(0, replica, phase, d)
+}
+
+func (m *Metrics) observePhase(g int, replica uint32, phase pbft.Phase, d time.Duration) {
 	k := phaseKey{replica, phase}
 	m.mu.Lock()
-	h, ok := m.phases[k]
+	gs := m.group(g)
+	h, ok := gs.phases[k]
 	if !ok {
 		h = newHistogram(phaseBounds)
-		m.phases[k] = h
+		gs.phases[k] = h
 	}
 	h.observe(d.Seconds())
 	m.mu.Unlock()
@@ -194,8 +253,12 @@ func (m *Metrics) AddFlight(id uint32, dump func() pbft.FlightDump) {
 // at scrape time for queue-depth and backlog gauges. Safe to call while
 // serving.
 func (m *Metrics) AddReplica(id uint32, info func() pbft.ReplicaInfo) {
+	m.addReplica(0, id, info)
+}
+
+func (m *Metrics) addReplica(g int, id uint32, info func() pbft.ReplicaInfo) {
 	m.infoMu.Lock()
-	m.infos = append(m.infos, &replicaInfoSource{id: id, info: info})
+	m.infos = append(m.infos, &replicaInfoSource{id: id, group: g, info: info})
 	m.infoMu.Unlock()
 }
 
@@ -204,94 +267,167 @@ func (m *Metrics) AddReplica(id uint32, info func() pbft.ReplicaInfo) {
 // datagram totals plus datagrams-per-syscall occupancy histograms.
 // Safe to call while serving.
 func (m *Metrics) AddTransport(id uint32, stats func() pbft.BatchStats) {
+	m.addTransport(0, id, stats)
+}
+
+func (m *Metrics) addTransport(g int, id uint32, stats func() pbft.BatchStats) {
 	m.infoMu.Lock()
-	m.transports = append(m.transports, transportSource{id: id, stats: stats})
+	m.transports = append(m.transports, transportSource{id: id, group: g, stats: stats})
 	m.infoMu.Unlock()
 }
 
 // --- pbft.Tracer ---------------------------------------------------------
 
 // OnViewChange implements pbft.Tracer.
-func (m *Metrics) OnViewChange(e pbft.ViewChangeEvent) {
+func (m *Metrics) OnViewChange(e pbft.ViewChangeEvent) { m.onViewChange(0, e) }
+
+func (m *Metrics) onViewChange(g int, e pbft.ViewChangeEvent) {
 	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	gs := m.group(g)
 	switch e.Phase {
 	case pbft.ViewChangeStart:
-		m.vcStarted++
-		if _, running := m.vcStart[e.Replica]; !running {
+		gs.vcStarted++
+		if _, running := gs.vcStart[e.Replica]; !running {
 			// A cascade (start for v+1 after a stalled start for v) keeps
 			// the first start time: the sample measures how long the
 			// replica was without an operating view.
-			m.vcStart[e.Replica] = t
+			gs.vcStart[e.Replica] = t
 		}
 	case pbft.ViewChangeInstall:
-		m.vcInstalled++
-		if s, ok := m.vcStart[e.Replica]; ok {
-			m.vcDuration.observe(t.Sub(s).Seconds())
-			delete(m.vcStart, e.Replica)
+		gs.vcInstalled++
+		if s, ok := gs.vcStart[e.Replica]; ok {
+			gs.vcDuration.observe(t.Sub(s).Seconds())
+			delete(gs.vcStart, e.Replica)
 		}
 	}
 }
 
 // OnCheckpoint implements pbft.Tracer.
-func (m *Metrics) OnCheckpoint(e pbft.CheckpointEvent) {
+func (m *Metrics) OnCheckpoint(e pbft.CheckpointEvent) { m.onCheckpoint(0, e) }
+
+func (m *Metrics) onCheckpoint(g int, e pbft.CheckpointEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	gs := m.group(g)
 	if e.Stable {
-		m.stableCheckpoints++
+		gs.stableCheckpoints++
 	} else {
-		m.checkpoints++
+		gs.checkpoints++
 	}
 }
 
 // OnStateTransfer implements pbft.Tracer.
-func (m *Metrics) OnStateTransfer(e pbft.StateTransferEvent) {
+func (m *Metrics) OnStateTransfer(e pbft.StateTransferEvent) { m.onStateTransfer(0, e) }
+
+func (m *Metrics) onStateTransfer(g int, e pbft.StateTransferEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	gs := m.group(g)
 	switch e.Phase {
 	case pbft.StateTransferStart:
-		m.transfersStarted++
+		gs.transfersStarted++
 	case pbft.StateTransferFinish:
-		m.transfersCompleted++
+		gs.transfersCompleted++
 	case pbft.StateTransferAbort:
-		m.transfersAborted++
+		gs.transfersAborted++
 	}
 }
 
 // OnBatch implements pbft.Tracer.
-func (m *Metrics) OnBatch(e pbft.BatchEvent) {
+func (m *Metrics) OnBatch(e pbft.BatchEvent) { m.onBatch(0, e) }
+
+func (m *Metrics) onBatch(g int, e pbft.BatchEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.batches++
-	m.requests += uint64(e.Requests)
-	m.batchSize.observe(float64(e.Requests))
+	gs := m.group(g)
+	gs.batches++
+	gs.requests += uint64(e.Requests)
+	gs.batchSize.observe(float64(e.Requests))
 	if e.Tentative {
-		m.tentativeBatches++
+		gs.tentativeBatches++
 	}
 }
 
 // OnCommit implements pbft.Tracer.
-func (m *Metrics) OnCommit(e pbft.CommitEvent) {
+func (m *Metrics) OnCommit(e pbft.CommitEvent) { m.onCommit(0, e) }
+
+func (m *Metrics) onCommit(g int, e pbft.CommitEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.commits++
+	m.group(g).commits++
 }
 
 // OnClientSession implements pbft.Tracer.
-func (m *Metrics) OnClientSession(e pbft.ClientSessionEvent) {
+func (m *Metrics) OnClientSession(e pbft.ClientSessionEvent) { m.onClientSession(0, e) }
+
+func (m *Metrics) onClientSession(g int, e pbft.ClientSessionEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	gs := m.group(g)
 	switch e.Kind {
 	case pbft.SessionHello:
-		m.sessionHellos++
+		gs.sessionHellos++
 	case pbft.SessionJoin:
-		m.joins++
+		gs.joins++
 	case pbft.SessionLeave:
-		m.leaves++
+		gs.leaves++
 	case pbft.SessionEvict:
-		m.evictions++
+		gs.evictions++
 	}
+}
+
+// --- Group views ---------------------------------------------------------
+
+// GroupView is a Metrics registry scoped to one consensus group of a
+// partitioned deployment: it implements pbft.Tracer and the
+// registration surface exactly like the registry itself, but every
+// event, gauge source, and transport it records carries the group id.
+// Views are cheap handles over the shared registry — hand each group's
+// replicas their own and scrape one endpoint for the whole deployment.
+type GroupView struct {
+	m *Metrics
+	g int
+}
+
+// ID returns the group id this view records into.
+func (v *GroupView) ID() int { return v.g }
+
+// OnViewChange implements pbft.Tracer for the view's group.
+func (v *GroupView) OnViewChange(e pbft.ViewChangeEvent) { v.m.onViewChange(v.g, e) }
+
+// OnCheckpoint implements pbft.Tracer for the view's group.
+func (v *GroupView) OnCheckpoint(e pbft.CheckpointEvent) { v.m.onCheckpoint(v.g, e) }
+
+// OnStateTransfer implements pbft.Tracer for the view's group.
+func (v *GroupView) OnStateTransfer(e pbft.StateTransferEvent) { v.m.onStateTransfer(v.g, e) }
+
+// OnBatch implements pbft.Tracer for the view's group.
+func (v *GroupView) OnBatch(e pbft.BatchEvent) { v.m.onBatch(v.g, e) }
+
+// OnCommit implements pbft.Tracer for the view's group.
+func (v *GroupView) OnCommit(e pbft.CommitEvent) { v.m.onCommit(v.g, e) }
+
+// OnClientSession implements pbft.Tracer for the view's group.
+func (v *GroupView) OnClientSession(e pbft.ClientSessionEvent) { v.m.onClientSession(v.g, e) }
+
+// ObservePhase records one phase segment into the view's group
+// (pbft.PhaseSink).
+func (v *GroupView) ObservePhase(replica uint32, phase pbft.Phase, d time.Duration) {
+	v.m.observePhase(v.g, replica, phase, d)
+}
+
+// AddReplica registers a gauge source under the view's group: the
+// replica's gauges render with both group and replica labels.
+func (v *GroupView) AddReplica(id uint32, info func() pbft.ReplicaInfo) {
+	v.m.addReplica(v.g, id, info)
+}
+
+// AddTransport registers a UDP endpoint's syscall-batching counters
+// under the view's group.
+func (v *GroupView) AddTransport(id uint32, stats func() pbft.BatchStats) {
+	v.m.addTransport(v.g, id, stats)
 }
 
 // --- Snapshots -----------------------------------------------------------
@@ -327,37 +463,102 @@ type Snapshot struct {
 	Phases map[string]HistogramSnapshot
 }
 
-// Snapshot returns a consistent copy of the aggregates.
-func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// snapshotLocked copies one group's aggregates. Callers hold m.mu.
+func (gs *groupState) snapshotLocked() Snapshot {
 	var phases map[string]HistogramSnapshot
-	if len(m.phases) > 0 {
-		phases = make(map[string]HistogramSnapshot, len(m.phases))
-		for k, h := range m.phases {
+	if len(gs.phases) > 0 {
+		phases = make(map[string]HistogramSnapshot, len(gs.phases))
+		for k, h := range gs.phases {
 			phases[k.phase.String()] = phases[k.phase.String()].merge(h.snapshot())
 		}
 	}
 	return Snapshot{
-		Commits:                 m.commits,
-		Batches:                 m.batches,
-		Requests:                m.requests,
-		TentativeBatches:        m.tentativeBatches,
-		ViewChangesStarted:      m.vcStarted,
-		ViewChangesInstalled:    m.vcInstalled,
-		Checkpoints:             m.checkpoints,
-		StableCheckpoints:       m.stableCheckpoints,
-		StateTransfersStarted:   m.transfersStarted,
-		StateTransfersCompleted: m.transfersCompleted,
-		StateTransfersAborted:   m.transfersAborted,
-		SessionHellos:           m.sessionHellos,
-		Joins:                   m.joins,
-		Leaves:                  m.leaves,
-		Evictions:               m.evictions,
-		BatchSize:               m.batchSize.snapshot(),
-		ViewChangeDuration:      m.vcDuration.snapshot(),
+		Commits:                 gs.commits,
+		Batches:                 gs.batches,
+		Requests:                gs.requests,
+		TentativeBatches:        gs.tentativeBatches,
+		ViewChangesStarted:      gs.vcStarted,
+		ViewChangesInstalled:    gs.vcInstalled,
+		Checkpoints:             gs.checkpoints,
+		StableCheckpoints:       gs.stableCheckpoints,
+		StateTransfersStarted:   gs.transfersStarted,
+		StateTransfersCompleted: gs.transfersCompleted,
+		StateTransfersAborted:   gs.transfersAborted,
+		SessionHellos:           gs.sessionHellos,
+		Joins:                   gs.joins,
+		Leaves:                  gs.leaves,
+		Evictions:               gs.evictions,
+		BatchSize:               gs.batchSize.snapshot(),
+		ViewChangeDuration:      gs.vcDuration.snapshot(),
 		Phases:                  phases,
 	}
+}
+
+// Snapshot returns a consistent copy of the aggregates, summed across
+// every group (identical to the classic single-group snapshot when only
+// group 0 exists).
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := m.groupIDs()
+	out := m.groups[ids[0]].snapshotLocked()
+	for _, g := range ids[1:] {
+		out = out.add(m.groups[g].snapshotLocked())
+	}
+	return out
+}
+
+// GroupSnapshot returns a consistent copy of one group's aggregates (a
+// zero Snapshot for a group that was never registered).
+func (m *Metrics) GroupSnapshot(g int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.groups[g]
+	if !ok {
+		return Snapshot{}
+	}
+	return gs.snapshotLocked()
+}
+
+// GroupIDs returns the ids of every registered group, ascending. A
+// non-partitioned registry reports just group 0.
+func (m *Metrics) GroupIDs() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groupIDs()
+}
+
+// add sums another snapshot into this one (fresh maps, no aliasing) —
+// the cross-group fold behind the aggregate Snapshot.
+func (s Snapshot) add(o Snapshot) Snapshot {
+	out := s
+	out.Commits += o.Commits
+	out.Batches += o.Batches
+	out.Requests += o.Requests
+	out.TentativeBatches += o.TentativeBatches
+	out.ViewChangesStarted += o.ViewChangesStarted
+	out.ViewChangesInstalled += o.ViewChangesInstalled
+	out.Checkpoints += o.Checkpoints
+	out.StableCheckpoints += o.StableCheckpoints
+	out.StateTransfersStarted += o.StateTransfersStarted
+	out.StateTransfersCompleted += o.StateTransfersCompleted
+	out.StateTransfersAborted += o.StateTransfersAborted
+	out.SessionHellos += o.SessionHellos
+	out.Joins += o.Joins
+	out.Leaves += o.Leaves
+	out.Evictions += o.Evictions
+	out.BatchSize = s.BatchSize.merge(o.BatchSize)
+	out.ViewChangeDuration = s.ViewChangeDuration.merge(o.ViewChangeDuration)
+	if len(s.Phases) > 0 || len(o.Phases) > 0 {
+		out.Phases = make(map[string]HistogramSnapshot, len(s.Phases)+len(o.Phases))
+		for name, h := range s.Phases {
+			out.Phases[name] = h
+		}
+		for name, h := range o.Phases {
+			out.Phases[name] = out.Phases[name].merge(h)
+		}
+	}
+	return out
 }
 
 // Sub returns the delta s - prev (counters and histogram buckets are
@@ -516,71 +717,116 @@ func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
 // --- HTTP exposition -----------------------------------------------------
 
 // WritePrometheus renders every aggregate — and one gauge set per
-// registered replica — in the Prometheus text exposition format.
+// registered replica — in the Prometheus text exposition format. A
+// registry with only group 0 renders the classic unlabeled (and
+// replica-labeled) series; once any other group is registered every
+// per-group series carries a group label, so partitioned deployments
+// are queryable per group and per replica from one scrape.
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	s := m.Snapshot()
-	writeCounter(w, "pbft_commits_total", "Sequence numbers committed (2f+1 certificates).", s.Commits)
-	writeCounter(w, "pbft_batches_total", "Agreed batches handed to the execution engine.", s.Batches)
-	writeCounter(w, "pbft_requests_total", "Requests inside agreed batches.", s.Requests)
-	writeCounter(w, "pbft_tentative_batches_total", "Batches executed tentatively (after prepare, before commit).", s.TentativeBatches)
-	writeCounter(w, "pbft_view_changes_started_total", "View changes started (vote broadcast).", s.ViewChangesStarted)
-	writeCounter(w, "pbft_view_changes_total", "View changes completed (new view installed).", s.ViewChangesInstalled)
-	writeCounter(w, "pbft_checkpoints_total", "Local checkpoints produced.", s.Checkpoints)
-	writeCounter(w, "pbft_stable_checkpoints_total", "Checkpoints stabilized by 2f+1 proof.", s.StableCheckpoints)
-	writeCounter(w, "pbft_state_transfers_started_total", "State transfers started.", s.StateTransfersStarted)
-	writeCounter(w, "pbft_state_transfers_total", "State transfers completed.", s.StateTransfersCompleted)
-	writeCounter(w, "pbft_state_transfers_aborted_total", "State transfers aborted.", s.StateTransfersAborted)
-	writeCounter(w, "pbft_session_hellos_total", "Client MAC sessions (re-)established.", s.SessionHellos)
-	writeCounter(w, "pbft_joins_total", "Dynamic clients admitted.", s.Joins)
-	writeCounter(w, "pbft_leaves_total", "Dynamic clients departed.", s.Leaves)
-	writeCounter(w, "pbft_evictions_total", "Client sessions evicted.", s.Evictions)
-	writeHistogram(w, "pbft_batch_size", "Requests per agreed batch.", s.BatchSize)
-	writeHistogram(w, "pbft_view_change_duration_seconds", "View-change start to new-view install.", s.ViewChangeDuration)
-	m.writePhases(w)
+	m.mu.Lock()
+	ids := m.groupIDs()
+	multi := len(ids) > 1
+	snaps := make(map[int]Snapshot, len(ids))
+	for _, g := range ids {
+		snaps[g] = m.groups[g].snapshotLocked()
+	}
+	m.mu.Unlock()
+
+	counters := []struct {
+		name, help string
+		pick       func(Snapshot) uint64
+	}{
+		{"pbft_commits_total", "Sequence numbers committed (2f+1 certificates).", func(s Snapshot) uint64 { return s.Commits }},
+		{"pbft_batches_total", "Agreed batches handed to the execution engine.", func(s Snapshot) uint64 { return s.Batches }},
+		{"pbft_requests_total", "Requests inside agreed batches.", func(s Snapshot) uint64 { return s.Requests }},
+		{"pbft_tentative_batches_total", "Batches executed tentatively (after prepare, before commit).", func(s Snapshot) uint64 { return s.TentativeBatches }},
+		{"pbft_view_changes_started_total", "View changes started (vote broadcast).", func(s Snapshot) uint64 { return s.ViewChangesStarted }},
+		{"pbft_view_changes_total", "View changes completed (new view installed).", func(s Snapshot) uint64 { return s.ViewChangesInstalled }},
+		{"pbft_checkpoints_total", "Local checkpoints produced.", func(s Snapshot) uint64 { return s.Checkpoints }},
+		{"pbft_stable_checkpoints_total", "Checkpoints stabilized by 2f+1 proof.", func(s Snapshot) uint64 { return s.StableCheckpoints }},
+		{"pbft_state_transfers_started_total", "State transfers started.", func(s Snapshot) uint64 { return s.StateTransfersStarted }},
+		{"pbft_state_transfers_total", "State transfers completed.", func(s Snapshot) uint64 { return s.StateTransfersCompleted }},
+		{"pbft_state_transfers_aborted_total", "State transfers aborted.", func(s Snapshot) uint64 { return s.StateTransfersAborted }},
+		{"pbft_session_hellos_total", "Client MAC sessions (re-)established.", func(s Snapshot) uint64 { return s.SessionHellos }},
+		{"pbft_joins_total", "Dynamic clients admitted.", func(s Snapshot) uint64 { return s.Joins }},
+		{"pbft_leaves_total", "Dynamic clients departed.", func(s Snapshot) uint64 { return s.Leaves }},
+		{"pbft_evictions_total", "Client sessions evicted.", func(s Snapshot) uint64 { return s.Evictions }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+		if multi {
+			for _, g := range ids {
+				fmt.Fprintf(w, "%s{group=\"%d\"} %d\n", c.name, g, c.pick(snaps[g]))
+			}
+		} else {
+			fmt.Fprintf(w, "%s %d\n", c.name, c.pick(snaps[ids[0]]))
+		}
+	}
+	for _, hist := range []struct {
+		name, help string
+		pick       func(Snapshot) HistogramSnapshot
+	}{
+		{"pbft_batch_size", "Requests per agreed batch.", func(s Snapshot) HistogramSnapshot { return s.BatchSize }},
+		{"pbft_view_change_duration_seconds", "View-change start to new-view install.", func(s Snapshot) HistogramSnapshot { return s.ViewChangeDuration }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hist.name, hist.help, hist.name)
+		if multi {
+			for _, g := range ids {
+				writeHistogramSeries(w, hist.name, fmt.Sprintf("group=\"%d\"", g), hist.pick(snaps[g]))
+			}
+		} else {
+			writeHistogramSeries(w, hist.name, "", hist.pick(snaps[ids[0]]))
+		}
+	}
+	m.writePhases(w, multi)
 
 	m.infoMu.Lock()
 	infos := append([]*replicaInfoSource(nil), m.infos...)
 	transports := append([]transportSource(nil), m.transports...)
 	m.infoMu.Unlock()
-	writeTransports(w, transports)
+	writeTransports(w, transports, multi)
 	if len(infos) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "# HELP pbft_exec_queue_depth Operations inside the execution engine (applies + detached reads).\n# TYPE pbft_exec_queue_depth gauge\n")
 	type gaugeRow struct {
-		id   uint32
-		info pbft.ReplicaInfo
+		labels string
+		info   pbft.ReplicaInfo
 	}
 	rows := make([]gaugeRow, 0, len(infos))
 	for _, src := range infos {
-		rows = append(rows, gaugeRow{id: src.id, info: src.poll(gaugePollTimeout)})
+		labels := fmt.Sprintf("replica=\"%d\"", src.id)
+		if multi {
+			labels = fmt.Sprintf("group=\"%d\",replica=\"%d\"", src.group, src.id)
+		}
+		rows = append(rows, gaugeRow{labels: labels, info: src.poll(gaugePollTimeout)})
 	}
+	fmt.Fprintf(w, "# HELP pbft_exec_queue_depth Operations inside the execution engine (applies + detached reads).\n# TYPE pbft_exec_queue_depth gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_exec_queue_depth{replica=\"%d\"} %d\n", r.id, r.info.ExecQueueDepth)
+		fmt.Fprintf(w, "pbft_exec_queue_depth{%s} %d\n", r.labels, r.info.ExecQueueDepth)
 	}
 	fmt.Fprintf(w, "# HELP pbft_ingress_backlog Packets verified (or being verified) and not yet consumed by the protocol loop.\n# TYPE pbft_ingress_backlog gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_ingress_backlog{replica=\"%d\"} %d\n", r.id, r.info.IngressBacklog)
+		fmt.Fprintf(w, "pbft_ingress_backlog{%s} %d\n", r.labels, r.info.IngressBacklog)
 	}
 	fmt.Fprintf(w, "# HELP pbft_batch_window Batch-size bound for the next pre-prepare (adaptive controller's live window, or the static MaxBatch).\n# TYPE pbft_batch_window gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_batch_window{replica=\"%d\"} %d\n", r.id, r.info.BatchWindow)
+		fmt.Fprintf(w, "pbft_batch_window{%s} %d\n", r.labels, r.info.BatchWindow)
 	}
 	fmt.Fprintf(w, "# HELP pbft_last_exec Last executed sequence number.\n# TYPE pbft_last_exec gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_last_exec{replica=\"%d\"} %d\n", r.id, r.info.LastExec)
+		fmt.Fprintf(w, "pbft_last_exec{%s} %d\n", r.labels, r.info.LastExec)
 	}
 	fmt.Fprintf(w, "# HELP pbft_last_stable Last stable checkpoint sequence number.\n# TYPE pbft_last_stable gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_last_stable{replica=\"%d\"} %d\n", r.id, r.info.LastStable)
+		fmt.Fprintf(w, "pbft_last_stable{%s} %d\n", r.labels, r.info.LastStable)
 	}
 	fmt.Fprintf(w, "# HELP pbft_view Current view.\n# TYPE pbft_view gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_view{replica=\"%d\"} %d\n", r.id, r.info.View)
+		fmt.Fprintf(w, "pbft_view{%s} %d\n", r.labels, r.info.View)
 	}
 	fmt.Fprintf(w, "# HELP pbft_client_sessions Clients currently holding live MAC session keys (bounded by Options.MaxClientSessions).\n# TYPE pbft_client_sessions gauge\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_client_sessions{replica=\"%d\"} %d\n", r.id, r.info.ClientSessions)
+		fmt.Fprintf(w, "pbft_client_sessions{%s} %d\n", r.labels, r.info.ClientSessions)
 	}
 	// Ingress drop verdicts as typed counters: an active adversary shows
 	// up here (forged MACs under "auth", garbage floods under
@@ -588,44 +834,59 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	// perturbing the protocol-event counters above.
 	fmt.Fprintf(w, "# HELP pbft_auth_failures_total Packets rejected for failed MAC/signature authentication.\n# TYPE pbft_auth_failures_total counter\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_auth_failures_total{replica=\"%d\"} %d\n", r.id, r.info.Stats.DroppedBadAuth)
+		fmt.Fprintf(w, "pbft_auth_failures_total{%s} %d\n", r.labels, r.info.Stats.DroppedBadAuth)
 	}
 	fmt.Fprintf(w, "# HELP pbft_drops_total Packets dropped before reaching the protocol, by reason.\n# TYPE pbft_drops_total counter\n")
 	for _, r := range rows {
 		st := r.info.Stats
-		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"auth\"} %d\n", r.id, st.DroppedBadAuth)
-		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"malformed\"} %d\n", r.id, st.DroppedMalformed)
-		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"ignored\"} %d\n", r.id, st.DroppedIgnored)
-		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"nondet\"} %d\n", r.id, st.RejectedNonDet)
-		fmt.Fprintf(w, "pbft_drops_total{replica=\"%d\",reason=\"conflicting_preprepare\"} %d\n", r.id, st.ConflictingPrePrepares)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"auth\"} %d\n", r.labels, st.DroppedBadAuth)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"malformed\"} %d\n", r.labels, st.DroppedMalformed)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"ignored\"} %d\n", r.labels, st.DroppedIgnored)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"nondet\"} %d\n", r.labels, st.RejectedNonDet)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"conflicting_preprepare\"} %d\n", r.labels, st.ConflictingPrePrepares)
 	}
 }
 
 // writePhases renders pbft_phase_seconds: one histogram per
-// (phase, replica) pair fed by the flight recorders, in pipeline-phase
-// then replica order so scrapes are deterministic.
-func (m *Metrics) writePhases(w io.Writer) {
+// (phase, group, replica) tuple fed by the flight recorders, in
+// pipeline-phase, group, then replica order so scrapes are
+// deterministic. The group label appears only in multi-group
+// registries.
+func (m *Metrics) writePhases(w io.Writer, multi bool) {
+	type groupPhaseKey struct {
+		group int
+		k     phaseKey
+	}
 	m.mu.Lock()
-	keys := make([]phaseKey, 0, len(m.phases))
-	snaps := make(map[phaseKey]HistogramSnapshot, len(m.phases))
-	for k, h := range m.phases {
-		keys = append(keys, k)
-		snaps[k] = h.snapshot()
+	var keys []groupPhaseKey
+	snaps := make(map[groupPhaseKey]HistogramSnapshot)
+	for _, g := range m.groupIDs() {
+		for k, h := range m.groups[g].phases {
+			gk := groupPhaseKey{group: g, k: k}
+			keys = append(keys, gk)
+			snaps[gk] = h.snapshot()
+		}
 	}
 	m.mu.Unlock()
 	if len(keys) == 0 {
 		return
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].phase != keys[j].phase {
-			return keys[i].phase < keys[j].phase
+		if keys[i].k.phase != keys[j].k.phase {
+			return keys[i].k.phase < keys[j].k.phase
 		}
-		return keys[i].replica < keys[j].replica
+		if keys[i].group != keys[j].group {
+			return keys[i].group < keys[j].group
+		}
+		return keys[i].k.replica < keys[j].k.replica
 	})
 	fmt.Fprintf(w, "# HELP pbft_phase_seconds Per-request lifecycle phase latency (adjacent stamp points; end_to_end is first to last).\n# TYPE pbft_phase_seconds histogram\n")
-	for _, k := range keys {
-		h := snaps[k]
-		labels := fmt.Sprintf("phase=%q,replica=\"%d\"", k.phase.String(), k.replica)
+	for _, gk := range keys {
+		h := snaps[gk]
+		labels := fmt.Sprintf("phase=%q,replica=\"%d\"", gk.k.phase.String(), gk.k.replica)
+		if multi {
+			labels = fmt.Sprintf("group=\"%d\",%s", gk.group, labels)
+		}
 		cum := uint64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
@@ -642,38 +903,45 @@ func (m *Metrics) writePhases(w io.Writer) {
 // (pbft-gateway) and the bench's -metrics summary use it to surface the
 // syscall-batching numbers without the full replica exposition.
 func (m *Metrics) WriteUDPStats(w io.Writer) {
+	m.mu.Lock()
+	multi := len(m.groups) > 1
+	m.mu.Unlock()
 	m.infoMu.Lock()
 	transports := append([]transportSource(nil), m.transports...)
 	m.infoMu.Unlock()
-	writeTransports(w, transports)
+	writeTransports(w, transports, multi)
 }
 
 // writeTransports renders the registered UDP endpoints' syscall-batching
 // counters: totals plus occupancy histograms over the fixed BatchStats
 // buckets (1, 2-3, 4-7, 8-15, 16+ datagrams per syscall).
-func writeTransports(w io.Writer, transports []transportSource) {
+func writeTransports(w io.Writer, transports []transportSource, multi bool) {
 	if len(transports) == 0 {
 		return
 	}
 	rows := make([]transportRow, 0, len(transports))
 	for _, src := range transports {
-		rows = append(rows, transportRow{id: src.id, s: src.stats()})
+		labels := fmt.Sprintf("replica=\"%d\"", src.id)
+		if multi {
+			labels = fmt.Sprintf("group=\"%d\",replica=\"%d\"", src.group, src.id)
+		}
+		rows = append(rows, transportRow{labels: labels, s: src.stats()})
 	}
 	fmt.Fprintf(w, "# HELP pbft_udp_recv_syscalls_total Receive syscalls that returned at least one datagram.\n# TYPE pbft_udp_recv_syscalls_total counter\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_udp_recv_syscalls_total{replica=\"%d\"} %d\n", r.id, r.s.RecvCalls)
+		fmt.Fprintf(w, "pbft_udp_recv_syscalls_total{%s} %d\n", r.labels, r.s.RecvCalls)
 	}
 	fmt.Fprintf(w, "# HELP pbft_udp_recv_datagrams_total Datagrams returned by receive syscalls.\n# TYPE pbft_udp_recv_datagrams_total counter\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_udp_recv_datagrams_total{replica=\"%d\"} %d\n", r.id, r.s.RecvMsgs)
+		fmt.Fprintf(w, "pbft_udp_recv_datagrams_total{%s} %d\n", r.labels, r.s.RecvMsgs)
 	}
 	fmt.Fprintf(w, "# HELP pbft_udp_send_syscalls_total Send syscalls issued.\n# TYPE pbft_udp_send_syscalls_total counter\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_udp_send_syscalls_total{replica=\"%d\"} %d\n", r.id, r.s.SendCalls)
+		fmt.Fprintf(w, "pbft_udp_send_syscalls_total{%s} %d\n", r.labels, r.s.SendCalls)
 	}
 	fmt.Fprintf(w, "# HELP pbft_udp_send_datagrams_total Datagrams moved by send syscalls.\n# TYPE pbft_udp_send_datagrams_total counter\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "pbft_udp_send_datagrams_total{replica=\"%d\"} %d\n", r.id, r.s.SendMsgs)
+		fmt.Fprintf(w, "pbft_udp_send_datagrams_total{%s} %d\n", r.labels, r.s.SendMsgs)
 	}
 	writeOccupancy(w, "pbft_udp_recv_batch_occupancy", "Datagrams per receive syscall.", rows,
 		func(s pbft.BatchStats) ([5]uint64, uint64, uint64) { return s.RecvOccupancy, s.RecvCalls, s.RecvMsgs })
@@ -683,8 +951,8 @@ func writeTransports(w io.Writer, transports []transportSource) {
 
 // transportRow is one endpoint's counter snapshot at scrape time.
 type transportRow struct {
-	id uint32
-	s  pbft.BatchStats
+	labels string
+	s      pbft.BatchStats
 }
 
 // writeOccupancy renders one occupancy histogram per endpoint. The bucket
@@ -697,11 +965,11 @@ func writeOccupancy(w io.Writer, name, help string, rows []transportRow, pick fu
 		cum := uint64(0)
 		for i, b := range pbft.BatchOccupancyBounds {
 			cum += occ[i]
-			fmt.Fprintf(w, "%s_bucket{replica=\"%d\",le=\"%d\"} %d\n", name, r.id, b, cum)
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, r.labels, b, cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{replica=\"%d\",le=\"+Inf\"} %d\n", name, r.id, calls)
-		fmt.Fprintf(w, "%s_sum{replica=\"%d\"} %d\n", name, r.id, msgs)
-		fmt.Fprintf(w, "%s_count{replica=\"%d\"} %d\n", name, r.id, calls)
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, r.labels, calls)
+		fmt.Fprintf(w, "%s_sum{%s} %d\n", name, r.labels, msgs)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, r.labels, calls)
 	}
 }
 
@@ -711,13 +979,34 @@ func writeCounter(w io.Writer, name, help string, v uint64) {
 
 func writeHistogram(w io.Writer, name, help string, h HistogramSnapshot) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistogramSeries(w, name, "", h)
+}
+
+// writeHistogramSeries renders one histogram's bucket/sum/count lines,
+// with optional extra labels (the multi-group group dimension). HELP and
+// TYPE headers are the caller's responsibility so several labeled series
+// can share one metric family.
+func writeHistogramSeries(w io.Writer, name, labels string, h HistogramSnapshot) {
+	brace := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
 	cum := uint64(0)
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(fmt.Sprintf("le=\"%g\"", b)), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace("le=\"+Inf\""), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, brace(""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.Count)
 }
 
 // Handler serves the /metrics content.

@@ -1,0 +1,62 @@
+package pbft
+
+import (
+	"repro/internal/partition"
+)
+
+// Partitioned multi-group consensus: N independent PBFT groups, each
+// owning a static key range, behind one routing layer. See package
+// repro/internal/partition for the routing contract (what is and is not
+// linearizable across groups) and ARCHITECTURE.md ("Partition layer").
+type (
+	// PartitionMap is the versioned partition table mapping the 64-bit
+	// key-hash ring onto groups.
+	PartitionMap = partition.Map
+	// PartitionRouter maps operations onto groups using a Sharder-shaped
+	// keyset function.
+	PartitionRouter = partition.Router
+	// PartitionRouterOption configures a PartitionRouter.
+	PartitionRouterOption = partition.RouterOption
+	// PartitionKeysFunc extracts an operation's placement keyset; it is
+	// the same shape as Sharder.Keys.
+	PartitionKeysFunc = partition.KeysFunc
+	// PartitionedClient holds one pipelined client session per group and
+	// routes every operation to its owning group.
+	PartitionedClient = partition.Client
+	// PartitionGroupResult is one group's answer to a fan-out read.
+	PartitionGroupResult = partition.GroupResult
+	// CrossGroupError reports an operation that spans groups under the
+	// reject policy; match it with errors.Is(err, ErrCrossGroup).
+	CrossGroupError = partition.CrossGroupError
+)
+
+// ErrCrossGroup is the sentinel for operations a RejectCrossGroup router
+// refuses to place.
+var ErrCrossGroup = partition.ErrCrossGroup
+
+// UniformPartitionMap builds a version-1 table splitting the key-hash
+// ring evenly across groups.
+func UniformPartitionMap(groups int) *PartitionMap { return partition.Uniform(groups) }
+
+// UnmarshalPartitionMap parses and validates a PartitionMap.Marshal form.
+func UnmarshalPartitionMap(b []byte) (*PartitionMap, error) { return partition.UnmarshalMap(b) }
+
+// NewPartitionRouter builds a router over m. keys may be nil (every
+// operation routes to the home group).
+func NewPartitionRouter(m *PartitionMap, keys PartitionKeysFunc, opts ...PartitionRouterOption) (*PartitionRouter, error) {
+	return partition.NewRouter(m, keys, opts...)
+}
+
+// WithHomeGroup sets the group receiving unkeyed and (by default)
+// cross-group operations.
+func WithHomeGroup(g int) PartitionRouterOption { return partition.WithHomeGroup(g) }
+
+// RejectCrossGroup makes Route fail unkeyed and multi-group operations
+// with a *CrossGroupError instead of using the home group.
+func RejectCrossGroup() PartitionRouterOption { return partition.RejectCrossGroup() }
+
+// NewPartitionedClient wraps one per-group client session per router
+// group; sessions[g] must be a client of group g's deployment.
+func NewPartitionedClient(router *PartitionRouter, sessions []*Client) (*PartitionedClient, error) {
+	return partition.NewClient(router, sessions)
+}

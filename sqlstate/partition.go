@@ -1,0 +1,53 @@
+package sqlstate
+
+import (
+	"repro/internal/sqldb"
+)
+
+// PartitionKeys is the partition-router keyset function for the SQL
+// application (internal/partition.KeysFunc): it names the table one
+// statement touches as a "table:<name>" key, so a partitioned
+// deployment places every statement over a table on the group that
+// owns it.
+//
+// It deliberately differs from App.Keys, the intra-group execution
+// sharder. That one keys only read-only single-table SELECTs, because
+// within one group all statements share a database file and writes
+// never commute. Across groups there is no shared state at all — each
+// group runs its own database — so here writes are keyed too:
+// CREATE/DROP TABLE, INSERT, UPDATE, DELETE, and SELECT all route by
+// the table they name. Statements that fail to parse, table-less
+// SELECTs, and transaction control return nil and fall to the
+// router's unkeyed policy (home group or rejection); multi-statement
+// transactions spanning tables owned by different groups are exactly
+// the cross-group case the partition layer does not linearize (see
+// ARCHITECTURE.md "Partition layer").
+func PartitionKeys(op []byte) [][]byte {
+	_, sql, err := decodeOpHeader(op)
+	if err != nil {
+		return nil
+	}
+	st, _, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil
+	}
+	var table string
+	switch x := st.(type) {
+	case *sqldb.CreateTableStmt:
+		table = x.Name
+	case *sqldb.DropTableStmt:
+		table = x.Name
+	case *sqldb.InsertStmt:
+		table = x.Table
+	case *sqldb.UpdateStmt:
+		table = x.Table
+	case *sqldb.DeleteStmt:
+		table = x.Table
+	case *sqldb.SelectStmt:
+		table = x.Table
+	}
+	if table == "" {
+		return nil
+	}
+	return [][]byte{[]byte("table:" + table)}
+}

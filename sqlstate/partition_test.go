@@ -1,0 +1,44 @@
+package sqlstate
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPartitionKeysRouteByTable(t *testing.T) {
+	cases := []struct {
+		name string
+		op   []byte
+		want string // "" = nil keyset (unkeyed)
+	}{
+		{"create", EncodeExec("CREATE TABLE accounts (id INTEGER, balance INTEGER)"), "table:accounts"},
+		{"drop", EncodeExec("DROP TABLE IF EXISTS accounts"), "table:accounts"},
+		{"insert", EncodeExec("INSERT INTO accounts (id, balance) VALUES (1, 10)"), "table:accounts"},
+		{"update", EncodeExec("UPDATE accounts SET balance = 11 WHERE id = 1"), "table:accounts"},
+		{"delete", EncodeExec("DELETE FROM accounts WHERE id = 1"), "table:accounts"},
+		{"select", EncodeQuery("SELECT balance FROM accounts WHERE id = 1"), "table:accounts"},
+		{"select other table", EncodeQuery("SELECT * FROM audit_log"), "table:audit_log"},
+		{"tableless select", EncodeQuery("SELECT 1+1"), ""},
+		{"txn control", EncodeExec("BEGIN"), ""},
+		{"parse error", EncodeExec("FROB THE KNOB"), ""},
+		{"malformed op", []byte{0xff}, ""},
+	}
+	for _, tc := range cases {
+		keys := PartitionKeys(tc.op)
+		if tc.want == "" {
+			if keys != nil {
+				t.Fatalf("%s: keyset = %q, want nil", tc.name, keys)
+			}
+			continue
+		}
+		if len(keys) != 1 || !bytes.Equal(keys[0], []byte(tc.want)) {
+			t.Fatalf("%s: keyset = %q, want [%q]", tc.name, keys, tc.want)
+		}
+	}
+
+	// Placement invariant the router relies on: every statement over one
+	// table produces the same key, whatever the statement kind.
+	if !bytes.Equal(PartitionKeys(cases[0].op)[0], PartitionKeys(cases[5].op)[0]) {
+		t.Fatal("CREATE and SELECT over the same table produced different keys")
+	}
+}
