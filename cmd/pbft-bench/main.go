@@ -17,6 +17,7 @@
 //	pbft-bench -experiment swarm             # massive-connection ingress
 //	pbft-bench -experiment chaos             # Byzantine adversary suite under load
 //	pbft-bench -experiment partitions        # multi-group scaling (1→2→4 groups)
+//	pbft-bench -experiment soak              # durable restart-storm soak
 //	pbft-bench -experiment all
 //
 // The -pipeline flag sets how many requests each load client keeps in
@@ -26,7 +27,12 @@
 // the serial configuration). The partitions experiment sweeps the group
 // count 1→2→...→-groups and reports the aggregate-TPS-vs-groups scaling
 // curve of the partition router (ARCHITECTURE.md "Partition layer"),
-// asserting per-group digest convergence after each run. The -json flag
+// asserting per-group digest convergence after each run. The soak
+// experiment cycles restart storms (rolling restart, simultaneous
+// restart of every replica, kill mid-WAL-append) over one durable
+// cluster under load, asserting stable-digest convergence per episode
+// and recording recovery latencies; -soak-episodes sets the episode
+// budget and -soak-data pins the durable root. The -json flag
 // additionally writes a
 // machine-readable summary (one row per measured configuration plus run
 // metadata) to a file — the repository's BENCH_PR*.json perf-trajectory
@@ -54,7 +60,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|chaos|partitions|all")
+	experiment := flag.String("experiment", "all", "table1|fig4|fig5|acid|dynamic|wan|loss|lossy|recovery|pipeline|exec|swarm|chaos|partitions|soak|all")
 	duration := flag.Duration("duration", 3*time.Second, "measured window per configuration")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	clients := flag.Int("clients", 12, "closed-loop clients (paper: 12)")
@@ -69,6 +75,8 @@ func run() error {
 	swarmSessions := flag.Int("swarm-sessions", swarmDefaults.MaxSessions, "session-table cap for the swarm experiment")
 	swarmChurn := flag.Int("swarm-churn", swarmDefaults.ChurnEvery, "ops per client between close+recreate in the swarm (0 = no churn)")
 	swarmUDP := flag.Int("swarm-udp-clients", swarmDefaults.UDPClients, "loopback-UDP clients for the swarm syscall phase (0 = skip)")
+	soakEpisodes := flag.Int("soak-episodes", 6, "fault episodes for the soak experiment")
+	soakData := flag.String("soak-data", "", "durable root for the soak experiment (empty = temp dir)")
 	jsonOut := flag.String("json", "", "write a machine-readable experiment summary to this file (\"-\" = stdout)")
 	flag.Parse()
 
@@ -155,6 +163,11 @@ func run() error {
 			return harness.RunSwarm(opts, sw)
 		case "chaos":
 			return harness.RunChaos(opts)
+		case "soak":
+			return harness.RunSoak(opts, harness.SoakOptions{
+				Episodes: *soakEpisodes,
+				DataDir:  *soakData,
+			})
 		case "partitions":
 			list := []int{1}
 			for g := 2; g < *groups; g *= 2 {

@@ -14,6 +14,13 @@
 //
 // and talk to the service with pbft-client.
 //
+// Durability: -data DIR makes the replica durable — the replicated
+// state region and the protocol-critical minimum (stable checkpoint,
+// view, client dedup windows) persist under DIR through a WAL-backed
+// store, so a crash-restarted replica rejoins at its last stable
+// checkpoint and fetches only the delta from its peers. Without -data
+// (the default) the replica is diskless, as in the original paper.
+//
 // Observability: the metrics endpoint serves /metrics (Prometheus),
 // /healthz, and /debug/flight — the flight recorder's last-N request
 // timelines with per-phase latency marks (disable the recorder with
@@ -68,6 +75,7 @@ func run() error {
 	robust := flag.Bool("robust", false, "use the most robust configuration for -gen (nomac, noallbig)")
 	id := flag.Uint("id", 0, "replica id to run")
 	app := flag.String("app", "sql", "application: echo | counter | sql")
+	data := flag.String("data", "", "durable state directory for this replica (WAL-backed pages + manifest; empty = diskless)")
 	metricsAddr := flag.String("metrics", "127.0.0.1:0", "HTTP address for /metrics, /healthz and /debug/flight (empty disables)")
 	flight := flag.Bool("flight", true, "record per-request phase timelines (served at /debug/flight)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof on the metrics mux")
@@ -122,6 +130,13 @@ func run() error {
 	// replica's lifecycle.
 	reg := metrics.New()
 	cfg.Opts = cfg.Opts.WithTracer(reg)
+
+	// Durable replica state (-data): crash-restart recovers from the
+	// WAL-backed pages file and manifest instead of a full state
+	// transfer. Diskless (the default) keeps the original fault model.
+	if *data != "" {
+		cfg.Opts = cfg.Opts.WithDataDir(*data)
+	}
 
 	// The flight recorder stamps every request's lifecycle phases; its
 	// per-phase segments feed the registry's pbft_phase_seconds series

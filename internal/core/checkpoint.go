@@ -196,6 +196,7 @@ func (r *Replica) makeStable(ck *ckptRecord) {
 	if r.committedContig < ck.seq {
 		r.committedContig = ck.seq
 	}
+	r.persistStable(ck)
 	r.gcLog()
 	if r.isPrimary() {
 		if r.seq < r.lastStable {

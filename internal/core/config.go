@@ -170,6 +170,17 @@ type Options struct {
 	// 0 means DefaultMaxClientSessions; negative disables both bounds.
 	MaxClientSessions int
 
+	// DataDir roots the replica's durable state on disk: a WAL-backed
+	// page image plus a manifest persisting the protocol-critical
+	// minimum (stable checkpoint digest + seq, view, membership
+	// generation, client dedup windows) at every stable checkpoint. A
+	// replica restarted over the same directory rejoins at its last
+	// stable checkpoint and fetches only the delta via state transfer.
+	// Empty (the default) keeps the replica diskless; the durable hooks
+	// then cost one nil check. Local, excluded from deployment files —
+	// each replica names its own directory.
+	DataDir string `json:"-"`
+
 	// Tracer receives typed protocol events (view changes, checkpoints,
 	// state transfer, batches, commits, client sessions) from the
 	// replica's protocol loop. Nil (the default) disables tracing at
@@ -269,6 +280,13 @@ func (o Options) WithTracer(t Tracer) Options {
 // per-request tracing.
 func (o Options) WithRecorder(rec *trace.Recorder) Options {
 	o.Recorder = rec
+	return o
+}
+
+// WithDataDir returns a copy of the options with durable replica state
+// rooted at dir (chainable). An empty dir keeps the replica diskless.
+func (o Options) WithDataDir(dir string) Options {
+	o.DataDir = dir
 	return o
 }
 

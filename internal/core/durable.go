@@ -1,0 +1,356 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/crypto"
+	"repro/internal/sqldb"
+	"repro/internal/state"
+	"repro/internal/wire"
+)
+
+// Durable replica state (Options.DataDir). Two artifacts live in the
+// data directory:
+//
+//   - pages (+ pages.wal): the replicated state region's page image,
+//     written through the WAL-backed VFS — at every stable checkpoint
+//     the pages whose digests changed since the last persist are
+//     written and committed with one WAL fsync.
+//   - manifest: the protocol-critical minimum, replaced atomically
+//     (write tmp + fsync + rename + fsync dir): stable checkpoint seq
+//     and composite digest, view number, the serialized middleware
+//     metadata (client dedup windows, dynamic membership generation,
+//     pending joins), and the raw 2f+1 checkpoint proof.
+//
+// A restarted replica reloads both, verifies the chain (manifest CRC →
+// metadata digest → composite digest → region root) and rejoins at its
+// last stable checkpoint; the existing state transfer then fetches only
+// the pages that changed since — the delta — because the syncer is
+// seeded from the restored leaf digests. Any verification failure
+// degrades to a diskless start (full transfer), never to divergence.
+const (
+	durManifestMagic   = "PBFTDUR1"
+	durManifestVersion = 1
+	durManifestName    = "manifest"
+	durPagesName       = "pages"
+)
+
+// durManifest is the decoded manifest content.
+type durManifest struct {
+	seq        uint64
+	view       uint64
+	restarts   uint64
+	digest     crypto.Digest
+	root       crypto.Digest
+	metaDigest crypto.Digest
+	meta       []byte
+	proof      [][]byte
+}
+
+// durableStore owns a replica's on-disk state. All access is confined
+// to the replica's event loop (persist, info) or to NewReplica before
+// the loop starts (recovery).
+type durableStore struct {
+	dir      string
+	vfs      *sqldb.WALVFS
+	pages    sqldb.File
+	pageSize int
+	// lastLeaves mirrors the page digests the pages file currently
+	// holds; persist diffs against it to write only changed pages.
+	lastLeaves []crypto.Digest
+	// man is the manifest loaded at open (nil on first boot or after a
+	// failed validation), consumed by the recovery stages.
+	man *durManifest
+
+	// broken latches after a persist error: the replica keeps serving
+	// diskless-style (never crashes the protocol), surfacing the
+	// failure through PersistErrors.
+	broken        bool
+	restarts      uint64
+	recoveryNanos uint64
+	persistErrors uint64
+}
+
+// openDurable opens (creating if needed) the data directory, recovers
+// the pages file through the WAL (torn tails truncated), and loads the
+// manifest if one validates. A manifest that fails validation is
+// deleted so the boot degrades to a clean first start.
+func openDurable(dir string) (*durableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: durable dir: %w", err)
+	}
+	vfs := sqldb.NewWALVFS(dir)
+	pages, err := vfs.Open(durPagesName)
+	if err != nil {
+		return nil, fmt.Errorf("core: durable pages: %w", err)
+	}
+	d := &durableStore{dir: dir, vfs: vfs, pages: pages}
+	if man, err := loadManifest(filepath.Join(dir, durManifestName)); err == nil && man != nil {
+		d.man = man
+		d.restarts = man.restarts + 1
+	} else if err != nil {
+		// Corrupt manifest: remove it and boot fresh.
+		_ = os.Remove(filepath.Join(dir, durManifestName))
+	}
+	return d, nil
+}
+
+// restoreRegion loads the persisted page image into the region and
+// verifies it reproduces the manifest's root. Called between region
+// construction and protocol start (stage A of recovery).
+func (d *durableStore) restoreRegion(region *state.Region) error {
+	d.pageSize = region.PageSize()
+	size, err := d.pages.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, d.pageSize)
+	zero := make([]byte, d.pageSize)
+	n := region.NumPages()
+	for i := 0; i < n; i++ {
+		off := int64(i) * int64(d.pageSize)
+		if off >= size {
+			break
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		want := d.pageSize
+		if off+int64(want) > size {
+			want = int(size - off)
+		}
+		if _, err := d.pages.ReadAt(buf[:want], off); err != nil && err != io.EOF {
+			return err
+		}
+		if bytes.Equal(buf, zero) {
+			continue
+		}
+		if err := region.ApplyPage(i, buf); err != nil {
+			return err
+		}
+	}
+	if d.man != nil && region.Root() != d.man.root {
+		return fmt.Errorf("core: durable pages do not reproduce manifest root")
+	}
+	return nil
+}
+
+// reset discards the on-disk state (root mismatch or manifest-less
+// pages): the replica boots fresh and re-fetches over state transfer.
+func (d *durableStore) reset() error {
+	d.man = nil
+	_ = os.Remove(filepath.Join(d.dir, durManifestName))
+	if err := d.pages.Truncate(0); err != nil {
+		return err
+	}
+	return d.pages.Sync()
+}
+
+// seedLeaves records the region's current page digests as the persisted
+// baseline (call after restoreRegion or reset).
+func (d *durableStore) seedLeaves(region *state.Region) {
+	d.pageSize = region.PageSize()
+	d.lastLeaves = append(d.lastLeaves[:0], region.LeafDigests()...)
+}
+
+// persist writes the delta of a stable checkpoint: changed pages into
+// the WAL-backed pages file (one commit fsync), then the manifest,
+// atomically replaced. The durability order matters — pages first,
+// manifest last — so a crash between the two recovers to the OLD
+// manifest whose pages are still intact in the WAL chain.
+func (d *durableStore) persist(ck *ckptRecord, view uint64, proof [][]byte) error {
+	for i := range d.lastLeaves {
+		want, err := ck.snap.NodeDigest(0, i)
+		if err != nil {
+			return err
+		}
+		if want == d.lastLeaves[i] {
+			continue
+		}
+		page, err := ck.snap.Page(i)
+		if err != nil {
+			return err
+		}
+		if _, err := d.pages.WriteAt(page, int64(i)*int64(d.pageSize)); err != nil {
+			return err
+		}
+		d.lastLeaves[i] = want
+	}
+	if err := d.pages.Sync(); err != nil {
+		return err
+	}
+	man := &durManifest{
+		seq:        ck.seq,
+		view:       view,
+		restarts:   d.restarts,
+		digest:     ck.digest,
+		root:       ck.root,
+		metaDigest: ck.metaDigest,
+		meta:       ck.meta,
+		proof:      proof,
+	}
+	if err := writeManifest(d.dir, man); err != nil {
+		return err
+	}
+	d.man = man
+	return nil
+}
+
+// close releases the pages file.
+func (d *durableStore) close() {
+	if d.pages != nil {
+		_ = d.pages.Close()
+		d.pages = nil
+	}
+}
+
+// writeManifest atomically replaces the manifest: tmp file, fsync,
+// rename, fsync directory. A crash at any point leaves either the old
+// or the new manifest, never a torn one.
+func writeManifest(dir string, m *durManifest) error {
+	w := wire.NewWriter(256 + len(m.meta))
+	w.Raw([]byte(durManifestMagic))
+	w.U32(durManifestVersion)
+	w.U64(m.seq)
+	w.U64(m.view)
+	w.U64(m.restarts)
+	w.Raw(m.digest[:])
+	w.Raw(m.root[:])
+	w.Raw(m.metaDigest[:])
+	w.Bytes32(m.meta)
+	w.U32(uint32(len(m.proof)))
+	for _, p := range m.proof {
+		w.Bytes32(p)
+	}
+	body := w.Bytes()
+	out := make([]byte, 0, len(body)+4)
+	out = append(out, body...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	out = append(out, crc[:]...)
+
+	tmp := filepath.Join(dir, durManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, durManifestName)); err != nil {
+		return err
+	}
+	if dirF, err := os.Open(dir); err == nil {
+		_ = dirF.Sync()
+		dirF.Close()
+	}
+	return nil
+}
+
+// loadManifest reads and validates a manifest: magic, CRC, and the
+// digest chain (meta hashes to metaDigest; root+metaDigest compose to
+// digest). Returns (nil, nil) when no manifest exists and an error when
+// one exists but fails validation.
+func loadManifest(path string) (*durManifest, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(durManifestMagic)+4 {
+		return nil, fmt.Errorf("core: manifest too short")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("core: manifest CRC mismatch")
+	}
+	if string(body[:len(durManifestMagic)]) != durManifestMagic {
+		return nil, fmt.Errorf("core: manifest bad magic")
+	}
+	rd := wire.NewReader(body[len(durManifestMagic):])
+	if v := rd.U32(); v != durManifestVersion {
+		return nil, fmt.Errorf("core: manifest version %d unsupported", v)
+	}
+	m := &durManifest{}
+	m.seq = rd.U64()
+	m.view = rd.U64()
+	m.restarts = rd.U64()
+	rd.Fixed(m.digest[:])
+	rd.Fixed(m.root[:])
+	rd.Fixed(m.metaDigest[:])
+	m.meta = rd.Bytes32()
+	n := int(rd.U32())
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		m.proof = append(m.proof, rd.Bytes32())
+	}
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("core: manifest decode: %w", err)
+	}
+	if crypto.DigestOf(m.meta) != m.metaDigest {
+		return nil, fmt.Errorf("core: manifest meta digest mismatch")
+	}
+	if wire.CompositeStateDigest(m.root, m.metaDigest) != m.digest {
+		return nil, fmt.Errorf("core: manifest composite digest mismatch")
+	}
+	return m, nil
+}
+
+// recoverFromManifest is stage B of durable recovery, run by NewReplica
+// after the volatile structures exist: install the persisted metadata
+// and protocol counters, then re-derive the stable checkpoint record
+// and verify it reproduces the manifest's agreed digest. The manifest
+// was CRC- and digest-chain-validated at load and the page image
+// reproduced the root, so a mismatch here means the metadata
+// round-trip broke — refuse to start rather than risk divergence.
+func (r *Replica) recoverFromManifest(man *durManifest) error {
+	if err := r.unmarshalMeta(man.meta); err != nil {
+		return fmt.Errorf("core: durable manifest meta: %w", err)
+	}
+	r.view = man.view
+	r.lastExec = man.seq
+	r.committedContig = man.seq
+	if r.seq < man.seq {
+		r.seq = man.seq
+	}
+	ck := r.recordLocalCheckpoint(man.seq)
+	if ck.digest != man.digest {
+		return fmt.Errorf("core: recovered state does not reproduce manifest digest %x", man.digest[:8])
+	}
+	ck.stable = true
+	r.lastStable = man.seq
+	r.stableProof = man.proof
+	r.gcLog()
+	return nil
+}
+
+// persistStable is the durability hook on the stable-checkpoint path
+// (makeStable and the state-transfer install). Diskless replicas pay
+// one nil check. A persist failure (disk full, I/O error) latches the
+// store broken: the replica keeps serving in-memory and the failure is
+// visible as Stats.PersistErrors.
+func (r *Replica) persistStable(ck *ckptRecord) {
+	d := r.durable
+	if d == nil || d.broken || ck.snap == nil {
+		return
+	}
+	if err := d.persist(ck, r.view, r.stableProof); err != nil {
+		d.broken = true
+		d.persistErrors++
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+func testManifest() *durManifest {
+	meta := []byte("meta-blob")
+	metaDigest := crypto.DigestOf(meta)
+	root := crypto.DigestOf([]byte("root"))
+	return &durManifest{
+		seq:        128,
+		view:       3,
+		restarts:   7,
+		digest:     wire.CompositeStateDigest(root, metaDigest),
+		root:       root,
+		metaDigest: metaDigest,
+		meta:       meta,
+		proof:      [][]byte{[]byte("vote-a"), []byte("vote-b"), []byte("vote-c")},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testManifest()
+	if err := writeManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadManifest(filepath.Join(dir, durManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("manifest not found after write")
+	}
+	if got.seq != want.seq || got.view != want.view || got.restarts != want.restarts {
+		t.Fatalf("counters mismatch: %+v", got)
+	}
+	if got.digest != want.digest || got.root != want.root || got.metaDigest != want.metaDigest {
+		t.Fatal("digest mismatch")
+	}
+	if string(got.meta) != string(want.meta) || len(got.proof) != 3 {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestManifestMissing(t *testing.T) {
+	m, err := loadManifest(filepath.Join(t.TempDir(), durManifestName))
+	if err != nil || m != nil {
+		t.Fatalf("missing manifest: got %v, %v", m, err)
+	}
+}
+
+// TestManifestCorruptionRejected flips one byte at every offset: a
+// corrupt manifest must be rejected, never half-loaded.
+func TestManifestCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeManifest(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, durManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x20
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := loadManifest(path); err == nil && m != nil {
+			t.Fatalf("pos=%d: corrupt manifest loaded", pos)
+		}
+	}
+	// Truncations must be rejected too.
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := loadManifest(path); err == nil && m != nil {
+			t.Fatalf("cut=%d: truncated manifest loaded", cut)
+		}
+	}
+}
+
+// TestManifestAtomicReplace overwrites an existing manifest and checks
+// the tmp file never survives.
+func TestManifestAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	first := testManifest()
+	if err := writeManifest(dir, first); err != nil {
+		t.Fatal(err)
+	}
+	second := testManifest()
+	second.seq = 256
+	meta := []byte("newer-meta")
+	second.meta = meta
+	second.metaDigest = crypto.DigestOf(meta)
+	second.digest = wire.CompositeStateDigest(second.root, second.metaDigest)
+	if err := writeManifest(dir, second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, durManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("tmp manifest left behind")
+	}
+	got, err := loadManifest(filepath.Join(dir, durManifestName))
+	if err != nil || got == nil {
+		t.Fatal(err)
+	}
+	if got.seq != 256 {
+		t.Fatalf("replace did not take: seq=%d", got.seq)
+	}
+}

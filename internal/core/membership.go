@@ -46,7 +46,12 @@ func (r *Replica) onJoinRequest(env *wire.Envelope, req *wire.Request) {
 		return
 	}
 	if env.Kind != wire.AuthSig || !crypto.Verify(pub, env.SignedBytes(), env.Sig) {
+		// The envelope does not verify against the credential it
+		// presents: a fabricated join identity. Typed separately from
+		// generic auth failures so the adversarial suite can assert the
+		// drop without protocol activity.
 		r.stats.DroppedBadAuth++
+		r.stats.DroppedForgedJoins++
 		return
 	}
 	// Retransmissions: a join that already progressed is answered from

@@ -121,6 +121,11 @@ type Replica struct {
 	// stamping (one nil check per stamp site, no allocations).
 	rec *trace.Recorder
 
+	// durable owns the replica's on-disk state (Options.DataDir); nil
+	// keeps the replica diskless at the cost of one nil check on the
+	// stable-checkpoint path.
+	durable *durableStore
+
 	stats Stats
 }
 
@@ -155,12 +160,31 @@ type Stats struct {
 	// different digest was already accepted for the same view and
 	// sequence — the signature of an equivocating primary.
 	ConflictingPrePrepares uint64
-	RejectedNonDet         uint64
-	WedgedNow              bool
-	SyncingNow             bool
-	JoinsExecuted          uint64
-	LeavesExecuted         uint64
-	SessionsEvicted        uint64
+	// DroppedForgedJoins counts join requests rejected because the
+	// envelope signature did not verify against the credential it
+	// presented — a fabricated join identity.
+	DroppedForgedJoins uint64
+	RejectedNonDet     uint64
+	WedgedNow          bool
+	SyncingNow         bool
+	JoinsExecuted      uint64
+	LeavesExecuted     uint64
+	SessionsEvicted    uint64
+	// Durable-replica counters, all zero while DataDir is unset.
+	// DurableNow reports that this replica runs with a data directory;
+	// Restarts counts recoveries from an existing manifest (0 on first
+	// boot); RecoveryNanos is the duration of the last disk recovery;
+	// WALFsyncs/WALBytes/WALCheckpoints mirror the WAL-backed VFS
+	// counters; PersistErrors counts failed stable-checkpoint persists
+	// (after which the store latches broken and the replica continues
+	// in-memory).
+	DurableNow     bool
+	Restarts       uint64
+	RecoveryNanos  uint64
+	WALFsyncs      uint64
+	WALBytes       uint64
+	WALCheckpoints uint64
+	PersistErrors  uint64
 }
 
 // ckptRecord tracks one checkpoint: the local snapshot (if this replica
@@ -207,6 +231,36 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 	region, err := state.NewRegion(cfg.Opts.StateSize, cfg.Opts.PageSize)
 	if err != nil {
 		return nil, err
+	}
+	// Durable recovery stage A (Options.DataDir): recover the pages file
+	// through its WAL, load the manifest and rebuild the page image
+	// before the application attaches. Validation failures (no or
+	// corrupt manifest, image not reproducing the manifest root) reset
+	// the store — the replica boots fresh and re-fetches over state
+	// transfer instead of serving from suspect disk state.
+	var durable *durableStore
+	var recoverStart time.Time
+	if cfg.Opts.DataDir != "" {
+		recoverStart = time.Now()
+		durable, err = openDurable(cfg.Opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if restoreErr := durable.restoreRegion(region); restoreErr != nil || durable.man == nil {
+			if err := durable.reset(); err != nil {
+				durable.close()
+				return nil, err
+			}
+			if restoreErr != nil {
+				// The image may be part-applied: rebuild the region.
+				region, err = state.NewRegion(cfg.Opts.StateSize, cfg.Opts.PageSize)
+				if err != nil {
+					durable.close()
+					return nil, err
+				}
+			}
+		}
+		durable.seedLeaves(region)
 	}
 	if su, ok := app.(StateUser); ok {
 		su.AttachState(region)
@@ -297,6 +351,21 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 	// The genesis checkpoint at sequence 0 anchors rollback and sync.
 	r.recordLocalCheckpoint(0)
 	r.ckpts[0].stable = true
+
+	// Durable recovery stage B: rejoin at the persisted stable
+	// checkpoint — metadata (dedup windows, dynamic membership, pending
+	// joins), view number, and the checkpoint record with its 2f+1
+	// proof. The state transfer needed afterwards is the delta only.
+	if durable != nil {
+		r.durable = durable
+		if durable.man != nil {
+			if err := r.recoverFromManifest(durable.man); err != nil {
+				durable.close()
+				return nil, err
+			}
+		}
+		durable.recoveryNanos = uint64(time.Since(recoverStart))
+	}
 	return r, nil
 }
 
@@ -372,6 +441,9 @@ func (r *Replica) Shutdown(ctx context.Context) error {
 		r.lcState = lcStopped
 		r.signalStop()
 		r.exec.Stop()
+		if r.durable != nil {
+			r.durable.close()
+		}
 		_ = r.conn.Close()
 		close(r.doneCh)
 		r.lcMu.Unlock()
@@ -489,6 +561,16 @@ func (r *Replica) info() Info {
 	st.ExecBarriers = est.Barriers
 	st.WedgedNow = r.wedged()
 	st.SyncingNow = r.sync != nil
+	if d := r.durable; d != nil {
+		st.DurableNow = true
+		st.Restarts = d.restarts
+		st.RecoveryNanos = d.recoveryNanos
+		st.PersistErrors = d.persistErrors
+		ws := d.vfs.Stats()
+		st.WALFsyncs = ws.Fsyncs
+		st.WALBytes = ws.Bytes
+		st.WALCheckpoints = ws.Checkpoints
+	}
 	info := Info{
 		View:           r.view,
 		LastExec:       r.lastExec,
@@ -558,6 +640,11 @@ func (r *Replica) run() {
 		r.lcMu.Lock()
 		r.lcState = lcStopped
 		r.lcMu.Unlock()
+	}()
+	defer func() { // after the loop: nothing persists anymore
+		if r.durable != nil {
+			r.durable.close()
+		}
 	}()
 	defer r.ingress.stop()
 	defer r.conn.Close()

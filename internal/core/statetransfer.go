@@ -256,6 +256,7 @@ func (r *Replica) maybeFinishSync() {
 		// checkpoint stream too, like a makeStable promotion.
 		r.tracer.OnCheckpoint(CheckpointEvent{Replica: r.id, Seq: s.seq, Digest: s.digest, Stable: true})
 	}
+	r.persistStable(ck)
 	r.gcLog()
 	// Entries above the checkpoint may already be agreed in the log;
 	// resume execution.

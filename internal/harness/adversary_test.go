@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -292,6 +293,114 @@ func TestAdversaryAsymmetricPartitionHeals(t *testing.T) {
 	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, o.CheckpointInterval, 10*time.Second)
 }
 
+// TestAdversaryCombinedEquivocationAndPartition drives two simultaneous
+// faults at the protocol's f=1 budget boundary from different fault
+// classes: the view-0 primary equivocates (Byzantine) while replica 3's
+// inbound links are severed (asymmetric partition — it can talk, it
+// cannot hear). The two connected correct replicas plus the deposed-but-
+// otherwise-honest adversary must complete EXACTLY one view change (a
+// single installed view, no cascade — the lone partitioned replica's
+// escalating votes must never drag the group higher), keep serving
+// clients, and after the partition heals all four replicas must converge
+// to byte-identical stable digests.
+func TestAdversaryCombinedEquivocationAndPartition(t *testing.T) {
+	o := fastOpts()
+	o.ViewChangeTimeout = 500 * time.Millisecond
+	c, tracer := adversaryCluster(t, o, 79)
+	defer c.Stop()
+
+	ident, err := c.ReplicaIdentity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := adversary.NewGate(adversary.NewEquivocator(ident))
+	replaceWithAdversary(t, c, 0, gate)
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Settle under the honest regime, then inject both faults at once.
+	invokeMust(t, cl, "inc")
+	invokeMust(t, cl, "inc")
+	for _, peer := range []uint32{0, 1, 2} {
+		c.Net.SetLinkFaults(ReplicaAddr(peer), ReplicaAddr(3), transport.Faults{Partitioned: true})
+	}
+	gate.Arm()
+
+	// Liveness across the combined fault: the equivocated slots cannot
+	// prepare, the timers depose replica 0, and agreement continues in
+	// view 1 with the quorum {0, 1, 2} (the adversary equivocates only
+	// pre-prepares it authors as primary; as a backup it votes honestly).
+	for i := 3; i <= 14; i++ {
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d under combined fault: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d (agreement diverged)", i, got)
+		}
+	}
+	gate.Disarm()
+
+	// The connected correct replicas observed the equivocation directly
+	// and installed exactly view 1 — replica 3's solo votes for ever
+	// higher views are one short of the f+1 needed to move anyone.
+	for _, id := range []uint32{1, 2} {
+		info := c.Replicas[id].Info()
+		if info.View != 1 {
+			t.Fatalf("replica %d view = %d, want exactly 1 (single view change, no cascade)", id, info.View)
+		}
+		if info.Stats.ConflictingPrePrepares == 0 {
+			t.Fatalf("replica %d never observed conflicting pre-prepares", id)
+		}
+		var installs int
+		for _, e := range tracer(id).viewChanges() {
+			if e.Phase == core.ViewChangeInstall {
+				installs++
+				if e.View != 1 {
+					t.Fatalf("replica %d installed view %d, want 1", id, e.View)
+				}
+			}
+		}
+		if installs != 1 {
+			t.Fatalf("replica %d installed %d views, want exactly 1", id, installs)
+		}
+	}
+
+	// Heal. The isolated replica missed the view change entirely; status
+	// gossip hands it the new-view proof and retransmission/state
+	// transfer close its execution gap.
+	for _, peer := range []uint32{0, 1, 2} {
+		c.Net.ClearLinkFaults(ReplicaAddr(peer), ReplicaAddr(3))
+	}
+	for i := 15; i <= 14+int(o.CheckpointInterval)+4; i++ {
+		resp, err := cl.Invoke(context.Background(), []byte("inc"))
+		if err != nil {
+			t.Fatalf("inc %d after heal: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d after heal", i, got)
+		}
+	}
+
+	digest := waitStableDigests(t, c, []uint32{0, 1, 2, 3}, o.CheckpointInterval, 15*time.Second)
+	// The new-view proof reaches the healed replica through status
+	// gossip, which runs on its own cadence — poll rather than snapshot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info := c.Replicas[3].Info(); info.View == 1 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("healed replica 3 settled in view %d, want 1", info.View)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("converged at digest %x", digest[:8])
+}
+
 // TestAdversaryStaleViewChangeReplay records a genuine view-change vote
 // during a real view change, then re-injects it from a foreign endpoint
 // after the group has settled in the new view. The replay authenticates
@@ -364,6 +473,120 @@ func TestAdversaryStaleViewChangeReplay(t *testing.T) {
 		}
 	}
 	waitStableDigests(t, c, []uint32{1, 2, 3}, o.CheckpointInterval, 10*time.Second)
+}
+
+// TestAdversaryForgedJoin floods the group with join requests whose
+// envelope signature does not verify against the credential the body
+// presents: JoinOp.PubKey carries keypair A's identity while the
+// envelope is sealed by keypair B. §3.1 requires replicas to
+// authenticate a join against the key embedded in its own body, so each
+// forgery must die at that check — counted under the typed
+// forged-join drop reason with zero protocol activity (nothing ordered,
+// no liveness timers, no view change) while honest traffic keeps
+// committing and the group converges on byte-identical digests.
+func TestAdversaryForgedJoin(t *testing.T) {
+	o := fastOpts()
+	o.DynamicClients = true
+	c, tracer := adversaryCluster(t, o, 78)
+	defer c.Stop()
+
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	invokeMust(t, cl, "inc")
+	invokeMust(t, cl, "inc")
+
+	presented, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := crypto.GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forger, err := c.Net.Listen("forger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer forger.Close()
+
+	const forgeries = 5
+	for round := 0; round < forgeries; round++ {
+		op := wire.JoinOp{
+			Phase:   wire.JoinPhaseHello,
+			Addr:    "forger",
+			PubKey:  crypto.MarshalPublicKey(presented.Public()),
+			Nonce:   0x4000 + uint64(round),
+			AppAuth: []byte("mallory:sesame"),
+		}
+		req := &wire.Request{
+			ClientID:  core.JoinSender,
+			Timestamp: 0x4000 + uint64(round),
+			Flags:     wire.FlagSystem | wire.FlagBig,
+			Op:        wire.MarshalSysOp(wire.OpJoin, op.Marshal()),
+		}
+		env := &wire.Envelope{
+			Type:    wire.MTRequest,
+			Sender:  core.JoinSender,
+			Payload: req.Marshal(),
+		}
+		env.SealSig(signer) // valid signature — by the WRONG key
+		raw := env.Marshal()
+		for id := uint32(0); id < uint32(len(c.Replicas)); id++ {
+			if err := forger.Send(ReplicaAddr(id), raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The service must be entirely unimpressed: honest operations keep
+	// executing in sequence throughout the forgery flood.
+	for i := 3; i <= 12; i++ {
+		resp := invokeMust(t, cl, "inc")
+		if got := binary.BigEndian.Uint64(resp); got != uint64(i) {
+			t.Fatalf("inc %d = %d during forged-join flood", i, got)
+		}
+	}
+
+	// Every replica received every forgery directly (no relay involved),
+	// so each must account all of them under the typed drop reason.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		counted := true
+		for _, r := range c.Replicas {
+			if r.Info().Stats.DroppedForgedJoins < forgeries {
+				counted = false
+			}
+		}
+		if counted {
+			break
+		}
+		if time.Now().After(deadline) {
+			for id, r := range c.Replicas {
+				t.Logf("replica %d: DroppedForgedJoins=%d", id, r.Info().Stats.DroppedForgedJoins)
+			}
+			t.Fatal("forged joins were not all counted under the typed drop reason")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Zero protocol effect: no replica ordered a forgery or armed a
+	// liveness timer for one — the group never left view 0.
+	for id := uint32(0); id < uint32(len(c.Replicas)); id++ {
+		info := c.Replicas[id].Info()
+		if info.View != 0 {
+			t.Fatalf("replica %d moved to view %d — forged joins must have zero protocol effect", id, info.View)
+		}
+		if info.Stats.JoinsExecuted != 0 {
+			t.Fatalf("replica %d executed %d joins — a forgery was admitted", id, info.Stats.JoinsExecuted)
+		}
+		if got := tracer(id).viewChanges(); len(got) != 0 {
+			t.Fatalf("replica %d recorded view-change events %+v, want none", id, got)
+		}
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, o.CheckpointInterval, 10*time.Second)
 }
 
 // TestAdversarySlowlorisClient opens a genuine session from a real

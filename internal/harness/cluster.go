@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"repro/internal/adversary"
@@ -47,6 +48,12 @@ type ClusterOptions struct {
 	// of client endpoints; the default full-size queue per endpoint
 	// would cost gigabytes of eagerly allocated channel buffers.
 	ClientRecvBuffer int
+	// DataDir makes every replica durable: replica id persists under
+	// DataDir/replica-<id> (WAL-backed pages + manifest). The directory
+	// survives StopReplica/RestartReplica, so a restarted replica
+	// recovers from disk and fetches only the delta via state transfer.
+	// Empty keeps the cluster diskless.
+	DataDir string
 }
 
 // Cluster is an in-process PBFT deployment: N replicas and a set of
@@ -64,7 +71,8 @@ type Cluster struct {
 	tracerFor   func(replica uint32) core.Tracer
 	recorderFor func(replica uint32) *trace.Recorder
 	rng         *rand.Rand
-	clientRecv  int // client endpoint inbound queue depth (0 = default)
+	clientRecv  int    // client endpoint inbound queue depth (0 = default)
+	dataDir     string // durable root; "" = diskless
 }
 
 // ReplicaAddr returns the network address of replica id.
@@ -86,6 +94,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		recorderFor: o.Recorder,
 		rng:         rand.New(rand.NewSource(o.Seed + 1)),
 		clientRecv:  o.ClientRecvBuffer,
+		dataDir:     o.DataDir,
 	}
 	if o.Bandwidth > 0 {
 		c.Net.SetBandwidth(o.Bandwidth)
@@ -162,16 +171,19 @@ func (c *Cluster) startWrapped(id uint32, wrap func(transport.Conn) transport.Co
 	}
 	app := c.appFactory(id)
 	cfg := c.Cfg
-	if c.tracerFor != nil || c.recorderFor != nil {
-		// Per-replica tracer/recorder: shallow-copy the shared config
-		// (the slices inside are read-only) and install this replica's
-		// instances.
+	if c.tracerFor != nil || c.recorderFor != nil || c.dataDir != "" {
+		// Per-replica tracer/recorder/data dir: shallow-copy the shared
+		// config (the slices inside are read-only) and install this
+		// replica's instances.
 		clone := *c.Cfg
 		if c.tracerFor != nil {
 			clone.Opts.Tracer = c.tracerFor(id)
 		}
 		if c.recorderFor != nil {
 			clone.Opts.Recorder = c.recorderFor(id)
+		}
+		if c.dataDir != "" {
+			clone.Opts.DataDir = c.ReplicaDataDir(id)
 		}
 		cfg = &clone
 	}
@@ -202,13 +214,26 @@ func (c *Cluster) StopReplica(id uint32) {
 	}
 }
 
-// RestartReplica brings a stopped replica back with fresh volatile state;
-// it recovers via checkpoint proofs and state transfer.
+// RestartReplica brings a stopped replica back with fresh volatile
+// state; it recovers via checkpoint proofs and state transfer. With
+// ClusterOptions.DataDir set, the replica's on-disk state is preserved
+// across the restart: the new incarnation recovers from its WAL-backed
+// pages and manifest and fetches only the delta.
 func (c *Cluster) RestartReplica(id uint32) error {
 	if c.Replicas[id] != nil {
 		c.StopReplica(id)
 	}
 	return c.startReplica(id)
+}
+
+// ReplicaDataDir returns replica id's durable directory ("" when the
+// cluster is diskless). Chaos scenarios use it to corrupt on-disk
+// state between incarnations (kill -9 mid-WAL-append).
+func (c *Cluster) ReplicaDataDir(id uint32) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, fmt.Sprintf("replica-%d", id))
 }
 
 // Client builds the i-th pre-provisioned client. The caller owns it (and

@@ -1,0 +1,396 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitReplicaStable polls until replica id reports a stable checkpoint
+// at or past minStable. For a durable replica that also means its
+// manifest is on disk: persist runs synchronously inside makeStable,
+// before Info can observe the new LastStable.
+func waitReplicaStable(t *testing.T, c *Cluster, id uint32, minStable uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if info := c.Replicas[id].Info(); info.LastStable >= minStable {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d never reached stable checkpoint %d (at %d)",
+				id, minStable, c.Replicas[id].Info().LastStable)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// restartTransferStats runs the shared delta-transfer scenario — dirty
+// many state pages, crash replica 3, advance the group well past its
+// checkpoint, restart it — and reports how many pages the restarted
+// incarnation fetched plus its tracer-observed transfer finishes.
+func restartTransferStats(t *testing.T, durable bool, seed int64) (info core.Info, finishes int) {
+	t.Helper()
+	tracers := make(map[uint32]*recordingTracer)
+	var mu sync.Mutex
+	co := ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       seed,
+		App:        NewCounterFactory(),
+		Tracer: func(id uint32) core.Tracer {
+			tr := &recordingTracer{}
+			mu.Lock()
+			tracers[id] = tr // a restart replaces the entry: fresh incarnation, fresh trace
+			mu.Unlock()
+			return tr
+		},
+	}
+	if durable {
+		co.DataDir = t.TempDir()
+	}
+	c, err := NewCluster(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Phase 1: distinct keys spread writes over most of the counter
+	// table's pages — the bulk a diskless restart has to re-fetch.
+	for i := 0; i < 120; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump key-%d", i))
+	}
+	waitReplicaStable(t, c, 3, 112, 10*time.Second)
+	c.StopReplica(3)
+
+	// Phase 2: a single hot key — the delta is narrow — while the group
+	// moves ≥ 2K past replica 3's checkpoint, forcing its restarted
+	// incarnation through state transfer rather than log replay.
+	for i := 0; i < 24; i++ {
+		invokeMust(t, cl, "bump key-7")
+	}
+	if err := c.RestartReplica(3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitConverged(144, 30*time.Second) {
+		t.Fatalf("restarted replica never converged: %+v", c.Replicas[3].Info())
+	}
+	info = c.Replicas[3].Info()
+	if info.Stats.StateTransfers == 0 {
+		t.Fatal("restarted replica recovered without a state transfer; the scenario is not exercising the sync path")
+	}
+	mu.Lock()
+	tr := tracers[3]
+	mu.Unlock()
+	for _, e := range tr.stateTransfers() {
+		if e.Phase == core.StateTransferFinish {
+			finishes++
+		}
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 136, 20*time.Second)
+	return info, finishes
+}
+
+// TestDurableRestartDeltaTransfer is the delta-recovery acceptance
+// test: the same crash-restart scenario runs once durable and once
+// diskless, and the durable restart must fetch strictly fewer pages —
+// its WAL-restored region already holds everything up to the manifest
+// checkpoint, so the syncer (seeded from the restored leaf digests)
+// requests only the pages that changed since.
+func TestDurableRestartDeltaTransfer(t *testing.T) {
+	durInfo, durFinishes := restartTransferStats(t, true, 201)
+	dlInfo, dlFinishes := restartTransferStats(t, false, 201)
+
+	if durFinishes == 0 || dlFinishes == 0 {
+		t.Fatalf("tracer saw no StateTransferFinish (durable=%d diskless=%d)", durFinishes, dlFinishes)
+	}
+	st := durInfo.Stats
+	if !st.DurableNow {
+		t.Fatal("durable replica does not report DurableNow")
+	}
+	if st.Restarts != 1 {
+		t.Fatalf("durable replica reports %d restarts, want 1", st.Restarts)
+	}
+	if st.RecoveryNanos == 0 {
+		t.Fatal("durable replica reports zero recovery duration")
+	}
+	if dlInfo.Stats.PagesFetched == 0 {
+		t.Fatal("diskless control fetched zero pages")
+	}
+	if st.PagesFetched >= dlInfo.Stats.PagesFetched {
+		t.Fatalf("durable restart fetched %d pages, diskless fetched %d: recovery is not delta-only",
+			st.PagesFetched, dlInfo.Stats.PagesFetched)
+	}
+}
+
+// TestDurableRestartStormSimultaneous kills every replica at once —
+// more than f failures, beyond the BFT fault model, survivable only
+// because state is on disk — while load is in flight, restarts them
+// all, and requires the group to resume committing from its durable
+// checkpoints with byte-identical stable digests.
+func TestDurableRestartStormSimultaneous(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 3,
+		Seed:       202,
+		App:        NewCounterFactory(),
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 40; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump key-%d", i))
+	}
+	// Every replica must have a manifest on disk before the storm.
+	for id := uint32(0); id < 4; id++ {
+		waitReplicaStable(t, c, id, 32, 10*time.Second)
+	}
+
+	// Background load so the kill lands mid-traffic: requests are in
+	// flight (some committed above the stable checkpoint, some not)
+	// at the crash point.
+	loader, err := c.Client(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			cctx, ccancel := context.WithTimeout(ctx, time.Second)
+			_, _ = loader.Invoke(cctx, []byte("bump storm"))
+			ccancel()
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	for id := uint32(0); id < 4; id++ {
+		c.StopReplica(id)
+	}
+	cancel()
+	wg.Wait()
+	loader.Close()
+
+	for id := uint32(0); id < 4; id++ {
+		if err := c.RestartReplica(id); err != nil {
+			t.Fatalf("restart replica %d: %v", id, err)
+		}
+	}
+	// A fresh client: its wall-clock timestamps land above the dedup
+	// windows the replicas recovered from their manifests.
+	cl2, err := c.Client(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for i := 0; i < 24; i++ {
+		invokeMust(t, cl2, fmt.Sprintf("bump post-%d", i))
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 40, 30*time.Second)
+	for id := uint32(0); id < 4; id++ {
+		st := c.Replicas[id].Info().Stats
+		if !st.DurableNow {
+			t.Fatalf("replica %d lost its data dir across the storm", id)
+		}
+		if st.Restarts != 1 {
+			t.Fatalf("replica %d reports %d manifest recoveries, want 1", id, st.Restarts)
+		}
+		if st.PersistErrors != 0 {
+			t.Fatalf("replica %d latched %d persist errors", id, st.PersistErrors)
+		}
+	}
+}
+
+// TestDurableRollingRestartUnderLoad cycles a crash-restart through
+// every replica — including the primary — while a client keeps
+// submitting, then requires full digest convergence with each replica
+// having recovered from its manifest exactly once.
+func TestDurableRollingRestartUnderLoad(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 2,
+		Seed:       203,
+		App:        NewCounterFactory(),
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 24; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump key-%d", i))
+	}
+
+	loader, err := c.Client(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+			_, _ = loader.Invoke(cctx, []byte("bump roll"))
+			ccancel()
+		}
+	}()
+
+	for id := uint32(0); id < 4; id++ {
+		waitReplicaStable(t, c, id, 16, 15*time.Second)
+		// Snapshot the live peers' frontier before the crash; the
+		// restarted incarnation must catch at least that point.
+		var frontier uint64
+		for peer := uint32(0); peer < 4; peer++ {
+			if peer == id {
+				continue
+			}
+			if e := c.Replicas[peer].Info().LastExec; e > frontier {
+				frontier = e
+			}
+		}
+		if err := c.RestartReplica(id); err != nil {
+			t.Fatalf("rolling restart replica %d: %v", id, err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for c.Replicas[id].Info().LastExec < frontier {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never recaught frontier %d (at %d)",
+					id, frontier, c.Replicas[id].Info().LastExec)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	loader.Close()
+
+	// Quiesce with fresh traffic so the final checkpoint postdates
+	// every restart, then require byte-identical digests.
+	for i := 0; i < 16; i++ {
+		invokeMust(t, cl, "bump tail")
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 32, 30*time.Second)
+	for id := uint32(0); id < 4; id++ {
+		st := c.Replicas[id].Info().Stats
+		if st.Restarts != 1 {
+			t.Fatalf("replica %d reports %d manifest recoveries, want 1", id, st.Restarts)
+		}
+	}
+}
+
+// TestDurableKillMidWALAppend simulates kill -9 during a WAL append
+// and worse: first a torn tail (garbage after the last commit record —
+// recovery must truncate it and rejoin from the manifest), then a cut
+// into committed WAL history (pages regress behind the manifest root —
+// recovery must reset to a clean first boot and re-fetch everything,
+// never serve divergent state).
+func TestDurableKillMidWALAppend(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 1,
+		Seed:       204,
+		App:        NewCounterFactory(),
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 40; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump key-%d", i))
+	}
+	waitReplicaStable(t, c, 3, 32, 10*time.Second)
+	c.StopReplica(3)
+
+	// Torn tail: the crash interrupted an append after the last commit
+	// record. 0xA7 is not a valid record kind, so recovery truncates
+	// back to the last complete commit — the manifest still matches.
+	walPath := filepath.Join(c.ReplicaDataDir(3), "pages.wal")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 300)
+	for i := range torn {
+		torn[i] = 0xA7
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartReplica(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump torn-%d", i))
+	}
+	if !c.WaitConverged(56, 30*time.Second) {
+		t.Fatalf("replica never converged after torn-tail recovery: %+v", c.Replicas[3].Info())
+	}
+	st := c.Replicas[3].Info().Stats
+	if !st.DurableNow || st.Restarts != 1 {
+		t.Fatalf("torn-tail recovery did not use the manifest: %+v", st)
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 48, 20*time.Second)
+
+	// Cut into committed history: the WAL now ends before the state the
+	// manifest promises, so the restored root cannot match. The replica
+	// must reset its disk and rejoin via a full state transfer.
+	c.StopReplica(3)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("WAL empty after post-restart checkpoints; scenario cannot cut history")
+	}
+	if err := os.Truncate(walPath, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartReplica(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump cut-%d", i))
+	}
+	if !c.WaitConverged(72, 30*time.Second) {
+		t.Fatalf("replica never converged after WAL history cut: %+v", c.Replicas[3].Info())
+	}
+	if got := c.Replicas[3].Info().Stats.StateTransfers; got == 0 {
+		t.Fatal("reset replica rejoined without a state transfer")
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 64, 20*time.Second)
+}

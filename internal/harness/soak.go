@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+)
+
+// SoakOptions configures the restart-storm soak experiment.
+type SoakOptions struct {
+	// Episodes is how many scripted fault episodes to cycle (0 = 6).
+	// Episodes rotate through the storm script: rolling restart of all
+	// N replicas under load, simultaneous restart of every replica
+	// (> f failures — survivable only because state is durable), and a
+	// kill mid-WAL-append (torn tail injected into the victim's WAL).
+	Episodes int
+	// DataDir is the durable root shared by every episode (the whole
+	// point: state survives the storms). Empty uses a temp directory
+	// removed when the soak ends.
+	DataDir string
+}
+
+// soakEpisodeKinds is the scripted fault rotation.
+var soakEpisodeKinds = []string{"rolling_restart", "restart_all", "torn_wal_restart"}
+
+// RunSoak cycles scripted restart storms over one durable cluster under
+// closed-loop load, asserting after every episode that the group
+// converges back to byte-identical stable digests, and records each
+// episode's recovery latency (last restart → observed convergence).
+// Any failed convergence or persist error fails the soak.
+func RunSoak(opts ExperimentOptions, so SoakOptions) error {
+	w := opts.out()
+	episodes := so.Episodes
+	if episodes < 1 {
+		episodes = 6
+	}
+	dataDir := so.DataDir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "pbft-soak-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	// Inline request bodies (AllBig off): a restart storm that catches a
+	// big request committed-by-digest strands the group if every body
+	// copy was volatile and the client is gone — the §2.4 wedge's escape
+	// (state transfer past the gap) needs at least one unwedged replica.
+	// Small inline requests keep every agreed batch self-contained, so
+	// the storms only ever test durability, not big-request liveness.
+	o := buildOptions(LibConfig{Static: true, MACs: true, AllBig: false, Batch: true})
+	o.CheckpointInterval = 16
+	o.ViewChangeTimeout = 800 * time.Millisecond
+	o.RequestTimeout = 300 * time.Millisecond
+	o.StatusInterval = 50 * time.Millisecond
+
+	loadClients := opts.NumClients
+	if loadClients < 1 {
+		loadClients = 4
+	}
+	cluster, err := NewCluster(ClusterOptions{
+		Opts:       o,
+		NumClients: loadClients,
+		Seed:       opts.Seed,
+		App:        NewCounterFactory(),
+		Bandwidth:  938e6 / 8,
+		Tracer:     opts.tracerFactory(),
+		DataDir:    dataDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	episodeDur := opts.Duration
+	if episodeDur < 2*time.Second {
+		episodeDur = 2 * time.Second
+	}
+	fmt.Fprintf(w, "Durability soak — restart storms over a durable cluster (%d episodes, %d clients, seed %d)\n",
+		episodes, loadClients, opts.Seed)
+	fmt.Fprintf(w, "%-20s %8s %8s %8s %14s\n", "Episode", "TPS", "ops", "errors", "recovery")
+
+	type loadOut struct {
+		res RunResult
+		err error
+	}
+	for ep := 0; ep < episodes; ep++ {
+		kind := soakEpisodeKinds[ep%len(soakEpisodeKinds)]
+		done := make(chan loadOut, 1)
+		go func() {
+			res, err := cluster.RunClosedLoop(loadClients, &KeyedCounterWorkload{}, episodeDur, false)
+			done <- loadOut{res, err}
+		}()
+		time.Sleep(episodeDur / 4)
+
+		var restartAt time.Time
+		switch kind {
+		case "rolling_restart":
+			for id := uint32(0); id < 4; id++ {
+				cluster.StopReplica(id)
+				time.Sleep(50 * time.Millisecond)
+				if err := cluster.RestartReplica(id); err != nil {
+					return fmt.Errorf("soak ep %d: rolling restart replica %d: %w", ep, id, err)
+				}
+				time.Sleep(150 * time.Millisecond)
+			}
+			restartAt = time.Now()
+		case "restart_all":
+			for id := uint32(0); id < 4; id++ {
+				cluster.StopReplica(id)
+			}
+			time.Sleep(100 * time.Millisecond)
+			restartAt = time.Now()
+			for id := uint32(0); id < 4; id++ {
+				if err := cluster.RestartReplica(id); err != nil {
+					return fmt.Errorf("soak ep %d: restart replica %d: %w", ep, id, err)
+				}
+			}
+		case "torn_wal_restart":
+			const victim = 3
+			cluster.StopReplica(victim)
+			// kill -9 mid-append: garbage past the last commit record.
+			walPath := filepath.Join(cluster.ReplicaDataDir(victim), "pages.wal")
+			if f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+				torn := make([]byte, 300)
+				for i := range torn {
+					torn[i] = 0xA7
+				}
+				_, _ = f.Write(torn)
+				_ = f.Close()
+			}
+			restartAt = time.Now()
+			if err := cluster.RestartReplica(victim); err != nil {
+				return fmt.Errorf("soak ep %d: torn-WAL restart: %w", ep, err)
+			}
+		}
+
+		out := <-done
+		if out.err != nil {
+			return fmt.Errorf("soak ep %d (%s) load: %w", ep, kind, out.err)
+		}
+		if err := soakNudgeAndConverge(cluster, o.CheckpointInterval); err != nil {
+			return fmt.Errorf("soak ep %d (%s): %w", ep, kind, err)
+		}
+		recovery := time.Since(restartAt)
+
+		var restarts uint64
+		for id := uint32(0); id < 4; id++ {
+			st := cluster.Replicas[id].Info().Stats
+			if !st.DurableNow {
+				return fmt.Errorf("soak ep %d: replica %d lost durability", ep, id)
+			}
+			if st.PersistErrors != 0 {
+				return fmt.Errorf("soak ep %d: replica %d latched %d persist errors", ep, id, st.PersistErrors)
+			}
+			restarts += st.Restarts
+		}
+		name := fmt.Sprintf("ep%d_%s", ep, kind)
+		opts.record("soak", name, out.res, map[string]float64{
+			"recovery_ms":    float64(recovery.Milliseconds()),
+			"restarts_total": float64(restarts),
+		})
+		fmt.Fprintf(w, "%-20s %8.0f %8d %8d %14s\n", name, out.res.TPS(), out.res.Ops, out.res.Errors, recovery)
+	}
+	return nil
+}
+
+// soakNudgeAndConverge pushes fresh traffic — enough ops to move the
+// stable checkpoint at least a full sync window past any laggard, so a
+// replica stuck with a sub-window gap over a garbage-collected log can
+// recover via state transfer — then polls until every replica reports
+// the same stable checkpoint with a byte-identical digest.
+func soakNudgeAndConverge(c *Cluster, k uint64) error {
+	cl, err := c.Client(0, client.WithPipelineDepth(1))
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	nudge := int(2*k + 4)
+	nudgeDeadline := time.Now().Add(45 * time.Second)
+	for sent := 0; sent < nudge; {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := cl.Invoke(ctx, []byte(fmt.Sprintf("bump flush-%d", sent)))
+		cancel()
+		if err == nil {
+			sent++
+			continue
+		}
+		// Individual ops may time out while a storm-induced view change
+		// settles; only a stalled group fails the episode.
+		if time.Now().After(nudgeDeadline) {
+			return fmt.Errorf("convergence nudge stalled at %d/%d ops (%v): %s",
+				sent, nudge, err, soakClusterState(c))
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		infos := make([]uint64, 4)
+		digests := make([][32]byte, 4)
+		ok := true
+		for id := uint32(0); id < 4; id++ {
+			info := c.Replicas[id].Info()
+			infos[id] = info.LastStable
+			digests[id] = info.StableDigest
+			if id > 0 && (infos[id] != infos[0] || digests[id] != digests[0]) {
+				ok = false
+			}
+		}
+		if ok && infos[0] > 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stable digests never converged: %s", soakClusterState(c))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// soakClusterState renders a one-line per-replica progress summary for
+// soak failure messages.
+func soakClusterState(c *Cluster) string {
+	var b strings.Builder
+	for id := uint32(0); id < 4; id++ {
+		info := c.Replicas[id].Info()
+		fmt.Fprintf(&b, "r%d{view=%d exec=%d stable=%d vc=%v sync=%v wedged=%v} ",
+			id, info.View, info.LastExec, info.LastStable,
+			info.InViewChange, info.Stats.SyncingNow, info.Stats.WedgedNow)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,478 @@
+package sqldb
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAL on-disk format. Every opened file NAME is backed by a base file
+// NAME plus a sidecar log NAME.wal. Writes accumulate in memory as
+// dirty 512-byte sectors; Sync appends one record per dirty sector
+// followed by a commit record carrying the logical file size, then
+// fsyncs the log — that single fsync IS the commit point. A fold-back
+// checkpoint later rewrites committed sectors into the base file and
+// truncates the log.
+//
+//	data record:   [kind=1 u8][sector u64][len u32][len bytes][crc32 u32]
+//	commit record: [kind=2 u8][size u64][crc32 u32]
+//
+// The CRC (IEEE, over everything before it) makes torn appends
+// detectable: recovery replays complete commit batches and stops at the
+// first short, misformed, or checksum-failing record, truncating the
+// log back to the last commit boundary. A power cut mid-append
+// therefore recovers to the last complete record, never to a torn one.
+const (
+	walSectorSize = 512
+
+	walKindData   = 1
+	walKindCommit = 2
+
+	walDataHeader  = 1 + 8 + 4 // kind, sector, len
+	walDataRecSize = walDataHeader + walSectorSize + 4
+	walCommitSize  = 1 + 8 + 4 // kind, size, crc
+)
+
+// defaultWALCheckpointBytes is the log size past which Sync folds the
+// committed sectors back into the base file.
+const defaultWALCheckpointBytes = 1 << 20
+
+// WALStats is a point-in-time snapshot of a WALVFS's durability
+// counters (monotonic across every file the VFS has opened).
+type WALStats struct {
+	// Fsyncs counts commit fsyncs of WAL sidecars.
+	Fsyncs uint64
+	// Bytes counts bytes appended to WAL sidecars.
+	Bytes uint64
+	// Checkpoints counts fold-backs of a WAL into its base file.
+	Checkpoints uint64
+}
+
+// WALVFS is the durable VFS variant: sector-based file backing with a
+// write-ahead log per file. Commit is a WAL append + fsync; checkpoint
+// folds the WAL back into the base file; per-record checksums detect
+// torn writes so crash recovery lands on the last complete record.
+// Root confines all files (and their .wal sidecars) to one directory.
+type WALVFS struct {
+	Root string
+	// CheckpointBytes is the WAL size past which Sync folds the log
+	// back into the base file (0 = 1 MiB).
+	CheckpointBytes int64
+
+	fsyncs      atomic.Uint64
+	bytes       atomic.Uint64
+	checkpoints atomic.Uint64
+}
+
+var _ VFS = (*WALVFS)(nil)
+
+// NewWALVFS builds a WAL-backed VFS rooted at dir.
+func NewWALVFS(dir string) *WALVFS { return &WALVFS{Root: dir} }
+
+// Stats returns the VFS's cumulative durability counters.
+func (v *WALVFS) Stats() WALStats {
+	return WALStats{
+		Fsyncs:      v.fsyncs.Load(),
+		Bytes:       v.bytes.Load(),
+		Checkpoints: v.checkpoints.Load(),
+	}
+}
+
+func (v *WALVFS) checkpointBytes() int64 {
+	if v.CheckpointBytes > 0 {
+		return v.CheckpointBytes
+	}
+	return defaultWALCheckpointBytes
+}
+
+// Open implements VFS: it opens base and sidecar, then replays the
+// sidecar's complete commit batches (recovery), truncating any torn
+// tail left by a crash mid-append.
+func (v *WALVFS) Open(name string) (File, error) {
+	base, err := os.OpenFile(filepath.Join(v.Root, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(v.Root, name+".wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	f := &walFile{
+		vfs:       v,
+		base:      base,
+		wal:       wal,
+		pending:   make(map[int64][]byte),
+		committed: make(map[int64][]byte),
+	}
+	if err := f.recover(); err != nil {
+		base.Close()
+		wal.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Delete implements VFS: it removes both the base file and the sidecar.
+func (v *WALVFS) Delete(name string) error {
+	err := os.Remove(filepath.Join(v.Root, name))
+	if os.IsNotExist(err) {
+		err = nil
+	}
+	werr := os.Remove(filepath.Join(v.Root, name+".wal"))
+	if os.IsNotExist(werr) {
+		werr = nil
+	}
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+// Exists implements VFS.
+func (v *WALVFS) Exists(name string) (bool, error) {
+	_, err := os.Stat(filepath.Join(v.Root, name))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Now implements VFS.
+func (v *WALVFS) Now() time.Time { return time.Now() }
+
+// Rand implements VFS.
+func (v *WALVFS) Rand(p []byte) error {
+	_, err := rand.Read(p)
+	return err
+}
+
+// walFile is one WAL-backed file: reads overlay dirty (pending) sectors
+// over committed-but-unfolded sectors over the base file.
+type walFile struct {
+	vfs  *WALVFS
+	base *os.File
+	wal  *os.File
+
+	mu sync.Mutex
+	// pending holds dirty sectors not yet committed (lost on crash).
+	pending map[int64][]byte
+	// committed holds sectors durable in the WAL but not yet folded
+	// into the base file.
+	committed map[int64][]byte
+	// size is the logical size including uncommitted writes;
+	// commitSize is the logical size as of the last commit record.
+	size       int64
+	commitSize int64
+	// baseSize is the base file's on-disk size.
+	baseSize int64
+	// walOff is the append offset: the end of the last complete
+	// commit batch.
+	walOff int64
+}
+
+var _ File = (*walFile)(nil)
+
+func walCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// recover replays the sidecar: complete commit batches are applied in
+// order; the scan stops at the first torn or corrupt record and the log
+// is truncated back to the last commit boundary.
+func (f *walFile) recover() error {
+	st, err := f.base.Stat()
+	if err != nil {
+		return err
+	}
+	f.baseSize = st.Size()
+	f.commitSize = f.baseSize
+	log, err := io.ReadAll(f.wal)
+	if err != nil {
+		return err
+	}
+	batch := make(map[int64][]byte)
+	var off int64
+scan:
+	for off < int64(len(log)) {
+		rest := log[off:]
+		switch rest[0] {
+		case walKindData:
+			if int64(len(rest)) < walDataRecSize {
+				break scan // torn tail
+			}
+			rec := rest[:walDataRecSize]
+			if binary.BigEndian.Uint32(rec[9:13]) != walSectorSize {
+				break scan
+			}
+			if walCRC(rec[:walDataRecSize-4]) != binary.BigEndian.Uint32(rec[walDataRecSize-4:]) {
+				break scan
+			}
+			sector := int64(binary.BigEndian.Uint64(rec[1:9]))
+			data := make([]byte, walSectorSize)
+			copy(data, rec[walDataHeader:walDataHeader+walSectorSize])
+			batch[sector] = data
+			off += walDataRecSize
+		case walKindCommit:
+			if int64(len(rest)) < walCommitSize {
+				break scan
+			}
+			rec := rest[:walCommitSize]
+			if walCRC(rec[:walCommitSize-4]) != binary.BigEndian.Uint32(rec[walCommitSize-4:]) {
+				break scan
+			}
+			for s, d := range batch {
+				f.committed[s] = d
+			}
+			batch = make(map[int64][]byte)
+			f.commitSize = int64(binary.BigEndian.Uint64(rec[1:9]))
+			off += walCommitSize
+		default:
+			break scan // corrupt kind byte
+		}
+	}
+	f.walOff = off
+	f.size = f.commitSize
+	if off < int64(len(log)) {
+		// Drop the torn tail so future appends start at a clean
+		// commit boundary.
+		if err := f.wal.Truncate(off); err != nil {
+			return err
+		}
+		if err := f.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sector returns a mutable copy of the given sector's current content,
+// reading through pending → committed → base (zero-filled past EOF).
+func (f *walFile) sector(idx int64) ([]byte, error) {
+	if buf, ok := f.pending[idx]; ok {
+		return buf, nil
+	}
+	buf := make([]byte, walSectorSize)
+	if src, ok := f.committed[idx]; ok {
+		copy(buf, src)
+		return buf, nil
+	}
+	off := idx * walSectorSize
+	if off < f.baseSize {
+		n := walSectorSize
+		if off+int64(n) > f.baseSize {
+			n = int(f.baseSize - off)
+		}
+		if _, err := f.base.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// ReadAt implements File with the same EOF semantics as diskFile: a
+// read ending exactly at EOF returns nil error.
+func (f *walFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off >= f.size {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	n := len(p)
+	var eof error
+	if off+int64(n) > f.size {
+		n = int(f.size - off)
+		eof = io.EOF
+	}
+	read := 0
+	for read < n {
+		idx := (off + int64(read)) / walSectorSize
+		within := int((off + int64(read)) % walSectorSize)
+		buf, err := f.sector(idx)
+		if err != nil {
+			return read, err
+		}
+		read += copy(p[read:n], buf[within:])
+	}
+	return read, eof
+}
+
+// WriteAt implements File: sectors become pending until the next Sync.
+func (f *walFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	written := 0
+	for written < len(p) {
+		idx := (off + int64(written)) / walSectorSize
+		within := int((off + int64(written)) % walSectorSize)
+		buf, err := f.sector(idx)
+		if err != nil {
+			return written, err
+		}
+		written += copy(buf[within:], p[written:])
+		f.pending[idx] = buf
+	}
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+	}
+	return len(p), nil
+}
+
+// Truncate implements File. Shrinking zeroes every known sector at or
+// beyond the new size so a later re-growth reads zeros, not stale data.
+func (f *walFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < f.size {
+		limit := f.size
+		if f.baseSize > limit {
+			limit = f.baseSize
+		}
+		for idx := size / walSectorSize; idx*walSectorSize < limit; idx++ {
+			start := idx * walSectorSize
+			if start >= size {
+				_, inPending := f.pending[idx]
+				_, inCommitted := f.committed[idx]
+				if inPending || inCommitted || start < f.baseSize {
+					f.pending[idx] = make([]byte, walSectorSize)
+				}
+				continue
+			}
+			// Straddling sector: zero the tail beyond the new size.
+			buf, err := f.sector(idx)
+			if err != nil {
+				return err
+			}
+			for i := size - start; i < walSectorSize; i++ {
+				buf[i] = 0
+			}
+			f.pending[idx] = buf
+		}
+	}
+	f.size = size
+	return nil
+}
+
+// Sync implements File: it is the commit point. Dirty sectors are
+// appended to the WAL followed by a commit record, and one fsync makes
+// the batch durable. Past the checkpoint threshold the committed
+// sectors fold back into the base file.
+func (f *walFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) == 0 && f.size == f.commitSize {
+		return nil
+	}
+	idxs := make([]int64, 0, len(f.pending))
+	for idx := range f.pending {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := make([]byte, 0, len(idxs)*walDataRecSize+walCommitSize)
+	for _, idx := range idxs {
+		rec := make([]byte, walDataRecSize)
+		rec[0] = walKindData
+		binary.BigEndian.PutUint64(rec[1:9], uint64(idx))
+		binary.BigEndian.PutUint32(rec[9:13], walSectorSize)
+		copy(rec[walDataHeader:], f.pending[idx])
+		binary.BigEndian.PutUint32(rec[walDataRecSize-4:], walCRC(rec[:walDataRecSize-4]))
+		out = append(out, rec...)
+	}
+	commit := make([]byte, walCommitSize)
+	commit[0] = walKindCommit
+	binary.BigEndian.PutUint64(commit[1:9], uint64(f.size))
+	binary.BigEndian.PutUint32(commit[walCommitSize-4:], walCRC(commit[:walCommitSize-4]))
+	out = append(out, commit...)
+	if _, err := f.wal.WriteAt(out, f.walOff); err != nil {
+		return err
+	}
+	if err := f.wal.Sync(); err != nil {
+		return err
+	}
+	f.walOff += int64(len(out))
+	f.vfs.fsyncs.Add(1)
+	f.vfs.bytes.Add(uint64(len(out)))
+	for _, idx := range idxs {
+		f.committed[idx] = f.pending[idx]
+	}
+	f.pending = make(map[int64][]byte)
+	f.commitSize = f.size
+	if f.walOff >= f.vfs.checkpointBytes() {
+		return f.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint folds committed sectors into the base file and resets the
+// WAL. Called with f.mu held. Crash safety: the WAL still holds every
+// record until it is truncated, and truncation happens only after the
+// base file content is fsynced — a crash at any point replays into the
+// same state.
+func (f *walFile) checkpoint() error {
+	for idx, buf := range f.committed {
+		if _, err := f.base.WriteAt(buf, idx*walSectorSize); err != nil {
+			return err
+		}
+	}
+	if err := f.base.Truncate(f.commitSize); err != nil {
+		return err
+	}
+	if err := f.base.Sync(); err != nil {
+		return err
+	}
+	f.baseSize = f.commitSize
+	if err := f.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := f.wal.Sync(); err != nil {
+		return err
+	}
+	f.walOff = 0
+	f.committed = make(map[int64][]byte)
+	f.vfs.checkpoints.Add(1)
+	return nil
+}
+
+// Checkpoint forces a fold-back of the committed WAL content into the
+// base file regardless of the size threshold. Pending (uncommitted)
+// writes are committed first.
+func (f *walFile) Checkpoint() error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.walOff == 0 && len(f.committed) == 0 {
+		return nil
+	}
+	return f.checkpoint()
+}
+
+// Size implements File (logical size, including uncommitted writes).
+func (f *walFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size, nil
+}
+
+// Close implements File. Uncommitted (never-synced) writes are
+// discarded, matching the durability contract: only what Sync returned
+// success for survives.
+func (f *walFile) Close() error {
+	err := f.wal.Close()
+	if berr := f.base.Close(); err == nil {
+		err = berr
+	}
+	return err
+}

@@ -844,6 +844,44 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"ignored\"} %d\n", r.labels, st.DroppedIgnored)
 		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"nondet\"} %d\n", r.labels, st.RejectedNonDet)
 		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"conflicting_preprepare\"} %d\n", r.labels, st.ConflictingPrePrepares)
+		fmt.Fprintf(w, "pbft_drops_total{%s,reason=\"forged_join\"} %d\n", r.labels, st.DroppedForgedJoins)
+	}
+
+	// Durable-replica series render only for replicas running with a
+	// data directory, so a diskless deployment's exposition stays
+	// byte-identical to one scraped before durability existed.
+	durable := rows[:0:0]
+	for _, r := range rows {
+		if r.info.Stats.DurableNow {
+			durable = append(durable, r)
+		}
+	}
+	if len(durable) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP pbft_restarts_total Recoveries from an existing on-disk manifest (0 on first boot).\n# TYPE pbft_restarts_total counter\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_restarts_total{%s} %d\n", r.labels, r.info.Stats.Restarts)
+	}
+	fmt.Fprintf(w, "# HELP pbft_recovery_seconds Duration of the last disk recovery (WAL replay + manifest restore) at startup.\n# TYPE pbft_recovery_seconds gauge\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_recovery_seconds{%s} %g\n", r.labels, float64(r.info.Stats.RecoveryNanos)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP pbft_wal_fsyncs_total WAL commit fsyncs (one per persisted stable checkpoint batch).\n# TYPE pbft_wal_fsyncs_total counter\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_wal_fsyncs_total{%s} %d\n", r.labels, r.info.Stats.WALFsyncs)
+	}
+	fmt.Fprintf(w, "# HELP pbft_wal_bytes_total Bytes appended to the write-ahead log.\n# TYPE pbft_wal_bytes_total counter\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_wal_bytes_total{%s} %d\n", r.labels, r.info.Stats.WALBytes)
+	}
+	fmt.Fprintf(w, "# HELP pbft_wal_checkpoints_total WAL fold-backs into the base pages file.\n# TYPE pbft_wal_checkpoints_total counter\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_wal_checkpoints_total{%s} %d\n", r.labels, r.info.Stats.WALCheckpoints)
+	}
+	fmt.Fprintf(w, "# HELP pbft_persist_errors_total Failed stable-checkpoint persists (the store latches broken; the replica continues in-memory).\n# TYPE pbft_persist_errors_total counter\n")
+	for _, r := range durable {
+		fmt.Fprintf(w, "pbft_persist_errors_total{%s} %d\n", r.labels, r.info.Stats.PersistErrors)
 	}
 }
 

@@ -115,6 +115,71 @@ func TestPrometheusExpositionAndHealthz(t *testing.T) {
 	httpGet(t, srv.URL+"/healthz", 503)
 }
 
+// TestDurableExposition covers the durable-replica series gating: a
+// diskless registry's exposition carries none of them (scrapes stay
+// byte-identical to pre-durability output), while a durable replica in
+// the same registry renders the full set — without leaking the series
+// onto its diskless peers.
+func TestDurableExposition(t *testing.T) {
+	durableSeries := []string{
+		"pbft_restarts_total",
+		"pbft_recovery_seconds",
+		"pbft_wal_fsyncs_total",
+		"pbft_wal_bytes_total",
+		"pbft_wal_checkpoints_total",
+		"pbft_persist_errors_total",
+	}
+	disklessInfo := func() pbft.ReplicaInfo {
+		info := pbft.ReplicaInfo{View: 1, LastExec: 9}
+		info.Stats.DroppedForgedJoins = 3
+		return info
+	}
+
+	diskless := New()
+	diskless.AddReplica(0, disklessInfo)
+	var a strings.Builder
+	diskless.WritePrometheus(&a)
+	for _, s := range durableSeries {
+		if strings.Contains(a.String(), s) {
+			t.Fatalf("diskless exposition leaks durable series %q:\n%s", s, a.String())
+		}
+	}
+	if !strings.Contains(a.String(), "pbft_drops_total{replica=\"0\",reason=\"forged_join\"} 3") {
+		t.Fatalf("exposition missing forged_join drops row:\n%s", a.String())
+	}
+
+	mixed := New()
+	mixed.AddReplica(0, disklessInfo)
+	mixed.AddReplica(1, func() pbft.ReplicaInfo {
+		var info pbft.ReplicaInfo
+		info.Stats.DurableNow = true
+		info.Stats.Restarts = 2
+		info.Stats.RecoveryNanos = 1_500_000_000
+		info.Stats.WALFsyncs = 7
+		info.Stats.WALBytes = 4096
+		info.Stats.WALCheckpoints = 1
+		info.Stats.PersistErrors = 0
+		return info
+	})
+	var b strings.Builder
+	mixed.WritePrometheus(&b)
+	for _, want := range []string{
+		"pbft_restarts_total{replica=\"1\"} 2",
+		"pbft_recovery_seconds{replica=\"1\"} 1.5",
+		"pbft_wal_fsyncs_total{replica=\"1\"} 7",
+		"pbft_wal_bytes_total{replica=\"1\"} 4096",
+		"pbft_wal_checkpoints_total{replica=\"1\"} 1",
+		"pbft_persist_errors_total{replica=\"1\"} 0",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("mixed exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	if strings.Contains(b.String(), "pbft_restarts_total{replica=\"0\"}") {
+		t.Fatalf("durable series leaked onto a diskless replica:\n%s", b.String())
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := newHistogram([]float64{1, 2, 4, 8})
 	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 7, 7, 20} {

@@ -107,6 +107,9 @@ import (
 type (
 	// Options selects the library configuration (the axes of the
 	// paper's Table 1: UseMACs, AllBig, Batching, DynamicClients).
+	// Options.WithDataDir makes a replica durable: crash-restart then
+	// recovers from the WAL-backed on-disk state instead of a full
+	// state transfer.
 	Options = core.Options
 	// Config describes a deployment: the replica group and the static
 	// clients.
