@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -77,10 +78,17 @@ type durableStore struct {
 	persistErrors uint64
 }
 
+// errManifestInvalid tags manifest validation failures (short file,
+// CRC, magic, version, decode, digest chain) as opposed to I/O errors
+// reading the file. Only a validation failure makes it safe to delete
+// the manifest — an EIO or permission error may hide valid state.
+var errManifestInvalid = errors.New("core: manifest invalid")
+
 // openDurable opens (creating if needed) the data directory, recovers
 // the pages file through the WAL (torn tails truncated), and loads the
 // manifest if one validates. A manifest that fails validation is
-// deleted so the boot degrades to a clean first start.
+// deleted so the boot degrades to a clean first start; a transient
+// read error is propagated instead, leaving the on-disk state intact.
 func openDurable(dir string) (*durableStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: durable dir: %w", err)
@@ -91,19 +99,26 @@ func openDurable(dir string) (*durableStore, error) {
 		return nil, fmt.Errorf("core: durable pages: %w", err)
 	}
 	d := &durableStore{dir: dir, vfs: vfs, pages: pages}
-	if man, err := loadManifest(filepath.Join(dir, durManifestName)); err == nil && man != nil {
+	man, err := loadManifest(filepath.Join(dir, durManifestName))
+	switch {
+	case err == nil && man != nil:
 		d.man = man
 		d.restarts = man.restarts + 1
-	} else if err != nil {
+	case errors.Is(err, errManifestInvalid):
 		// Corrupt manifest: remove it and boot fresh.
 		_ = os.Remove(filepath.Join(dir, durManifestName))
+	case err != nil:
+		_ = pages.Close()
+		return nil, fmt.Errorf("core: durable manifest: %w", err)
 	}
 	return d, nil
 }
 
 // restoreRegion loads the persisted page image into the region and
 // verifies it reproduces the manifest's root. Called between region
-// construction and protocol start (stage A of recovery).
+// construction and protocol start (stage A of recovery), and only when
+// a manifest validated at open — without one the page content cannot
+// be verified and must not touch the region.
 func (d *durableStore) restoreRegion(region *state.Region) error {
 	d.pageSize = region.PageSize()
 	size, err := d.pages.Size()
@@ -161,9 +176,13 @@ func (d *durableStore) seedLeaves(region *state.Region) {
 
 // persist writes the delta of a stable checkpoint: changed pages into
 // the WAL-backed pages file (one commit fsync), then the manifest,
-// atomically replaced. The durability order matters — pages first,
-// manifest last — so a crash between the two recovers to the OLD
-// manifest whose pages are still intact in the WAL chain.
+// atomically replaced. The ordering (pages first, manifest last) keeps
+// the crash window safe rather than lossless: a crash between the two
+// leaves NEW page content under the OLD manifest, so the old root is
+// no longer reproducible — restart detects the mismatch via the
+// restoreRegion root check and degrades to a clean reset plus a full
+// state transfer. The durability benefit is lost for that window, but
+// the replica never serves the mixed image.
 func (d *durableStore) persist(ck *ckptRecord, view uint64, proof [][]byte) error {
 	for i := range d.lastLeaves {
 		want, err := ck.snap.NodeDigest(0, i)
@@ -263,8 +282,9 @@ func writeManifest(dir string, m *durManifest) error {
 
 // loadManifest reads and validates a manifest: magic, CRC, and the
 // digest chain (meta hashes to metaDigest; root+metaDigest compose to
-// digest). Returns (nil, nil) when no manifest exists and an error when
-// one exists but fails validation.
+// digest). Returns (nil, nil) when no manifest exists, an error
+// wrapping errManifestInvalid when one exists but fails validation,
+// and the bare I/O error when the file cannot be read.
 func loadManifest(path string) (*durManifest, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -274,18 +294,18 @@ func loadManifest(path string) (*durManifest, error) {
 		return nil, err
 	}
 	if len(raw) < len(durManifestMagic)+4 {
-		return nil, fmt.Errorf("core: manifest too short")
+		return nil, fmt.Errorf("%w: too short", errManifestInvalid)
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return nil, fmt.Errorf("core: manifest CRC mismatch")
+		return nil, fmt.Errorf("%w: CRC mismatch", errManifestInvalid)
 	}
 	if string(body[:len(durManifestMagic)]) != durManifestMagic {
-		return nil, fmt.Errorf("core: manifest bad magic")
+		return nil, fmt.Errorf("%w: bad magic", errManifestInvalid)
 	}
 	rd := wire.NewReader(body[len(durManifestMagic):])
 	if v := rd.U32(); v != durManifestVersion {
-		return nil, fmt.Errorf("core: manifest version %d unsupported", v)
+		return nil, fmt.Errorf("%w: version %d unsupported", errManifestInvalid, v)
 	}
 	m := &durManifest{}
 	m.seq = rd.U64()
@@ -300,13 +320,13 @@ func loadManifest(path string) (*durManifest, error) {
 		m.proof = append(m.proof, rd.Bytes32())
 	}
 	if err := rd.Done(); err != nil {
-		return nil, fmt.Errorf("core: manifest decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", errManifestInvalid, err)
 	}
 	if crypto.DigestOf(m.meta) != m.metaDigest {
-		return nil, fmt.Errorf("core: manifest meta digest mismatch")
+		return nil, fmt.Errorf("%w: meta digest mismatch", errManifestInvalid)
 	}
 	if wire.CompositeStateDigest(m.root, m.metaDigest) != m.digest {
-		return nil, fmt.Errorf("core: manifest composite digest mismatch")
+		return nil, fmt.Errorf("%w: composite digest mismatch", errManifestInvalid)
 	}
 	return m, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -86,6 +87,81 @@ func TestManifestCorruptionRejected(t *testing.T) {
 		if m, err := loadManifest(path); err == nil && m != nil {
 			t.Fatalf("cut=%d: truncated manifest loaded", cut)
 		}
+	}
+}
+
+// TestManifestLoadErrorClassification: validation failures are tagged
+// errManifestInvalid (removal is safe); read failures are not (the
+// file may hold valid state behind a transient error).
+func TestManifestLoadErrorClassification(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeManifest(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, durManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // break the CRC
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(path); !errors.Is(err, errManifestInvalid) {
+		t.Fatalf("corrupt manifest not tagged invalid: %v", err)
+	}
+
+	// A directory at the manifest path produces a read error (EISDIR)
+	// that must NOT be classified as a validation failure.
+	ioDir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(ioDir, durManifestName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadManifest(filepath.Join(ioDir, durManifestName))
+	if err == nil {
+		t.Fatal("reading a directory as manifest succeeded")
+	}
+	if errors.Is(err, errManifestInvalid) {
+		t.Fatalf("I/O error misclassified as validation failure: %v", err)
+	}
+}
+
+// TestOpenDurableRemovesCorruptManifest: a manifest failing validation
+// is deleted so the boot degrades to a clean first start.
+func TestOpenDurableRemovesCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, durManifestName)
+	if err := os.WriteFile(path, []byte("garbage-manifest-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := openDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
+	if d.man != nil {
+		t.Fatal("corrupt manifest loaded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt manifest not removed")
+	}
+}
+
+// TestOpenDurableReadErrorPreservesManifest: a transient read failure
+// (simulated with a directory at the manifest path, which reads as
+// EISDIR) must abort the open and leave the on-disk state untouched —
+// deleting it would permanently destroy possibly-valid durable state.
+func TestOpenDurableReadErrorPreservesManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, durManifestName)
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openDurable(dir); err == nil {
+		t.Fatal("openDurable succeeded over an unreadable manifest")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("unreadable manifest was removed: %v", err)
 	}
 }
 

@@ -246,18 +246,25 @@ func NewReplica(cfg *Config, id uint32, kp *crypto.KeyPair, conn transport.Conn,
 		if err != nil {
 			return nil, err
 		}
-		if restoreErr := durable.restoreRegion(region); restoreErr != nil || durable.man == nil {
+		if durable.man == nil {
+			// No validated manifest: any page content on disk is
+			// unverifiable (e.g. a crash before the first manifest ever
+			// landed). Discard it without applying it to the region.
 			if err := durable.reset(); err != nil {
 				durable.close()
 				return nil, err
 			}
-			if restoreErr != nil {
-				// The image may be part-applied: rebuild the region.
-				region, err = state.NewRegion(cfg.Opts.StateSize, cfg.Opts.PageSize)
-				if err != nil {
-					durable.close()
-					return nil, err
-				}
+		} else if restoreErr := durable.restoreRegion(region); restoreErr != nil {
+			if err := durable.reset(); err != nil {
+				durable.close()
+				return nil, err
+			}
+			// The image may be part-applied: rebuild the region so the
+			// replica boots on genuinely clean genesis state.
+			region, err = state.NewRegion(cfg.Opts.StateSize, cfg.Opts.PageSize)
+			if err != nil {
+				durable.close()
+				return nil, err
 			}
 		}
 		durable.seedLeaves(region)

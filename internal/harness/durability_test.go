@@ -263,8 +263,7 @@ func TestDurableRollingRestartUnderLoad(t *testing.T) {
 
 	for id := uint32(0); id < 4; id++ {
 		waitReplicaStable(t, c, id, 16, 15*time.Second)
-		// Snapshot the live peers' frontier before the crash; the
-		// restarted incarnation must catch at least that point.
+		// Snapshot the live peers' frontier before the crash.
 		var frontier uint64
 		for peer := uint32(0); peer < 4; peer++ {
 			if peer == id {
@@ -277,11 +276,39 @@ func TestDurableRollingRestartUnderLoad(t *testing.T) {
 		if err := c.RestartReplica(id); err != nil {
 			t.Fatalf("rolling restart replica %d: %v", id, err)
 		}
+		// Catch-up is judged against the LIVE frontier once it has moved
+		// past the pre-crash snapshot, not against the snapshot itself:
+		// the restarted replica rejoins at its durable stable checkpoint,
+		// which can already satisfy the old frontier while the replica is
+		// still wedged on a request body it missed (§2.4 — under AllBig,
+		// bodies travel only by client multicast, and a completed call is
+		// never rebroadcast). Restarting the next replica while this one
+		// is wedged livelocks the group: with two of four replicas unable
+		// to execute, no newer checkpoint can stabilize, so the state
+		// transfer that would heal the wedge never gets a target. Catching
+		// a frontier that advanced past the crash point proves the replica
+		// re-executed (or state-transferred) through any such gap.
 		deadline := time.Now().Add(30 * time.Second)
-		for c.Replicas[id].Info().LastExec < frontier {
+		for {
+			var cur uint64
+			for peer := uint32(0); peer < 4; peer++ {
+				if peer == id {
+					continue
+				}
+				if e := c.Replicas[peer].Info().LastExec; e > cur {
+					cur = e
+				}
+			}
+			if info := c.Replicas[id].Info(); cur > frontier && info.LastExec >= cur {
+				break
+			}
 			if time.Now().After(deadline) {
-				t.Fatalf("replica %d never recaught frontier %d (at %d)",
-					id, frontier, c.Replicas[id].Info().LastExec)
+				var peers []core.Info
+				for p := uint32(0); p < 4; p++ {
+					peers = append(peers, c.Replicas[p].Info())
+				}
+				t.Fatalf("replica %d never recaught the live frontier (pre-crash %d, at %d); group: %+v",
+					id, frontier, c.Replicas[id].Info().LastExec, peers)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
@@ -300,6 +327,113 @@ func TestDurableRollingRestartUnderLoad(t *testing.T) {
 		st := c.Replicas[id].Info().Stats
 		if st.Restarts != 1 {
 			t.Fatalf("replica %d reports %d manifest recoveries, want 1", id, st.Restarts)
+		}
+	}
+}
+
+// TestDurableManifestLossBootsClean regression-tests the crash window
+// before a manifest lands: the pages file holds content but no
+// manifest describes it. Every replica's manifest is deleted while its
+// pages (and WAL) are left behind; the restarted group must boot on
+// genuinely clean genesis state — the unverifiable page image must
+// never be applied to the region — and re-converge from scratch. If a
+// replica kept the dirty image, re-executing the fresh workload on top
+// of it would produce divergent checkpoint digests and the group would
+// never converge.
+func TestDurableManifestLossBootsClean(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Opts:       fastOpts(),
+		NumClients: 2,
+		Seed:       205,
+		App:        NewCounterFactory(),
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.Client(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 40; i++ {
+		invokeMust(t, cl, fmt.Sprintf("bump key-%d", i))
+	}
+	for id := uint32(0); id < 4; id++ {
+		waitReplicaStable(t, c, id, 32, 10*time.Second)
+	}
+	for id := uint32(0); id < 4; id++ {
+		c.StopReplica(id)
+	}
+	// Asymmetric wipe: every manifest goes, but only replicas 0-2 lose
+	// their page files too. Replica 3 restarts with orphaned page
+	// content and must discard it — if the unverified image leaked into
+	// its region, its genesis checkpoint digest would differ from the
+	// truly-clean peers below.
+	for id := uint32(0); id < 4; id++ {
+		dir := c.ReplicaDataDir(id)
+		if err := os.Remove(filepath.Join(dir, "manifest")); err != nil {
+			t.Fatalf("replica %d: delete manifest: %v", id, err)
+		}
+		if id == 3 {
+			var pageBytes int64
+			for _, name := range []string{"pages", "pages.wal"} {
+				if fi, err := os.Stat(filepath.Join(dir, name)); err == nil {
+					pageBytes += fi.Size()
+				}
+			}
+			if pageBytes == 0 {
+				t.Fatal("replica 3 has no page content on disk; scenario is vacuous")
+			}
+			continue
+		}
+		for _, name := range []string{"pages", "pages.wal"} {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				t.Fatalf("replica %d: delete %s: %v", id, name, err)
+			}
+		}
+	}
+	for id := uint32(0); id < 4; id++ {
+		if err := c.RestartReplica(id); err != nil {
+			t.Fatalf("restart replica %d: %v", id, err)
+		}
+	}
+	// Before any traffic: everyone sits at the genesis checkpoint, and
+	// its digest is computed over the boot-time region. A replica that
+	// applied the orphaned pages would already disagree here.
+	genesis := c.Replicas[0].Info()
+	if genesis.LastStable != 0 {
+		t.Fatalf("replica 0 recovered a stable checkpoint (%d) with no manifest", genesis.LastStable)
+	}
+	for id := uint32(1); id < 4; id++ {
+		info := c.Replicas[id].Info()
+		if info.LastStable != 0 {
+			t.Fatalf("replica %d recovered a stable checkpoint (%d) with no manifest", id, info.LastStable)
+		}
+		if info.StableDigest != genesis.StableDigest {
+			t.Fatalf("replica %d boots on a dirty region: genesis digest %x != %x",
+				id, info.StableDigest[:8], genesis.StableDigest[:8])
+		}
+	}
+	// A fresh client: the recovered dedup windows are gone with the
+	// manifests, so this is logically a brand-new cluster.
+	cl2, err := c.Client(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for i := 0; i < 24; i++ {
+		invokeMust(t, cl2, fmt.Sprintf("bump fresh-%d", i))
+	}
+	waitStableDigests(t, c, []uint32{0, 1, 2, 3}, 16, 30*time.Second)
+	for id := uint32(0); id < 4; id++ {
+		st := c.Replicas[id].Info().Stats
+		if !st.DurableNow {
+			t.Fatalf("replica %d lost its data dir", id)
+		}
+		if st.Restarts != 0 {
+			t.Fatalf("replica %d counted %d manifest recoveries after manifest loss, want 0", id, st.Restarts)
 		}
 	}
 }
